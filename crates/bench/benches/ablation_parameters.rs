@@ -1,0 +1,65 @@
+//! Bench + regeneration harness for the **parameter ablations** (§IV-A
+//! parameter choices and the §III-C reset-arm feature).
+//!
+//! Running `cargo bench --bench ablation_parameters` first prints the α, γ,
+//! arm-count and reset-versus-no-reset sweeps, then benchmarks a MABFuzz
+//! campaign at two γ settings so the cost of frequent arm resets is visible.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mab::BanditKind;
+use mabfuzz::{MabFuzzConfig, MabFuzzer};
+use mabfuzz_bench::{ablation, campaign_config, processor_with_native_bugs, ExperimentBudget};
+use proc_sim::ProcessorKind;
+
+fn print_ablation_reproduction() {
+    let budget = ExperimentBudget {
+        coverage_tests: 400,
+        detection_cap: 0,
+        repetitions: 2,
+        base_seed: 2024,
+    };
+    println!(
+        "\n=== Parameter ablations ({} tests per campaign, {} repetitions, UCB on Rocket) ===",
+        budget.coverage_tests, budget.repetitions
+    );
+    for sweep in [
+        ablation::alpha_sweep(ProcessorKind::Rocket, &budget),
+        ablation::gamma_sweep(ProcessorKind::Rocket, &budget),
+        ablation::arms_sweep(ProcessorKind::Rocket, &budget),
+        ablation::reset_ablation(ProcessorKind::Rocket, &budget),
+    ] {
+        println!("-- {} sweep --", sweep.parameter);
+        println!("{}", sweep.to_table());
+    }
+}
+
+fn bench_gamma_settings(c: &mut Criterion) {
+    print_ablation_reproduction();
+
+    let mut group = c.benchmark_group("ablation_gamma");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    for gamma in [1usize, 3, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |b, &gamma| {
+            b.iter(|| {
+                let mut config = MabFuzzConfig::new(BanditKind::Ucb1).with_gamma(gamma);
+                config.campaign = campaign_config(100);
+                MabFuzzer::new(
+                    Arc::from(processor_with_native_bugs(ProcessorKind::Rocket)),
+                    config,
+                    9,
+                )
+                .run()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gamma_settings);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the building blocks: the modified bandit algorithms,
+//! the mutation engine and single-test simulation on each core.
+//!
+//! These are not a paper artefact by themselves; they quantify the claim that
+//! the MAB layer's decision-making cost is negligible next to RTL simulation
+//! (the paper's speedups are reported in *tests*, implicitly assuming the
+//! per-test scheduling overhead is free — here that assumption is measured).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzer::{FuzzHarness, MutationEngine};
+use mab::BanditKind;
+use proc_sim::{BugSet, ProcessorKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use riscv::gen::{GeneratorConfig, ProgramGenerator};
+use std::sync::Arc;
+
+fn bench_bandit_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bandit_select_update");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for kind in BanditKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let mut bandit = kind.build(10);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let arm = bandit.select(&mut rng);
+                bandit.update(arm, 0.3);
+                arm
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mutation_engine");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let generator = ProgramGenerator::new(GeneratorConfig::default());
+    let engine = MutationEngine::new(GeneratorConfig::default());
+    let seed = generator.generate_seed(&mut StdRng::seed_from_u64(2));
+    group.bench_function("mutate_one", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| engine.mutate(&seed, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_single_test_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_test_simulation");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let generator = ProgramGenerator::new(GeneratorConfig::default());
+    let program = generator.generate_seed(&mut StdRng::seed_from_u64(4));
+    for core in ProcessorKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(core.name()), &core, |b, &core| {
+            let harness = FuzzHarness::new(Arc::from(core.build(BugSet::none())), 300);
+            b.iter(|| harness.run_program(&program));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bandit_step, bench_mutation, bench_single_test_simulation);
+criterion_main!(benches);

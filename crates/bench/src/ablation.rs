@@ -1,0 +1,157 @@
+//! Parameter ablations (§IV-A choices and the reset-arm feature of §III-C).
+//!
+//! The paper fixes `α = 0.25`, `γ = 3` and 10 arms based on preliminary
+//! experiments and motivates the arm-reset modification qualitatively. The
+//! ablation harness sweeps those choices so the reproduction can show *why*
+//! they are reasonable: final coverage as a function of α, γ and the number
+//! of arms, plus a head-to-head of MABFuzz with and without arm resets.
+
+use std::sync::Arc;
+
+use mab::BanditKind;
+use mabfuzz::{MabFuzzConfig, MabFuzzer};
+use proc_sim::ProcessorKind;
+use serde::{Deserialize, Serialize};
+
+use crate::report::TextTable;
+use crate::{campaign_config, processor_with_native_bugs, ExperimentBudget};
+
+/// One ablation data point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationPoint {
+    /// Human-readable parameter setting, e.g. `"alpha=0.25"`.
+    pub setting: String,
+    /// Mean final coverage over the repetitions.
+    pub final_coverage: f64,
+    /// Mean number of arm resets over the repetitions.
+    pub resets: f64,
+}
+
+/// A parameter sweep: several settings of one knob, everything else at the
+/// paper defaults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationSweep {
+    /// The knob being swept (`"alpha"`, `"gamma"`, `"arms"`, `"reset"`).
+    pub parameter: String,
+    /// The processor the sweep ran on.
+    pub processor: ProcessorKind,
+    /// The data points, in sweep order.
+    pub points: Vec<AblationPoint>,
+}
+
+impl AblationSweep {
+    /// Renders the sweep as a table.
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(&["Setting", "Final coverage", "Arm resets"]);
+        for point in &self.points {
+            table.row(vec![
+                point.setting.clone(),
+                format!("{:.1}", point.final_coverage),
+                format!("{:.1}", point.resets),
+            ]);
+        }
+        table
+    }
+
+    /// Returns the best-performing setting.
+    pub fn best(&self) -> Option<&AblationPoint> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.final_coverage.total_cmp(&b.final_coverage))
+    }
+}
+
+fn run_point(
+    setting: String,
+    configure: impl Fn(MabFuzzConfig) -> MabFuzzConfig,
+    processor: ProcessorKind,
+    budget: &ExperimentBudget,
+) -> AblationPoint {
+    let mut total_coverage = 0.0;
+    let mut total_resets = 0.0;
+    for repetition in 0..budget.repetitions {
+        let mut config = MabFuzzConfig::new(BanditKind::Ucb1);
+        config.campaign = campaign_config(budget.coverage_tests);
+        let config = configure(config);
+        let outcome = MabFuzzer::new(
+            Arc::from(processor_with_native_bugs(processor)),
+            config,
+            budget.base_seed + repetition,
+        )
+        .run();
+        total_coverage += outcome.stats.final_coverage() as f64;
+        total_resets += outcome.total_resets as f64;
+    }
+    let n = budget.repetitions.max(1) as f64;
+    AblationPoint { setting, final_coverage: total_coverage / n, resets: total_resets / n }
+}
+
+/// Sweeps the reward weight α.
+pub fn alpha_sweep(processor: ProcessorKind, budget: &ExperimentBudget) -> AblationSweep {
+    let points = [0.0, 0.25, 0.5, 1.0]
+        .iter()
+        .map(|&alpha| {
+            run_point(format!("alpha={alpha}"), move |c| c.with_alpha(alpha), processor, budget)
+        })
+        .collect();
+    AblationSweep { parameter: "alpha".to_owned(), processor, points }
+}
+
+/// Sweeps the reset threshold γ.
+pub fn gamma_sweep(processor: ProcessorKind, budget: &ExperimentBudget) -> AblationSweep {
+    let points = [1usize, 3, 10]
+        .iter()
+        .map(|&gamma| {
+            run_point(format!("gamma={gamma}"), move |c| c.with_gamma(gamma), processor, budget)
+        })
+        .collect();
+    AblationSweep { parameter: "gamma".to_owned(), processor, points }
+}
+
+/// Sweeps the number of arms.
+pub fn arms_sweep(processor: ProcessorKind, budget: &ExperimentBudget) -> AblationSweep {
+    let points = [4usize, 10, 20]
+        .iter()
+        .map(|&arms| {
+            run_point(format!("arms={arms}"), move |c| c.with_arms(arms), processor, budget)
+        })
+        .collect();
+    AblationSweep { parameter: "arms".to_owned(), processor, points }
+}
+
+/// Compares MABFuzz with the paper's arm-reset feature against a variant
+/// whose γ is effectively infinite (arms are never reset).
+pub fn reset_ablation(processor: ProcessorKind, budget: &ExperimentBudget) -> AblationSweep {
+    let never = usize::MAX / 2;
+    let points = vec![
+        run_point("reset(gamma=3)".to_owned(), |c| c.with_gamma(3), processor, budget),
+        run_point("no-reset".to_owned(), move |c| c.with_gamma(never), processor, budget),
+    ];
+    AblationSweep { parameter: "reset".to_owned(), processor, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_produce_one_point_per_setting() {
+        let budget = ExperimentBudget { coverage_tests: 40, repetitions: 1, ..ExperimentBudget::smoke() };
+        let sweep = gamma_sweep(ProcessorKind::Rocket, &budget);
+        assert_eq!(sweep.points.len(), 3);
+        assert!(sweep.points.iter().all(|p| p.final_coverage > 0.0));
+        assert!(sweep.best().is_some());
+        let table = sweep.to_table();
+        assert_eq!(table.len(), 3);
+        assert!(table.render().contains("gamma=3"));
+    }
+
+    #[test]
+    fn reset_ablation_disables_resets_in_the_no_reset_arm() {
+        let budget = ExperimentBudget { coverage_tests: 60, repetitions: 1, ..ExperimentBudget::smoke() };
+        let sweep = reset_ablation(ProcessorKind::Rocket, &budget);
+        assert_eq!(sweep.points.len(), 2);
+        let no_reset = &sweep.points[1];
+        assert_eq!(no_reset.resets, 0.0, "gamma=∞ must never reset an arm");
+    }
+}

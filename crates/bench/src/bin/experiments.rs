@@ -1,0 +1,169 @@
+//! Command-line experiment harness.
+//!
+//! Regenerates every table and figure of the MABFuzz paper's evaluation
+//! section on the simulated processor substrate:
+//!
+//! ```text
+//! experiments table1   [--tests N] [--repeats R] [--seed S] [--vulns V1,V5]
+//! experiments fig3     [--tests N] [--repeats R] [--seed S] [--cores cva6,rocket]
+//! experiments fig4     [--tests N] [--repeats R] [--seed S] [--cores ...]
+//! experiments ablation [--tests N] [--repeats R] [--seed S]
+//! experiments all      [--tests N] [--repeats R] [--seed S]
+//! ```
+//!
+//! With no arguments the default budget (2 000 coverage tests, 3 000-test
+//! detection cap, 3 repetitions) is used — small enough for a laptop, large
+//! enough for the paper's qualitative shapes to emerge.
+
+use std::env;
+use std::process::ExitCode;
+
+use mabfuzz_bench::{ablation, fig3, fig4, table1, ExperimentBudget};
+use proc_sim::{ProcessorKind, Vulnerability};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    let options = match Options::parse(&args[1.min(args.len())..]) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command {
+        "table1" => run_table1(&options),
+        "fig3" => run_fig3(&options),
+        "fig4" => run_fig4(&options),
+        "ablation" => run_ablation(&options),
+        "all" => {
+            run_table1(&options);
+            run_fig3(&options);
+            run_fig4(&options);
+            run_ablation(&options);
+        }
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "usage: experiments <table1|fig3|fig4|ablation|all> \
+[--tests N] [--cap N] [--repeats R] [--seed S] [--cores a,b] [--vulns V1,V2]";
+
+#[derive(Debug, Clone)]
+struct Options {
+    budget: ExperimentBudget,
+    cores: Vec<ProcessorKind>,
+    vulnerabilities: Vec<Vulnerability>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut budget = ExperimentBudget::default();
+        let mut cores = ProcessorKind::ALL.to_vec();
+        let mut vulnerabilities = Vulnerability::ALL.to_vec();
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let mut value = || {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag `{flag}` expects a value"))
+            };
+            match flag.as_str() {
+                "--tests" => {
+                    budget.coverage_tests =
+                        value()?.parse().map_err(|e| format!("--tests: {e}"))?;
+                }
+                "--cap" => {
+                    budget.detection_cap = value()?.parse().map_err(|e| format!("--cap: {e}"))?;
+                }
+                "--repeats" => {
+                    budget.repetitions = value()?.parse().map_err(|e| format!("--repeats: {e}"))?;
+                }
+                "--seed" => {
+                    budget.base_seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--cores" => {
+                    cores = value()?
+                        .split(',')
+                        .map(|name| {
+                            ProcessorKind::parse(name).ok_or_else(|| format!("unknown core `{name}`"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                "--vulns" => {
+                    vulnerabilities = value()?
+                        .split(',')
+                        .map(|id| {
+                            Vulnerability::parse(id)
+                                .ok_or_else(|| format!("unknown vulnerability `{id}`"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(Options { budget, cores, vulnerabilities })
+    }
+}
+
+fn run_table1(options: &Options) {
+    println!("== Table I: vulnerability detection speedup vs. TheHuzz ==");
+    println!(
+        "(detection cap {} tests, {} repetitions, base seed {})\n",
+        options.budget.detection_cap, options.budget.repetitions, options.budget.base_seed
+    );
+    let result = table1::run_for(&options.vulnerabilities, &options.budget);
+    println!("{}", result.to_table());
+    if let Some(best) = result.best_speedup() {
+        println!("best speedup over TheHuzz: {best:.2}x\n");
+    }
+}
+
+fn run_fig3(options: &Options) {
+    println!("== Fig. 3: branch coverage vs. number of tests ==");
+    println!(
+        "({} tests per campaign, {} repetitions)\n",
+        options.budget.coverage_tests, options.budget.repetitions
+    );
+    let result = fig3::run_for(&options.cores, &options.budget);
+    for curves in &result.processors {
+        println!(
+            "-- {} ({} coverage points) --",
+            curves.processor,
+            curves.space_len
+        );
+        println!("{}", result.to_table(curves.processor, 12));
+    }
+}
+
+fn run_fig4(options: &Options) {
+    println!("== Fig. 4: coverage speedup and increment vs. TheHuzz ==");
+    let fig3_result = fig3::run_for(&options.cores, &options.budget);
+    let result = fig4::from_fig3(&fig3_result);
+    println!("{}", result.to_table());
+    if let Some(best) = result.best_speedup() {
+        println!("best coverage speedup over TheHuzz: {best:.2}x\n");
+    }
+}
+
+fn run_ablation(options: &Options) {
+    println!("== Parameter ablations (UCB on Rocket) ==\n");
+    let core = options.cores.first().copied().unwrap_or(ProcessorKind::Rocket);
+    for sweep in [
+        ablation::alpha_sweep(core, &options.budget),
+        ablation::gamma_sweep(core, &options.budget),
+        ablation::arms_sweep(core, &options.budget),
+        ablation::reset_ablation(core, &options.budget),
+    ] {
+        println!("-- {} sweep on {} --", sweep.parameter, sweep.processor);
+        println!("{}", sweep.to_table());
+    }
+}

@@ -1,0 +1,120 @@
+//! Plain-text table rendering for the experiment harness.
+
+/// A simple fixed-width text table.
+///
+/// The experiment harness prints its results as monospace tables shaped like
+/// the paper's Table I and the data series behind Figs. 3 and 4, so the
+/// reproduction can be eyeballed against the original.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header length.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width must match the header");
+        self.rows.push(cells);
+    }
+
+    /// Returns the number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, width) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:<width$} |"));
+            }
+            line
+        };
+        let separator = {
+            let mut line = String::from("|");
+            for width in &widths {
+                line.push_str(&format!("{}|", "-".repeat(width + 2)));
+            }
+            line
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&separator);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a speedup factor the way the paper prints them (`"13.04x"`, or
+/// `">=12.5x"` when the baseline never finished within its cap).
+pub fn format_speedup(speedup: Option<f64>) -> String {
+    match speedup {
+        Some(value) => format!("{value:.2}x"),
+        None => "n/a".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut table = TextTable::new(&["Vulnerability", "TheHuzz", "UCB"]);
+        table.row(vec!["V1".into(), "600".into(), "13.04x".into()]);
+        table.row(vec!["V7 long name".into(), "927".into(), "185.34x".into()]);
+        let text = table.render();
+        assert!(text.contains("| Vulnerability"));
+        assert!(text.contains("| V7 long name"));
+        let widths: Vec<usize> = text.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "all lines share the same width");
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut table = TextTable::new(&["a", "b"]);
+        table.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(format_speedup(Some(12.345)), "12.35x");
+        assert_eq!(format_speedup(None), "n/a");
+    }
+}

@@ -1,0 +1,202 @@
+//! Table I — vulnerability-detection speedup of MABFuzz over TheHuzz.
+
+use mab::BanditKind;
+use proc_sim::{BugSet, ProcessorKind, Vulnerability};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+use crate::report::{format_speedup, TextTable};
+use crate::{campaign_config, run_campaign, ExperimentBudget, FuzzerKind};
+
+/// Detection statistics of one fuzzer for one vulnerability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionCell {
+    /// Mean number of tests until the first architectural mismatch, averaged
+    /// over the repetitions. Censored at the detection cap when a repetition
+    /// never detected the bug.
+    pub mean_tests: f64,
+    /// How many repetitions detected the bug within the cap.
+    pub detected_in: u64,
+    /// Total repetitions run.
+    pub repetitions: u64,
+}
+
+impl DetectionCell {
+    /// Returns `true` when at least one repetition detected the bug.
+    pub fn detected(&self) -> bool {
+        self.detected_in > 0
+    }
+}
+
+/// One row of Table I: a vulnerability, the baseline's tests-to-detection and
+/// each MABFuzz algorithm's speedup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// The vulnerability under test.
+    pub vulnerability: Vulnerability,
+    /// Baseline (TheHuzz) detection statistics.
+    pub thehuzz: DetectionCell,
+    /// Per-algorithm detection statistics, in [`BanditKind::ALL`] order.
+    pub mabfuzz: Vec<(BanditKind, DetectionCell)>,
+}
+
+impl Table1Row {
+    /// Returns the speedup of `kind` over the baseline
+    /// (`baseline mean tests / algorithm mean tests`).
+    pub fn speedup(&self, kind: BanditKind) -> Option<f64> {
+        let cell = self.mabfuzz.iter().find(|(k, _)| *k == kind).map(|(_, c)| c)?;
+        if cell.mean_tests <= 0.0 {
+            return None;
+        }
+        Some(self.thehuzz.mean_tests / cell.mean_tests)
+    }
+}
+
+/// The full Table I reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// One row per vulnerability, in paper order.
+    pub rows: Vec<Table1Row>,
+    /// The budget the experiment ran under.
+    pub budget: ExperimentBudget,
+}
+
+impl Table1Result {
+    /// Renders the result in the shape of the paper's Table I.
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(&[
+            "Vulnerability",
+            "CWE",
+            "Core",
+            "TheHuzz #Tests",
+            "eps-greedy speedup",
+            "UCB speedup",
+            "EXP3 speedup",
+        ]);
+        for row in &self.rows {
+            table.row(vec![
+                row.vulnerability.id().to_owned(),
+                row.vulnerability.cwe().to_string(),
+                row.vulnerability.native_core().to_owned(),
+                format!("{:.1}", row.thehuzz.mean_tests),
+                format_speedup(row.speedup(BanditKind::EpsilonGreedy)),
+                format_speedup(row.speedup(BanditKind::Ucb1)),
+                format_speedup(row.speedup(BanditKind::Exp3)),
+            ]);
+        }
+        table
+    }
+
+    /// Returns the best (largest) speedup achieved across all rows and
+    /// algorithms — the paper's headline "up to N× speedup" number.
+    pub fn best_speedup(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .flat_map(|row| BanditKind::ALL.iter().filter_map(|k| row.speedup(*k)))
+            .fold(None, |best, s| Some(best.map_or(s, |b: f64| b.max(s))))
+    }
+}
+
+/// Runs the detection experiment for a chosen subset of vulnerabilities.
+pub fn run_for(vulnerabilities: &[Vulnerability], budget: &ExperimentBudget) -> Table1Result {
+    let rows = vulnerabilities
+        .iter()
+        .map(|&vulnerability| run_row(vulnerability, budget))
+        .collect();
+    Table1Result { rows, budget: budget.clone() }
+}
+
+/// Runs the full Table I experiment (all seven vulnerabilities).
+pub fn run(budget: &ExperimentBudget) -> Table1Result {
+    run_for(&Vulnerability::ALL, budget)
+}
+
+fn run_row(vulnerability: Vulnerability, budget: &ExperimentBudget) -> Table1Row {
+    let thehuzz = run_detection(FuzzerKind::TheHuzz, vulnerability, budget);
+    let mabfuzz = BanditKind::ALL
+        .iter()
+        .map(|&kind| (kind, run_detection(FuzzerKind::MabFuzz(kind), vulnerability, budget)))
+        .collect();
+    Table1Row { vulnerability, thehuzz, mabfuzz }
+}
+
+fn run_detection(
+    fuzzer: FuzzerKind,
+    vulnerability: Vulnerability,
+    budget: &ExperimentBudget,
+) -> DetectionCell {
+    let core_kind = ProcessorKind::parse(vulnerability.native_core()).expect("known core name");
+    let mut total_tests = 0.0;
+    let mut detected_in = 0;
+    for repetition in 0..budget.repetitions {
+        let processor: Arc<dyn proc_sim::Processor> =
+            Arc::from(core_kind.build(BugSet::only(vulnerability)));
+        let config = campaign_config(budget.detection_cap).detection_mode();
+        let stats = run_campaign(fuzzer, processor, config, budget.base_seed + repetition);
+        match stats.first_detection() {
+            Some(tests) => {
+                total_tests += tests as f64;
+                detected_in += 1;
+            }
+            None => total_tests += budget.detection_cap as f64,
+        }
+    }
+    DetectionCell {
+        mean_tests: total_tests / budget.repetitions.max(1) as f64,
+        detected_in,
+        repetitions: budget.repetitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn easy_vulnerability_is_detected_quickly_by_every_fuzzer() {
+        let budget = ExperimentBudget { detection_cap: 300, repetitions: 1, ..ExperimentBudget::smoke() };
+        let result = run_for(&[Vulnerability::V5MissingAccessFault], &budget);
+        assert_eq!(result.rows.len(), 1);
+        let row = &result.rows[0];
+        assert!(row.thehuzz.detected(), "V5 is the paper's trivially detected bug");
+        assert!(row.thehuzz.mean_tests <= 300.0);
+        for (kind, cell) in &row.mabfuzz {
+            assert!(cell.detected(), "{kind} should detect V5 within the cap");
+        }
+        let table = result.to_table().render();
+        assert!(table.contains("V5"));
+        assert!(table.contains("1252"));
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_algorithm() {
+        let row = Table1Row {
+            vulnerability: Vulnerability::V1FenceiDecode,
+            thehuzz: DetectionCell { mean_tests: 600.0, detected_in: 3, repetitions: 3 },
+            mabfuzz: vec![
+                (BanditKind::Ucb1, DetectionCell { mean_tests: 46.0, detected_in: 3, repetitions: 3 }),
+                (BanditKind::Exp3, DetectionCell { mean_tests: 0.0, detected_in: 0, repetitions: 3 }),
+            ],
+        };
+        let speedup = row.speedup(BanditKind::Ucb1).unwrap();
+        assert!((speedup - 600.0 / 46.0).abs() < 1e-9);
+        assert_eq!(row.speedup(BanditKind::Exp3), None);
+        assert_eq!(row.speedup(BanditKind::EpsilonGreedy), None);
+    }
+
+    #[test]
+    fn best_speedup_scans_all_rows() {
+        let result = Table1Result {
+            rows: vec![Table1Row {
+                vulnerability: Vulnerability::V6UnimplCsrJunk,
+                thehuzz: DetectionCell { mean_tests: 100.0, detected_in: 1, repetitions: 1 },
+                mabfuzz: vec![(
+                    BanditKind::EpsilonGreedy,
+                    DetectionCell { mean_tests: 10.0, detected_in: 1, repetitions: 1 },
+                )],
+            }],
+            budget: ExperimentBudget::smoke(),
+        };
+        assert!((result.best_speedup().unwrap() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! MABFuzz configuration.
+
+use fuzzer::CampaignConfig;
+use mab::BanditKind;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a MABFuzz campaign.
+///
+/// The defaults are the values reported in §IV-A of the paper: 10 arms,
+/// `α = 0.25` (a globally new point is worth 3× an arm-locally new point),
+/// reset threshold `γ = 3`, ε-greedy exploration `ε = 0.1` and EXP3 learning
+/// rate `η = 0.1`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MabFuzzConfig {
+    /// Shared campaign parameters (test budget, mutation counts, …). The
+    /// `num_seeds` field doubles as the number of arms.
+    pub campaign: CampaignConfig,
+    /// Which modified MAB algorithm drives seed selection.
+    pub algorithm: BanditKind,
+    /// Weight of arm-locally new coverage in the reward (`α ∈ [0, 1]`).
+    pub alpha: f64,
+    /// Reset threshold: an arm whose last `γ` pulls produced no new arm-local
+    /// coverage is considered depleted and replaced by a fresh seed.
+    pub gamma: usize,
+    /// Exploration probability for ε-greedy.
+    pub epsilon: f64,
+    /// Learning rate for EXP3.
+    pub eta: f64,
+}
+
+impl MabFuzzConfig {
+    /// Creates the paper-default configuration for the given algorithm.
+    pub fn new(algorithm: BanditKind) -> MabFuzzConfig {
+        MabFuzzConfig {
+            campaign: CampaignConfig::default(),
+            algorithm,
+            alpha: 0.25,
+            gamma: 3,
+            epsilon: 0.1,
+            eta: 0.1,
+        }
+    }
+
+    /// Returns the number of arms (the campaign's `num_seeds`).
+    pub fn arms(&self) -> usize {
+        self.campaign.num_seeds
+    }
+
+    /// Sets the number of arms.
+    pub fn with_arms(mut self, arms: usize) -> MabFuzzConfig {
+        self.campaign.num_seeds = arms.max(1);
+        self
+    }
+
+    /// Sets the reward weight α.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn with_alpha(mut self, alpha: f64) -> MabFuzzConfig {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must lie in [0, 1]");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the γ reset threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is zero.
+    pub fn with_gamma(mut self, gamma: usize) -> MabFuzzConfig {
+        assert!(gamma > 0, "gamma must be at least 1");
+        self.gamma = gamma;
+        self
+    }
+
+    /// Sets the campaign test budget.
+    pub fn with_max_tests(mut self, max_tests: u64) -> MabFuzzConfig {
+        self.campaign.max_tests = max_tests;
+        self
+    }
+
+    /// Builds the bandit policy described by this configuration.
+    pub fn build_bandit(&self) -> Box<dyn mab::Bandit> {
+        match self.algorithm {
+            BanditKind::EpsilonGreedy => Box::new(mab::EpsilonGreedy::new(self.arms(), self.epsilon)),
+            BanditKind::Ucb1 => Box::new(mab::Ucb1::new(self.arms())),
+            BanditKind::Exp3 => Box::new(mab::Exp3::new(self.arms(), self.eta)),
+        }
+    }
+
+    /// Returns the human-readable campaign label used in reports
+    /// (e.g. `"MABFuzz: UCB"`).
+    pub fn label(&self) -> String {
+        format!("MABFuzz: {}", self.algorithm)
+    }
+}
+
+impl Default for MabFuzzConfig {
+    fn default() -> Self {
+        MabFuzzConfig::new(BanditKind::Ucb1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let config = MabFuzzConfig::default();
+        assert_eq!(config.arms(), 10);
+        assert!((config.alpha - 0.25).abs() < 1e-12);
+        assert_eq!(config.gamma, 3);
+        assert!((config.eta - 0.1).abs() < 1e-12);
+        assert!((config.epsilon - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_adjust_fields() {
+        let config = MabFuzzConfig::new(BanditKind::Exp3)
+            .with_arms(4)
+            .with_alpha(0.5)
+            .with_gamma(7)
+            .with_max_tests(123);
+        assert_eq!(config.arms(), 4);
+        assert_eq!(config.gamma, 7);
+        assert_eq!(config.campaign.max_tests, 123);
+        assert_eq!(config.label(), "MABFuzz: EXP3");
+    }
+
+    #[test]
+    fn build_bandit_matches_the_algorithm() {
+        for kind in BanditKind::ALL {
+            let config = MabFuzzConfig::new(kind).with_arms(6);
+            let bandit = config.build_bandit();
+            assert_eq!(bandit.kind(), kind);
+            assert_eq!(bandit.arms(), 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        let _ = MabFuzzConfig::default().with_alpha(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn invalid_gamma_panics() {
+        let _ = MabFuzzConfig::default().with_gamma(0);
+    }
+}

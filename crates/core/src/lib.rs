@@ -1,0 +1,48 @@
+//! MABFuzz: multi-armed bandit algorithms for fuzzing processors.
+//!
+//! This crate is the reproduction of the paper's core contribution — a
+//! dynamic, adaptive seed-selection layer that can be bolted onto any
+//! coverage-feedback hardware fuzzer. It reuses the fuzzing substrate from
+//! the [`fuzzer`] crate (seed generation, mutation, differential testing,
+//! campaign statistics) and the generic bandit algorithms from [`mab`], and
+//! adds the pieces that are specific to the paper:
+//!
+//! * [`Arm`] — a seed, its mutation-derived test pool and its arm-local
+//!   cumulative coverage;
+//! * [`RewardParams`] — the reward
+//!   `R_t(a) = α·|cov_L| + (1 − α)·|cov_G|` of §III-B;
+//! * [`SaturationMonitor`] — the γ-window monitor of §III-C that detects
+//!   depleted arms;
+//! * [`MabFuzzer`] — the orchestrator of Fig. 2: select an arm with the
+//!   modified MAB algorithm, simulate one of its tests, mutate, reward,
+//!   and reset saturated arms.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mab::BanditKind;
+//! use mabfuzz::{MabFuzzConfig, MabFuzzer};
+//! use proc_sim::{cores::RocketCore, BugSet};
+//!
+//! let processor = Arc::new(RocketCore::new(BugSet::none()));
+//! let mut config = MabFuzzConfig::new(BanditKind::Ucb1);
+//! config.campaign.max_tests = 25;
+//! let outcome = MabFuzzer::new(processor, config, 7).run();
+//! assert_eq!(outcome.stats.tests_executed(), 25);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arm;
+pub mod config;
+pub mod monitor;
+pub mod orchestrator;
+pub mod reward;
+
+pub use arm::Arm;
+pub use config::MabFuzzConfig;
+pub use monitor::SaturationMonitor;
+pub use orchestrator::{ArmSummary, MabFuzzOutcome, MabFuzzer};
+pub use reward::RewardParams;

@@ -1,0 +1,148 @@
+//! The γ-window saturation monitor (§III-C of the paper).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// Detects arms whose recent pulls have stopped producing new coverage.
+///
+/// For every arm the monitor remembers the arm-local new-coverage counts of
+/// its most recent `γ` pulls. An arm is *saturated* once it has accumulated a
+/// full window of `γ` pulls in which **none** produced new coverage — the
+/// signal the orchestrator uses to replace the arm's seed and reset the
+/// bandit's statistics for it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SaturationMonitor {
+    gamma: usize,
+    windows: Vec<VecDeque<usize>>,
+}
+
+impl SaturationMonitor {
+    /// Creates a monitor for `arms` arms with window size `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` or `gamma` is zero.
+    pub fn new(arms: usize, gamma: usize) -> SaturationMonitor {
+        assert!(arms > 0, "the monitor needs at least one arm");
+        assert!(gamma > 0, "gamma must be at least 1");
+        // Cap the eager allocation: a huge gamma (used by the "never reset"
+        // ablation) must not try to reserve a huge buffer up front.
+        SaturationMonitor { gamma, windows: vec![VecDeque::with_capacity(gamma.min(64)); arms] }
+    }
+
+    /// Returns the window size γ.
+    pub fn gamma(&self) -> usize {
+        self.gamma
+    }
+
+    /// Returns the number of arms monitored.
+    pub fn arms(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Records the arm-local new-coverage count of the latest pull of `arm`
+    /// and returns `true` when the arm is now saturated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn record(&mut self, arm: usize, local_new_coverage: usize) -> bool {
+        let window = &mut self.windows[arm];
+        if window.len() == self.gamma {
+            window.pop_front();
+        }
+        window.push_back(local_new_coverage);
+        self.is_saturated(arm)
+    }
+
+    /// Returns `true` when `arm` has a full γ-window with no coverage gains.
+    pub fn is_saturated(&self, arm: usize) -> bool {
+        let window = &self.windows[arm];
+        window.len() == self.gamma && window.iter().all(|gain| *gain == 0)
+    }
+
+    /// Clears the window of `arm` (called when the arm is reset).
+    pub fn reset_arm(&mut self, arm: usize) {
+        self.windows[arm].clear();
+    }
+
+    /// Returns the recorded gains of the most recent pulls of `arm`
+    /// (oldest first).
+    pub fn window(&self, arm: usize) -> Vec<usize> {
+        self.windows[arm].iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn saturation_requires_a_full_window_of_zero_gains() {
+        let mut monitor = SaturationMonitor::new(2, 3);
+        assert!(!monitor.record(0, 0));
+        assert!(!monitor.record(0, 0));
+        assert!(monitor.record(0, 0), "three consecutive zero-gain pulls saturate");
+        assert!(!monitor.is_saturated(1), "other arms are unaffected");
+    }
+
+    #[test]
+    fn a_single_gain_inside_the_window_prevents_saturation() {
+        let mut monitor = SaturationMonitor::new(1, 3);
+        monitor.record(0, 0);
+        monitor.record(0, 5);
+        monitor.record(0, 0);
+        assert!(!monitor.is_saturated(0));
+        // The gain slides out of the window after two more empty pulls.
+        monitor.record(0, 0);
+        assert!(monitor.record(0, 0));
+    }
+
+    #[test]
+    fn reset_clears_the_window() {
+        let mut monitor = SaturationMonitor::new(1, 2);
+        monitor.record(0, 0);
+        monitor.record(0, 0);
+        assert!(monitor.is_saturated(0));
+        monitor.reset_arm(0);
+        assert!(!monitor.is_saturated(0));
+        assert!(monitor.window(0).is_empty());
+        assert_eq!(monitor.gamma(), 2);
+        assert_eq!(monitor.arms(), 1);
+    }
+
+    #[test]
+    fn window_keeps_only_the_most_recent_gamma_entries() {
+        let mut monitor = SaturationMonitor::new(1, 3);
+        for gain in [1, 2, 3, 4, 5] {
+            monitor.record(0, gain);
+        }
+        assert_eq!(monitor.window(0), vec![3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn zero_gamma_panics() {
+        let _ = SaturationMonitor::new(1, 0);
+    }
+
+    proptest! {
+        /// The monitor is saturated exactly when the last γ recorded gains are
+        /// all zero and at least γ pulls have happened.
+        #[test]
+        fn saturation_matches_the_definition(
+            gains in proptest::collection::vec(0usize..3, 1..40),
+            gamma in 1usize..6,
+        ) {
+            let mut monitor = SaturationMonitor::new(1, gamma);
+            for gain in &gains {
+                monitor.record(0, *gain);
+            }
+            let expected = gains.len() >= gamma
+                && gains[gains.len() - gamma..].iter().all(|g| *g == 0);
+            prop_assert_eq!(monitor.is_saturated(0), expected);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The MABFuzz orchestrator (Fig. 2 of the paper).
+
+use std::sync::Arc;
+
+use fuzzer::{CampaignStats, FuzzHarness, MutationEngine, SeedGenerator};
+use mab::Bandit;
+use proc_sim::Processor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::arm::Arm;
+use crate::config::MabFuzzConfig;
+use crate::monitor::SaturationMonitor;
+use crate::reward::RewardParams;
+
+/// Per-arm summary included in the campaign outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArmSummary {
+    /// Arm index.
+    pub index: usize,
+    /// Total pulls across the campaign.
+    pub pulls: u64,
+    /// Number of times the arm was reset.
+    pub resets: u64,
+    /// Coverage points reached by the arm's final seed family.
+    pub final_local_coverage: usize,
+}
+
+/// The result of one MABFuzz campaign.
+#[derive(Debug, Clone)]
+pub struct MabFuzzOutcome {
+    /// The shared campaign statistics (coverage curve, detections, …).
+    pub stats: CampaignStats,
+    /// Per-arm activity summary.
+    pub arms: Vec<ArmSummary>,
+    /// Total number of arm resets across the campaign.
+    pub total_resets: u64,
+}
+
+/// The MABFuzz fuzzer: a multi-armed-bandit seed scheduler wrapped around the
+/// same simulate–compare–mutate loop as the baseline.
+///
+/// One fuzzing iteration (one "pull") follows Fig. 2 of the paper:
+///
+/// 1. the bandit selects an arm,
+/// 2. the next test from that arm's pool is simulated on the DUT and the
+///    golden model (differential testing),
+/// 3. the test's coverage is folded into the arm-local and global coverage,
+///    yielding `|cov_L|` and `|cov_G|`,
+/// 4. if the test found new coverage it is mutated and its children join the
+///    arm's pool,
+/// 5. the reward `α·|cov_L| + (1 − α)·|cov_G|` (normalised for EXP3) updates
+///    the bandit,
+/// 6. the γ-window monitor decides whether the arm is depleted; if so the arm
+///    is reset: fresh seed, cleared pool and local coverage, and re-initialised
+///    bandit statistics.
+pub struct MabFuzzer {
+    harness: FuzzHarness,
+    config: MabFuzzConfig,
+    bandit: Box<dyn Bandit>,
+    rng: StdRng,
+    seeds: SeedGenerator,
+    mutator: MutationEngine,
+}
+
+impl MabFuzzer {
+    /// Creates a MABFuzz campaign for `processor` with reproducible
+    /// randomness derived from `rng_seed`.
+    pub fn new(processor: Arc<dyn Processor>, config: MabFuzzConfig, rng_seed: u64) -> MabFuzzer {
+        let bandit = config.build_bandit();
+        MabFuzzer::with_bandit(processor, config, bandit, rng_seed)
+    }
+
+    /// Creates a MABFuzz campaign driven by a caller-supplied bandit policy.
+    ///
+    /// This is the hook that makes MABFuzz "agnostic to any MAB algorithm"
+    /// (paper contribution 3): anything implementing [`mab::Bandit`] — not
+    /// just the three algorithms evaluated in the paper — can schedule seeds.
+    /// The `config.algorithm` field is ignored; everything else (arms, α, γ,
+    /// campaign budget) applies as usual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandit's arm count differs from `config.arms()`.
+    pub fn with_bandit(
+        processor: Arc<dyn Processor>,
+        config: MabFuzzConfig,
+        bandit: Box<dyn Bandit>,
+        rng_seed: u64,
+    ) -> MabFuzzer {
+        assert_eq!(
+            bandit.arms(),
+            config.arms(),
+            "the bandit must have exactly one arm per seed"
+        );
+        let harness = FuzzHarness::new(processor, config.campaign.max_steps_per_test);
+        let seeds = SeedGenerator::new(config.campaign.generator.clone());
+        let mutator = MutationEngine::new(config.campaign.generator.clone());
+        MabFuzzer { harness, config, bandit, rng: StdRng::seed_from_u64(rng_seed), seeds, mutator }
+    }
+
+    /// Returns the campaign configuration.
+    pub fn config(&self) -> &MabFuzzConfig {
+        &self.config
+    }
+
+    /// Runs the campaign to completion.
+    pub fn run(mut self) -> MabFuzzOutcome {
+        let label = format!("{} on {}", self.config.label(), self.harness.processor().name());
+        let space_len = self.harness.coverage_space_len();
+        let mut stats =
+            CampaignStats::new(label, space_len, self.config.campaign.sample_interval);
+        let reward_params = RewardParams::new(self.config.alpha);
+        let arm_count = self.config.arms();
+        let mut monitor = SaturationMonitor::new(arm_count, self.config.gamma);
+
+        // One seed per arm (Fig. 2: "Given a seed pool with each seed
+        // corresponding to an arm").
+        let mut arms: Vec<Arm> = (0..arm_count)
+            .map(|index| Arm::new(index, self.seeds.generate_seed(&mut self.rng), space_len))
+            .collect();
+        let mut total_resets = 0u64;
+
+        while stats.tests_executed() < self.config.campaign.max_tests {
+            // 1. Select an arm.
+            let arm_index = self.bandit.select(&mut self.rng);
+            let arm = &mut arms[arm_index];
+
+            // 2. Pop the arm's next test; an empty pool is refilled by
+            //    mutating the arm's seed so the arm always has something to
+            //    offer (the seed itself has already been simulated by then).
+            let test = match arm.next_test() {
+                Some(test) => test,
+                None => {
+                    let (mutant, _) = self.mutator.mutate(&arm.seed().program, &mut self.rng);
+                    let child = self.seeds.adopt_child(&arm.seed().clone(), mutant);
+                    arm.pool_mut().push(child);
+                    arm.next_test().expect("pool was just refilled")
+                }
+            };
+
+            // 3. Simulate and compare.
+            let outcome = self.harness.run_program(&test.program);
+
+            // 4. Coverage bookkeeping: global novelty first (cov_G), then the
+            //    arm-local novelty (cov_L ⊇ cov_G).
+            let global_new = stats.record_test(test.id, &outcome.coverage, &outcome.diff).len();
+            let local_new = arm.absorb_coverage(&outcome.coverage);
+
+            if self.config.campaign.stop_on_first_detection && outcome.detected_mismatch() {
+                break;
+            }
+
+            // 5. Mutate interesting tests into the arm's pool.
+            if local_new > 0 {
+                for _ in 0..self.config.campaign.mutations_per_interesting_test {
+                    let (mutant, _) = self.mutator.mutate(&test.program, &mut self.rng);
+                    let child = self.seeds.adopt_child(&test, mutant);
+                    arms[arm_index].pool_mut().push(child);
+                }
+            }
+
+            // 6. Reward the bandit.
+            let reward = match self.bandit.kind() {
+                mab::BanditKind::Exp3 => {
+                    reward_params.normalized_reward(local_new, global_new, space_len)
+                }
+                _ => reward_params.reward(local_new, global_new),
+            };
+            self.bandit.update(arm_index, reward);
+
+            // 7. Reset saturated arms.
+            if monitor.record(arm_index, local_new) {
+                let fresh = self.seeds.generate_seed(&mut self.rng);
+                arms[arm_index].reset(fresh);
+                self.bandit.reset_arm(arm_index);
+                monitor.reset_arm(arm_index);
+                total_resets += 1;
+            }
+        }
+
+        stats.finish();
+        let arm_summaries = arms
+            .iter()
+            .map(|arm| ArmSummary {
+                index: arm.index(),
+                pulls: arm.total_pulls(),
+                resets: arm.resets(),
+                final_local_coverage: arm.local_coverage().count(),
+            })
+            .collect();
+        MabFuzzOutcome { stats, arms: arm_summaries, total_resets }
+    }
+}
+
+impl std::fmt::Debug for MabFuzzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MabFuzzer")
+            .field("processor", &self.harness.processor().name())
+            .field("algorithm", &self.config.algorithm)
+            .field("arms", &self.config.arms())
+            .field("max_tests", &self.config.campaign.max_tests)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mab::BanditKind;
+    use proc_sim::{cores::Cva6Core, cores::RocketCore, BugSet, Vulnerability};
+
+    fn quick_config(kind: BanditKind, max_tests: u64) -> MabFuzzConfig {
+        let mut config = MabFuzzConfig::new(kind).with_arms(4).with_max_tests(max_tests);
+        config.campaign.max_steps_per_test = 200;
+        config.campaign.mutations_per_interesting_test = 2;
+        config.campaign.sample_interval = 5;
+        config
+    }
+
+    #[test]
+    fn campaign_runs_to_the_test_budget_for_every_algorithm() {
+        for kind in BanditKind::ALL {
+            let processor = Arc::new(RocketCore::new(BugSet::none()));
+            let outcome = MabFuzzer::new(processor, quick_config(kind, 25), 3).run();
+            assert_eq!(outcome.stats.tests_executed(), 25, "{kind}");
+            assert!(outcome.stats.final_coverage() > 100, "{kind}");
+            assert_eq!(outcome.arms.len(), 4);
+            let pulls: u64 = outcome.arms.iter().map(|a| a.pulls).sum();
+            assert!(pulls >= 25, "every executed test is a pull of some arm");
+        }
+    }
+
+    #[test]
+    fn campaigns_are_reproducible_per_rng_seed() {
+        let a = MabFuzzer::new(
+            Arc::new(RocketCore::new(BugSet::none())),
+            quick_config(BanditKind::Ucb1, 20),
+            11,
+        )
+        .run();
+        let b = MabFuzzer::new(
+            Arc::new(RocketCore::new(BugSet::none())),
+            quick_config(BanditKind::Ucb1, 20),
+            11,
+        )
+        .run();
+        assert_eq!(a.stats.final_coverage(), b.stats.final_coverage());
+        assert_eq!(a.stats.cumulative().history(), b.stats.cumulative().history());
+        assert_eq!(a.total_resets, b.total_resets);
+    }
+
+    #[test]
+    fn saturated_arms_get_reset_in_long_campaigns() {
+        let mut config = quick_config(BanditKind::EpsilonGreedy, 120).with_gamma(2);
+        config.campaign.mutations_per_interesting_test = 1;
+        let outcome =
+            MabFuzzer::new(Arc::new(RocketCore::new(BugSet::none())), config, 5).run();
+        assert!(outcome.total_resets > 0, "a 120-test campaign with gamma=2 must reset arms");
+        let resets_from_arms: u64 = outcome.arms.iter().map(|a| a.resets).sum();
+        assert_eq!(resets_from_arms, outcome.total_resets);
+    }
+
+    #[test]
+    fn detection_mode_stops_on_the_first_mismatch() {
+        let processor = Arc::new(Cva6Core::new(BugSet::only(Vulnerability::V5MissingAccessFault)));
+        let mut config = quick_config(BanditKind::Ucb1, 400);
+        config.campaign.stop_on_first_detection = true;
+        let outcome = MabFuzzer::new(processor, config, 2).run();
+        let detection = outcome.stats.first_detection().expect("V5 triggers quickly");
+        assert_eq!(outcome.stats.tests_executed(), detection);
+    }
+
+    #[test]
+    fn custom_bandits_can_drive_the_fuzzer() {
+        /// A deliberately naive policy: round-robin over the arms.
+        struct RoundRobin {
+            arms: usize,
+            next: usize,
+            pulls: Vec<u64>,
+        }
+        impl mab::Bandit for RoundRobin {
+            fn kind(&self) -> BanditKind {
+                BanditKind::EpsilonGreedy
+            }
+            fn arms(&self) -> usize {
+                self.arms
+            }
+            fn select(&mut self, _rng: &mut dyn rand::RngCore) -> usize {
+                let arm = self.next;
+                self.next = (self.next + 1) % self.arms;
+                arm
+            }
+            fn update(&mut self, arm: usize, _reward: f64) {
+                self.pulls[arm] += 1;
+            }
+            fn reset_arm(&mut self, arm: usize) {
+                self.pulls[arm] = 0;
+            }
+            fn value(&self, _arm: usize) -> f64 {
+                0.0
+            }
+            fn pulls(&self, arm: usize) -> u64 {
+                self.pulls[arm]
+            }
+        }
+
+        let config = quick_config(BanditKind::Ucb1, 12);
+        let bandit = Box::new(RoundRobin { arms: config.arms(), next: 0, pulls: vec![0; config.arms()] });
+        let outcome = MabFuzzer::with_bandit(
+            Arc::new(RocketCore::new(BugSet::none())),
+            config,
+            bandit,
+            4,
+        )
+        .run();
+        assert_eq!(outcome.stats.tests_executed(), 12);
+        // Round-robin spreads the twelve pulls evenly over the four arms.
+        assert!(outcome.arms.iter().all(|a| a.pulls == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "one arm per seed")]
+    fn mismatched_bandit_arm_count_panics() {
+        let config = quick_config(BanditKind::Ucb1, 5);
+        let bandit: Box<dyn mab::Bandit> = Box::new(mab::Ucb1::new(2));
+        let _ = MabFuzzer::with_bandit(Arc::new(RocketCore::new(BugSet::none())), config, bandit, 1);
+    }
+
+    #[test]
+    fn debug_format_names_the_configuration() {
+        let fuzzer = MabFuzzer::new(
+            Arc::new(RocketCore::new(BugSet::none())),
+            quick_config(BanditKind::Exp3, 5),
+            1,
+        );
+        let text = format!("{fuzzer:?}");
+        assert!(text.contains("rocket"));
+        assert!(text.contains("Exp3"));
+        assert_eq!(fuzzer.config().algorithm, BanditKind::Exp3);
+    }
+}

@@ -1,0 +1,44 @@
+//! Branch-coverage substrate shared by the processor models and the fuzzers.
+//!
+//! Hardware fuzzers steer themselves with coverage feedback: every simulated
+//! test returns the set of *coverage points* (here, branch-coverage points:
+//! each direction of every modelled decision) it activated, and the fuzzer
+//! compares that set against what has already been reached. This crate
+//! provides the three pieces of that machinery:
+//!
+//! * [`CoverageSpace`] — the registry of coverage points a design exposes,
+//!   built once when a processor model is constructed;
+//! * [`CoverageMap`] — a fixed-size bitmap over a space, filled during one
+//!   simulation and cheap to union/diff;
+//! * [`CumulativeCoverage`] and [`CoverageSeries`] — campaign-level
+//!   accumulation and the coverage-versus-tests time series that Fig. 3 of
+//!   the paper plots.
+//!
+//! # Example
+//!
+//! ```
+//! use coverage::{CoverageSpace, CoverageMap};
+//!
+//! let mut space = CoverageSpace::new("toy");
+//! let taken = space.register_branch("decoder", "is_load", true);
+//! let not_taken = space.register_branch("decoder", "is_load", false);
+//!
+//! let mut map = CoverageMap::for_space(&space);
+//! map.cover(taken);
+//! assert!(map.is_covered(taken));
+//! assert!(!map.is_covered(not_taken));
+//! assert_eq!(map.count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod map;
+pub mod series;
+pub mod space;
+pub mod stats;
+
+pub use map::CoverageMap;
+pub use series::{CoverageSeries, SeriesPoint};
+pub use space::{CoverPointId, CoverPointInfo, CoverageSpace};
+pub use stats::CumulativeCoverage;

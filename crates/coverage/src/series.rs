@@ -1,0 +1,164 @@
+//! Coverage-versus-tests time series (the data behind Fig. 3 of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One sample of a coverage curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Number of tests executed when the sample was taken.
+    pub tests: u64,
+    /// Cumulative number of coverage points reached.
+    pub covered: usize,
+}
+
+/// A labelled coverage curve: cumulative coverage sampled as the campaign
+/// progresses.
+///
+/// The experiment harness records one series per (fuzzer, processor) pair and
+/// prints them side by side to regenerate Fig. 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageSeries {
+    label: String,
+    points: Vec<SeriesPoint>,
+}
+
+impl CoverageSeries {
+    /// Creates an empty series with a human-readable label
+    /// (e.g. `"MABFuzz: UCB on CVA6"`).
+    pub fn new(label: impl Into<String>) -> CoverageSeries {
+        CoverageSeries { label: label.into(), points: Vec::new() }
+    }
+
+    /// Returns the series label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends a sample. Samples must be appended in non-decreasing `tests`
+    /// order; out-of-order samples are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tests` is smaller than the previous sample's test count.
+    pub fn record(&mut self, tests: u64, covered: usize) {
+        if let Some(last) = self.points.last() {
+            assert!(tests >= last.tests, "series samples must be recorded in order");
+        }
+        self.points.push(SeriesPoint { tests, covered });
+    }
+
+    /// Returns the recorded samples.
+    pub fn points(&self) -> &[SeriesPoint] {
+        &self.points
+    }
+
+    /// Returns the final cumulative coverage, or 0 for an empty series.
+    pub fn final_coverage(&self) -> usize {
+        self.points.last().map_or(0, |p| p.covered)
+    }
+
+    /// Returns the number of tests needed to reach `target` coverage points,
+    /// or `None` when the series never reached it.
+    pub fn tests_to_reach(&self, target: usize) -> Option<u64> {
+        self.points.iter().find(|p| p.covered >= target).map(|p| p.tests)
+    }
+
+    /// Returns the coverage at a given test budget (the last sample at or
+    /// before `tests`), or 0 when no sample has been taken yet.
+    pub fn coverage_at(&self, tests: u64) -> usize {
+        self.points
+            .iter()
+            .take_while(|p| p.tests <= tests)
+            .last()
+            .map_or(0, |p| p.covered)
+    }
+
+    /// Downsamples the series to at most `max_points` evenly spaced samples
+    /// (always keeping the last), which keeps printed tables readable.
+    pub fn downsample(&self, max_points: usize) -> CoverageSeries {
+        if max_points == 0 || self.points.len() <= max_points {
+            return self.clone();
+        }
+        let stride = self.points.len().div_ceil(max_points);
+        let mut points: Vec<SeriesPoint> =
+            self.points.iter().step_by(stride).copied().collect();
+        if points.last() != self.points.last() {
+            points.push(*self.points.last().expect("non-empty series"));
+        }
+        CoverageSeries { label: self.label.clone(), points }
+    }
+}
+
+impl fmt::Display for CoverageSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} points after {} samples", self.label, self.final_coverage(), self.points.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> CoverageSeries {
+        let mut s = CoverageSeries::new("test");
+        s.record(0, 0);
+        s.record(10, 100);
+        s.record(20, 150);
+        s.record(30, 160);
+        s
+    }
+
+    #[test]
+    fn record_and_query() {
+        let s = series();
+        assert_eq!(s.label(), "test");
+        assert_eq!(s.final_coverage(), 160);
+        assert_eq!(s.points().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_samples_panic() {
+        let mut s = series();
+        s.record(5, 200);
+    }
+
+    #[test]
+    fn tests_to_reach_finds_the_first_crossing() {
+        let s = series();
+        assert_eq!(s.tests_to_reach(100), Some(10));
+        assert_eq!(s.tests_to_reach(151), Some(30));
+        assert_eq!(s.tests_to_reach(1000), None);
+    }
+
+    #[test]
+    fn coverage_at_returns_last_sample_before_budget() {
+        let s = series();
+        assert_eq!(s.coverage_at(0), 0);
+        assert_eq!(s.coverage_at(15), 100);
+        assert_eq!(s.coverage_at(30), 160);
+        assert_eq!(s.coverage_at(1_000_000), 160);
+        let empty = CoverageSeries::new("empty");
+        assert_eq!(empty.coverage_at(10), 0);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let mut s = CoverageSeries::new("big");
+        for i in 0..100u64 {
+            s.record(i, i as usize);
+        }
+        let small = s.downsample(10);
+        assert!(small.points().len() <= 11);
+        assert_eq!(small.final_coverage(), 99);
+        // Downsampling an already-small series is a no-op.
+        assert_eq!(series().downsample(100), series());
+    }
+
+    #[test]
+    fn display_summarises() {
+        assert!(series().to_string().contains("160 points"));
+    }
+}

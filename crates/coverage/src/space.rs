@@ -1,0 +1,216 @@
+//! Coverage-point registries.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a coverage point inside its [`CoverageSpace`].
+///
+/// Ids are dense (`0..space.len()`), which lets [`CoverageMap`](crate::CoverageMap)
+/// store coverage as a flat bitmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoverPointId(pub u32);
+
+impl CoverPointId {
+    /// Returns the id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoverPointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cp{}", self.0)
+    }
+}
+
+/// Metadata describing one coverage point.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoverPointInfo {
+    /// The module (pipeline stage, cache, …) the point belongs to.
+    pub module: String,
+    /// The decision site within the module, e.g. `"is_load"` or
+    /// `"opcode_class=mul/priv=M"`.
+    pub site: String,
+    /// The branch direction this point records (`true` = taken edge).
+    pub direction: bool,
+}
+
+impl fmt::Display for CoverPointInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}[{}]", self.module, self.site, if self.direction { "T" } else { "F" })
+    }
+}
+
+/// The registry of every coverage point a design exposes.
+///
+/// A processor model builds its space once at construction time by calling
+/// [`register_branch`](CoverageSpace::register_branch) for both directions of
+/// every modelled decision; the ids are stable for the lifetime of the model,
+/// so coverage maps from different tests are directly comparable.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoverageSpace {
+    design: String,
+    points: Vec<CoverPointInfo>,
+    #[serde(skip)]
+    index: HashMap<(String, String, bool), CoverPointId>,
+}
+
+impl CoverageSpace {
+    /// Creates an empty space for the named design.
+    pub fn new(design: impl Into<String>) -> CoverageSpace {
+        CoverageSpace { design: design.into(), points: Vec::new(), index: HashMap::new() }
+    }
+
+    /// Returns the design name the space belongs to.
+    pub fn design(&self) -> &str {
+        &self.design
+    }
+
+    /// Registers (or looks up) the coverage point for one direction of a
+    /// decision site and returns its id.
+    ///
+    /// Registering the same `(module, site, direction)` twice returns the same
+    /// id, so instrumentation code does not need to deduplicate.
+    pub fn register_branch(
+        &mut self,
+        module: impl Into<String>,
+        site: impl Into<String>,
+        direction: bool,
+    ) -> CoverPointId {
+        let module = module.into();
+        let site = site.into();
+        let key = (module.clone(), site.clone(), direction);
+        if let Some(id) = self.index.get(&key) {
+            return *id;
+        }
+        let id = CoverPointId(self.points.len() as u32);
+        self.points.push(CoverPointInfo { module, site, direction });
+        self.index.insert(key, id);
+        id
+    }
+
+    /// Registers both directions of a decision site, returning
+    /// `(taken, not_taken)` ids.
+    pub fn register_site(
+        &mut self,
+        module: impl Into<String> + Clone,
+        site: impl Into<String> + Clone,
+    ) -> (CoverPointId, CoverPointId) {
+        let taken = self.register_branch(module.clone(), site.clone(), true);
+        let not_taken = self.register_branch(module, site, false);
+        (taken, not_taken)
+    }
+
+    /// Returns the number of registered points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when no points are registered.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns the metadata of a point.
+    pub fn info(&self, id: CoverPointId) -> Option<&CoverPointInfo> {
+        self.points.get(id.index())
+    }
+
+    /// Looks up a point by its full key.
+    pub fn lookup(&self, module: &str, site: &str, direction: bool) -> Option<CoverPointId> {
+        self.index
+            .get(&(module.to_owned(), site.to_owned(), direction))
+            .copied()
+    }
+
+    /// Returns an iterator over `(id, info)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (CoverPointId, &CoverPointInfo)> {
+        self.points.iter().enumerate().map(|(i, info)| (CoverPointId(i as u32), info))
+    }
+
+    /// Returns the number of points registered per module.
+    pub fn per_module_counts(&self) -> HashMap<&str, usize> {
+        let mut counts = HashMap::new();
+        for info in &self.points {
+            *counts.entry(info.module.as_str()).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+impl fmt::Display for CoverageSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} coverage points)", self.design, self.points.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_assigns_dense_stable_ids() {
+        let mut space = CoverageSpace::new("core");
+        let a = space.register_branch("decode", "is_branch", true);
+        let b = space.register_branch("decode", "is_branch", false);
+        let c = space.register_branch("lsu", "hit", true);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(c.index(), 2);
+        assert_eq!(space.len(), 3);
+        // Re-registration returns the existing id.
+        assert_eq!(space.register_branch("decode", "is_branch", true), a);
+        assert_eq!(space.len(), 3);
+    }
+
+    #[test]
+    fn register_site_creates_both_directions() {
+        let mut space = CoverageSpace::new("core");
+        let (t, f) = space.register_site("exec", "overflow");
+        assert_ne!(t, f);
+        assert_eq!(space.info(t).unwrap().direction, true);
+        assert_eq!(space.info(f).unwrap().direction, false);
+    }
+
+    #[test]
+    fn lookup_and_info_agree() {
+        let mut space = CoverageSpace::new("core");
+        let id = space.register_branch("frontend", "btb_hit", true);
+        assert_eq!(space.lookup("frontend", "btb_hit", true), Some(id));
+        assert_eq!(space.lookup("frontend", "btb_hit", false), None);
+        let info = space.info(id).unwrap();
+        assert_eq!(info.module, "frontend");
+        assert!(info.to_string().contains("btb_hit"));
+    }
+
+    #[test]
+    fn per_module_counts() {
+        let mut space = CoverageSpace::new("core");
+        space.register_site("decode", "a");
+        space.register_site("decode", "b");
+        space.register_site("lsu", "c");
+        let counts = space.per_module_counts();
+        assert_eq!(counts["decode"], 4);
+        assert_eq!(counts["lsu"], 2);
+    }
+
+    #[test]
+    fn display_mentions_design_and_size() {
+        let mut space = CoverageSpace::new("rocket");
+        space.register_site("decode", "x");
+        assert_eq!(space.to_string(), "rocket (2 coverage points)");
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_in_id_order() {
+        let mut space = CoverageSpace::new("core");
+        space.register_branch("m", "s1", true);
+        space.register_branch("m", "s2", true);
+        let ids: Vec<u32> = space.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Campaign configuration and statistics.
+
+use std::fmt;
+
+use coverage::{CoverPointId, CoverageMap, CoverageSeries, CumulativeCoverage};
+use riscv::gen::GeneratorConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::diff::DiffReport;
+use crate::testcase::TestId;
+
+/// Configuration shared by every fuzzing campaign (baseline and MABFuzz).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Total number of tests to simulate (the paper runs 50 000 per campaign;
+    /// the benches default to much smaller budgets).
+    pub max_tests: u64,
+    /// Per-test committed-instruction budget.
+    pub max_steps_per_test: usize,
+    /// Number of initial seeds (TheHuzz) or arms (MABFuzz).
+    pub num_seeds: usize,
+    /// How many mutants to create from a test that covered new points.
+    pub mutations_per_interesting_test: usize,
+    /// Program-generation parameters for seeds and inserted instructions.
+    pub generator: GeneratorConfig,
+    /// Stop the campaign at the first architectural mismatch (used by the
+    /// vulnerability-detection experiments of Table I).
+    pub stop_on_first_detection: bool,
+    /// Record a coverage-series sample every `sample_interval` tests.
+    pub sample_interval: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            max_tests: 1000,
+            max_steps_per_test: 400,
+            num_seeds: 10,
+            mutations_per_interesting_test: 4,
+            generator: GeneratorConfig::default(),
+            stop_on_first_detection: false,
+            sample_interval: 10,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Returns a copy configured for vulnerability-detection experiments:
+    /// stop at the first mismatch.
+    pub fn detection_mode(mut self) -> CampaignConfig {
+        self.stop_on_first_detection = true;
+        self
+    }
+
+    /// Returns a copy with a different test budget.
+    pub fn with_max_tests(mut self, max_tests: u64) -> CampaignConfig {
+        self.max_tests = max_tests;
+        self
+    }
+}
+
+/// A vulnerability detection event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Detection {
+    /// 1-based index of the test that exposed the mismatch.
+    pub test_number: u64,
+    /// Id of the test case.
+    pub test_id: TestId,
+    /// Summary of the first mismatch.
+    pub summary: String,
+}
+
+/// Statistics collected while a campaign runs.
+///
+/// Both fuzzers feed every executed test into [`record_test`](CampaignStats::record_test);
+/// the experiment harness then reads the coverage curve (Fig. 3), the
+/// final coverage and tests-to-reach numbers (Fig. 4) and the detection test
+/// counts (Table I) from here.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignStats {
+    label: String,
+    cumulative: CumulativeCoverage,
+    series: CoverageSeries,
+    tests_executed: u64,
+    mismatching_tests: u64,
+    detections: Vec<Detection>,
+    sample_interval: u64,
+}
+
+impl CampaignStats {
+    /// Creates empty statistics for a campaign labelled `label` over a
+    /// coverage space with `space_len` points.
+    pub fn new(label: impl Into<String>, space_len: usize, sample_interval: u64) -> CampaignStats {
+        let label = label.into();
+        CampaignStats {
+            series: CoverageSeries::new(label.clone()),
+            label,
+            cumulative: CumulativeCoverage::new(space_len),
+            tests_executed: 0,
+            mismatching_tests: 0,
+            detections: Vec::new(),
+            sample_interval: sample_interval.max(1),
+        }
+    }
+
+    /// Records one executed test: its coverage map and differential report.
+    ///
+    /// Returns the coverage points this test was the first in the campaign to
+    /// reach (the `cov_G` term of the MABFuzz reward).
+    pub fn record_test(
+        &mut self,
+        test_id: TestId,
+        coverage: &CoverageMap,
+        diff: &DiffReport,
+    ) -> Vec<CoverPointId> {
+        self.tests_executed += 1;
+        let new_points = self.cumulative.absorb(coverage);
+        if self.tests_executed % self.sample_interval == 0 || self.tests_executed == 1 {
+            self.series.record(self.tests_executed, self.cumulative.count());
+        }
+        if !diff.is_clean() {
+            self.mismatching_tests += 1;
+            if let Some(first) = diff.first() {
+                self.detections.push(Detection {
+                    test_number: self.tests_executed,
+                    test_id,
+                    summary: first.to_string(),
+                });
+            }
+        }
+        new_points
+    }
+
+    /// Finalises the series so the last sample reflects the very last test.
+    pub fn finish(&mut self) {
+        if self.tests_executed > 0 {
+            self.series.record(self.tests_executed, self.cumulative.count());
+        }
+    }
+
+    /// Returns the campaign label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Returns the number of executed tests.
+    pub fn tests_executed(&self) -> u64 {
+        self.tests_executed
+    }
+
+    /// Returns the number of tests that exposed at least one mismatch.
+    pub fn mismatching_tests(&self) -> u64 {
+        self.mismatching_tests
+    }
+
+    /// Returns the detection events in chronological order.
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
+    }
+
+    /// Returns the test number of the first detection, if any — the paper's
+    /// `#Tests` metric in Table I.
+    pub fn first_detection(&self) -> Option<u64> {
+        self.detections.first().map(|d| d.test_number)
+    }
+
+    /// Returns the cumulative coverage accumulator.
+    pub fn cumulative(&self) -> &CumulativeCoverage {
+        &self.cumulative
+    }
+
+    /// Returns the final number of covered points.
+    pub fn final_coverage(&self) -> usize {
+        self.cumulative.count()
+    }
+
+    /// Returns the coverage-versus-tests curve.
+    pub fn series(&self) -> &CoverageSeries {
+        &self.series
+    }
+
+    /// Returns the smallest number of tests after which the campaign had
+    /// covered at least `target` points.
+    pub fn tests_to_reach(&self, target: usize) -> Option<u64> {
+        self.cumulative.tests_to_reach(target)
+    }
+}
+
+impl fmt::Display for CampaignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} tests, {} points covered ({:.2}%), {} mismatching tests",
+            self.label,
+            self.tests_executed,
+            self.final_coverage(),
+            self.cumulative.ratio() * 100.0,
+            self.mismatching_tests
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::compare_traces;
+    use isa_sim::GoldenSim;
+    use riscv::asm::parse_program;
+    use riscv::Program;
+
+    fn coverage_with(len: usize, ids: &[u32]) -> CoverageMap {
+        let mut map = CoverageMap::with_len(len);
+        for &i in ids {
+            map.cover(CoverPointId(i));
+        }
+        map
+    }
+
+    fn clean_diff() -> DiffReport {
+        let program = Program::from_instrs(parse_program("addi a0, zero, 1\necall\n").unwrap());
+        let trace = GoldenSim::new().run(&program, 50);
+        compare_traces(&trace, &trace)
+    }
+
+    #[test]
+    fn config_builders() {
+        let config = CampaignConfig::default().detection_mode().with_max_tests(123);
+        assert!(config.stop_on_first_detection);
+        assert_eq!(config.max_tests, 123);
+    }
+
+    #[test]
+    fn record_test_accumulates_coverage_and_series() {
+        let mut stats = CampaignStats::new("test", 100, 2);
+        let new_first = stats.record_test(TestId(0), &coverage_with(100, &[1, 2]), &clean_diff());
+        assert_eq!(new_first.len(), 2);
+        let new_second = stats.record_test(TestId(1), &coverage_with(100, &[2, 3]), &clean_diff());
+        assert_eq!(new_second, vec![CoverPointId(3)]);
+        stats.finish();
+        assert_eq!(stats.tests_executed(), 2);
+        assert_eq!(stats.final_coverage(), 3);
+        assert_eq!(stats.series().final_coverage(), 3);
+        assert_eq!(stats.tests_to_reach(3), Some(2));
+        assert_eq!(stats.tests_to_reach(50), None);
+        assert!(stats.to_string().contains("2 tests"));
+    }
+
+    #[test]
+    fn detections_are_recorded_with_their_test_number() {
+        let mut stats = CampaignStats::new("test", 10, 1);
+        stats.record_test(TestId(0), &coverage_with(10, &[0]), &clean_diff());
+        // Build a non-clean report by comparing traces of different programs.
+        let a = GoldenSim::new().run(
+            &Program::from_instrs(parse_program("addi a0, zero, 1\necall\n").unwrap()),
+            50,
+        );
+        let b = GoldenSim::new().run(
+            &Program::from_instrs(parse_program("addi a0, zero, 2\necall\n").unwrap()),
+            50,
+        );
+        let dirty = compare_traces(&a, &b);
+        assert!(!dirty.is_clean());
+        stats.record_test(TestId(1), &coverage_with(10, &[1]), &dirty);
+        assert_eq!(stats.mismatching_tests(), 1);
+        assert_eq!(stats.first_detection(), Some(2));
+        assert_eq!(stats.detections().len(), 1);
+        assert_eq!(stats.detections()[0].test_id, TestId(1));
+    }
+
+    #[test]
+    fn labels_flow_through() {
+        let stats = CampaignStats::new("MABFuzz: UCB on cva6", 10, 5);
+        assert_eq!(stats.label(), "MABFuzz: UCB on cva6");
+        assert_eq!(stats.series().label(), "MABFuzz: UCB on cva6");
+        assert_eq!(stats.first_detection(), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! The simulate-and-compare harness shared by every fuzzer.
+
+use std::sync::Arc;
+
+use coverage::CoverageMap;
+use isa_sim::GoldenSim;
+use proc_sim::Processor;
+use riscv::Program;
+
+use crate::diff::{compare_traces, DiffReport};
+
+/// The result of running one test program through the harness.
+#[derive(Debug, Clone)]
+pub struct TestOutcome {
+    /// The branch-coverage bitmap the DUT reported for this test.
+    pub coverage: CoverageMap,
+    /// The differential-testing report (empty when the DUT matched the golden
+    /// model).
+    pub diff: DiffReport,
+    /// Number of instructions the DUT committed.
+    pub dut_commits: usize,
+    /// Number of instructions the golden model committed.
+    pub golden_commits: usize,
+}
+
+impl TestOutcome {
+    /// Returns `true` when the test exposed at least one architectural
+    /// mismatch (a potential vulnerability).
+    pub fn detected_mismatch(&self) -> bool {
+        !self.diff.is_clean()
+    }
+}
+
+/// Runs test programs on a processor model and the golden reference model,
+/// returning coverage and differential-testing results.
+///
+/// The harness is the single place both TheHuzz and MABFuzz call into, so the
+/// simulation and comparison semantics are identical across fuzzers — the only
+/// thing that differs between them is *which* test gets simulated next.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use fuzzer::FuzzHarness;
+/// use proc_sim::{cores::RocketCore, BugSet};
+/// use riscv::{Program, Instr, Gpr, Op};
+///
+/// let harness = FuzzHarness::new(Arc::new(RocketCore::new(BugSet::none())), 1000);
+/// let program = Program::from_instrs(vec![
+///     Instr::itype(Op::Addi, Gpr::A0, Gpr::Zero, 1),
+///     Instr::nullary(Op::Ecall),
+/// ]);
+/// let outcome = harness.run_program(&program);
+/// assert!(!outcome.detected_mismatch());
+/// ```
+#[derive(Clone)]
+pub struct FuzzHarness {
+    processor: Arc<dyn Processor>,
+    golden: GoldenSim,
+    max_steps: usize,
+}
+
+impl FuzzHarness {
+    /// Creates a harness for `processor`; each simulation commits at most
+    /// `max_steps` instructions.
+    pub fn new(processor: Arc<dyn Processor>, max_steps: usize) -> FuzzHarness {
+        FuzzHarness { processor, golden: GoldenSim::new(), max_steps }
+    }
+
+    /// Returns the processor under test.
+    pub fn processor(&self) -> &Arc<dyn Processor> {
+        &self.processor
+    }
+
+    /// Returns the per-test instruction budget.
+    pub fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    /// Returns the size of the DUT's coverage space.
+    pub fn coverage_space_len(&self) -> usize {
+        self.processor.coverage_space().len()
+    }
+
+    /// Simulates `program` on the DUT and the golden model and compares the
+    /// traces.
+    pub fn run_program(&self, program: &Program) -> TestOutcome {
+        let dut = self.processor.run(program, self.max_steps);
+        let golden = self.golden.run(program, self.max_steps);
+        let diff = compare_traces(&dut.trace, &golden);
+        TestOutcome {
+            coverage: dut.coverage,
+            diff,
+            dut_commits: dut.trace.len(),
+            golden_commits: golden.len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for FuzzHarness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FuzzHarness")
+            .field("processor", &self.processor.name())
+            .field("max_steps", &self.max_steps)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proc_sim::{cores::Cva6Core, cores::RocketCore, BugSet, Vulnerability};
+    use riscv::asm::parse_program;
+
+    fn program(asm: &str) -> Program {
+        Program::from_instrs(parse_program(asm).expect("valid asm"))
+    }
+
+    #[test]
+    fn clean_core_reports_coverage_without_mismatches() {
+        let harness = FuzzHarness::new(Arc::new(RocketCore::new(BugSet::none())), 500);
+        let outcome = harness.run_program(&program("addi a0, zero, 5\nmul a1, a0, a0\necall\n"));
+        assert!(!outcome.detected_mismatch());
+        assert!(outcome.coverage.count() > 0);
+        assert_eq!(outcome.dut_commits, outcome.golden_commits);
+        assert_eq!(harness.coverage_space_len(), outcome.coverage.len());
+        assert_eq!(harness.max_steps(), 500);
+        assert_eq!(harness.processor().name(), "rocket");
+    }
+
+    #[test]
+    fn buggy_core_reports_a_mismatch_when_triggered() {
+        let harness = FuzzHarness::new(
+            Arc::new(Cva6Core::new(BugSet::only(Vulnerability::V6UnimplCsrJunk))),
+            500,
+        );
+        let clean = harness.run_program(&program("addi a0, zero, 1\necall\n"));
+        assert!(!clean.detected_mismatch(), "no trigger, no mismatch");
+        let triggered = harness.run_program(&program("csrrw a0, 0x5c0, zero\necall\n"));
+        assert!(triggered.detected_mismatch());
+    }
+
+    #[test]
+    fn debug_format_names_the_processor() {
+        let harness = FuzzHarness::new(Arc::new(RocketCore::new(BugSet::none())), 100);
+        let text = format!("{harness:?}");
+        assert!(text.contains("rocket"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Seed generation: the initial population of the fuzzer's test pool.
+
+use rand::Rng;
+use riscv::gen::{GeneratorConfig, ProgramGenerator};
+use riscv::Program;
+
+use crate::testcase::{TestCase, TestId};
+
+/// Generates seed test cases using the weighted random program generator.
+///
+/// The generator also hands out campaign-unique [`TestId`]s, so both fuzzers
+/// route all test creation (seeds *and* mutants) through it.
+#[derive(Debug, Clone)]
+pub struct SeedGenerator {
+    generator: ProgramGenerator,
+    next_id: u64,
+}
+
+impl SeedGenerator {
+    /// Creates a seed generator with the given program-generation config.
+    pub fn new(config: GeneratorConfig) -> SeedGenerator {
+        SeedGenerator { generator: ProgramGenerator::new(config), next_id: 0 }
+    }
+
+    /// Returns the underlying program generator configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        self.generator.config()
+    }
+
+    /// Allocates the next campaign-unique test id.
+    pub fn next_id(&mut self) -> TestId {
+        let id = TestId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Returns how many ids have been allocated so far.
+    pub fn ids_allocated(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Generates one fresh seed test case.
+    pub fn generate_seed<R: Rng + ?Sized>(&mut self, rng: &mut R) -> TestCase {
+        let id = self.next_id();
+        TestCase::seed(id, self.generator.generate_seed(rng))
+    }
+
+    /// Generates `count` fresh seed test cases.
+    pub fn generate_seeds<R: Rng + ?Sized>(&mut self, rng: &mut R, count: usize) -> Vec<TestCase> {
+        (0..count).map(|_| self.generate_seed(rng)).collect()
+    }
+
+    /// Wraps an externally supplied program (e.g. a directed, hand-written
+    /// seed) into a seed test case.
+    pub fn adopt_program(&mut self, program: Program) -> TestCase {
+        let id = self.next_id();
+        TestCase::seed(id, program)
+    }
+
+    /// Registers a mutated program as a child of `parent`.
+    pub fn adopt_child(&mut self, parent: &TestCase, program: Program) -> TestCase {
+        let id = self.next_id();
+        TestCase::child_of(parent, id, program)
+    }
+}
+
+impl Default for SeedGenerator {
+    fn default() -> Self {
+        SeedGenerator::new(GeneratorConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let mut generator = SeedGenerator::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let seeds = generator.generate_seeds(&mut rng, 5);
+        let ids: Vec<u64> = seeds.iter().map(|s| s.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(generator.ids_allocated(), 5);
+    }
+
+    #[test]
+    fn seeds_are_runnable_programs() {
+        let mut generator = SeedGenerator::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let seed = generator.generate_seed(&mut rng);
+        assert!(seed.is_seed());
+        assert!(seed.program.len() > 5);
+    }
+
+    #[test]
+    fn adopting_programs_assigns_lineage() {
+        let mut generator = SeedGenerator::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let seed = generator.generate_seed(&mut rng);
+        let child = generator.adopt_child(&seed, seed.program.clone());
+        assert_eq!(child.parent, Some(seed.id));
+        assert_eq!(child.generation, 1);
+        let adopted = generator.adopt_program(seed.program.clone());
+        assert!(adopted.is_seed());
+        assert_ne!(adopted.id, seed.id);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_rng_seed() {
+        let mut g1 = SeedGenerator::default();
+        let mut g2 = SeedGenerator::default();
+        let a = g1.generate_seeds(&mut StdRng::seed_from_u64(9), 3);
+        let b = g2.generate_seeds(&mut StdRng::seed_from_u64(9), 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,117 @@
+//! Test cases: fuzzing inputs with lineage metadata.
+
+use std::fmt;
+
+use riscv::Program;
+use serde::{Deserialize, Serialize};
+
+/// Unique identifier of a test case within one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TestId(pub u64);
+
+impl fmt::Display for TestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A fuzzing input: the program to simulate plus where it came from.
+///
+/// Lineage metadata (parent, generation, originating seed) is what lets the
+/// MABFuzz layer attribute coverage rewards to the *arm* (seed family) a test
+/// belongs to, and what the campaign statistics use to report how deep the
+/// mutation chains that found each vulnerability were.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestCase {
+    /// Unique id within the campaign.
+    pub id: TestId,
+    /// The executable program.
+    pub program: Program,
+    /// The test this one was mutated from, if any.
+    pub parent: Option<TestId>,
+    /// The seed (generation-0 ancestor) this test descends from.
+    pub seed_id: TestId,
+    /// Mutation depth: 0 for seeds, parent.generation + 1 otherwise.
+    pub generation: u32,
+}
+
+impl TestCase {
+    /// Creates a generation-0 seed test.
+    pub fn seed(id: TestId, program: Program) -> TestCase {
+        TestCase { id, program, parent: None, seed_id: id, generation: 0 }
+    }
+
+    /// Creates a child of `parent` with the mutated `program`.
+    pub fn child_of(parent: &TestCase, id: TestId, program: Program) -> TestCase {
+        TestCase {
+            id,
+            program,
+            parent: Some(parent.id),
+            seed_id: parent.seed_id,
+            generation: parent.generation + 1,
+        }
+    }
+
+    /// Returns `true` when this test is an unmutated seed.
+    pub fn is_seed(&self) -> bool {
+        self.generation == 0
+    }
+
+    /// Returns the number of instructions in the program.
+    pub fn len(&self) -> usize {
+        self.program.len()
+    }
+
+    /// Returns `true` when the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.program.is_empty()
+    }
+}
+
+impl fmt::Display for TestCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (seed {}, generation {}, {} instructions)",
+            self.id,
+            self.seed_id,
+            self.generation,
+            self.program.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv::{Gpr, Instr, Op};
+
+    fn program() -> Program {
+        Program::from_instrs(vec![Instr::itype(Op::Addi, Gpr::A0, Gpr::Zero, 1), Instr::nullary(Op::Ecall)])
+    }
+
+    #[test]
+    fn seed_and_child_lineage() {
+        let seed = TestCase::seed(TestId(1), program());
+        assert!(seed.is_seed());
+        assert_eq!(seed.seed_id, TestId(1));
+        let child = TestCase::child_of(&seed, TestId(2), program());
+        assert!(!child.is_seed());
+        assert_eq!(child.parent, Some(TestId(1)));
+        assert_eq!(child.seed_id, TestId(1));
+        assert_eq!(child.generation, 1);
+        let grandchild = TestCase::child_of(&child, TestId(3), program());
+        assert_eq!(grandchild.generation, 2);
+        assert_eq!(grandchild.seed_id, TestId(1));
+    }
+
+    #[test]
+    fn display_mentions_lineage() {
+        let seed = TestCase::seed(TestId(7), program());
+        let text = seed.to_string();
+        assert!(text.contains("t7"));
+        assert!(text.contains("generation 0"));
+        assert_eq!(seed.len(), 2);
+        assert!(!seed.is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! The TheHuzz-style baseline fuzzer: static, first-in-first-out scheduling.
+//!
+//! The loop mirrors the description of TheHuzz in the MABFuzz paper
+//! (§II-A, §I-B): random seeds populate a single global test pool, tests are
+//! simulated strictly in FIFO order, tests that cover new points are mutated
+//! into a fixed number of children which join the back of the pool, and when
+//! the pool runs dry a fresh random seed is generated. There is no dynamic
+//! decision anywhere — that is precisely the limitation MABFuzz addresses.
+
+use std::sync::Arc;
+
+use proc_sim::Processor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::campaign::{CampaignConfig, CampaignStats};
+use crate::harness::FuzzHarness;
+use crate::mutate::MutationEngine;
+use crate::pool::TestPool;
+use crate::seed::SeedGenerator;
+
+/// The baseline fuzzer.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use fuzzer::{CampaignConfig, TheHuzzFuzzer};
+/// use proc_sim::{cores::RocketCore, BugSet};
+///
+/// let processor = Arc::new(RocketCore::new(BugSet::none()));
+/// let config = CampaignConfig { max_tests: 20, ..CampaignConfig::default() };
+/// let stats = TheHuzzFuzzer::new(processor, config, 7).run();
+/// assert_eq!(stats.tests_executed(), 20);
+/// ```
+pub struct TheHuzzFuzzer {
+    harness: FuzzHarness,
+    config: CampaignConfig,
+    rng: StdRng,
+    seeds: SeedGenerator,
+    mutator: MutationEngine,
+}
+
+impl TheHuzzFuzzer {
+    /// Creates a baseline fuzzer for `processor` with reproducible randomness
+    /// derived from `rng_seed`.
+    pub fn new(processor: Arc<dyn Processor>, config: CampaignConfig, rng_seed: u64) -> TheHuzzFuzzer {
+        let harness = FuzzHarness::new(processor, config.max_steps_per_test);
+        let seeds = SeedGenerator::new(config.generator.clone());
+        let mutator = MutationEngine::new(config.generator.clone());
+        TheHuzzFuzzer { harness, config, rng: StdRng::seed_from_u64(rng_seed), seeds, mutator }
+    }
+
+    /// Returns the campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs the campaign to completion and returns its statistics.
+    pub fn run(mut self) -> CampaignStats {
+        let label = format!("TheHuzz on {}", self.harness.processor().name());
+        let mut stats = CampaignStats::new(
+            label,
+            self.harness.coverage_space_len(),
+            self.config.sample_interval,
+        );
+        let mut pool = TestPool::new();
+        pool.push_all(self.seeds.generate_seeds(&mut self.rng, self.config.num_seeds));
+
+        while stats.tests_executed() < self.config.max_tests {
+            // Static decision #1: strictly FIFO test selection; when the pool
+            // is empty a fresh random seed is generated.
+            let test = match pool.pop() {
+                Some(test) => test,
+                None => self.seeds.generate_seed(&mut self.rng),
+            };
+
+            let outcome = self.harness.run_program(&test.program);
+            let new_points = stats.record_test(test.id, &outcome.coverage, &outcome.diff);
+
+            if self.config.stop_on_first_detection && outcome.detected_mismatch() {
+                break;
+            }
+
+            // Static decision #2: every interesting test produces the same
+            // fixed number of mutants, appended to the back of the queue.
+            if !new_points.is_empty() {
+                for _ in 0..self.config.mutations_per_interesting_test {
+                    let (mutant, _op) = self.mutator.mutate(&test.program, &mut self.rng);
+                    pool.push(self.seeds.adopt_child(&test, mutant));
+                }
+            }
+        }
+
+        stats.finish();
+        stats
+    }
+}
+
+impl std::fmt::Debug for TheHuzzFuzzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TheHuzzFuzzer")
+            .field("processor", &self.harness.processor().name())
+            .field("max_tests", &self.config.max_tests)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proc_sim::{cores::Cva6Core, cores::RocketCore, BugSet, Vulnerability};
+
+    fn small_config(max_tests: u64) -> CampaignConfig {
+        CampaignConfig {
+            max_tests,
+            max_steps_per_test: 200,
+            num_seeds: 4,
+            mutations_per_interesting_test: 2,
+            sample_interval: 5,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_runs_the_requested_number_of_tests() {
+        let processor = Arc::new(RocketCore::new(BugSet::none()));
+        let stats = TheHuzzFuzzer::new(processor, small_config(30), 1).run();
+        assert_eq!(stats.tests_executed(), 30);
+        assert!(stats.final_coverage() > 100, "30 tests should cover a fair number of points");
+        assert_eq!(stats.mismatching_tests(), 0, "bug-free core never mismatches");
+    }
+
+    #[test]
+    fn coverage_grows_monotonically_and_saturates() {
+        let processor = Arc::new(RocketCore::new(BugSet::none()));
+        let stats = TheHuzzFuzzer::new(processor, small_config(60), 2).run();
+        let history = stats.cumulative().history();
+        assert!(history.windows(2).all(|w| w[1] >= w[0]));
+        // Early tests contribute far more new coverage than late ones
+        // (diminishing returns — the property MABFuzz exploits).
+        let first_10: usize = history[9];
+        let last_10_gain: usize = history[history.len() - 1] - history[history.len() - 11];
+        assert!(first_10 > last_10_gain, "coverage gains should diminish over time");
+    }
+
+    #[test]
+    fn detection_mode_stops_at_the_first_mismatch() {
+        let processor = Arc::new(Cva6Core::new(BugSet::only(Vulnerability::V5MissingAccessFault)));
+        let stats =
+            TheHuzzFuzzer::new(processor, small_config(400).detection_mode(), 3).run();
+        let detection = stats.first_detection().expect("V5 is easy to trigger");
+        assert!(detection <= 400);
+        assert_eq!(stats.tests_executed(), detection, "campaign stops at the detection");
+    }
+
+    #[test]
+    fn identical_rng_seeds_reproduce_identical_campaigns() {
+        let a = TheHuzzFuzzer::new(Arc::new(RocketCore::new(BugSet::none())), small_config(15), 9).run();
+        let b = TheHuzzFuzzer::new(Arc::new(RocketCore::new(BugSet::none())), small_config(15), 9).run();
+        assert_eq!(a.final_coverage(), b.final_coverage());
+        assert_eq!(a.cumulative().history(), b.cumulative().history());
+    }
+
+    #[test]
+    fn different_rng_seeds_explore_differently() {
+        let a = TheHuzzFuzzer::new(Arc::new(RocketCore::new(BugSet::none())), small_config(15), 10).run();
+        let b = TheHuzzFuzzer::new(Arc::new(RocketCore::new(BugSet::none())), small_config(15), 11).run();
+        assert_ne!(a.cumulative().history(), b.cumulative().history());
+    }
+}

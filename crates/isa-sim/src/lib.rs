@@ -1,0 +1,58 @@
+//! Golden-reference architectural simulator (SPIKE substitute).
+//!
+//! Hardware fuzzers such as TheHuzz and MABFuzz detect vulnerabilities by
+//! *differential testing*: the same test program runs on the processor under
+//! test and on a trusted instruction-set simulator, and any difference in the
+//! committed architectural state flags a potential bug. The paper uses SPIKE
+//! for that role; this crate provides the equivalent for the reproduction — a
+//! deterministic RV64IM+Zicsr architectural simulator that produces a
+//! per-instruction commit trace.
+//!
+//! # Simulation conventions
+//!
+//! The conventions below are shared with the processor models in `proc-sim`
+//! so that a bug-free processor produces an identical trace:
+//!
+//! * Physical addresses are 32 bits; effective addresses are masked before
+//!   translation (RV64 `lui` sign-extension is therefore harmless).
+//! * `ecall` terminates the test program.
+//! * Other synchronous exceptions update `mepc`/`mcause`/`mtval` and redirect
+//!   to `mtvec` when it points into the program text; otherwise execution
+//!   continues with the next instruction so that fuzzing programs keep making
+//!   progress. Either way the exception is recorded in the commit trace.
+//! * `ebreak` is counted as a retired instruction (it increments `minstret`);
+//!   this is exactly the behaviour the V7 vulnerability violates.
+//!
+//! # Example
+//!
+//! ```
+//! use isa_sim::GoldenSim;
+//! use riscv::{Instr, Gpr, Op, Program};
+//!
+//! let program = Program::from_instrs(vec![
+//!     Instr::itype(Op::Addi, Gpr::A0, Gpr::Zero, 21),
+//!     Instr::rtype(Op::Add, Gpr::A0, Gpr::A0, Gpr::A0),
+//!     Instr::nullary(Op::Ecall),
+//! ]);
+//! let trace = GoldenSim::new().run(&program, 100);
+//! assert_eq!(trace.final_state().reg(Gpr::A0), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod mem;
+pub mod state;
+pub mod trace;
+pub mod trap;
+
+pub use exec::{ExecConfig, GoldenSim};
+pub use mem::Memory;
+pub use state::ArchState;
+pub use trace::{CommitRecord, ExecTrace, HaltReason, MemAccess};
+pub use trap::Exception;
+
+/// Mask applied to effective addresses: the simulated SoCs expose a 32-bit
+/// physical address space.
+pub const PHYS_ADDR_MASK: u64 = 0xffff_ffff;

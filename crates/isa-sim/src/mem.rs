@@ -1,0 +1,231 @@
+//! Sparse byte-addressable memory with region-based access control.
+
+use std::collections::BTreeMap;
+
+use riscv::program::{DATA_BASE, DATA_SIZE, TEXT_BASE};
+use serde::{Deserialize, Serialize};
+
+use crate::PHYS_ADDR_MASK;
+
+const PAGE_BITS: u64 = 12;
+const PAGE_SIZE: u64 = 1 << PAGE_BITS;
+
+/// The kind of memory region an address falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Program text, starting at [`TEXT_BASE`]: readable and executable, not
+    /// writable.
+    Text,
+    /// Scratch data region, starting at [`DATA_BASE`]: readable and writable.
+    Data,
+    /// Anything else: no access allowed, touching it raises an access fault.
+    Unmapped,
+}
+
+/// Sparse, page-allocated physical memory.
+///
+/// Reads from allocated-but-unwritten bytes return zero, matching the
+/// zero-initialised main memory of the simulated SoC. Reads from unmapped
+/// regions are rejected by the access-control helpers; the raw
+/// [`read_byte`](Memory::read_byte)/[`write_byte`](Memory::write_byte)
+/// accessors ignore permissions so that processor models can implement buggy
+/// behaviour on top of the same storage.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Memory {
+    pages: BTreeMap<u64, Vec<u8>>,
+    text_len: u64,
+}
+
+impl Memory {
+    /// Creates an empty memory with no program loaded.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Creates a memory image with `text` loaded at [`TEXT_BASE`] and `data`
+    /// at [`DATA_BASE`].
+    pub fn with_program(text: &[u8], data: &[u8]) -> Memory {
+        let mut mem = Memory::new();
+        mem.load_text(text);
+        mem.load_data(data);
+        mem
+    }
+
+    /// Loads the program text image at [`TEXT_BASE`].
+    pub fn load_text(&mut self, text: &[u8]) {
+        self.text_len = text.len() as u64;
+        self.write_bytes_raw(TEXT_BASE, text);
+    }
+
+    /// Loads the initial data image at [`DATA_BASE`].
+    pub fn load_data(&mut self, data: &[u8]) {
+        self.write_bytes_raw(DATA_BASE, data);
+    }
+
+    /// Returns the number of bytes of loaded program text.
+    pub fn text_len(&self) -> u64 {
+        self.text_len
+    }
+
+    /// Classifies a (physical) address into its [`Region`].
+    pub fn region_of(&self, addr: u64) -> Region {
+        let addr = addr & PHYS_ADDR_MASK;
+        if addr >= TEXT_BASE && addr < TEXT_BASE + self.text_len.max(4) {
+            Region::Text
+        } else if (DATA_BASE..DATA_BASE + DATA_SIZE).contains(&addr) {
+            Region::Data
+        } else {
+            Region::Unmapped
+        }
+    }
+
+    /// Returns `true` when a `width`-byte data load at `addr` is permitted.
+    pub fn can_load(&self, addr: u64, width: u64) -> bool {
+        let last = addr.wrapping_add(width.saturating_sub(1));
+        self.region_of(addr) != Region::Unmapped && self.region_of(last) != Region::Unmapped
+    }
+
+    /// Returns `true` when a `width`-byte store at `addr` is permitted.
+    pub fn can_store(&self, addr: u64, width: u64) -> bool {
+        let last = addr.wrapping_add(width.saturating_sub(1));
+        self.region_of(addr) == Region::Data && self.region_of(last) == Region::Data
+    }
+
+    /// Reads one byte, ignoring permissions. Unwritten bytes read as zero.
+    pub fn read_byte(&self, addr: u64) -> u8 {
+        let addr = addr & PHYS_ADDR_MASK;
+        let page = addr >> PAGE_BITS;
+        let offset = (addr & (PAGE_SIZE - 1)) as usize;
+        self.pages.get(&page).map_or(0, |p| p[offset])
+    }
+
+    /// Writes one byte, ignoring permissions.
+    pub fn write_byte(&mut self, addr: u64, value: u8) {
+        let addr = addr & PHYS_ADDR_MASK;
+        let page = addr >> PAGE_BITS;
+        let offset = (addr & (PAGE_SIZE - 1)) as usize;
+        self.pages.entry(page).or_insert_with(|| vec![0u8; PAGE_SIZE as usize])[offset] = value;
+    }
+
+    /// Reads `width` bytes little-endian, zero-extended into a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn read_uint(&self, addr: u64, width: u64) -> u64 {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported access width {width}");
+        let mut value = 0u64;
+        for i in 0..width {
+            value |= u64::from(self.read_byte(addr.wrapping_add(i))) << (8 * i);
+        }
+        value
+    }
+
+    /// Writes the low `width` bytes of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn write_uint(&mut self, addr: u64, value: u64, width: u64) {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported access width {width}");
+        for i in 0..width {
+            self.write_byte(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Fetches the 32-bit instruction word at `addr`, or `None` when the
+    /// address is outside the text region or misaligned.
+    pub fn fetch(&self, addr: u64) -> Option<u32> {
+        let addr = addr & PHYS_ADDR_MASK;
+        if addr % 4 != 0 || self.region_of(addr) != Region::Text {
+            return None;
+        }
+        Some(self.read_uint(addr, 4) as u32)
+    }
+
+    fn write_bytes_raw(&mut self, base: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_byte(base + i as u64, *b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_byte(DATA_BASE), 0);
+        assert_eq!(mem.read_uint(DATA_BASE, 8), 0);
+    }
+
+    #[test]
+    fn read_write_round_trip_all_widths() {
+        let mut mem = Memory::new();
+        for width in [1u64, 2, 4, 8] {
+            let value = 0x1122_3344_5566_7788u64;
+            mem.write_uint(DATA_BASE + 64, value, width);
+            let mask = if width == 8 { u64::MAX } else { (1 << (8 * width)) - 1 };
+            assert_eq!(mem.read_uint(DATA_BASE + 64, width), value & mask);
+        }
+    }
+
+    #[test]
+    fn regions_are_classified() {
+        let mem = Memory::with_program(&[0u8; 64], &[0u8; 16]);
+        assert_eq!(mem.region_of(TEXT_BASE), Region::Text);
+        assert_eq!(mem.region_of(TEXT_BASE + 63), Region::Text);
+        assert_eq!(mem.region_of(TEXT_BASE + 64), Region::Unmapped);
+        assert_eq!(mem.region_of(DATA_BASE), Region::Data);
+        assert_eq!(mem.region_of(DATA_BASE + DATA_SIZE), Region::Unmapped);
+        assert_eq!(mem.region_of(0x1000), Region::Unmapped);
+    }
+
+    #[test]
+    fn permissions_follow_regions() {
+        let mem = Memory::with_program(&[0u8; 64], &[]);
+        assert!(mem.can_load(TEXT_BASE, 4));
+        assert!(!mem.can_store(TEXT_BASE, 4));
+        assert!(mem.can_store(DATA_BASE, 8));
+        assert!(mem.can_load(DATA_BASE + DATA_SIZE - 8, 8));
+        assert!(!mem.can_load(DATA_BASE + DATA_SIZE - 4, 8));
+        assert!(!mem.can_load(0x0, 1));
+    }
+
+    #[test]
+    fn fetch_requires_alignment_and_text_region() {
+        let text: Vec<u8> = 0x0000_0013u32.to_le_bytes().into();
+        let mem = Memory::with_program(&text, &[]);
+        assert_eq!(mem.fetch(TEXT_BASE), Some(0x13));
+        assert_eq!(mem.fetch(TEXT_BASE + 2), None);
+        assert_eq!(mem.fetch(DATA_BASE), None);
+    }
+
+    #[test]
+    fn addresses_wrap_to_32_bits() {
+        let mut mem = Memory::new();
+        mem.write_byte(0xffff_ffff_8001_0000, 0xab);
+        assert_eq!(mem.read_byte(DATA_BASE), 0xab);
+        let mem2 = Memory::with_program(&[0u8; 8], &[]);
+        assert_eq!(mem2.region_of(0xffff_ffff_8000_0000), Region::Text);
+    }
+
+    proptest! {
+        #[test]
+        fn byte_round_trip(offset in 0u64..DATA_SIZE, value in any::<u8>()) {
+            let mut mem = Memory::new();
+            mem.write_byte(DATA_BASE + offset, value);
+            prop_assert_eq!(mem.read_byte(DATA_BASE + offset), value);
+        }
+
+        #[test]
+        fn uint_round_trip(offset in 0u64..(DATA_SIZE - 8), value in any::<u64>()) {
+            let mut mem = Memory::new();
+            mem.write_uint(DATA_BASE + offset, value, 8);
+            prop_assert_eq!(mem.read_uint(DATA_BASE + offset, 8), value);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Synchronous exceptions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A synchronous exception raised during instruction execution.
+///
+/// The variants carry the `mcause` code defined by the privileged
+/// specification; the subset here covers every exception the modelled
+/// instruction set can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Exception {
+    /// Instruction address misaligned (cause 0): a taken branch or jump whose
+    /// target is not 4-byte aligned.
+    InstrAddrMisaligned {
+        /// The misaligned target address.
+        target: u64,
+    },
+    /// Instruction access fault (cause 1): fetch from outside the text region.
+    InstrAccessFault {
+        /// The faulting fetch address.
+        addr: u64,
+    },
+    /// Illegal instruction (cause 2): undecodable word, unimplemented CSR, or
+    /// a write to a read-only CSR.
+    IllegalInstruction {
+        /// The offending instruction word.
+        word: u32,
+    },
+    /// Breakpoint (cause 3): `ebreak`.
+    Breakpoint,
+    /// Load address misaligned (cause 4).
+    LoadAddrMisaligned {
+        /// The misaligned effective address.
+        addr: u64,
+    },
+    /// Load access fault (cause 5): load from an unmapped region.
+    LoadAccessFault {
+        /// The faulting effective address.
+        addr: u64,
+    },
+    /// Store address misaligned (cause 6).
+    StoreAddrMisaligned {
+        /// The misaligned effective address.
+        addr: u64,
+    },
+    /// Store access fault (cause 7): store outside the writable data region.
+    StoreAccessFault {
+        /// The faulting effective address.
+        addr: u64,
+    },
+    /// Environment call from M-mode (cause 11): `ecall`, used as the test
+    /// terminator.
+    EcallM,
+}
+
+impl Exception {
+    /// Returns the `mcause` code for the exception.
+    pub fn cause(self) -> u64 {
+        match self {
+            Exception::InstrAddrMisaligned { .. } => 0,
+            Exception::InstrAccessFault { .. } => 1,
+            Exception::IllegalInstruction { .. } => 2,
+            Exception::Breakpoint => 3,
+            Exception::LoadAddrMisaligned { .. } => 4,
+            Exception::LoadAccessFault { .. } => 5,
+            Exception::StoreAddrMisaligned { .. } => 6,
+            Exception::StoreAccessFault { .. } => 7,
+            Exception::EcallM => 11,
+        }
+    }
+
+    /// Returns the value written to `mtval` when the exception is taken.
+    pub fn tval(self) -> u64 {
+        match self {
+            Exception::InstrAddrMisaligned { target } => target,
+            Exception::InstrAccessFault { addr } => addr,
+            Exception::IllegalInstruction { word } => u64::from(word),
+            Exception::Breakpoint => 0,
+            Exception::LoadAddrMisaligned { addr }
+            | Exception::LoadAccessFault { addr }
+            | Exception::StoreAddrMisaligned { addr }
+            | Exception::StoreAccessFault { addr } => addr,
+            Exception::EcallM => 0,
+        }
+    }
+
+    /// Returns `true` when the exception is a memory-access fault (the class
+    /// of exception the V5 vulnerability suppresses).
+    pub fn is_access_fault(self) -> bool {
+        matches!(
+            self,
+            Exception::LoadAccessFault { .. }
+                | Exception::StoreAccessFault { .. }
+                | Exception::InstrAccessFault { .. }
+        )
+    }
+}
+
+impl fmt::Display for Exception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exception::InstrAddrMisaligned { target } => {
+                write!(f, "instruction address misaligned ({target:#x})")
+            }
+            Exception::InstrAccessFault { addr } => {
+                write!(f, "instruction access fault ({addr:#x})")
+            }
+            Exception::IllegalInstruction { word } => {
+                write!(f, "illegal instruction ({word:#010x})")
+            }
+            Exception::Breakpoint => f.write_str("breakpoint"),
+            Exception::LoadAddrMisaligned { addr } => {
+                write!(f, "load address misaligned ({addr:#x})")
+            }
+            Exception::LoadAccessFault { addr } => write!(f, "load access fault ({addr:#x})"),
+            Exception::StoreAddrMisaligned { addr } => {
+                write!(f, "store address misaligned ({addr:#x})")
+            }
+            Exception::StoreAccessFault { addr } => write!(f, "store access fault ({addr:#x})"),
+            Exception::EcallM => f.write_str("environment call from M-mode"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_codes_match_the_privileged_spec() {
+        assert_eq!(Exception::InstrAddrMisaligned { target: 0 }.cause(), 0);
+        assert_eq!(Exception::InstrAccessFault { addr: 0 }.cause(), 1);
+        assert_eq!(Exception::IllegalInstruction { word: 0 }.cause(), 2);
+        assert_eq!(Exception::Breakpoint.cause(), 3);
+        assert_eq!(Exception::LoadAddrMisaligned { addr: 0 }.cause(), 4);
+        assert_eq!(Exception::LoadAccessFault { addr: 0 }.cause(), 5);
+        assert_eq!(Exception::StoreAddrMisaligned { addr: 0 }.cause(), 6);
+        assert_eq!(Exception::StoreAccessFault { addr: 0 }.cause(), 7);
+        assert_eq!(Exception::EcallM.cause(), 11);
+    }
+
+    #[test]
+    fn tval_carries_the_faulting_value() {
+        assert_eq!(Exception::LoadAccessFault { addr: 0x123 }.tval(), 0x123);
+        assert_eq!(Exception::IllegalInstruction { word: 0xdead_beef }.tval(), 0xdead_beef);
+        assert_eq!(Exception::Breakpoint.tval(), 0);
+    }
+
+    #[test]
+    fn access_fault_classification() {
+        assert!(Exception::LoadAccessFault { addr: 0 }.is_access_fault());
+        assert!(Exception::StoreAccessFault { addr: 0 }.is_access_fault());
+        assert!(!Exception::IllegalInstruction { word: 0 }.is_access_fault());
+        assert!(!Exception::EcallM.is_access_fault());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = Exception::LoadAccessFault { addr: 0xdead }.to_string();
+        assert!(text.contains("load access fault"));
+        assert!(text.contains("0xdead"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Modified ε-greedy (Algorithm 1 of the paper).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Bandit, BanditKind};
+
+/// ε-greedy with the reset-arms modification.
+///
+/// With probability `1 − ε` the arm with the highest value estimate `Q(a)` is
+/// pulled (ties broken by the lowest index); with probability `ε` a uniformly
+/// random arm is pulled. Value estimates are incremental sample means:
+/// `Q(a) ← Q(a) + (R − Q(a)) / N(a)`. Resetting an arm sets `N(a)` and `Q(a)`
+/// back to zero, exactly as the red lines of the paper's Algorithm 1 do.
+///
+/// # Example
+///
+/// ```
+/// use mab::{Bandit, EpsilonGreedy};
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let mut bandit = EpsilonGreedy::new(3, 0.05);
+/// bandit.update(1, 10.0);
+/// // With a tiny epsilon the best arm dominates selection.
+/// let picks = (0..100).filter(|_| bandit.select(&mut rng) == 1).count();
+/// assert!(picks > 90);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonGreedy {
+    epsilon: f64,
+    values: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl EpsilonGreedy {
+    /// Creates an ε-greedy policy over `arms` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is zero or `epsilon` is outside `[0, 1]`.
+    pub fn new(arms: usize, epsilon: f64) -> EpsilonGreedy {
+        assert!(arms > 0, "a bandit needs at least one arm");
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must lie in [0, 1]");
+        EpsilonGreedy { epsilon, values: vec![0.0; arms], counts: vec![0; arms] }
+    }
+
+    /// Returns the exploration probability ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn best_arm(&self) -> usize {
+        let mut best = 0;
+        for (index, value) in self.values.iter().enumerate() {
+            if *value > self.values[best] {
+                best = index;
+            }
+        }
+        best
+    }
+}
+
+impl Bandit for EpsilonGreedy {
+    fn kind(&self) -> BanditKind {
+        BanditKind::EpsilonGreedy
+    }
+
+    fn arms(&self) -> usize {
+        self.values.len()
+    }
+
+    fn select(&mut self, rng: &mut dyn rand::RngCore) -> usize {
+        if rng.gen_bool(self.epsilon) {
+            rng.gen_range(0..self.values.len())
+        } else {
+            self.best_arm()
+        }
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        assert!(arm < self.values.len(), "arm {arm} out of range");
+        self.counts[arm] += 1;
+        let n = self.counts[arm] as f64;
+        self.values[arm] += (reward - self.values[arm]) / n;
+    }
+
+    fn reset_arm(&mut self, arm: usize) {
+        assert!(arm < self.values.len(), "arm {arm} out of range");
+        self.counts[arm] = 0;
+        self.values[arm] = 0.0;
+    }
+
+    fn value(&self, arm: usize) -> f64 {
+        self.values[arm]
+    }
+
+    fn pulls(&self, arm: usize) -> u64 {
+        self.counts[arm]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn value_estimates_are_running_means() {
+        let mut bandit = EpsilonGreedy::new(2, 0.0);
+        bandit.update(0, 4.0);
+        bandit.update(0, 8.0);
+        assert!((bandit.value(0) - 6.0).abs() < 1e-12);
+        assert_eq!(bandit.pulls(0), 2);
+        assert_eq!(bandit.pulls(1), 0);
+    }
+
+    #[test]
+    fn pure_exploitation_always_picks_the_best_arm() {
+        let mut bandit = EpsilonGreedy::new(4, 0.0);
+        bandit.update(2, 5.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert_eq!(bandit.select(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn pure_exploration_is_roughly_uniform() {
+        let mut bandit = EpsilonGreedy::new(4, 1.0);
+        bandit.update(0, 100.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[bandit.select(&mut rng)] += 1;
+        }
+        for count in counts {
+            assert!((800..1200).contains(&count), "counts {counts:?} not roughly uniform");
+        }
+    }
+
+    #[test]
+    fn reset_clears_an_arm_but_not_the_others() {
+        let mut bandit = EpsilonGreedy::new(3, 0.1);
+        bandit.update(0, 3.0);
+        bandit.update(1, 7.0);
+        bandit.reset_arm(1);
+        assert_eq!(bandit.value(1), 0.0);
+        assert_eq!(bandit.pulls(1), 0);
+        assert_eq!(bandit.value(0), 3.0);
+        assert_eq!(bandit.pulls(0), 1);
+    }
+
+    #[test]
+    fn learns_the_best_arm_on_a_synthetic_bandit() {
+        let mut bandit = EpsilonGreedy::new(5, 0.1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let true_means = [0.1, 0.2, 0.9, 0.3, 0.4];
+        let mut pulls_of_best = 0;
+        for _ in 0..2000 {
+            let arm = bandit.select(&mut rng);
+            if arm == 2 {
+                pulls_of_best += 1;
+            }
+            let reward = if rng.gen_bool(true_means[arm]) { 1.0 } else { 0.0 };
+            bandit.update(arm, reward);
+        }
+        assert!(pulls_of_best > 1200, "best arm pulled only {pulls_of_best}/2000 times");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one arm")]
+    fn zero_arms_panics() {
+        let _ = EpsilonGreedy::new(0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_update_panics() {
+        let mut bandit = EpsilonGreedy::new(2, 0.1);
+        bandit.update(2, 1.0);
+    }
+
+    proptest! {
+        /// Selection always returns a valid arm index and epsilon is honoured
+        /// at the extremes.
+        #[test]
+        fn selection_is_always_in_range(arms in 1usize..16, epsilon in 0.0f64..=1.0, seed in any::<u64>()) {
+            let mut bandit = EpsilonGreedy::new(arms, epsilon);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..32 {
+                let arm = bandit.select(&mut rng);
+                prop_assert!(arm < arms);
+                bandit.update(arm, 1.0);
+            }
+        }
+
+        /// The value estimate never exceeds the largest observed reward.
+        #[test]
+        fn value_bounded_by_max_reward(rewards in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+            let mut bandit = EpsilonGreedy::new(1, 0.0);
+            let mut max_reward = 0.0f64;
+            for r in &rewards {
+                bandit.update(0, *r);
+                max_reward = max_reward.max(*r);
+            }
+            prop_assert!(bandit.value(0) <= max_reward + 1e-9);
+        }
+    }
+}

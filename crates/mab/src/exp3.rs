@@ -1,0 +1,274 @@
+//! Modified EXP3 (Algorithm 2 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{sample_discrete, Bandit, BanditKind};
+
+/// EXP3 with the reset-arms modification.
+///
+/// Selection probabilities mix the normalised exponential weights with a
+/// uniform exploration term:
+/// `P(a) = (1 − η) · W(a) / Σ W + η / K`.
+/// After observing reward `R` for the pulled arm the weight is updated with
+/// the importance-weighted estimate `W(a) ← W(a) · exp(η · (R / P(a)) / K)`.
+///
+/// The paper's modifications:
+/// * rewards are expected to be normalised into `[0, 1]` by the caller
+///   (MABFuzz divides the raw coverage reward by the total number of coverage
+///   points, line 6 of Algorithm 2);
+/// * **resetting** an arm sets its weight to the *average weight of the other
+///   arms* (line 10), so a fresh seed starts from a neutral position instead
+///   of inheriting its predecessor's reputation.
+///
+/// Weights are renormalised when they grow large so long campaigns cannot
+/// overflow.
+///
+/// # Example
+///
+/// ```
+/// use mab::{Bandit, Exp3};
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut bandit = Exp3::new(3, 0.1);
+/// for _ in 0..300 {
+///     let arm = bandit.select(&mut rng);
+///     bandit.update(arm, if arm == 0 { 0.8 } else { 0.05 });
+/// }
+/// assert!(bandit.value(0) > bandit.value(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp3 {
+    eta: f64,
+    weights: Vec<f64>,
+    counts: Vec<u64>,
+    last_probabilities: Vec<f64>,
+}
+
+impl Exp3 {
+    /// Creates an EXP3 policy over `arms` arms with learning rate `eta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is zero or `eta` is outside `(0, 1]`.
+    pub fn new(arms: usize, eta: f64) -> Exp3 {
+        assert!(arms > 0, "a bandit needs at least one arm");
+        assert!(eta > 0.0 && eta <= 1.0, "the learning rate must lie in (0, 1]");
+        Exp3 {
+            eta,
+            weights: vec![1.0; arms],
+            counts: vec![0; arms],
+            last_probabilities: vec![1.0 / arms as f64; arms],
+        }
+    }
+
+    /// Returns the learning rate η.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// Returns the current selection probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let total: f64 = self.weights.iter().sum();
+        let k = self.weights.len() as f64;
+        self.weights
+            .iter()
+            .map(|w| (1.0 - self.eta) * (w / total) + self.eta / k)
+            .collect()
+    }
+
+    fn renormalise_if_needed(&mut self) {
+        let max = self.weights.iter().cloned().fold(f64::MIN, f64::max);
+        if max > 1e100 {
+            for w in &mut self.weights {
+                *w /= max;
+                if *w < 1e-300 {
+                    *w = 1e-300;
+                }
+            }
+        }
+    }
+}
+
+impl Bandit for Exp3 {
+    fn kind(&self) -> BanditKind {
+        BanditKind::Exp3
+    }
+
+    fn arms(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn select(&mut self, rng: &mut dyn rand::RngCore) -> usize {
+        let probabilities = self.probabilities();
+        self.last_probabilities = probabilities.clone();
+        sample_discrete(&probabilities, rng)
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        assert!(arm < self.weights.len(), "arm {arm} out of range");
+        self.counts[arm] += 1;
+        let reward = reward.clamp(0.0, 1.0);
+        let probability = self.last_probabilities[arm].max(1e-12);
+        let estimate = reward / probability;
+        let k = self.weights.len() as f64;
+        self.weights[arm] *= (self.eta * estimate / k).exp();
+        self.renormalise_if_needed();
+    }
+
+    fn reset_arm(&mut self, arm: usize) {
+        assert!(arm < self.weights.len(), "arm {arm} out of range");
+        let others: f64 = self
+            .weights
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != arm)
+            .map(|(_, w)| *w)
+            .sum();
+        let count = (self.weights.len() - 1).max(1) as f64;
+        self.weights[arm] = others / count;
+        self.counts[arm] = 0;
+    }
+
+    fn value(&self, arm: usize) -> f64 {
+        self.probabilities()[arm]
+    }
+
+    fn pulls(&self, arm: usize) -> u64 {
+        self.counts[arm]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_form_a_distribution() {
+        let bandit = Exp3::new(5, 0.1);
+        let probabilities = bandit.probabilities();
+        let sum: f64 = probabilities.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for p in probabilities {
+            assert!(p > 0.0);
+        }
+    }
+
+    #[test]
+    fn rewarded_arm_gains_probability() {
+        let mut bandit = Exp3::new(4, 0.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let arm = bandit.select(&mut rng);
+            bandit.update(arm, if arm == 3 { 1.0 } else { 0.0 });
+        }
+        let probabilities = bandit.probabilities();
+        assert!(probabilities[3] > probabilities[0]);
+        assert!(probabilities[3] > 0.5);
+    }
+
+    #[test]
+    fn exploration_floor_is_maintained() {
+        let mut bandit = Exp3::new(4, 0.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let arm = bandit.select(&mut rng);
+            bandit.update(arm, if arm == 0 { 1.0 } else { 0.0 });
+        }
+        let probabilities = bandit.probabilities();
+        for p in probabilities {
+            assert!(p >= 0.2 / 4.0 - 1e-9, "every arm keeps at least eta/K probability");
+        }
+    }
+
+    #[test]
+    fn reset_sets_the_weight_to_the_mean_of_the_others() {
+        let mut bandit = Exp3::new(3, 0.1);
+        bandit.weights = vec![9.0, 3.0, 6.0];
+        bandit.counts = vec![4, 2, 1];
+        bandit.reset_arm(0);
+        assert!((bandit.weights[0] - 4.5).abs() < 1e-12);
+        assert_eq!(bandit.pulls(0), 0);
+        assert_eq!(bandit.pulls(1), 2);
+    }
+
+    #[test]
+    fn rewards_outside_the_unit_interval_are_clamped() {
+        let mut bandit = Exp3::new(2, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let arm = bandit.select(&mut rng);
+        bandit.update(arm, 50.0);
+        assert!(bandit.weights.iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn long_campaigns_do_not_overflow() {
+        let mut bandit = Exp3::new(3, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20_000 {
+            let arm = bandit.select(&mut rng);
+            bandit.update(arm, 1.0);
+        }
+        assert!(bandit.weights.iter().all(|w| w.is_finite() && *w > 0.0));
+        let sum: f64 = bandit.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn zero_eta_panics() {
+        let _ = Exp3::new(3, 0.0);
+    }
+
+    proptest! {
+        /// Probabilities always sum to one and stay within the exploration
+        /// floor regardless of the reward sequence.
+        #[test]
+        fn distribution_invariants(
+            rewards in proptest::collection::vec(0.0f64..1.0, 0..128),
+            arms in 2usize..8,
+            eta in 0.01f64..1.0,
+        ) {
+            let mut bandit = Exp3::new(arms, eta);
+            let mut rng = StdRng::seed_from_u64(99);
+            for reward in rewards {
+                let arm = bandit.select(&mut rng);
+                bandit.update(arm, reward);
+            }
+            let probabilities = bandit.probabilities();
+            let sum: f64 = probabilities.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6);
+            for p in probabilities {
+                prop_assert!(p >= eta / arms as f64 - 1e-9);
+                prop_assert!(p <= 1.0 + 1e-9);
+            }
+        }
+
+        /// Resetting any arm preserves the others' pull counts and keeps the
+        /// weight vector positive and finite.
+        #[test]
+        fn reset_preserves_other_arms(arms in 2usize..8, resets in proptest::collection::vec(0usize..8, 1..16)) {
+            let mut bandit = Exp3::new(arms, 0.3);
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..32 {
+                let arm = bandit.select(&mut rng);
+                bandit.update(arm, 0.5);
+            }
+            for reset in resets {
+                let arm = reset % arms;
+                let other_counts: Vec<u64> =
+                    (0..arms).filter(|a| *a != arm).map(|a| bandit.pulls(a)).collect();
+                bandit.reset_arm(arm);
+                prop_assert_eq!(bandit.pulls(arm), 0);
+                let after: Vec<u64> =
+                    (0..arms).filter(|a| *a != arm).map(|a| bandit.pulls(a)).collect();
+                prop_assert_eq!(other_counts, after);
+                prop_assert!(bandit.weights.iter().all(|w| w.is_finite() && *w > 0.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Multi-armed bandit algorithms with the MABFuzz *reset-arm* modification.
+//!
+//! The MABFuzz paper maps seed selection in a hardware fuzzer onto a
+//! multi-armed bandit problem: each arm is a seed (and its mutation-derived
+//! test pool), pulling an arm simulates one of its tests, and the reward is
+//! the weighted number of new coverage points the test reached. Because the
+//! coverage return of any one seed *diminishes over time*, the paper modifies
+//! the classic algorithms so that a saturated arm can be **reset** — replaced
+//! by a fresh seed — with its learner statistics re-initialised
+//! (Algorithms 1 and 2 of the paper):
+//!
+//! * ε-greedy and UCB1 reset the pull count `N(a)` and the value estimate
+//!   `Q(a)` to zero;
+//! * EXP3 sets the arm's weight to the average weight of the other arms and
+//!   normalises rewards by the total number of coverage points.
+//!
+//! The crate is independent of fuzzing — rewards are plain `f64` — so the
+//! algorithms can be tested against synthetic bandit instances and reused in
+//! other schedulers. The fuzzing-specific pieces (reward shaping, saturation
+//! monitoring) live in the `mabfuzz` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use mab::{Bandit, BanditKind, EpsilonGreedy};
+//! use rand::SeedableRng;
+//! use rand::rngs::StdRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut bandit = EpsilonGreedy::new(4, 0.1);
+//! for _ in 0..100 {
+//!     let arm = bandit.select(&mut rng);
+//!     // Arm 2 pays off; the others do not.
+//!     let reward = if arm == 2 { 1.0 } else { 0.0 };
+//!     bandit.update(arm, reward);
+//! }
+//! assert_eq!(bandit.kind(), BanditKind::EpsilonGreedy);
+//! assert!(bandit.value(2) > bandit.value(0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod epsilon_greedy;
+pub mod exp3;
+pub mod ucb;
+
+pub use epsilon_greedy::EpsilonGreedy;
+pub use exp3::Exp3;
+pub use ucb::Ucb1;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifies which bandit algorithm a policy implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BanditKind {
+    /// ε-greedy: exploit the best-known arm with probability `1 − ε`.
+    EpsilonGreedy,
+    /// UCB1: optimism in the face of uncertainty.
+    Ucb1,
+    /// EXP3: exponential weights for adversarial (non-stationary) rewards.
+    Exp3,
+}
+
+impl BanditKind {
+    /// All algorithm kinds evaluated in the paper.
+    pub const ALL: [BanditKind; 3] = [BanditKind::EpsilonGreedy, BanditKind::Ucb1, BanditKind::Exp3];
+
+    /// Returns the display name used in the paper's tables and figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            BanditKind::EpsilonGreedy => "epsilon-greedy",
+            BanditKind::Ucb1 => "UCB",
+            BanditKind::Exp3 => "EXP3",
+        }
+    }
+
+    /// Parses an algorithm name (several common spellings accepted).
+    pub fn parse(text: &str) -> Option<BanditKind> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "epsilon-greedy" | "epsilon_greedy" | "eps-greedy" | "egreedy" | "e-greedy" => {
+                Some(BanditKind::EpsilonGreedy)
+            }
+            "ucb" | "ucb1" => Some(BanditKind::Ucb1),
+            "exp3" => Some(BanditKind::Exp3),
+            _ => None,
+        }
+    }
+
+    /// Builds the corresponding policy with the paper's default parameters
+    /// (ε = 0.1, EXP3 learning rate η = 0.1).
+    pub fn build(self, arms: usize) -> Box<dyn Bandit> {
+        match self {
+            BanditKind::EpsilonGreedy => Box::new(EpsilonGreedy::new(arms, 0.1)),
+            BanditKind::Ucb1 => Box::new(Ucb1::new(arms)),
+            BanditKind::Exp3 => Box::new(Exp3::new(arms, 0.1)),
+        }
+    }
+}
+
+impl std::fmt::Display for BanditKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A multi-armed bandit policy with the reset-arm extension.
+///
+/// Rewards are expected to be non-negative; EXP3 additionally expects them to
+/// be normalised into `[0, 1]` by the caller (the `mabfuzz` crate divides by
+/// the total number of coverage points, as the paper prescribes).
+pub trait Bandit: Send {
+    /// Returns which algorithm this policy implements.
+    fn kind(&self) -> BanditKind;
+
+    /// Returns the number of arms.
+    fn arms(&self) -> usize;
+
+    /// Selects the arm to pull next.
+    fn select(&mut self, rng: &mut dyn rand::RngCore) -> usize;
+
+    /// Reports the reward observed for pulling `arm`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `arm` is out of range.
+    fn update(&mut self, arm: usize, reward: f64);
+
+    /// Re-initialises the learner statistics of `arm` after the arm has been
+    /// replaced with a fresh seed (the paper's reset-arms feature).
+    fn reset_arm(&mut self, arm: usize);
+
+    /// Returns the policy's current value estimate (or normalised weight) for
+    /// `arm`; used for introspection, reporting and tests.
+    fn value(&self, arm: usize) -> f64;
+
+    /// Returns the number of times `arm` has been pulled since it was last
+    /// reset.
+    fn pulls(&self, arm: usize) -> u64;
+}
+
+/// Draws an arm index from a discrete probability distribution.
+///
+/// Shared by the policy implementations; the probabilities must sum to
+/// (approximately) one.
+pub(crate) fn sample_discrete<R: Rng + ?Sized>(probabilities: &[f64], rng: &mut R) -> usize {
+    let mut ticket: f64 = rng.gen();
+    for (index, p) in probabilities.iter().enumerate() {
+        if ticket < *p {
+            return index;
+        }
+        ticket -= p;
+    }
+    probabilities.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kind_parse_round_trip() {
+        for kind in BanditKind::ALL {
+            assert_eq!(BanditKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(BanditKind::parse("ucb1"), Some(BanditKind::Ucb1));
+        assert_eq!(BanditKind::parse("thompson"), None);
+    }
+
+    #[test]
+    fn build_constructs_every_kind() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for kind in BanditKind::ALL {
+            let mut bandit = kind.build(5);
+            assert_eq!(bandit.kind(), kind);
+            assert_eq!(bandit.arms(), 5);
+            let arm = bandit.select(&mut rng);
+            assert!(arm < 5);
+            bandit.update(arm, 0.5);
+            bandit.reset_arm(arm);
+            assert_eq!(bandit.pulls(arm), 0);
+        }
+    }
+
+    #[test]
+    fn sample_discrete_respects_the_distribution() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let probabilities = [0.0, 0.9, 0.1];
+        let mut counts = [0usize; 3];
+        for _ in 0..1000 {
+            counts[sample_discrete(&probabilities, &mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > 800);
+        assert!(counts[2] > 30);
+    }
+}

@@ -1,0 +1,206 @@
+//! Modified UCB1 (Algorithm 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Bandit, BanditKind};
+
+/// UCB1 with the reset-arms modification.
+///
+/// The policy pulls the arm maximising `Q(a) + sqrt(2·ln t / N(a))`, where `t`
+/// is the global time step and `N(a)` the number of pulls of the arm. An arm
+/// that has never been pulled (including one that has just been **reset**) has
+/// an infinite confidence bonus and is therefore pulled next — exactly the
+/// behaviour the paper relies on to make a freshly swapped-in seed get tried
+/// immediately.
+///
+/// # Example
+///
+/// ```
+/// use mab::{Bandit, Ucb1};
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut bandit = Ucb1::new(3);
+/// // The first three pulls visit every arm once.
+/// let mut seen = [false; 3];
+/// for _ in 0..3 {
+///     let arm = bandit.select(&mut rng);
+///     seen[arm] = true;
+///     bandit.update(arm, 0.0);
+/// }
+/// assert!(seen.iter().all(|s| *s));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ucb1 {
+    values: Vec<f64>,
+    counts: Vec<u64>,
+    time: u64,
+}
+
+impl Ucb1 {
+    /// Creates a UCB1 policy over `arms` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is zero.
+    pub fn new(arms: usize) -> Ucb1 {
+        assert!(arms > 0, "a bandit needs at least one arm");
+        Ucb1 { values: vec![0.0; arms], counts: vec![0; arms], time: 0 }
+    }
+
+    /// Returns the upper confidence bound currently assigned to `arm`
+    /// (`f64::INFINITY` for never-pulled arms).
+    pub fn confidence_bound(&self, arm: usize) -> f64 {
+        if self.counts[arm] == 0 {
+            return f64::INFINITY;
+        }
+        let t = (self.time.max(1)) as f64;
+        self.values[arm] + (2.0 * t.ln() / self.counts[arm] as f64).sqrt()
+    }
+}
+
+impl Bandit for Ucb1 {
+    fn kind(&self) -> BanditKind {
+        BanditKind::Ucb1
+    }
+
+    fn arms(&self) -> usize {
+        self.values.len()
+    }
+
+    fn select(&mut self, _rng: &mut dyn rand::RngCore) -> usize {
+        self.time += 1;
+        let mut best = 0;
+        let mut best_bound = f64::NEG_INFINITY;
+        for arm in 0..self.values.len() {
+            let bound = self.confidence_bound(arm);
+            if bound > best_bound {
+                best = arm;
+                best_bound = bound;
+            }
+        }
+        best
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        assert!(arm < self.values.len(), "arm {arm} out of range");
+        self.counts[arm] += 1;
+        let n = self.counts[arm] as f64;
+        self.values[arm] += (reward - self.values[arm]) / n;
+    }
+
+    fn reset_arm(&mut self, arm: usize) {
+        assert!(arm < self.values.len(), "arm {arm} out of range");
+        self.counts[arm] = 0;
+        self.values[arm] = 0.0;
+    }
+
+    fn value(&self, arm: usize) -> f64 {
+        self.values[arm]
+    }
+
+    fn pulls(&self, arm: usize) -> u64 {
+        self.counts[arm]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn every_arm_is_tried_before_any_is_repeated() {
+        let mut bandit = Ucb1::new(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5 {
+            let arm = bandit.select(&mut rng);
+            assert!(seen.insert(arm), "arm {arm} repeated before all arms were tried");
+            bandit.update(arm, 0.1);
+        }
+    }
+
+    #[test]
+    fn reset_arm_is_selected_next() {
+        let mut bandit = Ucb1::new(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..30 {
+            let arm = bandit.select(&mut rng);
+            bandit.update(arm, if arm == 0 { 1.0 } else { 0.1 });
+        }
+        bandit.reset_arm(2);
+        assert_eq!(bandit.pulls(2), 0);
+        assert_eq!(bandit.select(&mut rng), 2, "a reset arm has an infinite bonus");
+    }
+
+    #[test]
+    fn exploits_the_best_arm_in_the_long_run() {
+        let mut bandit = Ucb1::new(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let means = [0.2, 0.8, 0.3, 0.1];
+        let mut best_pulls = 0;
+        for _ in 0..3000 {
+            let arm = bandit.select(&mut rng);
+            if arm == 1 {
+                best_pulls += 1;
+            }
+            let reward = if rng.gen_bool(means[arm]) { 1.0 } else { 0.0 };
+            bandit.update(arm, reward);
+        }
+        assert!(best_pulls > 1800, "best arm pulled only {best_pulls}/3000 times");
+    }
+
+    #[test]
+    fn confidence_bound_shrinks_with_pulls() {
+        let mut bandit = Ucb1::new(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let arm = bandit.select(&mut rng);
+            bandit.update(arm, 0.5);
+        }
+        let before = bandit.confidence_bound(0);
+        for _ in 0..50 {
+            bandit.update(0, 0.5);
+            bandit.time += 1;
+        }
+        let after = bandit.confidence_bound(0);
+        assert!(after < before, "more pulls must tighten the bound ({after} !< {before})");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one arm")]
+    fn zero_arms_panics() {
+        let _ = Ucb1::new(0);
+    }
+
+    proptest! {
+        /// Selection is always a valid index, and values track sample means.
+        #[test]
+        fn selection_in_range_and_values_are_means(
+            rewards in proptest::collection::vec(0.0f64..1.0, 1..64),
+            arms in 1usize..8,
+        ) {
+            let mut bandit = Ucb1::new(arms);
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut totals = vec![(0.0f64, 0u64); arms];
+            for reward in &rewards {
+                let arm = bandit.select(&mut rng);
+                prop_assert!(arm < arms);
+                bandit.update(arm, *reward);
+                totals[arm].0 += reward;
+                totals[arm].1 += 1;
+            }
+            for arm in 0..arms {
+                if totals[arm].1 > 0 {
+                    let mean = totals[arm].0 / totals[arm].1 as f64;
+                    prop_assert!((bandit.value(arm) - mean).abs() < 1e-9);
+                    prop_assert_eq!(bandit.pulls(arm), totals[arm].1);
+                }
+            }
+        }
+    }
+}

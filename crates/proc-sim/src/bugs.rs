@@ -1,0 +1,254 @@
+//! Injected vulnerabilities (the reproduction of Table I's V1–V7).
+//!
+//! Each vulnerability is a small, deliberate deviation of a processor model
+//! from the golden architectural semantics, guarded by a trigger condition
+//! whose rarity is calibrated so the *relative* detection difficulty matches
+//! the paper: V5 is trivial (almost any wild memory access trips it), V7 is
+//! deep (it needs an `ebreak` to commit *and* a later read of the
+//! retired-instruction counter in the same test).
+//!
+//! | Id | CWE | Paper description | Modelled deviation |
+//! |----|-----|-------------------|--------------------|
+//! | V1 | 440 | `FENCE.I` instruction decoded incorrectly | DUT decodes `fence.i` as an illegal instruction and raises an exception the golden model does not |
+//! | V2 | 1242 | Some illegal instructions can be executed | DUT executes `OP`-major words with an unknown `funct7` as if `funct7` were zero instead of trapping |
+//! | V3 | 1202 | Exception type incorrectly propagated in instruction queue | when the faulting instruction immediately follows a taken branch, `mcause` is recorded as illegal-instruction regardless of the real cause |
+//! | V4 | 1202 | Undetected cache coherency violation | a load that hits a store-buffer entry whose cache line was evicted returns the stale pre-store value |
+//! | V5 | 1252 | Exception not thrown when invalid addresses accessed | loads from unmapped addresses return zero instead of raising an access fault |
+//! | V6 | 1281 | Accessing unimplemented CSRs returns X-values | reads of unimplemented CSRs return a junk value instead of raising an illegal-instruction exception |
+//! | V7 | 1201 | `EBREAK` does not increase instruction count | `ebreak` commits without incrementing `minstret` |
+//!
+//! V1–V6 are native to the CVA6 model and V7 to the Rocket model, matching
+//! the paper's attribution; [`BugSet`] lets experiments enable any subset on
+//! any core.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the seven reproduced vulnerabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Vulnerability {
+    /// V1 (CWE-440): `FENCE.I` decoded incorrectly.
+    V1FenceiDecode,
+    /// V2 (CWE-1242): some illegal instructions execute instead of trapping.
+    V2IllegalExecuted,
+    /// V3 (CWE-1202): exception type mis-propagated after a taken branch.
+    V3ExceptionType,
+    /// V4 (CWE-1202): cache-coherency violation returns stale data.
+    V4CacheCoherency,
+    /// V5 (CWE-1252): missing access-fault exception on invalid addresses.
+    V5MissingAccessFault,
+    /// V6 (CWE-1281): unimplemented CSR reads return junk values.
+    V6UnimplCsrJunk,
+    /// V7 (CWE-1201): `ebreak` does not increment `minstret`.
+    V7EbreakInstret,
+}
+
+impl Vulnerability {
+    /// All vulnerabilities in paper order.
+    pub const ALL: [Vulnerability; 7] = [
+        Vulnerability::V1FenceiDecode,
+        Vulnerability::V2IllegalExecuted,
+        Vulnerability::V3ExceptionType,
+        Vulnerability::V4CacheCoherency,
+        Vulnerability::V5MissingAccessFault,
+        Vulnerability::V6UnimplCsrJunk,
+        Vulnerability::V7EbreakInstret,
+    ];
+
+    /// Returns the paper's short identifier (`"V1"` … `"V7"`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Vulnerability::V1FenceiDecode => "V1",
+            Vulnerability::V2IllegalExecuted => "V2",
+            Vulnerability::V3ExceptionType => "V3",
+            Vulnerability::V4CacheCoherency => "V4",
+            Vulnerability::V5MissingAccessFault => "V5",
+            Vulnerability::V6UnimplCsrJunk => "V6",
+            Vulnerability::V7EbreakInstret => "V7",
+        }
+    }
+
+    /// Returns the CWE number the paper associates with the vulnerability.
+    pub fn cwe(self) -> u32 {
+        match self {
+            Vulnerability::V1FenceiDecode => 440,
+            Vulnerability::V2IllegalExecuted => 1242,
+            Vulnerability::V3ExceptionType => 1202,
+            Vulnerability::V4CacheCoherency => 1202,
+            Vulnerability::V5MissingAccessFault => 1252,
+            Vulnerability::V6UnimplCsrJunk => 1281,
+            Vulnerability::V7EbreakInstret => 1201,
+        }
+    }
+
+    /// Returns the paper's one-line description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Vulnerability::V1FenceiDecode => "FENCE.I instruction decoded incorrectly",
+            Vulnerability::V2IllegalExecuted => "Some illegal instructions can be executed",
+            Vulnerability::V3ExceptionType => "Exception type incorrectly propagated in instruction queue",
+            Vulnerability::V4CacheCoherency => "Undetected cache coherency violation",
+            Vulnerability::V5MissingAccessFault => "Exception not thrown when invalid addresses accessed",
+            Vulnerability::V6UnimplCsrJunk => "Accessing unimplemented CSRs returns X-values",
+            Vulnerability::V7EbreakInstret => "EBREAK does not increase instruction count",
+        }
+    }
+
+    /// Returns the core the vulnerability is native to in the paper
+    /// (`"cva6"` for V1–V6, `"rocket"` for V7).
+    pub fn native_core(self) -> &'static str {
+        match self {
+            Vulnerability::V7EbreakInstret => "rocket",
+            _ => "cva6",
+        }
+    }
+
+    /// Parses a paper identifier such as `"V3"` (case-insensitive).
+    pub fn parse(text: &str) -> Option<Vulnerability> {
+        let text = text.trim().to_ascii_uppercase();
+        Vulnerability::ALL.iter().copied().find(|v| v.id() == text)
+    }
+}
+
+impl fmt::Display for Vulnerability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.id(), self.description())
+    }
+}
+
+/// The set of vulnerabilities enabled in a processor instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BugSet {
+    enabled: Vec<Vulnerability>,
+}
+
+impl BugSet {
+    /// Creates an empty set: a bug-free (golden-equivalent) processor.
+    pub fn none() -> BugSet {
+        BugSet::default()
+    }
+
+    /// Creates a set with every vulnerability enabled.
+    pub fn all() -> BugSet {
+        BugSet { enabled: Vulnerability::ALL.to_vec() }
+    }
+
+    /// Creates a set with exactly one vulnerability enabled — the
+    /// configuration Table I's per-vulnerability detection experiments use.
+    pub fn only(vulnerability: Vulnerability) -> BugSet {
+        BugSet { enabled: vec![vulnerability] }
+    }
+
+    /// Creates a set with the vulnerabilities native to the named core
+    /// (V1–V6 for `"cva6"`, V7 for `"rocket"`, empty otherwise).
+    pub fn native_to(core: &str) -> BugSet {
+        BugSet {
+            enabled: Vulnerability::ALL
+                .iter()
+                .copied()
+                .filter(|v| v.native_core() == core)
+                .collect(),
+        }
+    }
+
+    /// Creates a set from an explicit list (duplicates are removed).
+    pub fn from_list(list: impl IntoIterator<Item = Vulnerability>) -> BugSet {
+        let mut enabled: Vec<Vulnerability> = list.into_iter().collect();
+        enabled.sort();
+        enabled.dedup();
+        BugSet { enabled }
+    }
+
+    /// Returns `true` when the given vulnerability is enabled.
+    pub fn has(&self, vulnerability: Vulnerability) -> bool {
+        self.enabled.contains(&vulnerability)
+    }
+
+    /// Returns `true` when no vulnerability is enabled.
+    pub fn is_empty(&self) -> bool {
+        self.enabled.is_empty()
+    }
+
+    /// Returns the enabled vulnerabilities.
+    pub fn iter(&self) -> impl Iterator<Item = Vulnerability> + '_ {
+        self.enabled.iter().copied()
+    }
+
+    /// Returns the number of enabled vulnerabilities.
+    pub fn len(&self) -> usize {
+        self.enabled.len()
+    }
+}
+
+impl fmt::Display for BugSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.enabled.is_empty() {
+            return f.write_str("no injected vulnerabilities");
+        }
+        let ids: Vec<&str> = self.enabled.iter().map(|v| v.id()).collect();
+        write!(f, "injected: {}", ids.join(", "))
+    }
+}
+
+impl FromIterator<Vulnerability> for BugSet {
+    fn from_iter<T: IntoIterator<Item = Vulnerability>>(iter: T) -> Self {
+        BugSet::from_list(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_matches_the_paper_table() {
+        assert_eq!(Vulnerability::V1FenceiDecode.cwe(), 440);
+        assert_eq!(Vulnerability::V2IllegalExecuted.cwe(), 1242);
+        assert_eq!(Vulnerability::V5MissingAccessFault.cwe(), 1252);
+        assert_eq!(Vulnerability::V7EbreakInstret.cwe(), 1201);
+        assert_eq!(Vulnerability::V7EbreakInstret.native_core(), "rocket");
+        assert_eq!(Vulnerability::V4CacheCoherency.native_core(), "cva6");
+        assert_eq!(Vulnerability::ALL.len(), 7);
+    }
+
+    #[test]
+    fn parse_round_trips_ids() {
+        for v in Vulnerability::ALL {
+            assert_eq!(Vulnerability::parse(v.id()), Some(v));
+            assert_eq!(Vulnerability::parse(&v.id().to_lowercase()), Some(v));
+        }
+        assert_eq!(Vulnerability::parse("V9"), None);
+    }
+
+    #[test]
+    fn bugset_constructors() {
+        assert!(BugSet::none().is_empty());
+        assert_eq!(BugSet::all().len(), 7);
+        assert_eq!(BugSet::only(Vulnerability::V3ExceptionType).len(), 1);
+        assert!(BugSet::only(Vulnerability::V3ExceptionType).has(Vulnerability::V3ExceptionType));
+        assert_eq!(BugSet::native_to("cva6").len(), 6);
+        assert_eq!(BugSet::native_to("rocket").len(), 1);
+        assert_eq!(BugSet::native_to("boom").len(), 0);
+    }
+
+    #[test]
+    fn from_list_deduplicates() {
+        let set = BugSet::from_list([
+            Vulnerability::V1FenceiDecode,
+            Vulnerability::V1FenceiDecode,
+            Vulnerability::V6UnimplCsrJunk,
+        ]);
+        assert_eq!(set.len(), 2);
+        let collected: BugSet = [Vulnerability::V2IllegalExecuted].into_iter().collect();
+        assert_eq!(collected.len(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(BugSet::none().to_string(), "no injected vulnerabilities");
+        let set = BugSet::from_list([Vulnerability::V1FenceiDecode, Vulnerability::V5MissingAccessFault]);
+        assert_eq!(set.to_string(), "injected: V1, V5");
+        assert!(Vulnerability::V7EbreakInstret.to_string().contains("EBREAK"));
+    }
+}

@@ -1,0 +1,112 @@
+//! The BOOM-like core model.
+//!
+//! BOOM (the Berkeley Out-of-Order Machine) is a superscalar, out-of-order
+//! core. Its model has the largest coverage space of the three designs —
+//! wide predictors and caches, a re-order buffer with per-entry points and
+//! superscalar fetch-group sites — but the bulk of those points are easy to
+//! reach, mirroring the paper's observation that TheHuzz already exceeds 95 %
+//! branch coverage on BOOM and leaves MABFuzz little room for improvement.
+//! No paper vulnerability is native to this design.
+
+use crate::bugs::BugSet;
+use crate::cores::common::{CoreConfig, CoreModel};
+use crate::{DutResult, Processor};
+
+use coverage::CoverageSpace;
+use riscv::Program;
+
+/// The BOOM-like processor model.
+///
+/// # Example
+///
+/// ```
+/// use proc_sim::{cores::BoomCore, BugSet, Processor};
+///
+/// let core = BoomCore::new(BugSet::none());
+/// assert_eq!(core.name(), "boom");
+/// assert!(core.bugs().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoomCore {
+    model: CoreModel,
+}
+
+impl BoomCore {
+    /// Builds the BOOM model with an explicit set of injected bugs.
+    pub fn new(bugs: BugSet) -> BoomCore {
+        let config = CoreConfig {
+            name: "boom",
+            bht_entries: 512,
+            btb_entries: 64,
+            icache_sets: 64,
+            dcache_sets: 64,
+            dcache_ways: 2,
+            store_buffer: 16,
+            decoder_depth_sites: 8,
+            fpu_sites: 24,
+            commit_index_buckets: 8,
+            class_depth_buckets: 2,
+            fetch_group_sites: true,
+            scoreboard_distance_buckets: 0,
+            rob_entries: 48,
+            rob_lanes: 3,
+        };
+        BoomCore { model: CoreModel::new(config, bugs) }
+    }
+
+    /// Builds the BOOM model with its paper-native bugs (none).
+    pub fn with_native_bugs() -> BoomCore {
+        BoomCore::new(BugSet::native_to("boom"))
+    }
+}
+
+impl Processor for BoomCore {
+    fn name(&self) -> &str {
+        self.model.name()
+    }
+
+    fn coverage_space(&self) -> &CoverageSpace {
+        self.model.coverage_space()
+    }
+
+    fn bugs(&self) -> &BugSet {
+        self.model.bugs()
+    }
+
+    fn run(&self, program: &Program, max_steps: usize) -> DutResult {
+        self.model.run(program, max_steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv::asm::parse_program;
+
+    #[test]
+    fn space_is_the_largest_and_uses_a_rob() {
+        let boom = BoomCore::new(BugSet::none());
+        let rocket = crate::cores::RocketCore::new(BugSet::none());
+        assert!(boom.coverage_space().len() > rocket.coverage_space().len());
+        let counts = boom.coverage_space().per_module_counts();
+        assert!(counts.contains_key("rob"));
+        assert!(!counts.contains_key("scoreboard"));
+    }
+
+    #[test]
+    fn executes_programs_identically_to_the_other_cores() {
+        let boom = BoomCore::new(BugSet::none());
+        let rocket = crate::cores::RocketCore::new(BugSet::none());
+        let program = Program::from_instrs(
+            parse_program(
+                "lui gp, 0x80010\naddi a0, zero, 7\nsd a0, 0(gp)\nld a1, 0(gp)\nmul a2, a1, a1\necall\n",
+            )
+            .unwrap(),
+        );
+        let boom_result = boom.run(&program, 100);
+        let rocket_result = rocket.run(&program, 100);
+        // Architectural behaviour is identical; coverage spaces differ.
+        assert_eq!(boom_result.trace.final_state(), rocket_result.trace.final_state());
+        assert_ne!(boom_result.coverage.len(), rocket_result.coverage.len());
+    }
+}

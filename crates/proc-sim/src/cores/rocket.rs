@@ -1,0 +1,105 @@
+//! The Rocket-like core model.
+//!
+//! Rocket is the classic 5-stage, in-order RISC-V core from the Rocket Chip
+//! generator. The model sits between CVA6 and BOOM in coverage-space size:
+//! larger predictor and cache structures than CVA6 (more, mostly reachable,
+//! points) but no out-of-order window. The paper's V7 vulnerability
+//! (`EBREAK` does not increase the instruction count) is native to this
+//! design.
+
+use crate::bugs::BugSet;
+use crate::cores::common::{CoreConfig, CoreModel};
+use crate::{DutResult, Processor};
+
+use coverage::CoverageSpace;
+use riscv::Program;
+
+/// The Rocket-like processor model.
+///
+/// # Example
+///
+/// ```
+/// use proc_sim::{cores::RocketCore, BugSet, Processor};
+///
+/// let core = RocketCore::with_native_bugs();
+/// assert_eq!(core.name(), "rocket");
+/// assert_eq!(core.bugs().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RocketCore {
+    model: CoreModel,
+}
+
+impl RocketCore {
+    /// Builds the Rocket model with an explicit set of injected bugs.
+    pub fn new(bugs: BugSet) -> RocketCore {
+        let config = CoreConfig {
+            name: "rocket",
+            bht_entries: 256,
+            btb_entries: 32,
+            icache_sets: 32,
+            dcache_sets: 32,
+            dcache_ways: 2,
+            store_buffer: 8,
+            decoder_depth_sites: 8,
+            fpu_sites: 32,
+            commit_index_buckets: 8,
+            class_depth_buckets: 4,
+            fetch_group_sites: false,
+            scoreboard_distance_buckets: 8,
+            rob_entries: 0,
+            rob_lanes: 0,
+        };
+        RocketCore { model: CoreModel::new(config, bugs) }
+    }
+
+    /// Builds the Rocket model with its paper-native vulnerability (V7).
+    pub fn with_native_bugs() -> RocketCore {
+        RocketCore::new(BugSet::native_to("rocket"))
+    }
+}
+
+impl Processor for RocketCore {
+    fn name(&self) -> &str {
+        self.model.name()
+    }
+
+    fn coverage_space(&self) -> &CoverageSpace {
+        self.model.coverage_space()
+    }
+
+    fn bugs(&self) -> &BugSet {
+        self.model.bugs()
+    }
+
+    fn run(&self, program: &Program, max_steps: usize) -> DutResult {
+        self.model.run(program, max_steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv::asm::parse_program;
+    use riscv::Gpr;
+
+    #[test]
+    fn space_is_larger_than_cva6() {
+        let rocket = RocketCore::new(BugSet::none());
+        let cva6 = crate::cores::Cva6Core::new(BugSet::none());
+        assert!(rocket.coverage_space().len() > cva6.coverage_space().len());
+    }
+
+    #[test]
+    fn native_bug_changes_instret_reads_after_ebreak() {
+        let buggy = RocketCore::with_native_bugs();
+        let clean = RocketCore::new(BugSet::none());
+        let program = Program::from_instrs(
+            parse_program("ebreak\ncsrrs a0, minstret, zero\necall\n").unwrap(),
+        );
+        let buggy_count = buggy.run(&program, 100).trace.final_state().reg(Gpr::A0);
+        let clean_count = clean.run(&program, 100).trace.final_state().reg(Gpr::A0);
+        assert_eq!(clean_count, 1);
+        assert_eq!(buggy_count, 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Simulated RISC-V processor DUTs (designs under test).
+//!
+//! The MABFuzz paper fuzzes RTL simulations of three real cores — CVA6,
+//! Rocket and BOOM — through Synopsys VCS. That substrate is not available
+//! here, so this crate provides the closest synthetic equivalent that
+//! exercises the same fuzzing interfaces:
+//!
+//! * an **architectural trace** per test (the same [`ExecTrace`](isa_sim::ExecTrace)
+//!   the golden model produces), consumed by the differential-testing engine;
+//! * a **branch-coverage bitmap** per test over a per-design
+//!   [`CoverageSpace`](coverage::CoverageSpace), consumed by the fuzzers'
+//!   feedback loops.
+//!
+//! Each core is an instruction-level micro-architectural simulator: for every
+//! committed instruction it updates models of the frontend (branch predictor,
+//! instruction cache), decoder, execute units, load/store unit (data cache +
+//! store buffer), CSR file and the core-specific back-end (scoreboard or
+//! re-order buffer), and records which direction every modelled decision took.
+//! The three cores instantiate the components with different parameters and
+//! different extra cross-product coverage sites, giving them coverage spaces
+//! of different sizes and reachability profiles:
+//!
+//! * [`cores::Cva6Core`] — application-class in-order issue / out-of-order
+//!   writeback core with a scoreboard and an FPU-stub; the smallest space but
+//!   with the largest share of deep, hard-to-reach points.
+//! * [`cores::RocketCore`] — classic in-order five-stage pipeline.
+//! * [`cores::BoomCore`] — superscalar out-of-order core with a re-order
+//!   buffer; the largest space, most of it easy to reach.
+//!
+//! Seven vulnerabilities mirroring Table I of the paper are injected behind
+//! [`Vulnerability`] flags; see [`bugs`] for the exact trigger and effect of
+//! each.
+//!
+//! # Example
+//!
+//! ```
+//! use proc_sim::{Processor, cores::RocketCore, bugs::BugSet};
+//! use riscv::{Program, Instr, Gpr, Op};
+//!
+//! let core = RocketCore::new(BugSet::none());
+//! let program = Program::from_instrs(vec![
+//!     Instr::itype(Op::Addi, Gpr::A0, Gpr::Zero, 3),
+//!     Instr::nullary(Op::Ecall),
+//! ]);
+//! let result = core.run(&program, 100);
+//! assert_eq!(result.trace.final_state().reg(Gpr::A0), 3);
+//! assert!(result.coverage.count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bugs;
+pub mod cores;
+pub mod pipeline;
+
+use coverage::{CoverageMap, CoverageSpace};
+use isa_sim::ExecTrace;
+use riscv::Program;
+
+pub use bugs::{BugSet, Vulnerability};
+pub use cores::{BoomCore, Cva6Core, ProcessorKind, RocketCore};
+
+/// The result of simulating one test program on a processor model.
+#[derive(Debug, Clone)]
+pub struct DutResult {
+    /// The architectural commit trace, directly comparable against the golden
+    /// model's trace.
+    pub trace: ExecTrace,
+    /// The branch-coverage bitmap for this test.
+    pub coverage: CoverageMap,
+}
+
+/// A processor design under test.
+///
+/// Implementations are immutable descriptions of a design (configuration,
+/// coverage space, enabled bugs); every [`run`](Processor::run) starts from
+/// the reset state, so a `Processor` can be shared across tests and threads.
+pub trait Processor: Send + Sync {
+    /// Returns the design's name (e.g. `"cva6"`).
+    fn name(&self) -> &str;
+
+    /// Returns the design's coverage-point registry.
+    fn coverage_space(&self) -> &CoverageSpace;
+
+    /// Returns the set of vulnerabilities injected into this instance.
+    fn bugs(&self) -> &BugSet;
+
+    /// Simulates `program` for at most `max_steps` committed instructions.
+    fn run(&self, program: &Program, max_steps: usize) -> DutResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processor_trait_is_object_safe() {
+        fn takes_dyn(_p: &dyn Processor) {}
+        let core = cores::RocketCore::new(BugSet::none());
+        takes_dyn(&core);
+    }
+}

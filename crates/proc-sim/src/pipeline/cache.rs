@@ -1,0 +1,268 @@
+//! Set-associative cache model with per-set coverage points.
+
+use coverage::{CoverPointId, CoverageMap, CoverageSpace};
+
+/// The outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// The line-aligned address evicted to make room, when a fill replaced a
+    /// valid line.
+    pub evicted: Option<u64>,
+    /// The set index the access mapped to.
+    pub set: usize,
+}
+
+/// A simple LRU set-associative cache used for both instruction and data
+/// caches.
+///
+/// Coverage points (registered per instance):
+/// * per-set hit and miss (`sets × 2`),
+/// * per-set eviction of a valid (conflict) line (`sets`),
+/// * dirty writeback vs. clean eviction (`2`),
+/// * cold miss vs. conflict miss (`2`).
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    name: String,
+    sets: usize,
+    ways: usize,
+    line_bits: u32,
+    // Coverage ids.
+    hit_ids: Vec<CoverPointId>,
+    miss_ids: Vec<CoverPointId>,
+    evict_ids: Vec<CoverPointId>,
+    dirty_writeback_id: CoverPointId,
+    clean_evict_id: CoverPointId,
+    cold_miss_id: CoverPointId,
+    conflict_miss_id: CoverPointId,
+    // Runtime state: tags[set][way] plus LRU order and dirty bits.
+    tags: Vec<Vec<Option<u64>>>,
+    lru: Vec<Vec<u8>>,
+    dirty: Vec<Vec<bool>>,
+}
+
+impl CacheModel {
+    /// Creates a cache model and registers its coverage points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(
+        space: &mut CoverageSpace,
+        name: impl Into<String>,
+        sets: usize,
+        ways: usize,
+        line_bytes: usize,
+    ) -> CacheModel {
+        assert!(sets > 0 && ways > 0, "cache must have at least one set and one way");
+        assert!(line_bytes.is_power_of_two(), "cache line size must be a power of two");
+        let name = name.into();
+        let mut hit_ids = Vec::with_capacity(sets);
+        let mut miss_ids = Vec::with_capacity(sets);
+        let mut evict_ids = Vec::with_capacity(sets);
+        for set in 0..sets {
+            hit_ids.push(space.register_branch(&name, format!("set{set}_hit"), true));
+            miss_ids.push(space.register_branch(&name, format!("set{set}_hit"), false));
+            evict_ids.push(space.register_branch(&name, format!("set{set}_evict"), true));
+        }
+        let dirty_writeback_id = space.register_branch(&name, "evict_dirty", true);
+        let clean_evict_id = space.register_branch(&name, "evict_dirty", false);
+        let cold_miss_id = space.register_branch(&name, "miss_cold", true);
+        let conflict_miss_id = space.register_branch(&name, "miss_cold", false);
+        CacheModel {
+            sets,
+            ways,
+            line_bits: line_bytes.trailing_zeros(),
+            hit_ids,
+            miss_ids,
+            evict_ids,
+            dirty_writeback_id,
+            clean_evict_id,
+            cold_miss_id,
+            conflict_miss_id,
+            tags: vec![vec![None; ways]; sets],
+            lru: vec![(0..ways as u8).collect(); sets],
+            dirty: vec![vec![false; ways]; sets],
+            name,
+        }
+    }
+
+    /// Returns the cache's module name in the coverage space.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Returns the associativity (ways per set).
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Clears all runtime state (called at the start of every test).
+    pub fn reset(&mut self) {
+        for set in 0..self.sets {
+            self.tags[set].fill(None);
+            self.dirty[set].fill(false);
+            for (way, slot) in self.lru[set].iter_mut().enumerate() {
+                *slot = way as u8;
+            }
+        }
+    }
+
+    /// Returns the line-aligned address for `addr`.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_bits << self.line_bits
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr >> self.line_bits) as usize) % self.sets
+    }
+
+    /// Returns `true` when the line containing `addr` is currently resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let line = self.line_of(addr);
+        self.tags[set].iter().any(|t| *t == Some(line))
+    }
+
+    /// Simulates an access, updating tag state and coverage.
+    pub fn access(&mut self, addr: u64, is_write: bool, map: &mut CoverageMap) -> CacheOutcome {
+        let set = self.set_of(addr);
+        let line = self.line_of(addr);
+        if let Some(way) = self.tags[set].iter().position(|t| *t == Some(line)) {
+            map.cover(self.hit_ids[set]);
+            if is_write {
+                self.dirty[set][way] = true;
+            }
+            self.touch(set, way);
+            return CacheOutcome { hit: true, evicted: None, set };
+        }
+
+        map.cover(self.miss_ids[set]);
+        // Choose a victim: an invalid way if there is one, otherwise LRU.
+        let victim_way = self.tags[set]
+            .iter()
+            .position(|t| t.is_none())
+            .unwrap_or_else(|| self.lru_victim(set));
+        let evicted = self.tags[set][victim_way];
+        match evicted {
+            None => map.cover(self.cold_miss_id),
+            Some(_) => {
+                map.cover(self.conflict_miss_id);
+                map.cover(self.evict_ids[set]);
+                if self.dirty[set][victim_way] {
+                    map.cover(self.dirty_writeback_id);
+                } else {
+                    map.cover(self.clean_evict_id);
+                }
+            }
+        }
+        self.tags[set][victim_way] = Some(line);
+        self.dirty[set][victim_way] = is_write;
+        self.touch(set, victim_way);
+        CacheOutcome { hit: false, evicted, set }
+    }
+
+    fn lru_victim(&self, set: usize) -> usize {
+        // The LRU vector stores ways from most- to least-recently used.
+        *self.lru[set].last().expect("cache has at least one way") as usize
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        let order = &mut self.lru[set];
+        if let Some(pos) = order.iter().position(|w| *w as usize == way) {
+            let w = order.remove(pos);
+            order.insert(0, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(sets: usize, ways: usize) -> (CoverageSpace, CacheModel) {
+        let mut space = CoverageSpace::new("test");
+        let cache = CacheModel::new(&mut space, "dcache", sets, ways, 64);
+        (space, cache)
+    }
+
+    #[test]
+    fn registers_expected_number_of_points() {
+        let (space, _cache) = setup(8, 2);
+        // 8 sets × (hit, miss, evict) + dirty/clean + cold/conflict.
+        assert_eq!(space.len(), 8 * 3 + 4);
+    }
+
+    #[test]
+    fn repeated_access_hits_after_cold_miss() {
+        let (space, mut cache) = setup(4, 2);
+        let mut map = CoverageMap::for_space(&space);
+        let first = cache.access(0x8000_0000, false, &mut map);
+        assert!(!first.hit);
+        let second = cache.access(0x8000_0008, false, &mut map);
+        assert!(second.hit, "same line should hit");
+        assert!(cache.contains(0x8000_0000));
+    }
+
+    #[test]
+    fn conflict_evicts_lru_line_and_reports_it() {
+        let (space, mut cache) = setup(1, 2);
+        let mut map = CoverageMap::for_space(&space);
+        cache.access(0x0000, false, &mut map);
+        cache.access(0x1000, false, &mut map);
+        // Touch the first line so the second becomes LRU.
+        cache.access(0x0000, false, &mut map);
+        let outcome = cache.access(0x2000, false, &mut map);
+        assert!(!outcome.hit);
+        assert_eq!(outcome.evicted, Some(0x1000));
+        assert!(cache.contains(0x0000));
+        assert!(!cache.contains(0x1000));
+    }
+
+    #[test]
+    fn dirty_lines_report_writeback_coverage() {
+        let (space, mut cache) = setup(1, 1);
+        let mut map = CoverageMap::for_space(&space);
+        cache.access(0x0000, true, &mut map);
+        cache.access(0x1000, false, &mut map); // evicts the dirty line
+        let dirty_id = space.lookup("dcache", "evict_dirty", true).unwrap();
+        assert!(map.is_covered(dirty_id));
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let (space, mut cache) = setup(2, 2);
+        let mut map = CoverageMap::for_space(&space);
+        cache.access(0x8000_0000, false, &mut map);
+        assert!(cache.contains(0x8000_0000));
+        cache.reset();
+        assert!(!cache.contains(0x8000_0000));
+    }
+
+    #[test]
+    fn different_sets_cover_different_points() {
+        let (space, mut cache) = setup(4, 1);
+        let mut map = CoverageMap::for_space(&space);
+        cache.access(0x0000, false, &mut map); // set 0
+        cache.access(0x0040, false, &mut map); // set 1
+        let s0 = space.lookup("dcache", "set0_hit", false).unwrap();
+        let s1 = space.lookup("dcache", "set1_hit", false).unwrap();
+        let s2 = space.lookup("dcache", "set2_hit", false).unwrap();
+        assert!(map.is_covered(s0));
+        assert!(map.is_covered(s1));
+        assert!(!map.is_covered(s2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn zero_sets_panics() {
+        let mut space = CoverageSpace::new("test");
+        let _ = CacheModel::new(&mut space, "bad", 0, 1, 64);
+    }
+}

@@ -1,0 +1,264 @@
+//! Frontend model: branch predictor (BHT + BTB) and fetch behaviour.
+
+use coverage::{CoverPointId, CoverageMap, CoverageSpace};
+
+/// Frontend model with a gshare-style branch-history table and a
+/// branch-target buffer.
+///
+/// Coverage points:
+/// * per-BHT-entry correct/incorrect prediction (`bht_entries × 2`),
+/// * per-BTB-entry hit/miss (`btb_entries × 2`),
+/// * taken/not-taken resolution of forward and backward branches (`4`),
+/// * return-address-stack style call/return events (`4`),
+/// * fetch of the first instruction of a cache line vs. within-line (`2`).
+#[derive(Debug, Clone)]
+pub struct FrontendModel {
+    bht_entries: usize,
+    btb_entries: usize,
+    bht_correct: Vec<CoverPointId>,
+    bht_incorrect: Vec<CoverPointId>,
+    btb_hit: Vec<CoverPointId>,
+    btb_miss: Vec<CoverPointId>,
+    forward_taken: CoverPointId,
+    forward_not_taken: CoverPointId,
+    backward_taken: CoverPointId,
+    backward_not_taken: CoverPointId,
+    call_seen: CoverPointId,
+    ret_seen: CoverPointId,
+    ret_match: CoverPointId,
+    ret_mismatch: CoverPointId,
+    fetch_line_start: CoverPointId,
+    fetch_line_middle: CoverPointId,
+    // Runtime state.
+    bht: Vec<u8>,
+    btb: Vec<Option<(u64, u64)>>,
+    history: u64,
+    ras: Vec<u64>,
+}
+
+impl FrontendModel {
+    /// Creates a frontend model and registers its coverage points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either table size is zero.
+    pub fn new(space: &mut CoverageSpace, bht_entries: usize, btb_entries: usize) -> FrontendModel {
+        assert!(bht_entries > 0 && btb_entries > 0, "predictor tables must be non-empty");
+        let module = "frontend";
+        let mut bht_correct = Vec::with_capacity(bht_entries);
+        let mut bht_incorrect = Vec::with_capacity(bht_entries);
+        for i in 0..bht_entries {
+            bht_correct.push(space.register_branch(module, format!("bht{i}_correct"), true));
+            bht_incorrect.push(space.register_branch(module, format!("bht{i}_correct"), false));
+        }
+        let mut btb_hit = Vec::with_capacity(btb_entries);
+        let mut btb_miss = Vec::with_capacity(btb_entries);
+        for i in 0..btb_entries {
+            btb_hit.push(space.register_branch(module, format!("btb{i}_hit"), true));
+            btb_miss.push(space.register_branch(module, format!("btb{i}_hit"), false));
+        }
+        let (forward_taken, forward_not_taken) = space.register_site(module, "forward_branch_taken");
+        let (backward_taken, backward_not_taken) = space.register_site(module, "backward_branch_taken");
+        let (call_seen, _) = space.register_site(module, "call_seen");
+        let (ret_seen, _) = space.register_site(module, "ret_seen");
+        let (ret_match, ret_mismatch) = space.register_site(module, "ras_match");
+        let (fetch_line_start, fetch_line_middle) = space.register_site(module, "fetch_line_start");
+        FrontendModel {
+            bht_entries,
+            btb_entries,
+            bht_correct,
+            bht_incorrect,
+            btb_hit,
+            btb_miss,
+            forward_taken,
+            forward_not_taken,
+            backward_taken,
+            backward_not_taken,
+            call_seen,
+            ret_seen,
+            ret_match,
+            ret_mismatch,
+            fetch_line_start,
+            fetch_line_middle,
+            bht: vec![1; bht_entries],
+            btb: vec![None; btb_entries],
+            history: 0,
+            ras: Vec::new(),
+        }
+    }
+
+    /// Clears all predictor state.
+    pub fn reset(&mut self) {
+        self.bht.fill(1);
+        self.btb.fill(None);
+        self.history = 0;
+        self.ras.clear();
+    }
+
+    /// Records an instruction fetch.
+    pub fn on_fetch(&mut self, pc: u64, map: &mut CoverageMap) {
+        if pc % 64 == 0 {
+            map.cover(self.fetch_line_start);
+        } else {
+            map.cover(self.fetch_line_middle);
+        }
+    }
+
+    /// Records the resolution of a conditional branch and returns whether the
+    /// predictor had predicted it correctly.
+    pub fn on_branch(&mut self, pc: u64, taken: bool, offset: i64, map: &mut CoverageMap) -> bool {
+        let index = self.bht_index(pc);
+        let counter = self.bht[index];
+        let predicted_taken = counter >= 2;
+        let correct = predicted_taken == taken;
+        map.cover(if correct { self.bht_correct[index] } else { self.bht_incorrect[index] });
+        // Direction cross coverage.
+        let id = match (offset >= 0, taken) {
+            (true, true) => self.forward_taken,
+            (true, false) => self.forward_not_taken,
+            (false, true) => self.backward_taken,
+            (false, false) => self.backward_not_taken,
+        };
+        map.cover(id);
+        // Update the 2-bit counter and global history.
+        self.bht[index] = match (counter, taken) {
+            (c, true) if c < 3 => c + 1,
+            (c, false) if c > 0 => c - 1,
+            (c, _) => c,
+        };
+        self.history = (self.history << 1) | u64::from(taken);
+        correct
+    }
+
+    /// Records a jump (unconditional control transfer) and its BTB behaviour.
+    pub fn on_jump(&mut self, pc: u64, target: u64, is_call: bool, is_ret: bool, map: &mut CoverageMap) {
+        let index = (pc as usize >> 2) % self.btb_entries;
+        match self.btb[index] {
+            Some((tag, cached_target)) if tag == pc && cached_target == target => {
+                map.cover(self.btb_hit[index]);
+            }
+            _ => {
+                map.cover(self.btb_miss[index]);
+                self.btb[index] = Some((pc, target));
+            }
+        }
+        if is_call {
+            map.cover(self.call_seen);
+            self.ras.push(pc.wrapping_add(4));
+            if self.ras.len() > 8 {
+                self.ras.remove(0);
+            }
+        }
+        if is_ret {
+            map.cover(self.ret_seen);
+            let predicted = self.ras.pop();
+            map.cover(if predicted == Some(target) { self.ret_match } else { self.ret_mismatch });
+        }
+    }
+
+    fn bht_index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) as usize) % self.bht_entries
+    }
+
+    /// Returns the number of BHT entries (used by tests and reporting).
+    pub fn bht_entries(&self) -> usize {
+        self.bht_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(bht: usize, btb: usize) -> (CoverageSpace, FrontendModel) {
+        let mut space = CoverageSpace::new("test");
+        let frontend = FrontendModel::new(&mut space, bht, btb);
+        (space, frontend)
+    }
+
+    #[test]
+    fn registers_expected_number_of_points() {
+        let (space, _fe) = setup(16, 8);
+        // 16×2 BHT + 8×2 BTB + 2 fwd + 2 bwd + 2 call + 2 ret + 2 ras + 2 fetch.
+        assert_eq!(space.len(), 16 * 2 + 8 * 2 + 12);
+    }
+
+    #[test]
+    fn branch_training_makes_predictions_correct() {
+        let (space, mut fe) = setup(8, 4);
+        let mut map = CoverageMap::for_space(&space);
+        // A loop branch at a fixed pc, always taken: after training the
+        // predictor should be correct.
+        let mut correct_count = 0;
+        for _ in 0..20 {
+            if fe.on_branch(0x8000_0010, true, -16, &mut map) {
+                correct_count += 1;
+            }
+        }
+        // The first few resolutions mistrain while the global history warms
+        // up; after that the gshare index is stable and the 2-bit counter
+        // predicts taken.
+        assert!(correct_count >= 14, "2-bit counters should learn an always-taken branch");
+    }
+
+    #[test]
+    fn direction_cross_points_distinguish_forward_and_backward() {
+        let (space, mut fe) = setup(4, 4);
+        let mut map = CoverageMap::for_space(&space);
+        fe.on_branch(0x8000_0000, true, 16, &mut map);
+        fe.on_branch(0x8000_0004, false, -16, &mut map);
+        assert!(map.is_covered(space.lookup("frontend", "forward_branch_taken", true).unwrap()));
+        assert!(map.is_covered(space.lookup("frontend", "backward_branch_taken", false).unwrap()));
+        assert!(!map.is_covered(space.lookup("frontend", "backward_branch_taken", true).unwrap()));
+    }
+
+    #[test]
+    fn btb_hits_after_the_first_visit() {
+        let (space, mut fe) = setup(4, 4);
+        let mut map = CoverageMap::for_space(&space);
+        fe.on_jump(0x8000_0020, 0x8000_0100, false, false, &mut map);
+        fe.on_jump(0x8000_0020, 0x8000_0100, false, false, &mut map);
+        let index = (0x8000_0020usize >> 2) % 4;
+        assert!(map.is_covered(space.lookup("frontend", &format!("btb{index}_hit"), true).unwrap()));
+        assert!(map.is_covered(space.lookup("frontend", &format!("btb{index}_hit"), false).unwrap()));
+    }
+
+    #[test]
+    fn call_return_matching_uses_the_ras() {
+        let (space, mut fe) = setup(4, 4);
+        let mut map = CoverageMap::for_space(&space);
+        // Call from 0x...0 (link = 0x...4), then return to the link address.
+        fe.on_jump(0x8000_0000, 0x8000_0100, true, false, &mut map);
+        fe.on_jump(0x8000_0104, 0x8000_0004, false, true, &mut map);
+        assert!(map.is_covered(space.lookup("frontend", "ras_match", true).unwrap()));
+        // A return to somewhere else mismatches.
+        fe.on_jump(0x8000_0000, 0x8000_0100, true, false, &mut map);
+        fe.on_jump(0x8000_0104, 0x8000_0abc, false, true, &mut map);
+        assert!(map.is_covered(space.lookup("frontend", "ras_match", false).unwrap()));
+    }
+
+    #[test]
+    fn fetch_distinguishes_line_boundaries() {
+        let (space, mut fe) = setup(4, 4);
+        let mut map = CoverageMap::for_space(&space);
+        fe.on_fetch(0x8000_0000, &mut map);
+        fe.on_fetch(0x8000_0004, &mut map);
+        assert!(map.is_covered(space.lookup("frontend", "fetch_line_start", true).unwrap()));
+        assert!(map.is_covered(space.lookup("frontend", "fetch_line_start", false).unwrap()));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let (space, mut fe) = setup(4, 4);
+        let mut map = CoverageMap::for_space(&space);
+        for _ in 0..5 {
+            fe.on_branch(0x8000_0000, true, 8, &mut map);
+        }
+        fe.on_jump(0x8000_0010, 0x8000_0100, true, false, &mut map);
+        fe.reset();
+        assert_eq!(fe.bht, vec![1; 4]);
+        assert!(fe.btb.iter().all(Option::is_none));
+        assert!(fe.ras.is_empty());
+        assert_eq!(fe.bht_entries(), 4);
+    }
+}

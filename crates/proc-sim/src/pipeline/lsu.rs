@@ -1,0 +1,287 @@
+//! Load/store-unit model: data cache, store buffer and access-shape coverage.
+
+use std::collections::VecDeque;
+
+use coverage::{CoverPointId, CoverageMap, CoverageSpace};
+
+use super::cache::CacheModel;
+
+/// The result of a load as seen by the LSU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LsuOutcome {
+    /// The load was forwarded from the store buffer.
+    pub forwarded: bool,
+    /// A stale value is available for this address: a recent store's
+    /// *pre-store* memory value whose cache line has since been evicted.
+    ///
+    /// This is the raw material for the V4 cache-coherency vulnerability; a
+    /// bug-free core ignores it, the buggy CVA6 model returns it instead of
+    /// the up-to-date value.
+    pub stale_value: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct StoreRecord {
+    addr: u64,
+    width: u64,
+    old_value: u64,
+    line: u64,
+    line_evicted: bool,
+}
+
+/// Load/store unit with a write-through data cache and a small store buffer.
+///
+/// Coverage points:
+/// * access width × direction (8 single-direction points),
+/// * data-region vs. text-region loads,
+/// * store-buffer forwarding hit/miss and buffer-full events,
+/// * per-width misaligned-access fault sites,
+/// * load/store access-fault sites,
+/// * all the per-set points of the underlying [`CacheModel`].
+#[derive(Debug, Clone)]
+pub struct LsuModel {
+    dcache: CacheModel,
+    store_buffer: VecDeque<StoreRecord>,
+    capacity: usize,
+    width_load_ids: Vec<CoverPointId>,
+    width_store_ids: Vec<CoverPointId>,
+    region_data: (CoverPointId, CoverPointId),
+    forward_hit: (CoverPointId, CoverPointId),
+    buffer_full: CoverPointId,
+    misaligned_ids: Vec<CoverPointId>,
+    load_fault: CoverPointId,
+    store_fault: CoverPointId,
+    stale_window: CoverPointId,
+}
+
+impl LsuModel {
+    /// Creates an LSU with a data cache of `sets × ways` lines of 64 bytes and
+    /// a store buffer of `store_buffer_capacity` entries.
+    pub fn new(
+        space: &mut CoverageSpace,
+        sets: usize,
+        ways: usize,
+        store_buffer_capacity: usize,
+    ) -> LsuModel {
+        let module = "lsu";
+        let dcache = CacheModel::new(space, "dcache", sets, ways, 64);
+        let widths = [1u64, 2, 4, 8];
+        let width_load_ids = widths
+            .iter()
+            .map(|w| space.register_branch(module, format!("load_width{w}"), true))
+            .collect();
+        let width_store_ids = widths
+            .iter()
+            .map(|w| space.register_branch(module, format!("store_width{w}"), true))
+            .collect();
+        let region_data = space.register_site(module, "access_in_data_region");
+        let forward_hit = space.register_site(module, "store_buffer_forward");
+        let buffer_full = space.register_branch(module, "store_buffer_full", true);
+        let misaligned_ids = widths
+            .iter()
+            .map(|w| space.register_branch(module, format!("misaligned_width{w}"), true))
+            .collect();
+        let load_fault = space.register_branch(module, "load_access_fault", true);
+        let store_fault = space.register_branch(module, "store_access_fault", true);
+        let stale_window = space.register_branch(module, "stale_line_window", true);
+        LsuModel {
+            dcache,
+            store_buffer: VecDeque::new(),
+            capacity: store_buffer_capacity.max(1),
+            width_load_ids,
+            width_store_ids,
+            region_data,
+            forward_hit,
+            buffer_full,
+            misaligned_ids,
+            load_fault,
+            store_fault,
+            stale_window,
+        }
+    }
+
+    /// Clears the cache and store buffer.
+    pub fn reset(&mut self) {
+        self.dcache.reset();
+        self.store_buffer.clear();
+    }
+
+    /// Records a successful load and returns forwarding/staleness information.
+    pub fn on_load(&mut self, addr: u64, width: u64, in_data_region: bool, map: &mut CoverageMap) -> LsuOutcome {
+        map.cover(self.width_load_ids[width_index(width)]);
+        let (data_t, data_f) = self.region_data;
+        map.cover(if in_data_region { data_t } else { data_f });
+
+        let cache_outcome = self.dcache.access(addr, false, map);
+        if let Some(evicted) = cache_outcome.evicted {
+            self.mark_evicted(evicted);
+        }
+
+        let record = self
+            .store_buffer
+            .iter()
+            .rev()
+            .find(|r| overlaps(r.addr, r.width, addr, width));
+        let (forward_t, forward_f) = self.forward_hit;
+        let mut outcome = LsuOutcome::default();
+        match record {
+            Some(r) => {
+                map.cover(forward_t);
+                outcome.forwarded = true;
+                if r.line_evicted && r.addr == addr && r.width == width {
+                    map.cover(self.stale_window);
+                    outcome.stale_value = Some(r.old_value);
+                }
+            }
+            None => map.cover(forward_f),
+        }
+        outcome
+    }
+
+    /// Records a successful store. `old_value` is the memory content the store
+    /// overwrites (captured by the core driver before committing the store).
+    pub fn on_store(&mut self, addr: u64, width: u64, old_value: u64, map: &mut CoverageMap) {
+        map.cover(self.width_store_ids[width_index(width)]);
+        let (data_t, _) = self.region_data;
+        map.cover(data_t);
+        let cache_outcome = self.dcache.access(addr, true, map);
+        if let Some(evicted) = cache_outcome.evicted {
+            self.mark_evicted(evicted);
+        }
+        if self.store_buffer.len() >= self.capacity {
+            map.cover(self.buffer_full);
+            self.store_buffer.pop_front();
+        }
+        self.store_buffer.push_back(StoreRecord {
+            addr,
+            width,
+            old_value,
+            line: self.dcache.line_of(addr),
+            line_evicted: false,
+        });
+    }
+
+    /// Records a misaligned access attempt.
+    pub fn on_misaligned(&mut self, width: u64, map: &mut CoverageMap) {
+        map.cover(self.misaligned_ids[width_index(width)]);
+    }
+
+    /// Records an access fault (load or store to an unmapped region).
+    pub fn on_access_fault(&mut self, is_store: bool, map: &mut CoverageMap) {
+        map.cover(if is_store { self.store_fault } else { self.load_fault });
+    }
+
+    /// Returns the number of pending store-buffer entries.
+    pub fn store_buffer_len(&self) -> usize {
+        self.store_buffer.len()
+    }
+
+    fn mark_evicted(&mut self, line: u64) {
+        for record in &mut self.store_buffer {
+            if record.line == line {
+                record.line_evicted = true;
+            }
+        }
+    }
+}
+
+fn width_index(width: u64) -> usize {
+    match width {
+        1 => 0,
+        2 => 1,
+        4 => 2,
+        _ => 3,
+    }
+}
+
+fn overlaps(a_addr: u64, a_width: u64, b_addr: u64, b_width: u64) -> bool {
+    a_addr < b_addr + b_width && b_addr < a_addr + a_width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (CoverageSpace, LsuModel) {
+        let mut space = CoverageSpace::new("test");
+        // A deliberately tiny direct-mapped cache so evictions are easy to force.
+        let lsu = LsuModel::new(&mut space, 2, 1, 4);
+        (space, lsu)
+    }
+
+    const BASE: u64 = 0x8001_0000;
+
+    #[test]
+    fn loads_and_stores_cover_width_and_region_points() {
+        let (space, mut lsu) = setup();
+        let mut map = CoverageMap::for_space(&space);
+        lsu.on_store(BASE, 8, 0, &mut map);
+        lsu.on_load(BASE, 8, true, &mut map);
+        lsu.on_load(0x8000_0000, 4, false, &mut map);
+        assert!(map.is_covered(space.lookup("lsu", "load_width8", true).unwrap()));
+        assert!(map.is_covered(space.lookup("lsu", "store_width8", true).unwrap()));
+        assert!(map.is_covered(space.lookup("lsu", "access_in_data_region", true).unwrap()));
+        assert!(map.is_covered(space.lookup("lsu", "access_in_data_region", false).unwrap()));
+    }
+
+    #[test]
+    fn store_buffer_forwards_to_overlapping_loads() {
+        let (space, mut lsu) = setup();
+        let mut map = CoverageMap::for_space(&space);
+        lsu.on_store(BASE, 8, 0xaaaa, &mut map);
+        let hit = lsu.on_load(BASE + 4, 4, true, &mut map);
+        assert!(hit.forwarded);
+        let miss = lsu.on_load(BASE + 64, 8, true, &mut map);
+        assert!(!miss.forwarded);
+        assert!(map.is_covered(space.lookup("lsu", "store_buffer_forward", true).unwrap()));
+        assert!(map.is_covered(space.lookup("lsu", "store_buffer_forward", false).unwrap()));
+    }
+
+    #[test]
+    fn stale_value_appears_only_after_line_eviction() {
+        let (space, mut lsu) = setup();
+        let mut map = CoverageMap::for_space(&space);
+        lsu.on_store(BASE, 8, 0xdead, &mut map);
+        // Same line still resident: no staleness.
+        assert_eq!(lsu.on_load(BASE, 8, true, &mut map).stale_value, None);
+        // Evict the line: the cache has 2 sets × 1 way with 64-byte lines, so
+        // an access 128 bytes away maps to the same set and evicts it.
+        lsu.on_load(BASE + 128, 8, true, &mut map);
+        let outcome = lsu.on_load(BASE, 8, true, &mut map);
+        assert_eq!(outcome.stale_value, Some(0xdead));
+        assert!(map.is_covered(space.lookup("lsu", "stale_line_window", true).unwrap()));
+    }
+
+    #[test]
+    fn store_buffer_capacity_is_bounded() {
+        let (space, mut lsu) = setup();
+        let mut map = CoverageMap::for_space(&space);
+        for i in 0..6u64 {
+            lsu.on_store(BASE + i * 8, 8, i, &mut map);
+        }
+        assert_eq!(lsu.store_buffer_len(), 4);
+        assert!(map.is_covered(space.lookup("lsu", "store_buffer_full", true).unwrap()));
+    }
+
+    #[test]
+    fn fault_and_misaligned_sites() {
+        let (space, mut lsu) = setup();
+        let mut map = CoverageMap::for_space(&space);
+        lsu.on_misaligned(4, &mut map);
+        lsu.on_access_fault(false, &mut map);
+        lsu.on_access_fault(true, &mut map);
+        assert!(map.is_covered(space.lookup("lsu", "misaligned_width4", true).unwrap()));
+        assert!(map.is_covered(space.lookup("lsu", "load_access_fault", true).unwrap()));
+        assert!(map.is_covered(space.lookup("lsu", "store_access_fault", true).unwrap()));
+    }
+
+    #[test]
+    fn reset_clears_buffer_and_cache() {
+        let (space, mut lsu) = setup();
+        let mut map = CoverageMap::for_space(&space);
+        lsu.on_store(BASE, 8, 1, &mut map);
+        lsu.reset();
+        assert_eq!(lsu.store_buffer_len(), 0);
+        assert!(!lsu.on_load(BASE, 8, true, &mut map).forwarded);
+    }
+}

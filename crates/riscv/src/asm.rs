@@ -1,0 +1,336 @@
+//! Textual assembly formatting and parsing.
+//!
+//! The fuzzer itself operates on binary instruction words, but human-readable
+//! assembly is invaluable for debugging campaigns, for the trace logs emitted
+//! by the differential-testing engine, and for writing directed seeds in the
+//! examples. The syntax follows the usual GNU `as` conventions:
+//! `addi a0, zero, 42`, `sd a0, 8(sp)`, `csrrw t0, mscratch, t1`.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::op::Format;
+use crate::{CsrAddr, Gpr, Instr, Op};
+
+/// Formats a single instruction in GNU-style assembly syntax.
+pub(crate) fn format_instr(instr: &Instr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let op = instr.op;
+    match op.format() {
+        Format::R => write!(f, "{} {}, {}, {}", op, instr.rd, instr.rs1, instr.rs2),
+        Format::I => {
+            if op.class() == crate::OpClass::Load || op == Op::Jalr {
+                write!(f, "{} {}, {}({})", op, instr.rd, instr.imm, instr.rs1)
+            } else {
+                write!(f, "{} {}, {}, {}", op, instr.rd, instr.rs1, instr.imm)
+            }
+        }
+        Format::IShift => write!(f, "{} {}, {}, {}", op, instr.rd, instr.rs1, instr.imm),
+        Format::S => write!(f, "{} {}, {}({})", op, instr.rs2, instr.imm, instr.rs1),
+        Format::B => write!(f, "{} {}, {}, {}", op, instr.rs1, instr.rs2, instr.imm),
+        Format::U => write!(f, "{} {}, {:#x}", op, instr.rd, (instr.imm as u64) >> 12 & 0xf_ffff),
+        Format::J => write!(f, "{} {}, {}", op, instr.rd, instr.imm),
+        Format::Csr => write!(
+            f,
+            "{} {}, {}, {}",
+            op,
+            instr.rd,
+            CsrAddr::new(instr.imm as u16),
+            instr.rs1
+        ),
+        Format::CsrImm => write!(
+            f,
+            "{} {}, {}, {}",
+            op,
+            instr.rd,
+            CsrAddr::new(instr.imm as u16),
+            instr.rs1.index()
+        ),
+        Format::Fence | Format::System => write!(f, "{op}"),
+    }
+}
+
+/// Error returned by [`parse_instr`] and [`parse_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// Human-readable description of what failed to parse.
+    pub message: String,
+    /// The 1-based line number when parsing a multi-line program, 0 for single
+    /// instructions.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl Error for ParseAsmError {}
+
+fn err(message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError { message: message.into(), line: 0 }
+}
+
+fn parse_imm(text: &str) -> Result<i64, ParseAsmError> {
+    let text = text.trim();
+    let (neg, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).map_err(|e| err(format!("bad immediate `{text}`: {e}")))?
+    } else {
+        body.parse::<i64>().map_err(|e| err(format!("bad immediate `{text}`: {e}")))?
+    };
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_gpr(text: &str) -> Result<Gpr, ParseAsmError> {
+    Gpr::parse(text).ok_or_else(|| err(format!("unknown register `{}`", text.trim())))
+}
+
+fn parse_mem_operand(text: &str) -> Result<(i64, Gpr), ParseAsmError> {
+    // "imm(reg)"
+    let open = text.find('(').ok_or_else(|| err(format!("expected `imm(reg)`, got `{text}`")))?;
+    let close = text.rfind(')').ok_or_else(|| err(format!("missing `)` in `{text}`")))?;
+    let imm_text = text[..open].trim();
+    let imm = if imm_text.is_empty() { 0 } else { parse_imm(imm_text)? };
+    let reg = parse_gpr(&text[open + 1..close])?;
+    Ok((imm, reg))
+}
+
+/// Parses a single assembly instruction.
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] when the mnemonic is unknown, an operand is
+/// malformed, or the operand count does not match the instruction format.
+///
+/// # Example
+///
+/// ```
+/// use riscv::asm::parse_instr;
+/// use riscv::{Gpr, Instr, Op};
+///
+/// let instr = parse_instr("addi a0, zero, 42")?;
+/// assert_eq!(instr, Instr::itype(Op::Addi, Gpr::A0, Gpr::Zero, 42));
+/// # Ok::<(), riscv::asm::ParseAsmError>(())
+/// ```
+pub fn parse_instr(text: &str) -> Result<Instr, ParseAsmError> {
+    let text = text.split('#').next().unwrap_or("").trim();
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m.trim(), r.trim()),
+        None => (text, ""),
+    };
+    if mnemonic.is_empty() {
+        return Err(err("empty instruction"));
+    }
+    if mnemonic == "nop" {
+        return Ok(Instr::nop());
+    }
+    let op = Op::parse(mnemonic).ok_or_else(|| err(format!("unknown mnemonic `{mnemonic}`")))?;
+    let operands: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| -> Result<(), ParseAsmError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!("`{mnemonic}` expects {n} operands, got {}", operands.len())))
+        }
+    };
+
+    let instr = match op.format() {
+        Format::R => {
+            want(3)?;
+            Instr::rtype(op, parse_gpr(operands[0])?, parse_gpr(operands[1])?, parse_gpr(operands[2])?)
+        }
+        Format::I if op.class() == crate::OpClass::Load || op == Op::Jalr => {
+            want(2)?;
+            let rd = parse_gpr(operands[0])?;
+            let (imm, rs1) = parse_mem_operand(operands[1])?;
+            Instr::itype(op, rd, rs1, imm)
+        }
+        Format::I | Format::IShift => {
+            want(3)?;
+            Instr::itype(op, parse_gpr(operands[0])?, parse_gpr(operands[1])?, parse_imm(operands[2])?)
+        }
+        Format::S => {
+            want(2)?;
+            let rs2 = parse_gpr(operands[0])?;
+            let (imm, rs1) = parse_mem_operand(operands[1])?;
+            Instr::store(op, rs2, rs1, imm)
+        }
+        Format::B => {
+            want(3)?;
+            Instr::branch(op, parse_gpr(operands[0])?, parse_gpr(operands[1])?, parse_imm(operands[2])?)
+        }
+        Format::U => {
+            want(2)?;
+            let raw = parse_imm(operands[1])?;
+            Instr::utype(op, parse_gpr(operands[0])?, raw << 12)
+        }
+        Format::J => {
+            want(2)?;
+            Instr { op, rd: parse_gpr(operands[0])?, rs1: Gpr::Zero, rs2: Gpr::Zero, imm: parse_imm(operands[1])? }
+        }
+        Format::Csr => {
+            want(3)?;
+            let csr = CsrAddr::parse(operands[1])
+                .ok_or_else(|| err(format!("unknown CSR `{}`", operands[1])))?;
+            Instr::csr(op, parse_gpr(operands[0])?, csr, parse_gpr(operands[2])?)
+        }
+        Format::CsrImm => {
+            want(3)?;
+            let csr = CsrAddr::parse(operands[1])
+                .ok_or_else(|| err(format!("unknown CSR `{}`", operands[1])))?;
+            let zimm = parse_imm(operands[2])?;
+            if !(0..32).contains(&zimm) {
+                return Err(err(format!("CSR immediate {zimm} out of range 0..32")));
+            }
+            Instr::csr_imm(op, parse_gpr(operands[0])?, csr, zimm as u8)
+        }
+        Format::Fence | Format::System => {
+            want(0)?;
+            Instr::nullary(op)
+        }
+    };
+    Ok(instr.normalize())
+}
+
+/// Parses a newline-separated assembly listing, ignoring blank lines and
+/// `#` comments.
+///
+/// # Errors
+///
+/// Returns the first [`ParseAsmError`] encountered, annotated with its
+/// 1-based line number.
+pub fn parse_program(text: &str) -> Result<Vec<Instr>, ParseAsmError> {
+    let mut instrs = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let stripped = line.split('#').next().unwrap_or("").trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        let instr = parse_instr(stripped).map_err(|mut e| {
+            e.line = idx + 1;
+            e
+        })?;
+        instrs.push(instr);
+    }
+    Ok(instrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn formats_representative_instructions() {
+        assert_eq!(Instr::rtype(Op::Add, Gpr::A0, Gpr::A1, Gpr::A2).to_string(), "add a0, a1, a2");
+        assert_eq!(Instr::itype(Op::Ld, Gpr::A0, Gpr::Sp, 16).to_string(), "ld a0, 16(sp)");
+        assert_eq!(Instr::store(Op::Sd, Gpr::A0, Gpr::Sp, -8).to_string(), "sd a0, -8(sp)");
+        assert_eq!(Instr::branch(Op::Bne, Gpr::T0, Gpr::T1, 32).to_string(), "bne t0, t1, 32");
+        assert_eq!(Instr::utype(Op::Lui, Gpr::T0, 0x12345000).to_string(), "lui t0, 0x12345");
+        assert_eq!(Instr::jal(Gpr::Ra, -8).to_string(), "jal ra, -8");
+        assert_eq!(
+            Instr::csr(Op::Csrrw, Gpr::T0, CsrAddr::MSCRATCH, Gpr::T1).to_string(),
+            "csrrw t0, mscratch, t1"
+        );
+        assert_eq!(
+            Instr::csr_imm(Op::Csrrsi, Gpr::Zero, CsrAddr::MSTATUS, 8).to_string(),
+            "csrrsi zero, mstatus, 8"
+        );
+        assert_eq!(Instr::nullary(Op::FenceI).to_string(), "fence.i");
+        assert_eq!(Instr::nullary(Op::Ebreak).to_string(), "ebreak");
+    }
+
+    #[test]
+    fn parses_what_it_formats() {
+        let samples = [
+            Instr::rtype(Op::Mulhu, Gpr::S3, Gpr::T4, Gpr::A7),
+            Instr::itype(Op::Addi, Gpr::A0, Gpr::Zero, -2048),
+            Instr::itype(Op::Lbu, Gpr::T0, Gpr::A1, 255),
+            Instr::itype(Op::Jalr, Gpr::Ra, Gpr::A0, 4),
+            Instr::store(Op::Sb, Gpr::T2, Gpr::Gp, 100),
+            Instr::branch(Op::Bgeu, Gpr::A3, Gpr::A4, -64),
+            Instr::utype(Op::Auipc, Gpr::S0, 0x7f000),
+            Instr::jal(Gpr::Zero, 2048),
+            Instr::csr(Op::Csrrc, Gpr::A0, CsrAddr::MCAUSE, Gpr::T0),
+            Instr::csr_imm(Op::Csrrci, Gpr::A1, CsrAddr::MEPC, 31),
+            Instr::nullary(Op::Wfi),
+            Instr::nullary(Op::Fence),
+        ];
+        for instr in samples {
+            let text = instr.to_string();
+            let parsed = parse_instr(&text).unwrap_or_else(|e| panic!("parse `{text}`: {e}"));
+            assert_eq!(parsed, instr.normalize(), "round trip of `{text}`");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_nop_and_comments() {
+        assert_eq!(parse_instr("nop").unwrap(), Instr::nop());
+        assert_eq!(parse_instr("add a0, a1, a2 # comment").unwrap().op, Op::Add);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse_instr("").is_err());
+        assert!(parse_instr("bogus a0, a1").is_err());
+        assert!(parse_instr("add a0, a1").is_err());
+        assert!(parse_instr("ld a0, nope").is_err());
+        assert!(parse_instr("csrrwi a0, mstatus, 99").is_err());
+        assert!(parse_instr("addi a0, a1, zzz").is_err());
+    }
+
+    #[test]
+    fn parse_program_tracks_line_numbers() {
+        let listing = "addi a0, zero, 1\n\n# comment only\nbogus x, y\n";
+        let error = parse_program(listing).unwrap_err();
+        assert_eq!(error.line, 4);
+        assert!(error.to_string().contains("line 4"));
+
+        let good = parse_program("addi a0, zero, 1\nadd a1, a0, a0\necall\n").unwrap();
+        assert_eq!(good.len(), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Any normalized instruction formats to text that parses back to itself.
+        #[test]
+        fn display_parse_round_trip(
+            op_idx in 0usize..Op::ALL.len(),
+            rd in any::<u8>(),
+            rs1 in any::<u8>(),
+            rs2 in any::<u8>(),
+            imm in any::<i64>(),
+        ) {
+            let instr = Instr {
+                op: Op::ALL[op_idx],
+                rd: Gpr::from_index(rd),
+                rs1: Gpr::from_index(rs1),
+                rs2: Gpr::from_index(rs2),
+                imm,
+            }.normalize();
+            let text = instr.to_string();
+            let parsed = parse_instr(&text).expect("formatted instruction must parse");
+            // Fence pred/succ bits are not part of the textual syntax, so they
+            // are the one field allowed to differ after a text round trip.
+            let expected = if instr.op.format() == Format::Fence {
+                Instr { imm: 0, ..instr }
+            } else {
+                instr
+            };
+            prop_assert_eq!(parsed, expected);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Instruction decoding (32-bit instruction word → decoded [`Instr`]).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::encode::opcode;
+use crate::instr::clamp_signed;
+use crate::{Gpr, Instr, Op};
+
+/// Error returned by [`decode`] when an instruction word does not encode any
+/// operation known to this crate.
+///
+/// The fuzzer treats such words as *illegal instructions*: the golden model
+/// raises an illegal-instruction exception for them, and one of the injected
+/// vulnerabilities (V2, CWE-1242) consists of a processor silently executing a
+/// subset of them instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeError {}
+
+fn field(word: u32, lo: u32, bits: u32) -> u32 {
+    (word >> lo) & ((1 << bits) - 1)
+}
+
+fn rd(word: u32) -> Gpr {
+    Gpr::from_index(field(word, 7, 5) as u8)
+}
+fn rs1(word: u32) -> Gpr {
+    Gpr::from_index(field(word, 15, 5) as u8)
+}
+fn rs2(word: u32) -> Gpr {
+    Gpr::from_index(field(word, 20, 5) as u8)
+}
+fn funct3(word: u32) -> u32 {
+    field(word, 12, 3)
+}
+fn funct7(word: u32) -> u32 {
+    field(word, 25, 7)
+}
+
+fn imm_i(word: u32) -> i64 {
+    clamp_signed(i64::from(field(word, 20, 12)), 12)
+}
+
+fn imm_s(word: u32) -> i64 {
+    let value = (field(word, 25, 7) << 5) | field(word, 7, 5);
+    clamp_signed(i64::from(value), 12)
+}
+
+fn imm_b(word: u32) -> i64 {
+    let value = (field(word, 31, 1) << 12)
+        | (field(word, 7, 1) << 11)
+        | (field(word, 25, 6) << 5)
+        | (field(word, 8, 4) << 1);
+    clamp_signed(i64::from(value), 13)
+}
+
+fn imm_u(word: u32) -> i64 {
+    clamp_signed(i64::from(word & 0xffff_f000), 32)
+}
+
+fn imm_j(word: u32) -> i64 {
+    let value = (field(word, 31, 1) << 20)
+        | (field(word, 12, 8) << 12)
+        | (field(word, 20, 1) << 11)
+        | (field(word, 21, 10) << 1);
+    clamp_signed(i64::from(value), 21)
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the word does not correspond to any RV64IM,
+/// Zicsr, fence or supported system instruction. Such words are still valid
+/// fuzzer inputs — they exercise the illegal-instruction paths of the
+/// processors under test.
+///
+/// # Example
+///
+/// ```
+/// use riscv::{decode, Instr};
+///
+/// assert_eq!(decode(0x0000_0013)?, Instr::nop());
+/// assert!(decode(0xffff_ffff).is_err());
+/// # Ok::<(), riscv::DecodeError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let err = Err(DecodeError { word });
+    let major = word & 0x7f;
+    let f3 = funct3(word);
+    let f7 = funct7(word);
+
+    let instr = match major {
+        opcode::LUI => Instr::utype(Op::Lui, rd(word), imm_u(word)),
+        opcode::AUIPC => Instr::utype(Op::Auipc, rd(word), imm_u(word)),
+        opcode::JAL => Instr::jal(rd(word), imm_j(word)),
+        opcode::JALR => {
+            if f3 != 0 {
+                return err;
+            }
+            Instr::itype(Op::Jalr, rd(word), rs1(word), imm_i(word))
+        }
+        opcode::BRANCH => {
+            let op = match f3 {
+                0b000 => Op::Beq,
+                0b001 => Op::Bne,
+                0b100 => Op::Blt,
+                0b101 => Op::Bge,
+                0b110 => Op::Bltu,
+                0b111 => Op::Bgeu,
+                _ => return err,
+            };
+            Instr::branch(op, rs1(word), rs2(word), imm_b(word))
+        }
+        opcode::LOAD => {
+            let op = match f3 {
+                0b000 => Op::Lb,
+                0b001 => Op::Lh,
+                0b010 => Op::Lw,
+                0b011 => Op::Ld,
+                0b100 => Op::Lbu,
+                0b101 => Op::Lhu,
+                0b110 => Op::Lwu,
+                _ => return err,
+            };
+            Instr::itype(op, rd(word), rs1(word), imm_i(word))
+        }
+        opcode::STORE => {
+            let op = match f3 {
+                0b000 => Op::Sb,
+                0b001 => Op::Sh,
+                0b010 => Op::Sw,
+                0b011 => Op::Sd,
+                _ => return err,
+            };
+            Instr::store(op, rs2(word), rs1(word), imm_s(word))
+        }
+        opcode::OP_IMM => match f3 {
+            0b000 => Instr::itype(Op::Addi, rd(word), rs1(word), imm_i(word)),
+            0b010 => Instr::itype(Op::Slti, rd(word), rs1(word), imm_i(word)),
+            0b011 => Instr::itype(Op::Sltiu, rd(word), rs1(word), imm_i(word)),
+            0b100 => Instr::itype(Op::Xori, rd(word), rs1(word), imm_i(word)),
+            0b110 => Instr::itype(Op::Ori, rd(word), rs1(word), imm_i(word)),
+            0b111 => Instr::itype(Op::Andi, rd(word), rs1(word), imm_i(word)),
+            0b001 | 0b101 => {
+                let shamt = i64::from(field(word, 20, 6));
+                let funct6 = field(word, 26, 6);
+                let op = match (f3, funct6) {
+                    (0b001, 0b00_0000) => Op::Slli,
+                    (0b101, 0b00_0000) => Op::Srli,
+                    (0b101, 0b01_0000) => Op::Srai,
+                    _ => return err,
+                };
+                Instr::itype(op, rd(word), rs1(word), shamt)
+            }
+            _ => return err,
+        },
+        opcode::OP => {
+            let op = match (f3, f7) {
+                (0b000, 0b000_0000) => Op::Add,
+                (0b000, 0b010_0000) => Op::Sub,
+                (0b001, 0b000_0000) => Op::Sll,
+                (0b010, 0b000_0000) => Op::Slt,
+                (0b011, 0b000_0000) => Op::Sltu,
+                (0b100, 0b000_0000) => Op::Xor,
+                (0b101, 0b000_0000) => Op::Srl,
+                (0b101, 0b010_0000) => Op::Sra,
+                (0b110, 0b000_0000) => Op::Or,
+                (0b111, 0b000_0000) => Op::And,
+                (0b000, 0b000_0001) => Op::Mul,
+                (0b001, 0b000_0001) => Op::Mulh,
+                (0b010, 0b000_0001) => Op::Mulhsu,
+                (0b011, 0b000_0001) => Op::Mulhu,
+                (0b100, 0b000_0001) => Op::Div,
+                (0b101, 0b000_0001) => Op::Divu,
+                (0b110, 0b000_0001) => Op::Rem,
+                (0b111, 0b000_0001) => Op::Remu,
+                _ => return err,
+            };
+            Instr::rtype(op, rd(word), rs1(word), rs2(word))
+        }
+        opcode::OP_IMM_32 => match f3 {
+            0b000 => Instr::itype(Op::Addiw, rd(word), rs1(word), imm_i(word)),
+            0b001 | 0b101 => {
+                let shamt = i64::from(field(word, 20, 5));
+                let op = match (f3, f7) {
+                    (0b001, 0b000_0000) => Op::Slliw,
+                    (0b101, 0b000_0000) => Op::Srliw,
+                    (0b101, 0b010_0000) => Op::Sraiw,
+                    _ => return err,
+                };
+                Instr::itype(op, rd(word), rs1(word), shamt)
+            }
+            _ => return err,
+        },
+        opcode::OP_32 => {
+            let op = match (f3, f7) {
+                (0b000, 0b000_0000) => Op::Addw,
+                (0b000, 0b010_0000) => Op::Subw,
+                (0b001, 0b000_0000) => Op::Sllw,
+                (0b101, 0b000_0000) => Op::Srlw,
+                (0b101, 0b010_0000) => Op::Sraw,
+                (0b000, 0b000_0001) => Op::Mulw,
+                (0b100, 0b000_0001) => Op::Divw,
+                (0b101, 0b000_0001) => Op::Divuw,
+                (0b110, 0b000_0001) => Op::Remw,
+                (0b111, 0b000_0001) => Op::Remuw,
+                _ => return err,
+            };
+            Instr::rtype(op, rd(word), rs1(word), rs2(word))
+        }
+        opcode::MISC_MEM => {
+            let bits = i64::from(field(word, 20, 8));
+            match f3 {
+                0b000 => Instr { imm: bits, ..Instr::nullary(Op::Fence) },
+                0b001 => Instr { imm: bits, ..Instr::nullary(Op::FenceI) },
+                _ => return err,
+            }
+        }
+        opcode::SYSTEM => match f3 {
+            0b000 => {
+                if rd(word) != Gpr::Zero || rs1(word) != Gpr::Zero {
+                    return err;
+                }
+                match field(word, 20, 12) {
+                    0x000 => Instr::nullary(Op::Ecall),
+                    0x001 => Instr::nullary(Op::Ebreak),
+                    0x302 => Instr::nullary(Op::Mret),
+                    0x105 => Instr::nullary(Op::Wfi),
+                    _ => return err,
+                }
+            }
+            _ => {
+                let op = match f3 {
+                    0b001 => Op::Csrrw,
+                    0b010 => Op::Csrrs,
+                    0b011 => Op::Csrrc,
+                    0b101 => Op::Csrrwi,
+                    0b110 => Op::Csrrsi,
+                    0b111 => Op::Csrrci,
+                    _ => return err,
+                };
+                Instr {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: Gpr::Zero,
+                    imm: i64::from(field(word, 20, 12)),
+                }
+            }
+        },
+        _ => return err,
+    };
+    Ok(instr)
+}
+
+/// Decodes a little-endian byte image into instructions, mapping undecodable
+/// words to `Err` entries so callers can still see where they sit in the
+/// stream.
+pub fn decode_all(bytes: &[u8]) -> Vec<Result<Instr, DecodeError>> {
+    bytes
+        .chunks_exact(4)
+        .map(|chunk| {
+            let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            decode(word)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_all;
+    use crate::CsrAddr;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decodes_canonical_words() {
+        assert_eq!(decode(0x0000_0013).unwrap(), Instr::nop());
+        assert_eq!(decode(0x0000_0073).unwrap(), Instr::nullary(Op::Ecall));
+        assert_eq!(decode(0x0010_0073).unwrap(), Instr::nullary(Op::Ebreak));
+        assert_eq!(decode(0x3020_0073).unwrap(), Instr::nullary(Op::Mret));
+        assert_eq!(
+            decode(0x00c5_8533).unwrap(),
+            Instr::rtype(Op::Add, Gpr::A0, Gpr::A1, Gpr::A2)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_words() {
+        assert!(decode(0xffff_ffff).is_err());
+        assert!(decode(0x0000_0000).is_err());
+        // SYSTEM with unknown funct12
+        assert!(decode(0x7770_0073).is_err());
+        let err = decode(0xffff_ffff).unwrap_err();
+        assert!(err.to_string().contains("0xffffffff"));
+    }
+
+    #[test]
+    fn negative_immediates_round_trip() {
+        let original = Instr::itype(Op::Addi, Gpr::A0, Gpr::A1, -2048);
+        assert_eq!(decode(original.encode()).unwrap(), original);
+        let store = Instr::store(Op::Sd, Gpr::T0, Gpr::Sp, -8);
+        assert_eq!(decode(store.encode()).unwrap(), store);
+        let branch = Instr::branch(Op::Bge, Gpr::A0, Gpr::A1, -4096);
+        assert_eq!(decode(branch.encode()).unwrap(), branch);
+        let jump = Instr::jal(Gpr::Ra, -(1 << 20));
+        assert_eq!(decode(jump.encode()).unwrap(), jump);
+    }
+
+    #[test]
+    fn csr_instructions_round_trip() {
+        let csr = Instr::csr(Op::Csrrs, Gpr::A0, CsrAddr::MINSTRET, Gpr::Zero);
+        assert_eq!(decode(csr.encode()).unwrap(), csr);
+        let csri = Instr::csr_imm(Op::Csrrwi, Gpr::T0, CsrAddr::MSCRATCH, 31);
+        assert_eq!(decode(csri.encode()).unwrap(), csri);
+    }
+
+    #[test]
+    fn decode_all_reports_positionally() {
+        let bytes = encode_all(&[Instr::nop(), Instr::nullary(Op::Wfi)]);
+        let mut with_garbage = bytes.clone();
+        with_garbage.extend_from_slice(&0xffff_ffffu32.to_le_bytes());
+        let decoded = decode_all(&with_garbage);
+        assert_eq!(decoded.len(), 3);
+        assert!(decoded[0].is_ok() && decoded[1].is_ok());
+        assert!(decoded[2].is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Every normalized instruction survives an encode/decode round trip.
+        #[test]
+        fn encode_decode_round_trip(
+            op_idx in 0usize..Op::ALL.len(),
+            rd in any::<u8>(),
+            rs1 in any::<u8>(),
+            rs2 in any::<u8>(),
+            imm in any::<i64>(),
+        ) {
+            let instr = Instr {
+                op: Op::ALL[op_idx],
+                rd: Gpr::from_index(rd),
+                rs1: Gpr::from_index(rs1),
+                rs2: Gpr::from_index(rs2),
+                imm,
+            }.normalize();
+            let decoded = decode(instr.encode()).expect("normalized instruction must decode");
+            prop_assert_eq!(decoded, instr);
+        }
+
+        /// Decoding an arbitrary word either fails or produces an instruction
+        /// that re-encodes to the same behaviourally relevant fields.
+        #[test]
+        fn decode_is_stable_under_reencoding(word in any::<u32>()) {
+            if let Ok(instr) = decode(word) {
+                let reencoded = instr.encode();
+                let redecoded = decode(reencoded).expect("re-encoded word must decode");
+                prop_assert_eq!(redecoded, instr);
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Instruction encoding (decoded [`Instr`] → 32-bit instruction word).
+
+use crate::instr::is_word_shift;
+use crate::op::Format;
+use crate::{Instr, Op};
+#[cfg(test)]
+use crate::Gpr;
+
+/// Major opcode field (bits `[6:0]`) for each operation group.
+pub(crate) mod opcode {
+    pub const LUI: u32 = 0b011_0111;
+    pub const AUIPC: u32 = 0b001_0111;
+    pub const JAL: u32 = 0b110_1111;
+    pub const JALR: u32 = 0b110_0111;
+    pub const BRANCH: u32 = 0b110_0011;
+    pub const LOAD: u32 = 0b000_0011;
+    pub const STORE: u32 = 0b010_0011;
+    pub const OP_IMM: u32 = 0b001_0011;
+    pub const OP: u32 = 0b011_0011;
+    pub const OP_IMM_32: u32 = 0b001_1011;
+    pub const OP_32: u32 = 0b011_1011;
+    pub const MISC_MEM: u32 = 0b000_1111;
+    pub const SYSTEM: u32 = 0b111_0011;
+}
+
+/// Returns `(major opcode, funct3, funct7)` for an operation.
+///
+/// For system instructions without operands the `funct7` slot carries the
+/// 12-bit `funct12` value instead.
+pub(crate) fn encoding_of(op: Op) -> (u32, u32, u32) {
+    use opcode::*;
+    match op {
+        Op::Lui => (LUI, 0, 0),
+        Op::Auipc => (AUIPC, 0, 0),
+        Op::Jal => (JAL, 0, 0),
+        Op::Jalr => (JALR, 0, 0),
+        Op::Beq => (BRANCH, 0b000, 0),
+        Op::Bne => (BRANCH, 0b001, 0),
+        Op::Blt => (BRANCH, 0b100, 0),
+        Op::Bge => (BRANCH, 0b101, 0),
+        Op::Bltu => (BRANCH, 0b110, 0),
+        Op::Bgeu => (BRANCH, 0b111, 0),
+        Op::Lb => (LOAD, 0b000, 0),
+        Op::Lh => (LOAD, 0b001, 0),
+        Op::Lw => (LOAD, 0b010, 0),
+        Op::Ld => (LOAD, 0b011, 0),
+        Op::Lbu => (LOAD, 0b100, 0),
+        Op::Lhu => (LOAD, 0b101, 0),
+        Op::Lwu => (LOAD, 0b110, 0),
+        Op::Sb => (STORE, 0b000, 0),
+        Op::Sh => (STORE, 0b001, 0),
+        Op::Sw => (STORE, 0b010, 0),
+        Op::Sd => (STORE, 0b011, 0),
+        Op::Addi => (OP_IMM, 0b000, 0),
+        Op::Slti => (OP_IMM, 0b010, 0),
+        Op::Sltiu => (OP_IMM, 0b011, 0),
+        Op::Xori => (OP_IMM, 0b100, 0),
+        Op::Ori => (OP_IMM, 0b110, 0),
+        Op::Andi => (OP_IMM, 0b111, 0),
+        Op::Slli => (OP_IMM, 0b001, 0b000_0000),
+        Op::Srli => (OP_IMM, 0b101, 0b000_0000),
+        Op::Srai => (OP_IMM, 0b101, 0b010_0000),
+        Op::Add => (OP, 0b000, 0b000_0000),
+        Op::Sub => (OP, 0b000, 0b010_0000),
+        Op::Sll => (OP, 0b001, 0b000_0000),
+        Op::Slt => (OP, 0b010, 0b000_0000),
+        Op::Sltu => (OP, 0b011, 0b000_0000),
+        Op::Xor => (OP, 0b100, 0b000_0000),
+        Op::Srl => (OP, 0b101, 0b000_0000),
+        Op::Sra => (OP, 0b101, 0b010_0000),
+        Op::Or => (OP, 0b110, 0b000_0000),
+        Op::And => (OP, 0b111, 0b000_0000),
+        Op::Addiw => (OP_IMM_32, 0b000, 0),
+        Op::Slliw => (OP_IMM_32, 0b001, 0b000_0000),
+        Op::Srliw => (OP_IMM_32, 0b101, 0b000_0000),
+        Op::Sraiw => (OP_IMM_32, 0b101, 0b010_0000),
+        Op::Addw => (OP_32, 0b000, 0b000_0000),
+        Op::Subw => (OP_32, 0b000, 0b010_0000),
+        Op::Sllw => (OP_32, 0b001, 0b000_0000),
+        Op::Srlw => (OP_32, 0b101, 0b000_0000),
+        Op::Sraw => (OP_32, 0b101, 0b010_0000),
+        Op::Mul => (OP, 0b000, 0b000_0001),
+        Op::Mulh => (OP, 0b001, 0b000_0001),
+        Op::Mulhsu => (OP, 0b010, 0b000_0001),
+        Op::Mulhu => (OP, 0b011, 0b000_0001),
+        Op::Div => (OP, 0b100, 0b000_0001),
+        Op::Divu => (OP, 0b101, 0b000_0001),
+        Op::Rem => (OP, 0b110, 0b000_0001),
+        Op::Remu => (OP, 0b111, 0b000_0001),
+        Op::Mulw => (OP_32, 0b000, 0b000_0001),
+        Op::Divw => (OP_32, 0b100, 0b000_0001),
+        Op::Divuw => (OP_32, 0b101, 0b000_0001),
+        Op::Remw => (OP_32, 0b110, 0b000_0001),
+        Op::Remuw => (OP_32, 0b111, 0b000_0001),
+        Op::Csrrw => (SYSTEM, 0b001, 0),
+        Op::Csrrs => (SYSTEM, 0b010, 0),
+        Op::Csrrc => (SYSTEM, 0b011, 0),
+        Op::Csrrwi => (SYSTEM, 0b101, 0),
+        Op::Csrrsi => (SYSTEM, 0b110, 0),
+        Op::Csrrci => (SYSTEM, 0b111, 0),
+        Op::Fence => (MISC_MEM, 0b000, 0),
+        Op::FenceI => (MISC_MEM, 0b001, 0),
+        // funct12 values in the funct7 slot:
+        Op::Ecall => (SYSTEM, 0b000, 0x000),
+        Op::Ebreak => (SYSTEM, 0b000, 0x001),
+        Op::Mret => (SYSTEM, 0b000, 0x302),
+        Op::Wfi => (SYSTEM, 0b000, 0x105),
+    }
+}
+
+impl Instr {
+    /// Encodes the instruction into its 32-bit instruction word.
+    ///
+    /// The instruction is [`normalize`](Instr::normalize)d first, so out-of-range
+    /// immediates are clamped rather than silently corrupting neighbouring
+    /// fields.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use riscv::{Instr, Gpr, Op};
+    ///
+    /// // The canonical NOP encoding.
+    /// assert_eq!(Instr::nop().encode(), 0x0000_0013);
+    /// ```
+    pub fn encode(&self) -> u32 {
+        let instr = self.normalize();
+        let (major, funct3, funct7) = encoding_of(instr.op);
+        let rd = u32::from(instr.rd.index());
+        let rs1 = u32::from(instr.rs1.index());
+        let rs2 = u32::from(instr.rs2.index());
+        let imm = instr.imm;
+
+        match instr.op.format() {
+            Format::R => {
+                major | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (rs2 << 20) | (funct7 << 25)
+            }
+            Format::I => {
+                let imm12 = (imm as u32) & 0xfff;
+                major | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (imm12 << 20)
+            }
+            Format::IShift => {
+                let shamt_bits = if is_word_shift(instr.op) { 5 } else { 6 };
+                let shamt = (imm as u32) & ((1 << shamt_bits) - 1);
+                // For RV64 non-word shifts funct7 occupies bits [31:26] only.
+                let high = if is_word_shift(instr.op) { funct7 << 25 } else { (funct7 >> 1) << 26 };
+                major | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (shamt << 20) | high
+            }
+            Format::S => {
+                let imm12 = (imm as u32) & 0xfff;
+                let lo = imm12 & 0x1f;
+                let hi = (imm12 >> 5) & 0x7f;
+                major | (lo << 7) | (funct3 << 12) | (rs1 << 15) | (rs2 << 20) | (hi << 25)
+            }
+            Format::B => {
+                let off = (imm as u32) & 0x1fff;
+                let b11 = (off >> 11) & 1;
+                let b4_1 = (off >> 1) & 0xf;
+                let b10_5 = (off >> 5) & 0x3f;
+                let b12 = (off >> 12) & 1;
+                major
+                    | (b11 << 7)
+                    | (b4_1 << 8)
+                    | (funct3 << 12)
+                    | (rs1 << 15)
+                    | (rs2 << 20)
+                    | (b10_5 << 25)
+                    | (b12 << 31)
+            }
+            Format::U => {
+                let imm20 = ((imm as u32) >> 12) & 0xf_ffff;
+                major | (rd << 7) | (imm20 << 12)
+            }
+            Format::J => {
+                let off = (imm as u32) & 0x1f_ffff;
+                let b19_12 = (off >> 12) & 0xff;
+                let b11 = (off >> 11) & 1;
+                let b10_1 = (off >> 1) & 0x3ff;
+                let b20 = (off >> 20) & 1;
+                major | (rd << 7) | (b19_12 << 12) | (b11 << 20) | (b10_1 << 21) | (b20 << 31)
+            }
+            Format::Csr | Format::CsrImm => {
+                let csr = (imm as u32) & 0xfff;
+                major | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (csr << 20)
+            }
+            Format::Fence => {
+                let bits = (imm as u32) & 0xff;
+                major | (funct3 << 12) | (bits << 20)
+            }
+            Format::System => {
+                // funct7 actually holds funct12 for these.
+                major | (funct3 << 12) | (funct7 << 20)
+            }
+        }
+    }
+
+    /// Encodes the instruction as little-endian bytes, the in-memory layout
+    /// the processor frontends fetch.
+    pub fn encode_bytes(&self) -> [u8; 4] {
+        self.encode().to_le_bytes()
+    }
+}
+
+/// Encodes a slice of instructions into a flat little-endian byte image.
+pub fn encode_all(instrs: &[Instr]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(instrs.len() * 4);
+    for instr in instrs {
+        bytes.extend_from_slice(&instr.encode_bytes());
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_encodings_match_the_spec() {
+        // Values cross-checked against the RISC-V unprivileged spec examples.
+        assert_eq!(Instr::nop().encode(), 0x0000_0013);
+        assert_eq!(Instr::nullary(Op::Ecall).encode(), 0x0000_0073);
+        assert_eq!(Instr::nullary(Op::Ebreak).encode(), 0x0010_0073);
+        assert_eq!(Instr::nullary(Op::Mret).encode(), 0x3020_0073);
+        assert_eq!(Instr::nullary(Op::Wfi).encode(), 0x1050_0073);
+        assert_eq!(Instr::nullary(Op::FenceI).encode(), 0x0000_100f);
+        // add a0, a1, a2 => 0x00c58533
+        assert_eq!(Instr::rtype(Op::Add, Gpr::A0, Gpr::A1, Gpr::A2).encode(), 0x00c5_8533);
+        // addi a0, zero, 42 => 0x02a00513
+        assert_eq!(Instr::itype(Op::Addi, Gpr::A0, Gpr::Zero, 42).encode(), 0x02a0_0513);
+        // lui t0, 0x12345 => 0x123452b7
+        assert_eq!(Instr::utype(Op::Lui, Gpr::T0, 0x1234_5000).encode(), 0x1234_52b7);
+        // sd a0, 8(sp) => 0x00a13423
+        assert_eq!(Instr::store(Op::Sd, Gpr::A0, Gpr::Sp, 8).encode(), 0x00a1_3423);
+        // beq a0, a1, +16 => 0x00b50863
+        assert_eq!(Instr::branch(Op::Beq, Gpr::A0, Gpr::A1, 16).encode(), 0x00b5_0863);
+        // jal ra, +8 => 0x008000ef
+        assert_eq!(Instr::jal(Gpr::Ra, 8).encode(), 0x0080_00ef);
+    }
+
+    #[test]
+    fn shift_encodings_distinguish_logical_and_arithmetic() {
+        let srli = Instr::itype(Op::Srli, Gpr::A0, Gpr::A1, 3).encode();
+        let srai = Instr::itype(Op::Srai, Gpr::A0, Gpr::A1, 3).encode();
+        assert_ne!(srli, srai);
+        assert_eq!(srai >> 26, 0b01_0000);
+        // 64-bit shamt of 63 must survive encoding.
+        let s63 = Instr::itype(Op::Srli, Gpr::A0, Gpr::A1, 63).encode();
+        assert_eq!((s63 >> 20) & 0x3f, 63);
+    }
+
+    #[test]
+    fn negative_immediates_fill_the_high_bits() {
+        let w = Instr::itype(Op::Addi, Gpr::A0, Gpr::A0, -1).encode();
+        assert_eq!(w >> 20, 0xfff);
+        let s = Instr::store(Op::Sw, Gpr::A0, Gpr::Sp, -4).encode();
+        // imm[11:5] = 0x7f, imm[4:0] = 0x1c
+        assert_eq!(s >> 25, 0x7f);
+        assert_eq!((s >> 7) & 0x1f, 0x1c);
+    }
+
+    #[test]
+    fn encode_all_concatenates_words() {
+        let prog = [Instr::nop(), Instr::nullary(Op::Ecall)];
+        let bytes = encode_all(&prog);
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(&bytes[0..4], &0x0000_0013u32.to_le_bytes());
+        assert_eq!(&bytes[4..8], &0x0000_0073u32.to_le_bytes());
+    }
+
+    #[test]
+    fn every_op_encodes_with_its_major_opcode() {
+        for op in Op::ALL {
+            let word = Instr { op, rd: Gpr::A0, rs1: Gpr::A1, rs2: Gpr::A2, imm: 16 }
+                .normalize()
+                .encode();
+            let (major, _, _) = encoding_of(op);
+            assert_eq!(word & 0x7f, major, "major opcode mismatch for {op}");
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Weighted random program generation (fuzzing seed creation).
+//!
+//! TheHuzz — and therefore MABFuzz, which reuses its seed generator — creates
+//! initial seeds by sampling instructions from a weighted distribution over
+//! functional classes, constraining operands so that most instructions execute
+//! without faulting (in-range memory addresses, forward branch targets) while
+//! still leaving room for the exceptional paths the vulnerabilities live on.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::program::{DATA_BASE, DATA_SIZE};
+use crate::{CsrAddr, Gpr, Instr, Op, OpClass, Program};
+
+/// Relative weights for each functional class when sampling instructions.
+///
+/// The defaults roughly follow the instruction-profile table of TheHuzz:
+/// arithmetic dominates, memory and control flow are common, CSR and system
+/// instructions are rare but present (they are required to reach the
+/// privileged-logic coverage points and several vulnerabilities).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassWeights {
+    /// Weight of integer arithmetic/logic instructions.
+    pub arith: u32,
+    /// Weight of multiply instructions.
+    pub mul: u32,
+    /// Weight of divide/remainder instructions.
+    pub div: u32,
+    /// Weight of loads.
+    pub load: u32,
+    /// Weight of stores.
+    pub store: u32,
+    /// Weight of conditional branches.
+    pub branch: u32,
+    /// Weight of jumps.
+    pub jump: u32,
+    /// Weight of CSR accesses.
+    pub csr: u32,
+    /// Weight of system instructions (`ecall`, `ebreak`, `mret`, `wfi`).
+    pub system: u32,
+    /// Weight of fences.
+    pub fence: u32,
+}
+
+impl Default for ClassWeights {
+    fn default() -> Self {
+        ClassWeights {
+            arith: 40,
+            mul: 6,
+            div: 4,
+            load: 12,
+            store: 12,
+            branch: 10,
+            jump: 4,
+            csr: 6,
+            system: 3,
+            fence: 3,
+        }
+    }
+}
+
+impl ClassWeights {
+    /// Returns the weight assigned to `class`.
+    pub fn weight(&self, class: OpClass) -> u32 {
+        match class {
+            OpClass::Arith => self.arith,
+            OpClass::Mul => self.mul,
+            OpClass::Div => self.div,
+            OpClass::Load => self.load,
+            OpClass::Store => self.store,
+            OpClass::Branch => self.branch,
+            OpClass::Jump => self.jump,
+            OpClass::Csr => self.csr,
+            OpClass::System => self.system,
+            OpClass::Fence => self.fence,
+        }
+    }
+
+    /// Returns the sum of all weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every weight is zero, because then no instruction could ever
+    /// be sampled.
+    pub fn total(&self) -> u32 {
+        let total = OpClass::ALL.iter().map(|c| self.weight(*c)).sum();
+        assert!(total > 0, "at least one instruction class weight must be non-zero");
+        total
+    }
+
+    /// Samples a class according to the weights.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> OpClass {
+        let mut ticket = rng.gen_range(0..self.total());
+        for class in OpClass::ALL {
+            let w = self.weight(class);
+            if ticket < w {
+                return class;
+            }
+            ticket -= w;
+        }
+        unreachable!("weighted sampling exhausted all classes")
+    }
+}
+
+/// Configuration for the random program generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of instructions per generated program (before the terminating
+    /// `ecall`).
+    pub instr_count: usize,
+    /// Class weights used while sampling.
+    pub weights: ClassWeights,
+    /// Probability (0..=1) that a generated CSR access targets an
+    /// unimplemented CSR address rather than a known one.
+    pub unimplemented_csr_prob: f64,
+    /// Probability (0..=1) that a memory access is generated with a random —
+    /// likely invalid — address base instead of the scratch data region.
+    pub wild_memory_prob: f64,
+    /// Whether to append a terminating `ecall` so the golden model and DUT
+    /// both stop at a well-defined point.
+    pub terminate_with_ecall: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            instr_count: 20,
+            weights: ClassWeights::default(),
+            unimplemented_csr_prob: 0.15,
+            wild_memory_prob: 0.05,
+            terminate_with_ecall: true,
+        }
+    }
+}
+
+/// Weighted random program generator.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+/// use riscv::gen::{GeneratorConfig, ProgramGenerator};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let generator = ProgramGenerator::new(GeneratorConfig::default());
+/// let program = generator.generate(&mut rng);
+/// assert!(program.len() >= 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramGenerator {
+    config: GeneratorConfig,
+}
+
+impl ProgramGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: GeneratorConfig) -> ProgramGenerator {
+        ProgramGenerator { config }
+    }
+
+    /// Returns the generator configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates one random program.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Program {
+        let n = self.config.instr_count;
+        let mut instrs = Vec::with_capacity(n + 1);
+        for index in 0..n {
+            instrs.push(self.generate_instr(rng, index, n));
+        }
+        if self.config.terminate_with_ecall {
+            instrs.push(Instr::nullary(Op::Ecall));
+        }
+        Program::from_instrs(instrs)
+    }
+
+    /// Generates a single instruction for position `index` of a program of
+    /// `len` instructions (the position bounds forward branch targets).
+    pub fn generate_instr<R: Rng + ?Sized>(&self, rng: &mut R, index: usize, len: usize) -> Instr {
+        let class = self.config.weights.sample(rng);
+        self.generate_of_class(rng, class, index, len)
+    }
+
+    /// Generates a single instruction of the requested class.
+    pub fn generate_of_class<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        class: OpClass,
+        index: usize,
+        len: usize,
+    ) -> Instr {
+        let op = random_op_of_class(rng, class);
+        let rd = random_gpr(rng);
+        let rs1 = random_gpr(rng);
+        let rs2 = random_gpr(rng);
+        let instr = match class {
+            OpClass::Arith | OpClass::Mul | OpClass::Div => match op.format() {
+                crate::op::Format::R => Instr::rtype(op, rd, rs1, rs2),
+                crate::op::Format::U => {
+                    Instr::utype(op, rd, i64::from(rng.gen::<i32>()) & !0xfff)
+                }
+                crate::op::Format::IShift => {
+                    Instr::itype(op, rd, rs1, i64::from(rng.gen_range(0u8..64)))
+                }
+                _ => Instr::itype(op, rd, rs1, i64::from(rng.gen_range(-2048i32..2048))),
+            },
+            OpClass::Load | OpClass::Store => self.generate_memory(rng, op, rd, rs1, rs2),
+            OpClass::Branch => {
+                // Mostly short forward offsets so programs terminate; the
+                // offset is in instructions remaining, converted to bytes.
+                let remaining = (len - index).max(1) as i64;
+                let offset = 4 * rng.gen_range(1..=remaining.min(8));
+                Instr::branch(op, rs1, rs2, offset)
+            }
+            OpClass::Jump => {
+                if op == Op::Jal {
+                    let remaining = (len - index).max(1) as i64;
+                    Instr::jal(rd, 4 * rng.gen_range(1..=remaining.min(8)))
+                } else {
+                    // jalr through a register; keep the offset tiny.
+                    Instr::itype(Op::Jalr, rd, rs1, 4 * rng.gen_range(0..4))
+                }
+            }
+            OpClass::Csr => {
+                let csr = self.random_csr(rng);
+                if matches!(op, Op::Csrrwi | Op::Csrrsi | Op::Csrrci) {
+                    Instr::csr_imm(op, rd, csr, rng.gen_range(0..32))
+                } else {
+                    Instr::csr(op, rd, csr, rs1)
+                }
+            }
+            OpClass::System | OpClass::Fence => Instr::nullary(op),
+        };
+        instr.normalize()
+    }
+
+    fn generate_memory<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        op: Op,
+        rd: Gpr,
+        rs1: Gpr,
+        rs2: Gpr,
+    ) -> Instr {
+        // Memory accesses use x0-relative absolute addressing only when "wild";
+        // the common case leaves the base register untouched so that coverage
+        // depends on what earlier instructions put there.
+        let wild = rng.gen_bool(self.config.wild_memory_prob);
+        let offset = if wild {
+            i64::from(rng.gen_range(-2048i32..2048))
+        } else {
+            let width = i64::from(op.memory_width().unwrap_or(8));
+            let slots = (DATA_SIZE as i64 / width).min(256);
+            (rng.gen_range(0..slots) * width).min(2047)
+        };
+        // Loads/stores are anchored on the data region via a known register by
+        // convention: the seed prologue below materialises DATA_BASE into gp.
+        let base = if wild { rs1 } else { Gpr::Gp };
+        if op.class() == OpClass::Load {
+            Instr::itype(op, rd, base, offset)
+        } else {
+            Instr::store(op, rs2, base, offset)
+        }
+    }
+
+    fn random_csr<R: Rng + ?Sized>(&self, rng: &mut R) -> CsrAddr {
+        if rng.gen_bool(self.config.unimplemented_csr_prob) {
+            CsrAddr::new(rng.gen_range(0..0x1000))
+        } else {
+            let i = rng.gen_range(0..CsrAddr::IMPLEMENTED.len());
+            CsrAddr::IMPLEMENTED[i]
+        }
+    }
+
+    /// Generates the canonical seed prologue: materialise the data-region base
+    /// into `gp` and seed a few registers with varied constants so that the
+    /// first instructions of a random program have meaningful operands.
+    pub fn prologue() -> Vec<Instr> {
+        let hi = (DATA_BASE >> 12) as i64;
+        vec![
+            // RV64 `lui` sign-extends bit 31; the simulators mask effective
+            // addresses to the 32-bit physical space, so the sign extension is
+            // harmless. `.normalize()` applies the same sign extension here so
+            // the prologue matches what a decode of its own encoding yields.
+            Instr::utype(Op::Lui, Gpr::Gp, hi << 12).normalize(),
+            Instr::itype(Op::Addi, Gpr::Gp, Gpr::Gp, (DATA_BASE & 0xfff) as i64),
+            Instr::itype(Op::Addi, Gpr::A0, Gpr::Zero, 1),
+            Instr::itype(Op::Addi, Gpr::A1, Gpr::Zero, -1),
+            Instr::itype(Op::Addi, Gpr::A2, Gpr::Zero, 0x7ff),
+            Instr::itype(Op::Addi, Gpr::Sp, Gpr::Gp, 0x400),
+        ]
+    }
+
+    /// Generates a complete seed program: prologue, random body, terminator.
+    pub fn generate_seed<R: Rng + ?Sized>(&self, rng: &mut R) -> Program {
+        let mut instrs = Self::prologue();
+        let body = self.generate(rng);
+        instrs.extend(body.instrs().iter().copied());
+        Program::from_instrs(instrs)
+    }
+}
+
+impl Default for ProgramGenerator {
+    fn default() -> Self {
+        ProgramGenerator::new(GeneratorConfig::default())
+    }
+}
+
+fn random_op_of_class<R: Rng + ?Sized>(rng: &mut R, class: OpClass) -> Op {
+    let ops: Vec<Op> = Op::of_class(class).collect();
+    ops[rng.gen_range(0..ops.len())]
+}
+
+fn random_gpr<R: Rng + ?Sized>(rng: &mut R) -> Gpr {
+    Gpr::from_index(rng.gen_range(0..32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn default_weights_are_positive() {
+        let weights = ClassWeights::default();
+        assert!(weights.total() > 0);
+        for class in OpClass::ALL {
+            // Every class is reachable with the default profile.
+            assert!(weights.weight(class) > 0, "{class}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn all_zero_weights_panic() {
+        let weights = ClassWeights {
+            arith: 0,
+            mul: 0,
+            div: 0,
+            load: 0,
+            store: 0,
+            branch: 0,
+            jump: 0,
+            csr: 0,
+            system: 0,
+            fence: 0,
+        };
+        let _ = weights.total();
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let generator = ProgramGenerator::default();
+        let a = generator.generate_seed(&mut StdRng::seed_from_u64(42));
+        let b = generator.generate_seed(&mut StdRng::seed_from_u64(42));
+        let c = generator.generate_seed(&mut StdRng::seed_from_u64(43));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_programs_have_requested_length() {
+        let config = GeneratorConfig { instr_count: 50, ..GeneratorConfig::default() };
+        let generator = ProgramGenerator::new(config);
+        let program = generator.generate(&mut StdRng::seed_from_u64(1));
+        assert_eq!(program.len(), 51); // + terminating ecall
+        assert_eq!(program.instrs().last().copied(), Some(Instr::nullary(Op::Ecall)));
+    }
+
+    #[test]
+    fn generated_instructions_are_normalized_and_encodable() {
+        let generator = ProgramGenerator::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let program = generator.generate_seed(&mut rng);
+            for instr in program.instrs() {
+                assert!(instr.is_normalized(), "{instr}");
+                let decoded = crate::decode(instr.encode()).expect("generated instruction decodes");
+                assert_eq!(decoded, *instr);
+            }
+        }
+    }
+
+    #[test]
+    fn class_mix_respects_weights_qualitatively() {
+        let generator = ProgramGenerator::new(GeneratorConfig {
+            instr_count: 2000,
+            ..GeneratorConfig::default()
+        });
+        let program = generator.generate(&mut StdRng::seed_from_u64(9));
+        let mut counts = std::collections::HashMap::new();
+        for instr in program.instrs() {
+            *counts.entry(instr.op.class()).or_insert(0usize) += 1;
+        }
+        let arith = counts.get(&OpClass::Arith).copied().unwrap_or(0);
+        let system = counts.get(&OpClass::System).copied().unwrap_or(0);
+        assert!(arith > system, "arith ({arith}) should dominate system ({system})");
+        // With 2000 samples every class should appear at least once.
+        for class in OpClass::ALL {
+            assert!(counts.contains_key(&class), "class {class} never generated");
+        }
+    }
+
+    #[test]
+    fn seeds_differ_across_rng_draws() {
+        let generator = ProgramGenerator::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let programs: HashSet<Vec<u8>> =
+            (0..10).map(|_| generator.generate_seed(&mut rng).text_bytes()).collect();
+        assert_eq!(programs.len(), 10, "consecutive seeds should be distinct");
+    }
+
+    #[test]
+    fn prologue_materialises_data_base_in_gp() {
+        let prologue = ProgramGenerator::prologue();
+        assert_eq!(prologue[0].op, Op::Lui);
+        assert_eq!(prologue[0].rd, Gpr::Gp);
+        // lui gp, hi + addi gp, gp, lo == DATA_BASE
+        let value = (prologue[0].imm as u64 & 0xffff_ffff) + prologue[1].imm as u64;
+        assert_eq!(value, DATA_BASE);
+    }
+}

@@ -1,0 +1,228 @@
+//! General-purpose integer registers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the 32 RISC-V general-purpose integer registers (`x0`–`x31`).
+///
+/// The enum variants are named after the standard ABI mnemonics; the numeric
+/// encoding of each variant is its architectural register index, so
+/// `Gpr::A0 as u8 == 10`.
+///
+/// # Example
+///
+/// ```
+/// use riscv::Gpr;
+///
+/// assert_eq!(Gpr::A0.index(), 10);
+/// assert_eq!(Gpr::from_index(10), Gpr::A0);
+/// assert_eq!(Gpr::Zero.to_string(), "zero");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Gpr {
+    Zero = 0,
+    Ra = 1,
+    Sp = 2,
+    Gp = 3,
+    Tp = 4,
+    T0 = 5,
+    T1 = 6,
+    T2 = 7,
+    S0 = 8,
+    S1 = 9,
+    A0 = 10,
+    A1 = 11,
+    A2 = 12,
+    A3 = 13,
+    A4 = 14,
+    A5 = 15,
+    A6 = 16,
+    A7 = 17,
+    S2 = 18,
+    S3 = 19,
+    S4 = 20,
+    S5 = 21,
+    S6 = 22,
+    S7 = 23,
+    S8 = 24,
+    S9 = 25,
+    S10 = 26,
+    S11 = 27,
+    T3 = 28,
+    T4 = 29,
+    T5 = 30,
+    T6 = 31,
+}
+
+/// All registers in architectural order (`x0` first).
+pub const ALL_GPRS: [Gpr; 32] = [
+    Gpr::Zero,
+    Gpr::Ra,
+    Gpr::Sp,
+    Gpr::Gp,
+    Gpr::Tp,
+    Gpr::T0,
+    Gpr::T1,
+    Gpr::T2,
+    Gpr::S0,
+    Gpr::S1,
+    Gpr::A0,
+    Gpr::A1,
+    Gpr::A2,
+    Gpr::A3,
+    Gpr::A4,
+    Gpr::A5,
+    Gpr::A6,
+    Gpr::A7,
+    Gpr::S2,
+    Gpr::S3,
+    Gpr::S4,
+    Gpr::S5,
+    Gpr::S6,
+    Gpr::S7,
+    Gpr::S8,
+    Gpr::S9,
+    Gpr::S10,
+    Gpr::S11,
+    Gpr::T3,
+    Gpr::T4,
+    Gpr::T5,
+    Gpr::T6,
+];
+
+impl Gpr {
+    /// Returns the architectural register index in `0..32`.
+    #[inline]
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Returns the register with the given architectural index.
+    ///
+    /// The index is taken modulo 32 so that arbitrary fuzzer-mutated values map
+    /// onto a valid register rather than panicking.
+    #[inline]
+    pub fn from_index(index: u8) -> Gpr {
+        ALL_GPRS[(index & 0x1f) as usize]
+    }
+
+    /// Returns `true` for `x0`, whose writes are architecturally discarded.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Gpr::Zero
+    }
+
+    /// Returns the ABI mnemonic (`"a0"`, `"sp"`, …) for the register.
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.index() as usize]
+    }
+
+    /// Returns the numeric name (`"x10"`, …) for the register.
+    pub fn x_name(self) -> String {
+        format!("x{}", self.index())
+    }
+
+    /// Parses either an ABI name (`"a0"`) or a numeric name (`"x10"`).
+    ///
+    /// Returns `None` when the string names no register.
+    pub fn parse(name: &str) -> Option<Gpr> {
+        let name = name.trim();
+        if let Some(rest) = name.strip_prefix('x') {
+            if let Ok(idx) = rest.parse::<u8>() {
+                if idx < 32 {
+                    return Some(Gpr::from_index(idx));
+                }
+            }
+        }
+        ALL_GPRS.iter().copied().find(|g| g.abi_name() == name)
+    }
+}
+
+impl Default for Gpr {
+    fn default() -> Self {
+        Gpr::Zero
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl From<Gpr> for u8 {
+    fn from(g: Gpr) -> u8 {
+        g.index()
+    }
+}
+
+impl From<Gpr> for usize {
+    fn from(g: Gpr) -> usize {
+        g.index() as usize
+    }
+}
+
+impl From<u8> for Gpr {
+    fn from(idx: u8) -> Gpr {
+        Gpr::from_index(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn index_round_trip() {
+        for (i, g) in ALL_GPRS.iter().enumerate() {
+            assert_eq!(g.index() as usize, i);
+            assert_eq!(Gpr::from_index(i as u8), *g);
+        }
+    }
+
+    #[test]
+    fn from_index_wraps_modulo_32() {
+        assert_eq!(Gpr::from_index(32), Gpr::Zero);
+        assert_eq!(Gpr::from_index(42), Gpr::A0);
+        assert_eq!(Gpr::from_index(255), Gpr::T6);
+    }
+
+    #[test]
+    fn abi_names_parse_back() {
+        for g in ALL_GPRS {
+            assert_eq!(Gpr::parse(g.abi_name()), Some(g));
+            assert_eq!(Gpr::parse(&g.x_name()), Some(g));
+        }
+        assert_eq!(Gpr::parse("not_a_register"), None);
+        assert_eq!(Gpr::parse("x32"), None);
+    }
+
+    #[test]
+    fn zero_register_is_flagged() {
+        assert!(Gpr::Zero.is_zero());
+        assert!(!Gpr::A0.is_zero());
+    }
+
+    #[test]
+    fn display_uses_abi_name() {
+        assert_eq!(Gpr::Sp.to_string(), "sp");
+        assert_eq!(format!("{}", Gpr::T6), "t6");
+    }
+
+    proptest! {
+        #[test]
+        fn any_byte_maps_to_valid_register(byte in any::<u8>()) {
+            let g = Gpr::from_index(byte);
+            prop_assert_eq!(g.index(), byte & 0x1f);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The decoded instruction representation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CsrAddr, Gpr, Op};
+use crate::op::Format;
+
+/// A decoded RISC-V instruction.
+///
+/// `Instr` is deliberately a flat struct rather than a per-format enum: the
+/// fuzzer mutates operands generically (swap a register, nudge an immediate)
+/// without caring about the operation, and the simulators dispatch on
+/// [`Instr::op`]. Fields that a particular operation does not use are ignored
+/// by [`encode`](Instr::encode) and forced to canonical values by
+/// [`normalize`](Instr::normalize).
+///
+/// # Example
+///
+/// ```
+/// use riscv::{Instr, Gpr, Op};
+///
+/// let instr = Instr::itype(Op::Addi, Gpr::A0, Gpr::Zero, 42);
+/// assert_eq!(instr.to_string(), "addi a0, zero, 42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instr {
+    /// The operation mnemonic.
+    pub op: Op,
+    /// Destination register (ignored by stores, branches, fences and system ops).
+    pub rd: Gpr,
+    /// First source register. For `csrr?i` the register *index* is the 5-bit
+    /// immediate (`zimm`), mirroring the hardware encoding.
+    pub rs1: Gpr,
+    /// Second source register (only read by R-type ops, stores and branches).
+    pub rs2: Gpr,
+    /// Immediate operand. Branch/jump offsets are byte offsets relative to the
+    /// instruction's own address; CSR instructions keep the 12-bit CSR address
+    /// here.
+    pub imm: i64,
+}
+
+impl Instr {
+    /// Creates a register-register (R-type) instruction.
+    pub fn rtype(op: Op, rd: Gpr, rs1: Gpr, rs2: Gpr) -> Instr {
+        Instr { op, rd, rs1, rs2, imm: 0 }
+    }
+
+    /// Creates a register-immediate (I-type) instruction, including loads,
+    /// `jalr` and shift-immediates.
+    pub fn itype(op: Op, rd: Gpr, rs1: Gpr, imm: i64) -> Instr {
+        Instr { op, rd, rs1, rs2: Gpr::Zero, imm }
+    }
+
+    /// Creates a store (S-type) instruction: `op rs2, imm(rs1)`.
+    pub fn store(op: Op, rs2: Gpr, rs1: Gpr, imm: i64) -> Instr {
+        Instr { op, rd: Gpr::Zero, rs1, rs2, imm }
+    }
+
+    /// Creates a conditional branch (B-type) instruction with a byte offset.
+    pub fn branch(op: Op, rs1: Gpr, rs2: Gpr, offset: i64) -> Instr {
+        Instr { op, rd: Gpr::Zero, rs1, rs2, imm: offset }
+    }
+
+    /// Creates an upper-immediate (U-type) instruction; `imm` is the already
+    /// shifted 32-bit value (i.e. a multiple of 4096).
+    pub fn utype(op: Op, rd: Gpr, imm: i64) -> Instr {
+        Instr { op, rd, rs1: Gpr::Zero, rs2: Gpr::Zero, imm }
+    }
+
+    /// Creates a `jal` with a byte offset.
+    pub fn jal(rd: Gpr, offset: i64) -> Instr {
+        Instr { op: Op::Jal, rd, rs1: Gpr::Zero, rs2: Gpr::Zero, imm: offset }
+    }
+
+    /// Creates a CSR access with a register source (`csrrw`/`csrrs`/`csrrc`).
+    pub fn csr(op: Op, rd: Gpr, csr: CsrAddr, rs1: Gpr) -> Instr {
+        Instr { op, rd, rs1, rs2: Gpr::Zero, imm: i64::from(csr.value()) }
+    }
+
+    /// Creates a CSR access with a 5-bit immediate source
+    /// (`csrrwi`/`csrrsi`/`csrrci`).
+    pub fn csr_imm(op: Op, rd: Gpr, csr: CsrAddr, zimm: u8) -> Instr {
+        Instr {
+            op,
+            rd,
+            rs1: Gpr::from_index(zimm & 0x1f),
+            rs2: Gpr::Zero,
+            imm: i64::from(csr.value()),
+        }
+    }
+
+    /// Creates an operand-less system instruction (`ecall`, `ebreak`, `mret`,
+    /// `wfi`) or fence.
+    pub fn nullary(op: Op) -> Instr {
+        Instr { op, rd: Gpr::Zero, rs1: Gpr::Zero, rs2: Gpr::Zero, imm: 0 }
+    }
+
+    /// A canonical no-op (`addi zero, zero, 0`).
+    pub fn nop() -> Instr {
+        Instr::itype(Op::Addi, Gpr::Zero, Gpr::Zero, 0)
+    }
+
+    /// Returns the CSR address operand for CSR instructions, `None` otherwise.
+    pub fn csr_addr(&self) -> Option<CsrAddr> {
+        match self.op.format() {
+            Format::Csr | Format::CsrImm => Some(CsrAddr::new(self.imm as u16)),
+            _ => None,
+        }
+    }
+
+    /// Returns the 5-bit immediate of a `csrr?i` instruction, `None` otherwise.
+    pub fn csr_zimm(&self) -> Option<u8> {
+        match self.op.format() {
+            Format::CsrImm => Some(self.rs1.index()),
+            _ => None,
+        }
+    }
+
+    /// Returns the destination register when the operation writes one.
+    pub fn dest(&self) -> Option<Gpr> {
+        self.op.writes_rd().then_some(self.rd)
+    }
+
+    /// Returns the registers read by this instruction (at most two).
+    pub fn sources(&self) -> impl Iterator<Item = Gpr> {
+        let rs1 = self.op.reads_rs1().then_some(self.rs1);
+        let rs2 = self.op.reads_rs2().then_some(self.rs2);
+        rs1.into_iter().chain(rs2)
+    }
+
+    /// Forces unused operand fields to canonical values and clamps immediates
+    /// to the range their encoding can represent.
+    ///
+    /// The fuzzer calls this after structural mutations so that a mutated
+    /// instruction always survives an encode/decode round trip unchanged.
+    pub fn normalize(mut self) -> Instr {
+        let fmt = self.op.format();
+        if !self.op.writes_rd() {
+            self.rd = Gpr::Zero;
+        }
+        if !self.op.reads_rs1() && fmt != Format::CsrImm {
+            self.rs1 = Gpr::Zero;
+        }
+        if !self.op.reads_rs2() {
+            self.rs2 = Gpr::Zero;
+        }
+        self.imm = match fmt {
+            Format::R | Format::System => 0,
+            Format::I => clamp_signed(self.imm, 12),
+            Format::IShift => {
+                let bits = if is_word_shift(self.op) { 5 } else { 6 };
+                self.imm & ((1 << bits) - 1)
+            }
+            Format::S => clamp_signed(self.imm, 12),
+            Format::B => clamp_signed(self.imm, 13) & !1,
+            Format::U => clamp_signed(self.imm, 32) & !0xfff,
+            Format::J => clamp_signed(self.imm, 21) & !1,
+            Format::Csr | Format::CsrImm => self.imm & 0xfff,
+            Format::Fence => self.imm & 0xff,
+        };
+        self
+    }
+
+    /// Returns `true` when [`normalize`](Instr::normalize) would leave the
+    /// instruction unchanged.
+    pub fn is_normalized(&self) -> bool {
+        *self == self.normalize()
+    }
+}
+
+impl Default for Instr {
+    fn default() -> Self {
+        Instr::nop()
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::asm::format_instr(self, f)
+    }
+}
+
+pub(crate) fn is_word_shift(op: Op) -> bool {
+    matches!(op, Op::Slliw | Op::Srliw | Op::Sraiw)
+}
+
+/// Clamps `value` into the range representable by a signed `bits`-bit
+/// immediate by sign-extending its low `bits` bits.
+pub(crate) fn clamp_signed(value: i64, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    (value << shift) >> shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_fields() {
+        let add = Instr::rtype(Op::Add, Gpr::A0, Gpr::A1, Gpr::A2);
+        assert_eq!(add.dest(), Some(Gpr::A0));
+        assert_eq!(add.sources().collect::<Vec<_>>(), vec![Gpr::A1, Gpr::A2]);
+
+        let sd = Instr::store(Op::Sd, Gpr::A0, Gpr::Sp, -16);
+        assert_eq!(sd.dest(), None);
+        assert_eq!(sd.sources().collect::<Vec<_>>(), vec![Gpr::Sp, Gpr::A0]);
+
+        let csr = Instr::csr(Op::Csrrw, Gpr::T0, CsrAddr::MSCRATCH, Gpr::T1);
+        assert_eq!(csr.csr_addr(), Some(CsrAddr::MSCRATCH));
+        assert_eq!(csr.csr_zimm(), None);
+
+        let csri = Instr::csr_imm(Op::Csrrwi, Gpr::T0, CsrAddr::MSCRATCH, 17);
+        assert_eq!(csri.csr_zimm(), Some(17));
+    }
+
+    #[test]
+    fn nop_is_canonical_addi() {
+        let nop = Instr::nop();
+        assert_eq!(nop.op, Op::Addi);
+        assert!(nop.rd.is_zero());
+        assert_eq!(nop.imm, 0);
+        assert!(nop.is_normalized());
+    }
+
+    #[test]
+    fn clamp_signed_sign_extends() {
+        assert_eq!(clamp_signed(0x7ff, 12), 0x7ff);
+        assert_eq!(clamp_signed(0x800, 12), -2048);
+        assert_eq!(clamp_signed(-1, 12), -1);
+        assert_eq!(clamp_signed(1 << 20, 21), -(1 << 20));
+    }
+
+    #[test]
+    fn normalize_clears_unused_fields() {
+        let weird = Instr { op: Op::Lui, rd: Gpr::A0, rs1: Gpr::A1, rs2: Gpr::A2, imm: 0x1234_5678 };
+        let norm = weird.normalize();
+        assert_eq!(norm.rs1, Gpr::Zero);
+        assert_eq!(norm.rs2, Gpr::Zero);
+        assert_eq!(norm.imm & 0xfff, 0);
+        assert!(norm.is_normalized());
+    }
+
+    #[test]
+    fn normalize_clamps_branch_offsets() {
+        let b = Instr::branch(Op::Beq, Gpr::A0, Gpr::A1, 0x7ffff).normalize();
+        assert!(b.imm % 2 == 0);
+        assert!((-4096..4096).contains(&b.imm));
+    }
+
+    #[test]
+    fn normalize_clamps_shift_amounts() {
+        let s = Instr::itype(Op::Slli, Gpr::A0, Gpr::A0, 200).normalize();
+        assert!((0..64).contains(&s.imm));
+        let sw = Instr::itype(Op::Slliw, Gpr::A0, Gpr::A0, 63).normalize();
+        assert!((0..32).contains(&sw.imm));
+    }
+}

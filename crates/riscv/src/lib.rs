@@ -1,0 +1,70 @@
+//! RISC-V ISA substrate for the MABFuzz reproduction.
+//!
+//! This crate models the subset of the RISC-V instruction set exercised by the
+//! fuzzing campaigns in the MABFuzz paper: RV64I base integer instructions, the
+//! M extension (multiply/divide), the Zicsr extension (CSR accesses) and the
+//! privileged/system instructions that the injected vulnerabilities depend on
+//! (`FENCE.I`, `EBREAK`, `ECALL`, `MRET`, `WFI`).
+//!
+//! It provides:
+//!
+//! * [`Gpr`] — the 32 general-purpose integer registers,
+//! * [`CsrAddr`] — control-and-status-register addresses with machine-mode metadata,
+//! * [`Op`] / [`Instr`] — a decoded, mutation-friendly instruction representation,
+//! * [`encode`](Instr::encode) / [`decode`] — lossless conversion to and from the
+//!   32-bit instruction words that the fuzzer mutates at the bit level,
+//! * [`Program`] — an executable test case (a sequence of instruction words plus a
+//!   data region),
+//! * [`ProgramGenerator`](gen::ProgramGenerator) — the weighted random instruction
+//!   generator used to create fuzzing seeds.
+//!
+//! # Example
+//!
+//! ```
+//! use riscv::{Instr, Gpr, Op, decode};
+//!
+//! let add = Instr::rtype(Op::Add, Gpr::A0, Gpr::A1, Gpr::A2);
+//! let word = add.encode();
+//! let back = decode(word).expect("round trip");
+//! assert_eq!(back, add);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod csr;
+pub mod decode;
+pub mod encode;
+pub mod gen;
+pub mod gpr;
+pub mod instr;
+pub mod op;
+pub mod program;
+
+pub use csr::CsrAddr;
+pub use decode::{decode, DecodeError};
+pub use gpr::Gpr;
+pub use instr::Instr;
+pub use op::{Op, OpClass};
+pub use program::Program;
+
+/// The fixed size, in bytes, of every instruction modelled by this crate.
+///
+/// The compressed (`C`) extension is not modelled; all instructions are 32 bits.
+pub const INSTR_BYTES: u64 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Gpr>();
+        assert_send_sync::<CsrAddr>();
+        assert_send_sync::<Op>();
+        assert_send_sync::<Instr>();
+        assert_send_sync::<Program>();
+    }
+}

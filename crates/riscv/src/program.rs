@@ -1,0 +1,320 @@
+//! Executable test programs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::decode::decode_all;
+use crate::encode::encode_all;
+use crate::{DecodeError, Instr, INSTR_BYTES};
+
+/// The address at which every test program is loaded and starts executing.
+///
+/// The value mirrors the reset vector used by the Chipyard test harness the
+/// paper's campaigns ran under (`0x8000_0000`, the start of main memory).
+pub const TEXT_BASE: u64 = 0x8000_0000;
+
+/// The base address of the scratch data region available to generated loads
+/// and stores.
+pub const DATA_BASE: u64 = 0x8001_0000;
+
+/// The size, in bytes, of the scratch data region.
+pub const DATA_SIZE: u64 = 0x1_0000;
+
+/// A self-contained test program: an instruction sequence plus an optional
+/// pre-initialised data region.
+///
+/// A `Program` is what the fuzzer feeds to both the processor under test and
+/// the golden reference model. Instructions are stored in decoded form
+/// because the mutation engine edits them structurally; the byte image the
+/// hardware fetches is produced on demand by [`Program::text_bytes`].
+///
+/// # Example
+///
+/// ```
+/// use riscv::{Program, Instr, Gpr, Op};
+///
+/// let program = Program::from_instrs(vec![
+///     Instr::itype(Op::Addi, Gpr::A0, Gpr::Zero, 7),
+///     Instr::rtype(Op::Add, Gpr::A1, Gpr::A0, Gpr::A0),
+/// ]);
+/// assert_eq!(program.len(), 2);
+/// assert_eq!(program.text_bytes().len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    /// Raw 32-bit words overriding the encoding of individual instruction
+    /// slots. Bit-level mutations can produce words that do not decode to any
+    /// instruction; those words still need to reach the hardware (they
+    /// exercise the illegal-instruction paths), so they are kept here keyed by
+    /// instruction index.
+    raw_overrides: std::collections::BTreeMap<usize, u32>,
+    /// Initial contents of the data region, starting at [`DATA_BASE`].
+    data: Vec<u8>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program { instrs: Vec::new(), raw_overrides: Default::default(), data: Vec::new() }
+    }
+
+    /// Creates a program from decoded instructions, with an empty data region.
+    pub fn from_instrs(instrs: Vec<Instr>) -> Program {
+        Program { instrs, raw_overrides: Default::default(), data: Vec::new() }
+    }
+
+    /// Creates a program by decoding a little-endian byte image; undecodable
+    /// words are preserved as raw overrides (and NOP placeholders in the
+    /// decoded view) so the byte image survives a round trip.
+    ///
+    /// Returns the program together with the number of words that failed to
+    /// decode, which the caller may use to gauge how much of a mutated image
+    /// remained legal.
+    pub fn from_text_bytes(bytes: &[u8]) -> (Program, usize) {
+        let decoded = decode_all(bytes);
+        let mut illegal = 0;
+        let mut raw_overrides = std::collections::BTreeMap::new();
+        let instrs = decoded
+            .into_iter()
+            .enumerate()
+            .map(|(index, r)| match r {
+                Ok(i) => i,
+                Err(DecodeError { word }) => {
+                    illegal += 1;
+                    raw_overrides.insert(index, word);
+                    Instr::nop()
+                }
+            })
+            .collect();
+        (Program { instrs, raw_overrides, data: Vec::new() }, illegal)
+    }
+
+    /// Overrides the encoded word of the instruction slot at `index` with a
+    /// raw 32-bit value (typically an undecodable word produced by a bit-level
+    /// mutation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set_raw(&mut self, index: usize, word: u32) {
+        assert!(index < self.instrs.len(), "raw override index {index} out of bounds");
+        self.raw_overrides.insert(index, word);
+    }
+
+    /// Returns the raw-word override of slot `index`, if any.
+    pub fn raw(&self, index: usize) -> Option<u32> {
+        self.raw_overrides.get(&index).copied()
+    }
+
+    /// Removes the raw override of slot `index` (e.g. after the slot has been
+    /// re-mutated into a decodable instruction).
+    pub fn clear_raw(&mut self, index: usize) {
+        self.raw_overrides.remove(&index);
+    }
+
+    /// Returns the number of raw (undecodable) word overrides.
+    pub fn raw_count(&self) -> usize {
+        self.raw_overrides.len()
+    }
+
+    /// Returns the number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` when the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Returns the instructions as a slice.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Returns a mutable view of the instructions (used by the mutation
+    /// engine).
+    pub fn instrs_mut(&mut self) -> &mut Vec<Instr> {
+        &mut self.instrs
+    }
+
+    /// Returns the initial data region contents.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Replaces the initial data region contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds [`DATA_SIZE`] bytes.
+    pub fn set_data(&mut self, data: Vec<u8>) {
+        assert!(
+            data.len() as u64 <= DATA_SIZE,
+            "data region limited to {DATA_SIZE} bytes, got {}",
+            data.len()
+        );
+        self.data = data;
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instr: Instr) {
+        self.instrs.push(instr);
+    }
+
+    /// Encodes the instruction sequence into the little-endian byte image
+    /// fetched by the processors, applying any raw-word overrides.
+    pub fn text_bytes(&self) -> Vec<u8> {
+        let mut bytes = encode_all(&self.instrs);
+        for (&index, &word) in &self.raw_overrides {
+            if let Some(slot) = bytes.get_mut(index * 4..index * 4 + 4) {
+                slot.copy_from_slice(&word.to_le_bytes());
+            }
+        }
+        bytes
+    }
+
+    /// Returns the address of the instruction at `index`.
+    pub fn addr_of(&self, index: usize) -> u64 {
+        TEXT_BASE + index as u64 * INSTR_BYTES
+    }
+
+    /// Returns the index of the instruction at `addr`, or `None` when the
+    /// address falls outside the program text or is misaligned.
+    pub fn index_of(&self, addr: u64) -> Option<usize> {
+        if addr < TEXT_BASE || (addr - TEXT_BASE) % INSTR_BYTES != 0 {
+            return None;
+        }
+        let index = ((addr - TEXT_BASE) / INSTR_BYTES) as usize;
+        (index < self.instrs.len()).then_some(index)
+    }
+
+    /// Formats the program as an assembly listing with addresses.
+    pub fn to_listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            let _ = writeln!(out, "{:#010x}:  {}", self.addr_of(i), instr);
+        }
+        out
+    }
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Program::new()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_listing())
+    }
+}
+
+impl FromIterator<Instr> for Program {
+    fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Self {
+        Program::from_instrs(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Instr> for Program {
+    fn extend<T: IntoIterator<Item = Instr>>(&mut self, iter: T) {
+        self.instrs.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gpr, Op};
+
+    fn sample() -> Program {
+        Program::from_instrs(vec![
+            Instr::itype(Op::Addi, Gpr::A0, Gpr::Zero, 1),
+            Instr::rtype(Op::Add, Gpr::A1, Gpr::A0, Gpr::A0),
+            Instr::nullary(Op::Ecall),
+        ])
+    }
+
+    #[test]
+    fn text_bytes_round_trip() {
+        let program = sample();
+        let bytes = program.text_bytes();
+        let (back, illegal) = Program::from_text_bytes(&bytes);
+        assert_eq!(illegal, 0);
+        assert_eq!(back.instrs(), program.instrs());
+    }
+
+    #[test]
+    fn illegal_words_become_nops_but_are_counted() {
+        let mut bytes = sample().text_bytes();
+        bytes[4..8].copy_from_slice(&0xffff_ffffu32.to_le_bytes());
+        let (back, illegal) = Program::from_text_bytes(&bytes);
+        assert_eq!(illegal, 1);
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.instrs()[1], Instr::nop());
+    }
+
+    #[test]
+    fn address_index_mapping() {
+        let program = sample();
+        assert_eq!(program.addr_of(0), TEXT_BASE);
+        assert_eq!(program.addr_of(2), TEXT_BASE + 8);
+        assert_eq!(program.index_of(TEXT_BASE + 8), Some(2));
+        assert_eq!(program.index_of(TEXT_BASE + 12), None);
+        assert_eq!(program.index_of(TEXT_BASE + 2), None);
+        assert_eq!(program.index_of(TEXT_BASE - 4), None);
+    }
+
+    #[test]
+    fn listing_contains_addresses_and_mnemonics() {
+        let listing = sample().to_listing();
+        assert!(listing.contains("0x80000000"));
+        assert!(listing.contains("addi a0, zero, 1"));
+        assert!(listing.contains("ecall"));
+    }
+
+    #[test]
+    #[should_panic(expected = "data region")]
+    fn oversized_data_region_panics() {
+        let mut program = sample();
+        program.set_data(vec![0u8; (DATA_SIZE + 1) as usize]);
+    }
+
+    #[test]
+    fn raw_overrides_survive_byte_round_trips() {
+        let mut program = sample();
+        program.set_raw(1, 0xffff_ffff);
+        assert_eq!(program.raw(1), Some(0xffff_ffff));
+        assert_eq!(program.raw_count(), 1);
+        let bytes = program.text_bytes();
+        assert_eq!(&bytes[4..8], &0xffff_ffffu32.to_le_bytes());
+        let (back, illegal) = Program::from_text_bytes(&bytes);
+        assert_eq!(illegal, 1);
+        assert_eq!(back.raw(1), Some(0xffff_ffff));
+        assert_eq!(back.text_bytes(), bytes);
+        let mut cleared = program.clone();
+        cleared.clear_raw(1);
+        assert_eq!(cleared.raw_count(), 0);
+        assert_eq!(cleared.text_bytes(), sample().text_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn raw_override_out_of_bounds_panics() {
+        let mut program = sample();
+        program.set_raw(99, 0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut program: Program = (0..4).map(|i| Instr::itype(Op::Addi, Gpr::A0, Gpr::A0, i)).collect();
+        assert_eq!(program.len(), 4);
+        program.extend([Instr::nullary(Op::Ecall)]);
+        assert_eq!(program.len(), 5);
+        assert!(!program.is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Custom bandit: plug a user-defined scheduling policy into MABFuzz.
+//!
+//! The paper stresses that MABFuzz is *agnostic* to the MAB algorithm — the
+//! three evaluated algorithms are interchangeable plug-ins. This example
+//! demonstrates the same property in the reproduction by implementing a
+//! simple softmax (Boltzmann exploration) policy with the reset-arm hook and
+//! racing it against the built-in UCB on the CVA6 model.
+//!
+//! ```sh
+//! cargo run --example custom_bandit
+//! ```
+
+use std::sync::Arc;
+
+use mab::{Bandit, BanditKind};
+use mabfuzz::{MabFuzzConfig, MabFuzzer};
+use proc_sim::cores::Cva6Core;
+use rand::Rng;
+
+/// Softmax / Boltzmann exploration over the arms' empirical mean rewards.
+struct Softmax {
+    temperature: f64,
+    values: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Softmax {
+    fn new(arms: usize, temperature: f64) -> Softmax {
+        Softmax { temperature, values: vec![0.0; arms], counts: vec![0; arms] }
+    }
+
+    fn probabilities(&self) -> Vec<f64> {
+        let scaled: Vec<f64> = self.values.iter().map(|v| (v / self.temperature).exp()).collect();
+        let total: f64 = scaled.iter().sum();
+        scaled.into_iter().map(|w| w / total).collect()
+    }
+}
+
+impl Bandit for Softmax {
+    fn kind(&self) -> BanditKind {
+        // Closest built-in family for reporting purposes.
+        BanditKind::EpsilonGreedy
+    }
+
+    fn arms(&self) -> usize {
+        self.values.len()
+    }
+
+    fn select(&mut self, rng: &mut dyn rand::RngCore) -> usize {
+        let probabilities = self.probabilities();
+        let mut ticket: f64 = rng.gen();
+        for (arm, p) in probabilities.iter().enumerate() {
+            if ticket < *p {
+                return arm;
+            }
+            ticket -= p;
+        }
+        self.values.len() - 1
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        self.counts[arm] += 1;
+        let n = self.counts[arm] as f64;
+        self.values[arm] += (reward - self.values[arm]) / n;
+    }
+
+    fn reset_arm(&mut self, arm: usize) {
+        // The MABFuzz reset hook: the fresh seed starts from a clean slate.
+        self.values[arm] = 0.0;
+        self.counts[arm] = 0;
+    }
+
+    fn value(&self, arm: usize) -> f64 {
+        self.values[arm]
+    }
+
+    fn pulls(&self, arm: usize) -> u64 {
+        self.counts[arm]
+    }
+}
+
+fn main() {
+    let tests = 400;
+    let base_config = || MabFuzzConfig::new(BanditKind::Ucb1).with_max_tests(tests);
+
+    // Built-in UCB.
+    let ucb = MabFuzzer::new(Arc::new(Cva6Core::with_native_bugs()), base_config(), 17).run();
+
+    // Custom softmax policy through the `with_bandit` hook.
+    let config = base_config();
+    let softmax = Box::new(Softmax::new(config.arms(), 4.0));
+    let custom =
+        MabFuzzer::with_bandit(Arc::new(Cva6Core::with_native_bugs()), config, softmax, 17).run();
+
+    println!("MABFuzz on cva6, {tests} tests per campaign\n");
+    println!("built-in UCB : {}", ucb.stats);
+    println!("custom softmax: {}", custom.stats);
+    println!(
+        "\narm resets — UCB: {}, softmax: {}",
+        ucb.total_resets, custom.total_resets
+    );
+    println!(
+        "\nthe same orchestrator, reward shaping and reset monitor drive both policies;\n\
+         only the arm-selection rule differs (paper contribution 3: algorithm-agnostic)."
+    );
+}

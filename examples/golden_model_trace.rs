@@ -1,0 +1,50 @@
+//! Golden-model trace: assemble a small RISC-V program, execute it on the
+//! golden reference model and on a deliberately buggy CVA6 model, and show
+//! the differential-testing report — the detection mechanism every fuzzing
+//! campaign in this workspace is built on.
+//!
+//! ```sh
+//! cargo run --example golden_model_trace
+//! ```
+
+use fuzzer::diff::compare_traces;
+use isa_sim::GoldenSim;
+use proc_sim::{cores::Cva6Core, BugSet, Processor, Vulnerability};
+use riscv::asm::parse_program;
+use riscv::Program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A directed test: exercise the CSR file with an unimplemented address —
+    // exactly the access the V6 vulnerability (CWE-1281) mishandles.
+    let listing = "\
+        lui   gp, 0x80010          # materialise the data-region base\n\
+        addi  t0, zero, 77\n\
+        sd    t0, 0(gp)\n\
+        ld    t1, 0(gp)\n\
+        csrrw t2, 0x5c0, zero      # unimplemented CSR: must trap\n\
+        csrrs t3, minstret, zero\n\
+        ecall\n";
+    let program = Program::from_instrs(parse_program(listing)?);
+
+    println!("test program:\n{program}");
+
+    // Golden reference model (the SPIKE substitute).
+    let golden = GoldenSim::new().run(&program, 100);
+    println!("golden-model commit trace:");
+    println!("{}", golden.to_log());
+
+    // The same program on a CVA6 model with the V6 bug injected.
+    let buggy = Cva6Core::new(BugSet::only(Vulnerability::V6UnimplCsrJunk));
+    let dut = buggy.run(&program, 100);
+    println!(
+        "buggy {} run: {} instructions committed, {} coverage points hit",
+        buggy.name(),
+        dut.trace.len(),
+        dut.coverage.count()
+    );
+
+    // Differential testing: the junk CSR read shows up as mismatches.
+    let report = compare_traces(&dut.trace, &golden);
+    println!("\ndifferential-testing report:\n{report}");
+    Ok(())
+}

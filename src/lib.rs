@@ -1,0 +1,21 @@
+//! Umbrella crate for the MABFuzz reproduction workspace.
+//!
+//! This crate exists so that the repository-level `examples/` and `tests/`
+//! directories have a package to hang off; it simply re-exports every
+//! workspace crate under one roof.
+//!
+//! ```
+//! use mabfuzz_suite::riscv::{Gpr, Instr, Op};
+//!
+//! let nop = Instr::nop();
+//! assert_eq!(nop.op, Op::Addi);
+//! assert_eq!(nop.rd, Gpr::Zero);
+//! ```
+
+pub use coverage;
+pub use fuzzer;
+pub use isa_sim;
+pub use mab;
+pub use mabfuzz;
+pub use proc_sim;
+pub use riscv;

@@ -1,0 +1,83 @@
+//! Cross-crate integration test: every bug-free processor model is
+//! architecturally equivalent to the golden reference model on randomly
+//! generated programs, and the differential-testing engine therefore stays
+//! silent on them.
+
+use std::sync::Arc;
+
+use mabfuzz_suite::fuzzer::diff::compare_traces;
+use mabfuzz_suite::fuzzer::FuzzHarness;
+use mabfuzz_suite::isa_sim::GoldenSim;
+use mabfuzz_suite::proc_sim::{BugSet, ProcessorKind};
+use mabfuzz_suite::riscv::gen::{GeneratorConfig, ProgramGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const PROGRAMS_PER_CORE: usize = 40;
+const MAX_STEPS: usize = 400;
+
+#[test]
+fn bug_free_cores_match_the_golden_model_on_random_programs() {
+    let generator = ProgramGenerator::new(GeneratorConfig::default());
+    for kind in ProcessorKind::ALL {
+        let core = kind.build(BugSet::none());
+        let golden = GoldenSim::new();
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for index in 0..PROGRAMS_PER_CORE {
+            let program = generator.generate_seed(&mut rng);
+            let dut = core.run(&program, MAX_STEPS);
+            let reference = golden.run(&program, MAX_STEPS);
+            let report = compare_traces(&dut.trace, &reference);
+            assert!(
+                report.is_clean(),
+                "bug-free {kind} diverged from the golden model on program {index}:\n{report}\n{program}"
+            );
+        }
+    }
+}
+
+#[test]
+fn coverage_is_reported_for_every_random_program() {
+    let generator = ProgramGenerator::new(GeneratorConfig::default());
+    for kind in ProcessorKind::ALL {
+        let harness = FuzzHarness::new(Arc::from(kind.build(BugSet::none())), MAX_STEPS);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let program = generator.generate_seed(&mut rng);
+            let outcome = harness.run_program(&program);
+            assert!(
+                outcome.coverage.count() > 0,
+                "{kind} reported an empty coverage map for a non-trivial program"
+            );
+            assert!(!outcome.detected_mismatch());
+        }
+    }
+}
+
+#[test]
+fn native_bug_sets_never_fire_spuriously_on_straightline_arithmetic() {
+    // Straight-line arithmetic programs touch none of the seven triggers, so
+    // even the fully buggy cores must match the golden model on them.
+    use mabfuzz_suite::riscv::asm::parse_program;
+    use mabfuzz_suite::riscv::Program;
+
+    let program = Program::from_instrs(
+        parse_program(
+            "addi a0, zero, 123\n\
+             addi a1, zero, -55\n\
+             add a2, a0, a1\n\
+             mul a3, a2, a2\n\
+             sub a4, a3, a0\n\
+             xor a5, a4, a1\n\
+             ecall\n",
+        )
+        .expect("valid assembly"),
+    );
+    for kind in ProcessorKind::ALL {
+        let core = kind.build_with_native_bugs();
+        let dut = core.run(&program, 100);
+        let reference = GoldenSim::new().run(&program, 100);
+        let report = compare_traces(&dut.trace, &reference);
+        assert!(report.is_clean(), "{kind} flagged a clean program:\n{report}");
+    }
+}

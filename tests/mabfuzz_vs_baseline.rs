@@ -1,0 +1,78 @@
+//! Cross-crate integration test: the qualitative claims of the paper hold on
+//! the simulated substrate — MABFuzz keeps up with or beats the static
+//! baseline on coverage under an equal test budget, and its dynamic seed
+//! scheduling actually exercises the reset machinery.
+
+use std::sync::Arc;
+
+use mabfuzz_suite::fuzzer::{CampaignConfig, TheHuzzFuzzer};
+use mabfuzz_suite::mab::BanditKind;
+use mabfuzz_suite::mabfuzz::{MabFuzzConfig, MabFuzzer};
+use mabfuzz_suite::proc_sim::{Processor, ProcessorKind};
+
+const TESTS: u64 = 500;
+
+fn campaign() -> CampaignConfig {
+    CampaignConfig {
+        max_tests: TESTS,
+        max_steps_per_test: 250,
+        sample_interval: 25,
+        ..CampaignConfig::default()
+    }
+}
+
+fn target(kind: ProcessorKind) -> Arc<dyn Processor> {
+    Arc::from(kind.build_with_native_bugs())
+}
+
+#[test]
+fn some_mabfuzz_variant_matches_or_beats_the_baseline_on_cva6_coverage() {
+    // CVA6 is the design with the most headroom (lowest baseline coverage in
+    // the paper); at least one MABFuzz algorithm should reach at least the
+    // baseline's coverage under the same budget.
+    let baseline = TheHuzzFuzzer::new(target(ProcessorKind::Cva6), campaign(), 21).run();
+    let mut best = 0usize;
+    for kind in BanditKind::ALL {
+        let mut config = MabFuzzConfig::new(kind);
+        config.campaign = campaign();
+        let outcome = MabFuzzer::new(target(ProcessorKind::Cva6), config, 21).run();
+        best = best.max(outcome.stats.final_coverage());
+    }
+    assert!(
+        best * 100 >= baseline.final_coverage() * 98,
+        "best MABFuzz coverage {best} fell more than 2% short of the baseline {}",
+        baseline.final_coverage()
+    );
+}
+
+#[test]
+fn mabfuzz_resets_arms_during_long_campaigns() {
+    let mut config = MabFuzzConfig::new(BanditKind::Ucb1).with_max_tests(TESTS);
+    config.campaign.max_steps_per_test = 250;
+    let outcome = MabFuzzer::new(target(ProcessorKind::Rocket), config, 8).run();
+    assert!(
+        outcome.total_resets > 0,
+        "a {TESTS}-test campaign with gamma=3 should hit saturated arms"
+    );
+    // Resets replace seeds, so the arms' lifetime pull counts must still sum
+    // to at least the number of executed tests.
+    let pulls: u64 = outcome.arms.iter().map(|arm| arm.pulls).sum();
+    assert!(pulls >= outcome.stats.tests_executed());
+}
+
+#[test]
+fn equal_budgets_are_enforced_for_a_fair_comparison() {
+    let baseline = TheHuzzFuzzer::new(target(ProcessorKind::Boom), campaign(), 2).run();
+    let mut config = MabFuzzConfig::new(BanditKind::EpsilonGreedy);
+    config.campaign = campaign();
+    let mabfuzz = MabFuzzer::new(target(ProcessorKind::Boom), config, 2).run();
+    assert_eq!(baseline.tests_executed(), TESTS);
+    assert_eq!(mabfuzz.stats.tests_executed(), TESTS);
+    // BOOM is the design with the least headroom: both fuzzers should end up
+    // in the same coverage ballpark (within 20% of each other under this
+    // short budget), mirroring the paper's observation that there is little
+    // room for improvement there.
+    let a = baseline.final_coverage() as f64;
+    let b = mabfuzz.stats.final_coverage() as f64;
+    assert!((a - b).abs() / a < 0.20, "baseline {a} vs MABFuzz {b} diverged unexpectedly far");
+}
