@@ -5,7 +5,6 @@
 //! arm-count and reset-versus-no-reset sweeps, then benchmarks a MABFuzz
 //! campaign at two γ settings so the cost of frequent arm resets is visible.
 
-use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -50,7 +49,7 @@ fn bench_gamma_settings(c: &mut Criterion) {
                 let mut config = MabFuzzConfig::new(BanditKind::Ucb1).with_gamma(gamma);
                 config.campaign = campaign_config(100);
                 MabFuzzer::new(
-                    Arc::from(processor_with_native_bugs(ProcessorKind::Rocket)),
+                    processor_with_native_bugs(ProcessorKind::Rocket),
                     config,
                     9,
                 )

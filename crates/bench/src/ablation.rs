@@ -6,7 +6,6 @@
 //! they are reasonable: final coverage as a function of α, γ and the number
 //! of arms, plus a head-to-head of MABFuzz with and without arm resets.
 
-use std::sync::Arc;
 
 use mab::BanditKind;
 use mabfuzz::{MabFuzzConfig, MabFuzzer};
@@ -14,7 +13,7 @@ use proc_sim::ProcessorKind;
 use serde::{Deserialize, Serialize};
 
 use crate::report::TextTable;
-use crate::{campaign_config, processor_with_native_bugs, ExperimentBudget};
+use crate::{campaign_config, processor_with_native_bugs, ExperimentBudget, Parallelism};
 
 /// One ablation data point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,73 +60,131 @@ impl AblationSweep {
     }
 }
 
-fn run_point(
-    setting: String,
-    configure: impl Fn(MabFuzzConfig) -> MabFuzzConfig,
+/// Runs one sweep: each setting is expanded into `budget.repetitions`
+/// independent campaign cells (seeded `base_seed + repetition`), the flat
+/// cell list is spread across threads, and the means fold the repetitions in
+/// order — so results are byte-identical for every [`Parallelism`] mode.
+fn run_sweep(
+    parameter: &str,
+    settings: Vec<(String, MabFuzzConfig)>,
     processor: ProcessorKind,
     budget: &ExperimentBudget,
-) -> AblationPoint {
-    let mut total_coverage = 0.0;
-    let mut total_resets = 0.0;
-    for repetition in 0..budget.repetitions {
-        let mut config = MabFuzzConfig::new(BanditKind::Ucb1);
-        config.campaign = campaign_config(budget.coverage_tests);
-        let config = configure(config);
+    parallelism: Parallelism,
+) -> AblationSweep {
+    let mut cells = Vec::new();
+    for (index, _) in settings.iter().enumerate() {
+        for repetition in 0..budget.repetitions {
+            cells.push((index, repetition));
+        }
+    }
+
+    let outcomes = crate::run_grid(parallelism, &cells, |&(index, repetition)| {
         let outcome = MabFuzzer::new(
-            Arc::from(processor_with_native_bugs(processor)),
-            config,
+            processor_with_native_bugs(processor),
+            settings[index].1.clone(),
             budget.base_seed + repetition,
         )
         .run();
-        total_coverage += outcome.stats.final_coverage() as f64;
-        total_resets += outcome.total_resets as f64;
-    }
+        (outcome.stats.final_coverage() as f64, outcome.total_resets as f64)
+    });
+
+    // One group per setting, in construction order.
     let n = budget.repetitions.max(1) as f64;
-    AblationPoint { setting, final_coverage: total_coverage / n, resets: total_resets / n }
+    let mut next_group = crate::grid::result_groups(&outcomes, budget.repetitions);
+    let points = settings
+        .into_iter()
+        .map(|(setting, _)| {
+            let group = next_group();
+            let total_coverage: f64 = group.iter().map(|(coverage, _)| coverage).sum();
+            let total_resets: f64 = group.iter().map(|(_, resets)| resets).sum();
+            AblationPoint {
+                setting,
+                final_coverage: total_coverage / n,
+                resets: total_resets / n,
+            }
+        })
+        .collect();
+    AblationSweep { parameter: parameter.to_owned(), processor, points }
+}
+
+fn base_config(budget: &ExperimentBudget) -> MabFuzzConfig {
+    let mut config = MabFuzzConfig::new(BanditKind::Ucb1);
+    config.campaign = campaign_config(budget.coverage_tests);
+    config
 }
 
 /// Sweeps the reward weight α.
 pub fn alpha_sweep(processor: ProcessorKind, budget: &ExperimentBudget) -> AblationSweep {
-    let points = [0.0, 0.25, 0.5, 1.0]
+    alpha_sweep_with(processor, budget, Parallelism::default())
+}
+
+/// Sweeps the reward weight α with explicit parallelism.
+pub fn alpha_sweep_with(
+    processor: ProcessorKind,
+    budget: &ExperimentBudget,
+    parallelism: Parallelism,
+) -> AblationSweep {
+    let settings = [0.0, 0.25, 0.5, 1.0]
         .iter()
-        .map(|&alpha| {
-            run_point(format!("alpha={alpha}"), move |c| c.with_alpha(alpha), processor, budget)
-        })
+        .map(|&alpha| (format!("alpha={alpha}"), base_config(budget).with_alpha(alpha)))
         .collect();
-    AblationSweep { parameter: "alpha".to_owned(), processor, points }
+    run_sweep("alpha", settings, processor, budget, parallelism)
 }
 
 /// Sweeps the reset threshold γ.
 pub fn gamma_sweep(processor: ProcessorKind, budget: &ExperimentBudget) -> AblationSweep {
-    let points = [1usize, 3, 10]
+    gamma_sweep_with(processor, budget, Parallelism::default())
+}
+
+/// Sweeps the reset threshold γ with explicit parallelism.
+pub fn gamma_sweep_with(
+    processor: ProcessorKind,
+    budget: &ExperimentBudget,
+    parallelism: Parallelism,
+) -> AblationSweep {
+    let settings = [1usize, 3, 10]
         .iter()
-        .map(|&gamma| {
-            run_point(format!("gamma={gamma}"), move |c| c.with_gamma(gamma), processor, budget)
-        })
+        .map(|&gamma| (format!("gamma={gamma}"), base_config(budget).with_gamma(gamma)))
         .collect();
-    AblationSweep { parameter: "gamma".to_owned(), processor, points }
+    run_sweep("gamma", settings, processor, budget, parallelism)
 }
 
 /// Sweeps the number of arms.
 pub fn arms_sweep(processor: ProcessorKind, budget: &ExperimentBudget) -> AblationSweep {
-    let points = [4usize, 10, 20]
+    arms_sweep_with(processor, budget, Parallelism::default())
+}
+
+/// Sweeps the number of arms with explicit parallelism.
+pub fn arms_sweep_with(
+    processor: ProcessorKind,
+    budget: &ExperimentBudget,
+    parallelism: Parallelism,
+) -> AblationSweep {
+    let settings = [4usize, 10, 20]
         .iter()
-        .map(|&arms| {
-            run_point(format!("arms={arms}"), move |c| c.with_arms(arms), processor, budget)
-        })
+        .map(|&arms| (format!("arms={arms}"), base_config(budget).with_arms(arms)))
         .collect();
-    AblationSweep { parameter: "arms".to_owned(), processor, points }
+    run_sweep("arms", settings, processor, budget, parallelism)
 }
 
 /// Compares MABFuzz with the paper's arm-reset feature against a variant
 /// whose γ is effectively infinite (arms are never reset).
 pub fn reset_ablation(processor: ProcessorKind, budget: &ExperimentBudget) -> AblationSweep {
+    reset_ablation_with(processor, budget, Parallelism::default())
+}
+
+/// Runs the arm-reset ablation with explicit parallelism.
+pub fn reset_ablation_with(
+    processor: ProcessorKind,
+    budget: &ExperimentBudget,
+    parallelism: Parallelism,
+) -> AblationSweep {
     let never = usize::MAX / 2;
-    let points = vec![
-        run_point("reset(gamma=3)".to_owned(), |c| c.with_gamma(3), processor, budget),
-        run_point("no-reset".to_owned(), move |c| c.with_gamma(never), processor, budget),
+    let settings = vec![
+        ("reset(gamma=3)".to_owned(), base_config(budget).with_gamma(3)),
+        ("no-reset".to_owned(), base_config(budget).with_gamma(never)),
     ];
-    AblationSweep { parameter: "reset".to_owned(), processor, points }
+    run_sweep("reset", settings, processor, budget, parallelism)
 }
 
 #[cfg(test)]

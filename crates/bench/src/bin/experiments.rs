@@ -14,11 +14,17 @@
 //! With no arguments the default budget (2 000 coverage tests, 3 000-test
 //! detection cap, 3 repetitions) is used — small enough for a laptop, large
 //! enough for the paper's qualitative shapes to emerge.
+//!
+//! The experiment grid runs on all cores by default (`--parallel auto`);
+//! `--parallel serial` reproduces the single-threaded reference run with
+//! byte-identical results, and `--parallel N` pins the worker count.
+//! `--json` switches the report from text tables to the deterministic JSON
+//! renderers (one JSON document per experiment, one per line).
 
 use std::env;
 use std::process::ExitCode;
 
-use mabfuzz_bench::{ablation, fig3, fig4, table1, ExperimentBudget};
+use mabfuzz_bench::{ablation, fig3, fig4, json, table1, ExperimentBudget, Parallelism};
 use proc_sim::{ProcessorKind, Vulnerability};
 
 fn main() -> ExitCode {
@@ -40,8 +46,13 @@ fn main() -> ExitCode {
         "ablation" => run_ablation(&options),
         "all" => {
             run_table1(&options);
-            run_fig3(&options);
-            run_fig4(&options);
+            // Fig. 4 derives from the Fig. 3 campaigns, so the coverage grid
+            // — the most expensive part of the run — is simulated once and
+            // reported twice.
+            let fig3_result = compute_fig3(&options);
+            report_fig3(&options, &fig3_result);
+            print_fig4_banner(&options);
+            report_fig4(&options, &fig4::from_fig3(&fig3_result));
             run_ablation(&options);
         }
         "help" | "--help" | "-h" => println!("{USAGE}"),
@@ -55,13 +66,16 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: experiments <table1|fig3|fig4|ablation|all> \
-[--tests N] [--cap N] [--repeats R] [--seed S] [--cores a,b] [--vulns V1,V2]";
+[--tests N] [--cap N] [--repeats R] [--seed S] [--cores a,b] [--vulns V1,V2] \
+[--parallel auto|serial|N] [--serial] [--json]";
 
 #[derive(Debug, Clone)]
 struct Options {
     budget: ExperimentBudget,
     cores: Vec<ProcessorKind>,
     vulnerabilities: Vec<Vulnerability>,
+    parallelism: Parallelism,
+    json: bool,
 }
 
 impl Options {
@@ -69,6 +83,8 @@ impl Options {
         let mut budget = ExperimentBudget::default();
         let mut cores = ProcessorKind::ALL.to_vec();
         let mut vulnerabilities = Vulnerability::ALL.to_vec();
+        let mut parallelism = Parallelism::default();
+        let mut json = false;
         let mut iter = args.iter();
         while let Some(flag) = iter.next() {
             let mut value = || {
@@ -107,33 +123,60 @@ impl Options {
                         })
                         .collect::<Result<Vec<_>, _>>()?;
                 }
+                "--parallel" => {
+                    let text = value()?;
+                    parallelism = Parallelism::parse(&text)
+                        .ok_or_else(|| format!("--parallel: expected auto, serial or a thread count, got `{text}`"))?;
+                }
+                "--serial" => parallelism = Parallelism::Serial,
+                "--json" => json = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
-        Ok(Options { budget, cores, vulnerabilities })
+        Ok(Options { budget, cores, vulnerabilities, parallelism, json })
     }
 }
 
 fn run_table1(options: &Options) {
-    println!("== Table I: vulnerability detection speedup vs. TheHuzz ==");
-    println!(
-        "(detection cap {} tests, {} repetitions, base seed {})\n",
-        options.budget.detection_cap, options.budget.repetitions, options.budget.base_seed
-    );
-    let result = table1::run_for(&options.vulnerabilities, &options.budget);
+    if !options.json {
+        // Header first: the default budget simulates for a while, and the
+        // banner doubles as the progress cue.
+        println!("== Table I: vulnerability detection speedup vs. TheHuzz ==");
+        println!(
+            "(detection cap {} tests, {} repetitions, base seed {}, {})\n",
+            options.budget.detection_cap,
+            options.budget.repetitions,
+            options.budget.base_seed,
+            options.parallelism
+        );
+    }
+    let result = table1::run_for_with(&options.vulnerabilities, &options.budget, options.parallelism);
+    if options.json {
+        println!("{}", json::table1(&result));
+        return;
+    }
     println!("{}", result.to_table());
     if let Some(best) = result.best_speedup() {
         println!("best speedup over TheHuzz: {best:.2}x\n");
     }
 }
 
-fn run_fig3(options: &Options) {
-    println!("== Fig. 3: branch coverage vs. number of tests ==");
-    println!(
-        "({} tests per campaign, {} repetitions)\n",
-        options.budget.coverage_tests, options.budget.repetitions
-    );
-    let result = fig3::run_for(&options.cores, &options.budget);
+fn compute_fig3(options: &Options) -> fig3::Fig3Result {
+    if !options.json {
+        println!("== Fig. 3: branch coverage vs. number of tests ==");
+        println!(
+            "({} tests per campaign, {} repetitions, {})\n",
+            options.budget.coverage_tests, options.budget.repetitions, options.parallelism
+        );
+    }
+    fig3::run_for_with(&options.cores, &options.budget, options.parallelism)
+}
+
+fn report_fig3(options: &Options, result: &fig3::Fig3Result) {
+    if options.json {
+        println!("{}", json::fig3(result));
+        return;
+    }
     for curves in &result.processors {
         println!(
             "-- {} ({} coverage points) --",
@@ -144,25 +187,52 @@ fn run_fig3(options: &Options) {
     }
 }
 
-fn run_fig4(options: &Options) {
-    println!("== Fig. 4: coverage speedup and increment vs. TheHuzz ==");
-    let fig3_result = fig3::run_for(&options.cores, &options.budget);
-    let result = fig4::from_fig3(&fig3_result);
+fn run_fig3(options: &Options) {
+    let result = compute_fig3(options);
+    report_fig3(options, &result);
+}
+
+fn print_fig4_banner(options: &Options) {
+    if !options.json {
+        println!("== Fig. 4: coverage speedup and increment vs. TheHuzz ==");
+    }
+}
+
+fn report_fig4(options: &Options, result: &fig4::Fig4Result) {
+    if options.json {
+        println!("{}", json::fig4(result));
+        return;
+    }
     println!("{}", result.to_table());
     if let Some(best) = result.best_speedup() {
         println!("best coverage speedup over TheHuzz: {best:.2}x\n");
     }
 }
 
+fn run_fig4(options: &Options) {
+    // Banner before the grid: the coverage campaigns are the long part, and
+    // the banner doubles as the progress cue.
+    print_fig4_banner(options);
+    let fig3_result = fig3::run_for_with(&options.cores, &options.budget, options.parallelism);
+    report_fig4(options, &fig4::from_fig3(&fig3_result));
+}
+
 fn run_ablation(options: &Options) {
-    println!("== Parameter ablations (UCB on Rocket) ==\n");
     let core = options.cores.first().copied().unwrap_or(ProcessorKind::Rocket);
-    for sweep in [
-        ablation::alpha_sweep(core, &options.budget),
-        ablation::gamma_sweep(core, &options.budget),
-        ablation::arms_sweep(core, &options.budget),
-        ablation::reset_ablation(core, &options.budget),
-    ] {
+    if !options.json {
+        println!("== Parameter ablations (UCB on Rocket) ==\n");
+    }
+    let sweeps = [
+        ablation::alpha_sweep_with(core, &options.budget, options.parallelism),
+        ablation::gamma_sweep_with(core, &options.budget, options.parallelism),
+        ablation::arms_sweep_with(core, &options.budget, options.parallelism),
+        ablation::reset_ablation_with(core, &options.budget, options.parallelism),
+    ];
+    if options.json {
+        println!("{}", json::ablations(&sweeps));
+        return;
+    }
+    for sweep in sweeps {
         println!("-- {} sweep on {} --", sweep.parameter, sweep.processor);
         println!("{}", sweep.to_table());
     }

@@ -6,7 +6,10 @@ use proc_sim::ProcessorKind;
 use serde::{Deserialize, Serialize};
 
 use crate::report::TextTable;
-use crate::{campaign_config, processor_with_native_bugs, run_campaign, ExperimentBudget, FuzzerKind};
+use crate::{
+    campaign_config, processor_with_native_bugs, run_campaign, ExperimentBudget, FuzzerKind,
+    Parallelism,
+};
 
 /// The coverage curves of every fuzzer on one processor.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,7 +53,7 @@ impl Fig3Result {
     /// test count, one column per fuzzer) for the given processor.
     pub fn to_table(&self, kind: ProcessorKind, samples: usize) -> TextTable {
         let mut header = vec!["#Tests".to_owned()];
-        header.extend(FuzzerKind::ALL.iter().map(|f| f.name()));
+        header.extend(FuzzerKind::ALL.iter().map(|f| f.name().into_owned()));
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         let mut table = TextTable::new(&header_refs);
         let Some(curves) = self.processor(kind) else {
@@ -69,18 +72,53 @@ impl Fig3Result {
     }
 }
 
-/// Runs the Fig. 3 experiment for the given processors.
+/// One independent campaign of the Fig. 3 grid: a (processor, fuzzer,
+/// repetition) triple.
+#[derive(Debug, Clone, Copy)]
+struct CoverageCellJob {
+    processor: ProcessorKind,
+    fuzzer: FuzzerKind,
+    repetition: u64,
+}
+
+/// Runs the Fig. 3 experiment for the given processors, spreading the
+/// campaign grid across threads as requested.
 ///
 /// Each (processor, fuzzer) pair runs `budget.repetitions` campaigns of
 /// `budget.coverage_tests` tests; the reported curve is the per-sample mean.
-pub fn run_for(processors: &[ProcessorKind], budget: &ExperimentBudget) -> Fig3Result {
+/// Results are byte-identical for every [`Parallelism`] mode: each cell's
+/// RNG seed is `base_seed + repetition` and the curve averaging folds the
+/// repetitions in order.
+pub fn run_for_with(
+    processors: &[ProcessorKind],
+    budget: &ExperimentBudget,
+    parallelism: Parallelism,
+) -> Fig3Result {
+    let mut cells = Vec::new();
+    for &processor in processors {
+        for &fuzzer in &FuzzerKind::ALL {
+            for repetition in 0..budget.repetitions {
+                cells.push(CoverageCellJob { processor, fuzzer, repetition });
+            }
+        }
+    }
+
+    let campaigns = crate::run_grid(parallelism, &cells, |job| {
+        let processor = processor_with_native_bugs(job.processor);
+        let config = campaign_config(budget.coverage_tests);
+        run_campaign(job.fuzzer, processor, config, budget.base_seed + job.repetition)
+    });
+
+    // Reduce per (processor, fuzzer) group, folding repetitions in order
+    // (the loop nesting here must mirror the cell-construction loops above).
+    let mut next_group = crate::grid::result_groups(&campaigns, budget.repetitions);
     let processor_curves = processors
         .iter()
         .map(|&kind| {
             let space_len = processor_with_native_bugs(kind).coverage_space().len();
             let curves = FuzzerKind::ALL
                 .iter()
-                .map(|&fuzzer| (fuzzer, averaged_curve(fuzzer, kind, budget)))
+                .map(|&fuzzer| (fuzzer, averaged_curve(fuzzer, kind, next_group())))
                 .collect();
             ProcessorCurves { processor: kind, space_len, curves }
         })
@@ -88,24 +126,33 @@ pub fn run_for(processors: &[ProcessorKind], budget: &ExperimentBudget) -> Fig3R
     Fig3Result { processors: processor_curves, budget: budget.clone() }
 }
 
+/// Runs the Fig. 3 experiment for the given processors.
+pub fn run_for(processors: &[ProcessorKind], budget: &ExperimentBudget) -> Fig3Result {
+    run_for_with(processors, budget, Parallelism::default())
+}
+
 /// Runs the full Fig. 3 experiment (all three processors).
 pub fn run(budget: &ExperimentBudget) -> Fig3Result {
     run_for(&ProcessorKind::ALL, budget)
 }
 
-fn averaged_curve(fuzzer: FuzzerKind, kind: ProcessorKind, budget: &ExperimentBudget) -> CoverageSeries {
-    let mut runs = Vec::new();
-    for repetition in 0..budget.repetitions {
-        let processor = processor_with_native_bugs(kind);
-        let config = campaign_config(budget.coverage_tests);
-        let stats = run_campaign(fuzzer, processor, config, budget.base_seed + repetition);
-        runs.push(stats);
-    }
+/// Runs the full Fig. 3 experiment with explicit parallelism.
+pub fn run_with(budget: &ExperimentBudget, parallelism: Parallelism) -> Fig3Result {
+    run_for_with(&ProcessorKind::ALL, budget, parallelism)
+}
+
+fn averaged_curve(
+    fuzzer: FuzzerKind,
+    kind: ProcessorKind,
+    runs: &[fuzzer::CampaignStats],
+) -> CoverageSeries {
     // Average the cumulative coverage at the sample positions of the first run.
     let label = format!("{} on {}", fuzzer.name(), kind.name());
     let mut series = CoverageSeries::new(label);
-    let reference = runs[0].series().points().to_vec();
-    for point in reference {
+    let Some(reference) = runs.first() else {
+        return series;
+    };
+    for point in reference.series().points() {
         let mean: f64 = runs
             .iter()
             .map(|stats| stats.series().coverage_at(point.tests) as f64)

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::fig3::Fig3Result;
 use crate::report::{format_speedup, TextTable};
-use crate::{ExperimentBudget, FuzzerKind};
+use crate::{ExperimentBudget, FuzzerKind, Parallelism};
 
 /// Fig. 4 numbers for one (processor, algorithm) pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,7 +73,7 @@ impl Fig4Result {
             for cell in &processor.cells {
                 table.row(vec![
                     processor.processor.name().to_owned(),
-                    cell.fuzzer.name(),
+                    cell.fuzzer.name().into_owned(),
                     format_speedup(cell.coverage_speedup),
                     format!("{:+.2}", cell.coverage_increment_percent),
                 ]);
@@ -130,6 +130,16 @@ pub fn from_fig3(fig3: &Fig3Result) -> Fig4Result {
 /// Runs the coverage campaigns and derives the Fig. 4 metrics in one call.
 pub fn run_for(processors: &[ProcessorKind], budget: &ExperimentBudget) -> Fig4Result {
     from_fig3(&crate::fig3::run_for(processors, budget))
+}
+
+/// Runs the coverage campaigns with explicit parallelism and derives the
+/// Fig. 4 metrics.
+pub fn run_for_with(
+    processors: &[ProcessorKind],
+    budget: &ExperimentBudget,
+    parallelism: Parallelism,
+) -> Fig4Result {
+    from_fig3(&crate::fig3::run_for_with(processors, budget, parallelism))
 }
 
 /// Runs the full Fig. 4 experiment (all three processors).

@@ -23,10 +23,15 @@
 pub mod ablation;
 pub mod fig3;
 pub mod fig4;
+pub mod grid;
+pub mod json;
 pub mod report;
 pub mod table1;
 
+use std::borrow::Cow;
 use std::sync::Arc;
+
+pub use grid::{run_grid, Parallelism};
 
 use fuzzer::{CampaignConfig, CampaignStats, TheHuzzFuzzer};
 use mab::BanditKind;
@@ -60,11 +65,16 @@ impl FuzzerKind {
     ];
 
     /// Returns the display name used in tables.
-    pub fn name(self) -> String {
-        match self {
-            FuzzerKind::TheHuzz => "TheHuzz".to_owned(),
-            FuzzerKind::MabFuzz(kind) => format!("MABFuzz: {kind}"),
-        }
+    ///
+    /// Borrowed from precomputed labels — `name()` sits in hot bench loops
+    /// (benchmark ids, per-row table rendering), so it must not allocate.
+    pub fn name(self) -> Cow<'static, str> {
+        Cow::Borrowed(match self {
+            FuzzerKind::TheHuzz => "TheHuzz",
+            FuzzerKind::MabFuzz(BanditKind::EpsilonGreedy) => "MABFuzz: epsilon-greedy",
+            FuzzerKind::MabFuzz(BanditKind::Ucb1) => "MABFuzz: UCB",
+            FuzzerKind::MabFuzz(BanditKind::Exp3) => "MABFuzz: EXP3",
+        })
     }
 }
 

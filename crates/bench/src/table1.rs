@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 use crate::report::{format_speedup, TextTable};
-use crate::{campaign_config, run_campaign, ExperimentBudget, FuzzerKind};
+use crate::{campaign_config, run_campaign, ExperimentBudget, FuzzerKind, Parallelism};
 
 /// Detection statistics of one fuzzer for one vulnerability.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -97,45 +97,71 @@ impl Table1Result {
     }
 }
 
-/// Runs the detection experiment for a chosen subset of vulnerabilities.
-pub fn run_for(vulnerabilities: &[Vulnerability], budget: &ExperimentBudget) -> Table1Result {
-    let rows = vulnerabilities
-        .iter()
-        .map(|&vulnerability| run_row(vulnerability, budget))
+/// One independent campaign of the Table I grid: a (vulnerability, fuzzer,
+/// repetition) triple. Cells share no state — the RNG seed is
+/// `base_seed + repetition` — so the grid executor may run them in any order
+/// on any thread.
+#[derive(Debug, Clone, Copy)]
+struct DetectionCellJob {
+    vulnerability: Vulnerability,
+    fuzzer: FuzzerKind,
+    repetition: u64,
+}
+
+/// Runs the detection experiment for a chosen subset of vulnerabilities,
+/// spreading the campaign grid across threads as requested.
+///
+/// The result is byte-identical for every [`Parallelism`] mode: cells are
+/// deterministic and the reduction (means over repetitions) folds in
+/// repetition order.
+pub fn run_for_with(
+    vulnerabilities: &[Vulnerability],
+    budget: &ExperimentBudget,
+    parallelism: Parallelism,
+) -> Table1Result {
+    let fuzzers: Vec<FuzzerKind> = std::iter::once(FuzzerKind::TheHuzz)
+        .chain(BanditKind::ALL.iter().map(|&kind| FuzzerKind::MabFuzz(kind)))
         .collect();
+    let mut cells = Vec::new();
+    for &vulnerability in vulnerabilities {
+        for &fuzzer in &fuzzers {
+            for repetition in 0..budget.repetitions {
+                cells.push(DetectionCellJob { vulnerability, fuzzer, repetition });
+            }
+        }
+    }
+
+    let detections = crate::run_grid(parallelism, &cells, |job| {
+        let core_kind =
+            ProcessorKind::parse(job.vulnerability.native_core()).expect("known core name");
+        let processor: Arc<dyn proc_sim::Processor> =
+            Arc::from(core_kind.build(BugSet::only(job.vulnerability)));
+        let config = campaign_config(budget.detection_cap).detection_mode();
+        let stats = run_campaign(job.fuzzer, processor, config, budget.base_seed + job.repetition);
+        stats.first_detection()
+    });
+
+    // Reduce per (vulnerability, fuzzer) group, folding repetitions in order
+    // (the loop nesting here must mirror the cell-construction loops above).
+    let mut next_group = crate::grid::result_groups(&detections, budget.repetitions);
+    let mut rows = Vec::with_capacity(vulnerabilities.len());
+    for &vulnerability in vulnerabilities {
+        let mut cells_by_fuzzer =
+            fuzzers.iter().map(|_| reduce_detection(next_group(), budget)).collect::<Vec<_>>().into_iter();
+        let thehuzz = cells_by_fuzzer.next().expect("baseline cell present");
+        let mabfuzz = BanditKind::ALL.iter().copied().zip(cells_by_fuzzer).collect();
+        rows.push(Table1Row { vulnerability, thehuzz, mabfuzz });
+    }
     Table1Result { rows, budget: budget.clone() }
 }
 
-/// Runs the full Table I experiment (all seven vulnerabilities).
-pub fn run(budget: &ExperimentBudget) -> Table1Result {
-    run_for(&Vulnerability::ALL, budget)
-}
-
-fn run_row(vulnerability: Vulnerability, budget: &ExperimentBudget) -> Table1Row {
-    let thehuzz = run_detection(FuzzerKind::TheHuzz, vulnerability, budget);
-    let mabfuzz = BanditKind::ALL
-        .iter()
-        .map(|&kind| (kind, run_detection(FuzzerKind::MabFuzz(kind), vulnerability, budget)))
-        .collect();
-    Table1Row { vulnerability, thehuzz, mabfuzz }
-}
-
-fn run_detection(
-    fuzzer: FuzzerKind,
-    vulnerability: Vulnerability,
-    budget: &ExperimentBudget,
-) -> DetectionCell {
-    let core_kind = ProcessorKind::parse(vulnerability.native_core()).expect("known core name");
+fn reduce_detection(first_detections: &[Option<u64>], budget: &ExperimentBudget) -> DetectionCell {
     let mut total_tests = 0.0;
     let mut detected_in = 0;
-    for repetition in 0..budget.repetitions {
-        let processor: Arc<dyn proc_sim::Processor> =
-            Arc::from(core_kind.build(BugSet::only(vulnerability)));
-        let config = campaign_config(budget.detection_cap).detection_mode();
-        let stats = run_campaign(fuzzer, processor, config, budget.base_seed + repetition);
-        match stats.first_detection() {
+    for detection in first_detections {
+        match detection {
             Some(tests) => {
-                total_tests += tests as f64;
+                total_tests += *tests as f64;
                 detected_in += 1;
             }
             None => total_tests += budget.detection_cap as f64,
@@ -146,6 +172,22 @@ fn run_detection(
         detected_in,
         repetitions: budget.repetitions,
     }
+}
+
+/// Runs the detection experiment for a chosen subset of vulnerabilities on
+/// all cores.
+pub fn run_for(vulnerabilities: &[Vulnerability], budget: &ExperimentBudget) -> Table1Result {
+    run_for_with(vulnerabilities, budget, Parallelism::default())
+}
+
+/// Runs the full Table I experiment (all seven vulnerabilities).
+pub fn run(budget: &ExperimentBudget) -> Table1Result {
+    run_for(&Vulnerability::ALL, budget)
+}
+
+/// Runs the full Table I experiment with explicit parallelism.
+pub fn run_with(budget: &ExperimentBudget, parallelism: Parallelism) -> Table1Result {
+    run_for_with(&Vulnerability::ALL, budget, parallelism)
 }
 
 #[cfg(test)]

@@ -1,0 +1,83 @@
+//! The parallel experiment engine's contract: running the grid across
+//! threads produces *byte-identical* reports to the serial reference, and
+//! the scratch-buffer hot path underneath is deterministic.
+
+use std::num::NonZeroUsize;
+
+use mabfuzz_bench::{
+    ablation, campaign_config, fig3, fig4, json, run_campaign, table1, ExperimentBudget,
+    FuzzerKind, Parallelism,
+};
+use proc_sim::{ProcessorKind, Vulnerability};
+
+fn tiny_budget() -> ExperimentBudget {
+    ExperimentBudget { coverage_tests: 60, detection_cap: 120, repetitions: 2, base_seed: 11 }
+}
+
+#[test]
+fn table1_parallel_json_is_byte_identical_to_serial() {
+    let budget = tiny_budget();
+    let vulns = [Vulnerability::V5MissingAccessFault, Vulnerability::V6UnimplCsrJunk];
+    let serial = table1::run_for_with(&vulns, &budget, Parallelism::Serial);
+    let parallel = table1::run_for_with(&vulns, &budget, Parallelism::Auto);
+    assert_eq!(serial, parallel, "structured results must match exactly");
+    assert_eq!(json::table1(&serial), json::table1(&parallel));
+}
+
+#[test]
+fn fig3_and_fig4_parallel_json_is_byte_identical_to_serial() {
+    let budget = tiny_budget();
+    let cores = [ProcessorKind::Cva6, ProcessorKind::Rocket];
+    let serial = fig3::run_for_with(&cores, &budget, Parallelism::Serial);
+    let two = Parallelism::Threads(NonZeroUsize::new(2).expect("nonzero"));
+    let parallel = fig3::run_for_with(&cores, &budget, two);
+    assert_eq!(serial, parallel);
+    assert_eq!(json::fig3(&serial), json::fig3(&parallel));
+    assert_eq!(
+        json::fig4(&fig4::from_fig3(&serial)),
+        json::fig4(&fig4::from_fig3(&parallel))
+    );
+}
+
+#[test]
+fn ablation_parallel_json_is_byte_identical_to_serial() {
+    let budget = ExperimentBudget { repetitions: 2, coverage_tests: 40, ..tiny_budget() };
+    let serial = ablation::gamma_sweep_with(ProcessorKind::Rocket, &budget, Parallelism::Serial);
+    let parallel = ablation::gamma_sweep_with(ProcessorKind::Rocket, &budget, Parallelism::Auto);
+    assert_eq!(serial, parallel);
+    assert_eq!(json::ablation(&serial), json::ablation(&parallel));
+}
+
+/// Determinism regression for the scratch-buffer refactor: a campaign's
+/// statistics must depend only on (fuzzer, processor, config, seed) — not on
+/// whether the harness buffers were fresh or reused, and not on which thread
+/// ran it.
+#[test]
+fn run_campaign_is_deterministic_under_buffer_reuse() {
+    for fuzzer in FuzzerKind::ALL {
+        let run = |seed: u64| {
+            run_campaign(
+                fuzzer,
+                mabfuzz_bench::processor_with_native_bugs(ProcessorKind::Cva6),
+                campaign_config(80),
+                seed,
+            )
+        };
+        let first = run(5);
+        let second = run(5);
+        assert_eq!(first.final_coverage(), second.final_coverage(), "{fuzzer}");
+        assert_eq!(first.cumulative().history(), second.cumulative().history(), "{fuzzer}");
+        assert_eq!(first.mismatching_tests(), second.mismatching_tests(), "{fuzzer}");
+        assert_eq!(
+            first.series().points(),
+            second.series().points(),
+            "{fuzzer} coverage curve must be reproducible"
+        );
+        let different = run(6);
+        assert_ne!(
+            first.cumulative().history(),
+            different.cumulative().history(),
+            "{fuzzer} must actually depend on the seed"
+        );
+    }
+}

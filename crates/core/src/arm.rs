@@ -90,9 +90,7 @@ impl Arm {
     ///
     /// Panics if the coverage map belongs to a different space.
     pub fn absorb_coverage(&mut self, test_coverage: &CoverageMap) -> usize {
-        let new_points = test_coverage.count_new(&self.local_coverage);
-        self.local_coverage.union_with(test_coverage);
-        new_points
+        self.local_coverage.union_count_new(test_coverage)
     }
 
     /// Returns the arm-local cumulative coverage.

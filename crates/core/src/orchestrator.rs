@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use fuzzer::{CampaignStats, FuzzHarness, MutationEngine, SeedGenerator};
+use fuzzer::{CampaignStats, ExecScratch, FuzzHarness, MutationEngine, SeedGenerator};
 use mab::Bandit;
 use proc_sim::Processor;
 use rand::rngs::StdRng;
@@ -121,6 +121,7 @@ impl MabFuzzer {
             .map(|index| Arm::new(index, self.seeds.generate_seed(&mut self.rng), space_len))
             .collect();
         let mut total_resets = 0u64;
+        let mut scratch = ExecScratch::new();
 
         while stats.tests_executed() < self.config.campaign.max_tests {
             // 1. Select an arm.
@@ -141,14 +142,16 @@ impl MabFuzzer {
             };
 
             // 3. Simulate and compare.
-            let outcome = self.harness.run_program(&test.program);
+            let outcome = self.harness.run_program_into(&test.program, &mut scratch);
 
             // 4. Coverage bookkeeping: global novelty first (cov_G), then the
-            //    arm-local novelty (cov_L ⊇ cov_G).
-            let global_new = stats.record_test(test.id, &outcome.coverage, &outcome.diff).len();
-            let local_new = arm.absorb_coverage(&outcome.coverage);
+            //    arm-local novelty (cov_L ⊇ cov_G). Only the counts are
+            //    needed for the reward, so no id vectors are materialised.
+            let detected = outcome.detected_mismatch();
+            let global_new = stats.record_test_count(test.id, outcome.coverage, outcome.diff);
+            let local_new = arm.absorb_coverage(outcome.coverage);
 
-            if self.config.campaign.stop_on_first_detection && outcome.detected_mismatch() {
+            if self.config.campaign.stop_on_first_detection && detected {
                 break;
             }
 

@@ -171,8 +171,8 @@ mod tests {
         let mut space = CoverageSpace::new("core");
         let (t, f) = space.register_site("exec", "overflow");
         assert_ne!(t, f);
-        assert_eq!(space.info(t).unwrap().direction, true);
-        assert_eq!(space.info(f).unwrap().direction, false);
+        assert!(space.info(t).unwrap().direction);
+        assert!(!space.info(f).unwrap().direction);
     }
 
     #[test]

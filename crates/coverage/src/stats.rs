@@ -60,6 +60,23 @@ impl CumulativeCoverage {
         new_points
     }
 
+    /// Like [`absorb`](CumulativeCoverage::absorb) but only returns *how
+    /// many* points were globally new, without materialising their ids.
+    ///
+    /// This is the fuzzing hot path: the MABFuzz reward needs only the
+    /// count (`|cov_G|`), so the union and the delta count are computed in a
+    /// single pass over the bitmap words with no per-test allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_map` belongs to a space of a different size.
+    pub fn absorb_count(&mut self, test_map: &CoverageMap) -> usize {
+        let new_points = self.union.union_count_new(test_map);
+        self.tests_absorbed += 1;
+        self.history.push(self.union.count());
+        new_points
+    }
+
     /// Returns the points in `test_map` not yet covered globally, *without*
     /// absorbing the map.
     pub fn peek_new(&self, test_map: &CoverageMap) -> Vec<CoverPointId> {

@@ -115,7 +115,33 @@ impl CampaignStats {
     ) -> Vec<CoverPointId> {
         self.tests_executed += 1;
         let new_points = self.cumulative.absorb(coverage);
-        if self.tests_executed % self.sample_interval == 0 || self.tests_executed == 1 {
+        self.note_test(test_id, diff);
+        new_points
+    }
+
+    /// Records one executed test like [`record_test`](CampaignStats::record_test)
+    /// but returns only *how many* coverage points were globally new.
+    ///
+    /// This is the campaign hot path: the MABFuzz reward needs only the count
+    /// (`|cov_G|`), so the id vector of
+    /// [`record_test`](CampaignStats::record_test) is never materialised and
+    /// the union + delta count run in one pass over the bitmap.
+    pub fn record_test_count(
+        &mut self,
+        test_id: TestId,
+        coverage: &CoverageMap,
+        diff: &DiffReport,
+    ) -> usize {
+        self.tests_executed += 1;
+        let new_points = self.cumulative.absorb_count(coverage);
+        self.note_test(test_id, diff);
+        new_points
+    }
+
+    /// The bookkeeping both record paths share once the coverage has been
+    /// absorbed: curve sampling and detection recording.
+    fn note_test(&mut self, test_id: TestId, diff: &DiffReport) {
+        if self.tests_executed.is_multiple_of(self.sample_interval) || self.tests_executed == 1 {
             self.series.record(self.tests_executed, self.cumulative.count());
         }
         if !diff.is_clean() {
@@ -128,7 +154,6 @@ impl CampaignStats {
                 });
             }
         }
-        new_points
     }
 
     /// Finalises the series so the last sample reflects the very last test.

@@ -112,6 +112,12 @@ impl DiffReport {
         self.mismatches.iter().any(|m| m.kind == kind)
     }
 
+    /// Removes every recorded mismatch, keeping the allocation (for report
+    /// reuse across tests).
+    pub fn clear(&mut self) {
+        self.mismatches.clear();
+    }
+
     fn push(&mut self, kind: MismatchKind, seq: Option<u64>, pc: Option<u64>, detail: String) {
         self.mismatches.push(Mismatch { kind, seq, pc, detail });
     }
@@ -145,6 +151,18 @@ const COMPARED_CSRS: [CsrAddr; 4] =
 /// Compares a DUT trace against the golden trace for the same program.
 pub fn compare_traces(dut: &ExecTrace, golden: &ExecTrace) -> DiffReport {
     let mut report = DiffReport::default();
+    compare_traces_into(dut, golden, &mut report);
+    report
+}
+
+/// Compares a DUT trace against the golden trace into a caller-owned report,
+/// reusing its allocation.
+///
+/// A clean comparison — the overwhelmingly common case while fuzzing —
+/// touches no heap at all; mismatch details are only formatted when a
+/// divergence is found.
+pub fn compare_traces_into(dut: &ExecTrace, golden: &ExecTrace, report: &mut DiffReport) {
+    report.clear();
 
     for (d, g) in dut.commits().iter().zip(golden.commits()) {
         let seq = Some(g.seq);
@@ -231,8 +249,6 @@ pub fn compare_traces(dut: &ExecTrace, golden: &ExecTrace) -> DiffReport {
             );
         }
     }
-
-    report
 }
 
 /// Returns `true` when the two halting reasons are equal (convenience for

@@ -3,11 +3,11 @@
 use std::sync::Arc;
 
 use coverage::CoverageMap;
-use isa_sim::GoldenSim;
-use proc_sim::Processor;
+use isa_sim::{ExecTrace, GoldenScratch, GoldenSim};
+use proc_sim::{DutResult, Processor, SimScratch};
 use riscv::Program;
 
-use crate::diff::{compare_traces, DiffReport};
+use crate::diff::{compare_traces_into, DiffReport};
 
 /// The result of running one test program through the harness.
 #[derive(Debug, Clone)]
@@ -85,16 +85,97 @@ impl FuzzHarness {
 
     /// Simulates `program` on the DUT and the golden model and compares the
     /// traces.
+    ///
+    /// Convenience wrapper that allocates fresh buffers per call; campaign
+    /// loops use [`run_program_into`](FuzzHarness::run_program_into) with a
+    /// long-lived [`ExecScratch`] instead.
     pub fn run_program(&self, program: &Program) -> TestOutcome {
-        let dut = self.processor.run(program, self.max_steps);
-        let golden = self.golden.run(program, self.max_steps);
-        let diff = compare_traces(&dut.trace, &golden);
+        let mut scratch = ExecScratch::new();
+        self.run_program_into(program, &mut scratch);
         TestOutcome {
-            coverage: dut.coverage,
-            diff,
-            dut_commits: dut.trace.len(),
-            golden_commits: golden.len(),
+            coverage: scratch.dut.coverage,
+            diff: scratch.diff,
+            dut_commits: scratch.dut.trace.len(),
+            golden_commits: scratch.golden_trace.len(),
         }
+    }
+
+    /// Simulates `program` like [`run_program`](FuzzHarness::run_program) but
+    /// into the caller's reusable scratch buffers, returning a borrowed view
+    /// of the outcome.
+    ///
+    /// One `ExecScratch` per campaign makes the steady-state
+    /// simulate–compare loop allocation-free in its buffers: the DUT trace
+    /// and coverage bitmap, the golden trace, both memory images and the
+    /// diff report are all cleared and refilled in place. (Each simulation
+    /// still builds one small per-test CSR map inside its fresh
+    /// architectural state — the large per-test buffers are what is
+    /// reused.) Results are identical to
+    /// [`run_program`](FuzzHarness::run_program).
+    pub fn run_program_into<'s>(
+        &self,
+        program: &Program,
+        scratch: &'s mut ExecScratch,
+    ) -> TestOutcomeView<'s> {
+        self.processor.run_into(program, self.max_steps, &mut scratch.sim, &mut scratch.dut);
+        self.golden.run_into(
+            program,
+            self.max_steps,
+            &mut scratch.golden_trace,
+            &mut scratch.golden_scratch,
+        );
+        compare_traces_into(&scratch.dut.trace, &scratch.golden_trace, &mut scratch.diff);
+        TestOutcomeView {
+            coverage: &scratch.dut.coverage,
+            diff: &scratch.diff,
+            dut_commits: scratch.dut.trace.len(),
+            golden_commits: scratch.golden_trace.len(),
+        }
+    }
+}
+
+/// Reusable per-campaign simulation buffers for
+/// [`FuzzHarness::run_program_into`].
+///
+/// Owns everything a simulate–compare iteration writes: the DUT result
+/// (trace + coverage bitmap), the DUT's microarchitectural scratch, the
+/// golden model's trace and memory image and the differential report.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    sim: SimScratch,
+    dut: DutResult,
+    golden_trace: ExecTrace,
+    golden_scratch: GoldenScratch,
+    diff: DiffReport,
+}
+
+impl ExecScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> ExecScratch {
+        ExecScratch::default()
+    }
+}
+
+/// A borrowed view of one test's outcome inside an [`ExecScratch`] — the
+/// allocation-free counterpart of [`TestOutcome`].
+#[derive(Debug)]
+pub struct TestOutcomeView<'s> {
+    /// The branch-coverage bitmap the DUT reported for this test.
+    pub coverage: &'s CoverageMap,
+    /// The differential-testing report (empty when the DUT matched the golden
+    /// model).
+    pub diff: &'s DiffReport,
+    /// Number of instructions the DUT committed.
+    pub dut_commits: usize,
+    /// Number of instructions the golden model committed.
+    pub golden_commits: usize,
+}
+
+impl TestOutcomeView<'_> {
+    /// Returns `true` when the test exposed at least one architectural
+    /// mismatch (a potential vulnerability).
+    pub fn detected_mismatch(&self) -> bool {
+        !self.diff.is_clean()
     }
 }
 
@@ -139,6 +220,37 @@ mod tests {
         assert!(!clean.detected_mismatch(), "no trigger, no mismatch");
         let triggered = harness.run_program(&program("csrrw a0, 0x5c0, zero\necall\n"));
         assert!(triggered.detected_mismatch());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_buffers_exactly() {
+        // The same harness, one scratch reused across many different
+        // programs (clean and buggy cores, mismatching and clean tests):
+        // every outcome must equal the allocating path's.
+        let programs = [
+            program("addi a0, zero, 5\nmul a1, a0, a0\necall\n"),
+            program("lui gp, 0x80010\nsd a0, 0(gp)\nld a1, 0(gp)\necall\n"),
+            program("csrrw a0, 0x5c0, zero\necall\n"),
+            program("addi a0, zero, 1\necall\n"),
+        ];
+        for processor in [
+            FuzzHarness::new(Arc::new(RocketCore::new(BugSet::none())), 500),
+            FuzzHarness::new(
+                Arc::new(Cva6Core::new(BugSet::only(Vulnerability::V6UnimplCsrJunk))),
+                500,
+            ),
+        ] {
+            let mut scratch = ExecScratch::new();
+            for prog in &programs {
+                let fresh = processor.run_program(prog);
+                let reused = processor.run_program_into(prog, &mut scratch);
+                assert_eq!(fresh.coverage, *reused.coverage);
+                assert_eq!(fresh.diff, *reused.diff);
+                assert_eq!(fresh.dut_commits, reused.dut_commits);
+                assert_eq!(fresh.golden_commits, reused.golden_commits);
+                assert_eq!(fresh.detected_mismatch(), reused.detected_mismatch());
+            }
+        }
     }
 
     #[test]

@@ -147,7 +147,7 @@ impl MutationEngine {
                     .raw(index)
                     .unwrap_or_else(|| mutant.instrs()[index].encode());
                 let mutated_word = if op == MutationOp::BitFlip {
-                    original_word ^ (1 << rng.gen_range(0..32))
+                    original_word ^ (1u32 << rng.gen_range(0..32))
                 } else {
                     original_word ^ (0xffu32 << (8 * rng.gen_range(0..4)))
                 };

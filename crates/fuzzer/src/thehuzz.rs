@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::campaign::{CampaignConfig, CampaignStats};
-use crate::harness::FuzzHarness;
+use crate::harness::{ExecScratch, FuzzHarness};
 use crate::mutate::MutationEngine;
 use crate::pool::TestPool;
 use crate::seed::SeedGenerator;
@@ -66,6 +66,7 @@ impl TheHuzzFuzzer {
         );
         let mut pool = TestPool::new();
         pool.push_all(self.seeds.generate_seeds(&mut self.rng, self.config.num_seeds));
+        let mut scratch = ExecScratch::new();
 
         while stats.tests_executed() < self.config.max_tests {
             // Static decision #1: strictly FIFO test selection; when the pool
@@ -75,16 +76,17 @@ impl TheHuzzFuzzer {
                 None => self.seeds.generate_seed(&mut self.rng),
             };
 
-            let outcome = self.harness.run_program(&test.program);
-            let new_points = stats.record_test(test.id, &outcome.coverage, &outcome.diff);
+            let outcome = self.harness.run_program_into(&test.program, &mut scratch);
+            let detected = outcome.detected_mismatch();
+            let new_points = stats.record_test_count(test.id, outcome.coverage, outcome.diff);
 
-            if self.config.stop_on_first_detection && outcome.detected_mismatch() {
+            if self.config.stop_on_first_detection && detected {
                 break;
             }
 
             // Static decision #2: every interesting test produces the same
             // fixed number of mutants, appended to the back of the queue.
-            if !new_points.is_empty() {
+            if new_points > 0 {
                 for _ in 0..self.config.mutations_per_interesting_test {
                     let (mutant, _op) = self.mutator.mutate(&test.program, &mut self.rng);
                     pool.push(self.seeds.adopt_child(&test, mutant));

@@ -79,7 +79,7 @@ pub fn execute_instr(
         Op::Auipc => write_rd(state, &mut out, pc.wrapping_add(instr.imm as u64)),
         Op::Jal => {
             let target = pc.wrapping_add(instr.imm as u64);
-            if target % 4 != 0 {
+            if !target.is_multiple_of(4) {
                 return InstrOutcome::except(pc, Exception::InstrAddrMisaligned { target });
             }
             write_rd(state, &mut out, pc.wrapping_add(4));
@@ -87,7 +87,7 @@ pub fn execute_instr(
         }
         Op::Jalr => {
             let target = rs1.wrapping_add(instr.imm as u64) & !1;
-            if target % 4 != 0 {
+            if !target.is_multiple_of(4) {
                 return InstrOutcome::except(pc, Exception::InstrAddrMisaligned { target });
             }
             write_rd(state, &mut out, pc.wrapping_add(4));
@@ -106,7 +106,7 @@ pub fn execute_instr(
             };
             if taken {
                 let target = pc.wrapping_add(instr.imm as u64);
-                if target % 4 != 0 {
+                if !target.is_multiple_of(4) {
                     return InstrOutcome::except(pc, Exception::InstrAddrMisaligned { target });
                 }
                 out.next_pc = target;
@@ -116,7 +116,7 @@ pub fn execute_instr(
         Op::Lb | Op::Lh | Op::Lw | Op::Ld | Op::Lbu | Op::Lhu | Op::Lwu => {
             let width = u64::from(instr.op.memory_width().expect("load has a width"));
             let addr = rs1.wrapping_add(instr.imm as u64) & PHYS_ADDR_MASK;
-            if addr % width != 0 {
+            if !addr.is_multiple_of(width) {
                 return InstrOutcome::except(pc, Exception::LoadAddrMisaligned { addr });
             }
             if !mem.can_load(addr, width) {
@@ -136,7 +136,7 @@ pub fn execute_instr(
         Op::Sb | Op::Sh | Op::Sw | Op::Sd => {
             let width = u64::from(instr.op.memory_width().expect("store has a width"));
             let addr = rs1.wrapping_add(instr.imm as u64) & PHYS_ADDR_MASK;
-            if addr % width != 0 {
+            if !addr.is_multiple_of(width) {
                 return InstrOutcome::except(pc, Exception::StoreAddrMisaligned { addr });
             }
             if !mem.can_store(addr, width) {
@@ -193,7 +193,7 @@ pub fn execute_instr(
             write_rd(state, &mut out, (product >> 64) as u64)
         }
         Op::Div => write_rd(state, &mut out, div_signed(rs1 as i64, rs2 as i64) as u64),
-        Op::Divu => write_rd(state, &mut out, if rs2 == 0 { u64::MAX } else { rs1 / rs2 }),
+        Op::Divu => write_rd(state, &mut out, rs1.checked_div(rs2).unwrap_or(u64::MAX)),
         Op::Rem => write_rd(state, &mut out, rem_signed(rs1 as i64, rs2 as i64) as u64),
         Op::Remu => write_rd(state, &mut out, if rs2 == 0 { rs1 } else { rs1 % rs2 }),
         Op::Mulw => write_rd(state, &mut out, sext32(rs1.wrapping_mul(rs2))),
@@ -202,7 +202,7 @@ pub fn execute_instr(
         }
         Op::Divuw => {
             let (a, b) = (rs1 as u32, rs2 as u32);
-            let q = if b == 0 { u32::MAX } else { a / b };
+            let q = a.checked_div(b).unwrap_or(u32::MAX);
             write_rd(state, &mut out, q as i32 as i64 as u64)
         }
         Op::Remw => {
@@ -326,10 +326,32 @@ impl GoldenSim {
     /// Runs `program` for at most `max_steps` committed instructions and
     /// returns the commit trace.
     pub fn run(&self, program: &Program, max_steps: usize) -> ExecTrace {
+        let mut scratch = GoldenScratch::new();
+        let mut trace = ExecTrace::default();
+        self.run_into(program, max_steps, &mut trace, &mut scratch);
+        trace
+    }
+
+    /// Runs `program` like [`run`](GoldenSim::run), writing the commit trace
+    /// into a caller-owned buffer and reusing the scratch's memory image and
+    /// text buffer.
+    ///
+    /// This is the fuzzing hot path: a harness keeps one `ExecTrace` and one
+    /// [`GoldenScratch`] alive for the whole campaign, so steady-state
+    /// simulation performs no per-test trace or memory allocation.
+    pub fn run_into(
+        &self,
+        program: &Program,
+        max_steps: usize,
+        trace: &mut ExecTrace,
+        scratch: &mut GoldenScratch,
+    ) {
+        program.text_bytes_into(&mut scratch.text);
+        scratch.mem.reset_with_program(&scratch.text, program.data());
+        let mem = &mut scratch.mem;
+        trace.clear();
         let mut state = ArchState::new();
-        let mut mem = Memory::with_program(&program.text_bytes(), program.data());
         let text_end = TEXT_BASE + mem.text_len();
-        let mut commits = Vec::new();
         let mut halt = HaltReason::StepLimit;
 
         for seq in 0..max_steps as u64 {
@@ -340,7 +362,7 @@ impl GoldenSim {
             };
             let decoded = decode(word).ok();
             let outcome = match decoded {
-                Some(instr) => execute_instr(&mut state, &mut mem, instr, pc),
+                Some(instr) => execute_instr(&mut state, mem, instr, pc),
                 None => InstrOutcome::except(pc, Exception::IllegalInstruction { word }),
             };
 
@@ -371,7 +393,7 @@ impl GoldenSim {
             }
             let _ = retired;
 
-            commits.push(CommitRecord {
+            trace.push_commit(CommitRecord {
                 seq,
                 pc,
                 instr: decoded,
@@ -389,8 +411,22 @@ impl GoldenSim {
             state.pc = next_pc;
         }
 
-        let final_state = state;
-        ExecTrace::new(commits, final_state, halt)
+        trace.finish(state, halt);
+    }
+}
+
+/// Reusable per-campaign buffers for [`GoldenSim::run_into`]: the memory
+/// image and the encoded text bytes.
+#[derive(Debug, Clone, Default)]
+pub struct GoldenScratch {
+    mem: Memory,
+    text: Vec<u8>,
+}
+
+impl GoldenScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> GoldenScratch {
+        GoldenScratch::default()
     }
 }
 

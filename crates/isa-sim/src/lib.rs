@@ -47,7 +47,7 @@ pub mod state;
 pub mod trace;
 pub mod trap;
 
-pub use exec::{ExecConfig, GoldenSim};
+pub use exec::{ExecConfig, GoldenScratch, GoldenSim};
 pub use mem::Memory;
 pub use state::ArchState;
 pub use trace::{CommitRecord, ExecTrace, HaltReason, MemAccess};

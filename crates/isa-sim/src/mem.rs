@@ -51,6 +51,22 @@ impl Memory {
         mem
     }
 
+    /// Resets the memory to the all-zero state and loads a fresh program
+    /// image, reusing every already-allocated page.
+    ///
+    /// This is the buffer-reuse path of the fuzzing hot loop: a simulation
+    /// scratch keeps one `Memory` per harness and re-images it per test, so
+    /// steady-state fuzzing allocates no new pages (the reachable address
+    /// space is bounded by the text and data regions).
+    pub fn reset_with_program(&mut self, text: &[u8], data: &[u8]) {
+        for page in self.pages.values_mut() {
+            page.fill(0);
+        }
+        self.text_len = 0;
+        self.load_text(text);
+        self.load_data(data);
+    }
+
     /// Loads the program text image at [`TEXT_BASE`].
     pub fn load_text(&mut self, text: &[u8]) {
         self.text_len = text.len() as u64;
@@ -137,7 +153,7 @@ impl Memory {
     /// address is outside the text region or misaligned.
     pub fn fetch(&self, addr: u64) -> Option<u32> {
         let addr = addr & PHYS_ADDR_MASK;
-        if addr % 4 != 0 || self.region_of(addr) != Region::Text {
+        if !addr.is_multiple_of(4) || self.region_of(addr) != Region::Text {
             return None;
         }
         Some(self.read_uint(addr, 4) as u32)

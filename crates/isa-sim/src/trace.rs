@@ -102,10 +102,43 @@ pub struct ExecTrace {
     halt: HaltReason,
 }
 
+impl Default for ExecTrace {
+    /// An empty trace in the reset state — the starting point for
+    /// [`clear`](ExecTrace::clear)-based buffer reuse.
+    fn default() -> ExecTrace {
+        ExecTrace { commits: Vec::new(), final_state: ArchState::new(), halt: HaltReason::StepLimit }
+    }
+}
+
 impl ExecTrace {
     /// Creates a trace from its parts (used by the simulators).
     pub fn new(commits: Vec<CommitRecord>, final_state: ArchState, halt: HaltReason) -> ExecTrace {
         ExecTrace { commits, final_state, halt }
+    }
+
+    /// Resets the trace for reuse, keeping the commit buffer's allocation.
+    ///
+    /// The simulators call this at the start of every `run_into`-style
+    /// simulation so that steady-state fuzzing performs no per-test trace
+    /// allocation. The final state is deliberately left untouched (stale
+    /// from the previous run): every simulator ends its run with
+    /// [`finish`](ExecTrace::finish), which overwrites it, and resetting it
+    /// here would rebuild the CSR map per test for nothing.
+    pub fn clear(&mut self) {
+        self.commits.clear();
+        self.halt = HaltReason::StepLimit;
+    }
+
+    /// Appends one commit record (used by the simulators while running).
+    pub fn push_commit(&mut self, commit: CommitRecord) {
+        self.commits.push(commit);
+    }
+
+    /// Records the final architectural state and halt reason (used by the
+    /// simulators when a run finishes).
+    pub fn finish(&mut self, final_state: ArchState, halt: HaltReason) {
+        self.final_state = final_state;
+        self.halt = halt;
     }
 
     /// Returns the commit records in commit order.

@@ -194,11 +194,11 @@ mod tests {
                 totals[arm].0 += reward;
                 totals[arm].1 += 1;
             }
-            for arm in 0..arms {
-                if totals[arm].1 > 0 {
-                    let mean = totals[arm].0 / totals[arm].1 as f64;
+            for (arm, (total, pulls)) in totals.iter().enumerate() {
+                if *pulls > 0 {
+                    let mean = total / *pulls as f64;
                     prop_assert!((bandit.value(arm) - mean).abs() < 1e-9);
-                    prop_assert_eq!(bandit.pulls(arm), totals[arm].1);
+                    prop_assert_eq!(bandit.pulls(arm), *pulls);
                 }
             }
         }

@@ -2,7 +2,7 @@
 
 use coverage::{CoverPointId, CoverageMap, CoverageSpace};
 use isa_sim::exec::{execute_instr, InstrOutcome};
-use isa_sim::{ArchState, CommitRecord, Exception, ExecTrace, HaltReason, MemAccess, Memory, PHYS_ADDR_MASK};
+use isa_sim::{ArchState, CommitRecord, Exception, HaltReason, MemAccess, Memory, PHYS_ADDR_MASK};
 use riscv::op::Format;
 use riscv::program::TEXT_BASE;
 use riscv::{decode, Gpr, Instr, Op, OpClass, Program};
@@ -12,7 +12,7 @@ use crate::pipeline::{
     bucket, CacheModel, CsrFileModel, DecoderModel, ExecuteModel, FrontendModel, LsuModel,
     RobModel, ScoreboardModel,
 };
-use crate::{DutResult, Processor};
+use crate::{DutResult, Processor, SimScratch};
 
 /// The back-end organisation of a core.
 #[derive(Debug, Clone)]
@@ -189,6 +189,17 @@ struct Components {
     extras: CoreExtras,
 }
 
+/// The reusable component state a [`CoreModel`] parks inside a
+/// [`SimScratch`] between runs: one clone of the component templates, tagged
+/// with the design identity so a scratch handed to a different model is
+/// detected and rebuilt instead of misused.
+#[derive(Debug)]
+struct ModelScratch {
+    design: &'static str,
+    space_len: usize,
+    components: Components,
+}
+
 impl Components {
     fn reset(&mut self) {
         self.icache.reset();
@@ -283,14 +294,43 @@ impl Processor for CoreModel {
         &self.bugs
     }
 
-    fn run(&self, program: &Program, max_steps: usize) -> DutResult {
-        let mut parts = self.components.clone();
+    fn run_into(
+        &self,
+        program: &Program,
+        max_steps: usize,
+        scratch: &mut SimScratch,
+        out: &mut DutResult,
+    ) {
+        let (mem, text, model_slot) = scratch.parts();
+
+        // Adopt (or create) the scratch's component state for this design.
+        let reusable = model_slot
+            .as_mut()
+            .and_then(|state| state.downcast_mut::<ModelScratch>())
+            .is_some_and(|state| {
+                state.design == self.config.name && state.space_len == self.space.len()
+            });
+        if !reusable {
+            *model_slot = Some(Box::new(ModelScratch {
+                design: self.config.name,
+                space_len: self.space.len(),
+                components: self.components.clone(),
+            }));
+        }
+        let parts = &mut model_slot
+            .as_mut()
+            .and_then(|state| state.downcast_mut::<ModelScratch>())
+            .expect("model scratch was just validated or rebuilt")
+            .components;
         parts.reset();
-        let mut map = CoverageMap::for_space(&self.space);
+
+        program.text_bytes_into(text);
+        mem.reset_with_program(text, program.data());
+        out.coverage.reset_for_len(self.space.len());
+        out.trace.clear();
+        let map = &mut out.coverage;
         let mut state = ArchState::new();
-        let mut mem = Memory::with_program(&program.text_bytes(), program.data());
         let text_end = TEXT_BASE + mem.text_len();
-        let mut commits: Vec<CommitRecord> = Vec::new();
         let mut halt = HaltReason::StepLimit;
         // V3 trigger state: was the previously committed instruction a taken
         // control-flow transfer (i.e. is this instruction at the head of a new
@@ -303,8 +343,8 @@ impl Processor for CoreModel {
                 halt = HaltReason::PcOutOfText;
                 break;
             };
-            parts.frontend.on_fetch(pc, &mut map);
-            parts.icache.access(pc, false, &mut map);
+            parts.frontend.on_fetch(pc, map);
+            parts.icache.access(pc, false, map);
 
             let decoded = decode(word).ok();
             // The instruction the DUT actually executes may differ from the
@@ -312,7 +352,7 @@ impl Processor for CoreModel {
             let executed = match decoded {
                 Some(instr) => Some(instr),
                 None => {
-                    parts.decoder.on_illegal(word, &mut map);
+                    parts.decoder.on_illegal(word, map);
                     if self.bugs.has(Vulnerability::V2IllegalExecuted) {
                         Self::v2_decode(word)
                     } else {
@@ -330,22 +370,22 @@ impl Processor for CoreModel {
                 },
                 Some(instr) => {
                     if decoded.is_some() {
-                        parts.decoder.on_decode(&instr, &mut map);
+                        parts.decoder.on_decode(&instr, map);
                     }
-                    parts.backend.on_instr(&instr, &mut map);
+                    parts.backend.on_instr(&instr, map);
                     let rs1_val = state.reg(instr.rs1);
                     let rs2_val = state.reg(instr.rs2);
 
-                    let outcome = self.execute_with_bugs(&mut state, &mut mem, &mut parts, instr, pc, &mut map);
+                    let outcome = self.execute_with_bugs(&mut state, mem, parts, instr, pc, map);
 
                     parts.execute.on_execute(
                         &instr,
                         rs1_val,
                         rs2_val,
                         outcome.writeback.map(|(_, v)| v),
-                        &mut map,
+                        map,
                     );
-                    self.record_control_flow(&mut parts, instr, pc, &outcome, &mut map);
+                    self.record_control_flow(parts, instr, pc, &outcome, map);
                     outcome
                 }
             };
@@ -365,7 +405,7 @@ impl Processor for CoreModel {
             match outcome.exception {
                 None => {
                     state.retire();
-                    parts.csrfile.on_no_exception(&mut map);
+                    parts.csrfile.on_no_exception(map);
                 }
                 Some(Exception::EcallM) => {
                     halt = HaltReason::Ecall;
@@ -376,14 +416,14 @@ impl Processor for CoreModel {
                         state.retire();
                     }
                     let redirect = state.take_exception(Exception::Breakpoint, pc, text_end);
-                    parts.csrfile.on_exception(redirect.is_some(), &mut map);
+                    parts.csrfile.on_exception(redirect.is_some(), map);
                     if let Some(vector) = redirect {
                         next_pc = vector;
                     }
                 }
                 Some(exception) => {
                     let redirect = state.take_exception(exception, pc, text_end);
-                    parts.csrfile.on_exception(redirect.is_some(), &mut map);
+                    parts.csrfile.on_exception(redirect.is_some(), map);
                     if let Some(vector) = redirect {
                         next_pc = vector;
                     }
@@ -391,10 +431,10 @@ impl Processor for CoreModel {
             }
 
             if let Some(instr) = executed {
-                parts.extras.on_commit(&instr, seq as usize, pc, &mut map);
+                parts.extras.on_commit(&instr, seq as usize, pc, map);
             }
 
-            commits.push(CommitRecord {
+            out.trace.push_commit(CommitRecord {
                 seq,
                 pc,
                 instr: decoded,
@@ -411,12 +451,12 @@ impl Processor for CoreModel {
             }
             prev_redirected = outcome.exception.is_some() || next_pc != pc.wrapping_add(4);
             if prev_redirected {
-                parts.backend.on_redirect(&mut map);
+                parts.backend.on_redirect(map);
             }
             state.pc = next_pc;
         }
 
-        DutResult { trace: ExecTrace::new(commits, state, halt), coverage: map }
+        out.trace.finish(state, halt);
     }
 }
 

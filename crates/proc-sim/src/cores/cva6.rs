@@ -14,7 +14,7 @@
 
 use crate::bugs::BugSet;
 use crate::cores::common::{CoreConfig, CoreModel};
-use crate::{DutResult, Processor};
+use crate::{DutResult, Processor, SimScratch};
 
 use coverage::CoverageSpace;
 use riscv::Program;
@@ -77,8 +77,14 @@ impl Processor for Cva6Core {
         self.model.bugs()
     }
 
-    fn run(&self, program: &Program, max_steps: usize) -> DutResult {
-        self.model.run(program, max_steps)
+    fn run_into(
+        &self,
+        program: &Program,
+        max_steps: usize,
+        scratch: &mut SimScratch,
+        out: &mut DutResult,
+    ) {
+        self.model.run_into(program, max_steps, scratch, out)
     }
 }
 

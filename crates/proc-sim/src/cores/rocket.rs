@@ -9,7 +9,7 @@
 
 use crate::bugs::BugSet;
 use crate::cores::common::{CoreConfig, CoreModel};
-use crate::{DutResult, Processor};
+use crate::{DutResult, Processor, SimScratch};
 
 use coverage::CoverageSpace;
 use riscv::Program;
@@ -72,8 +72,14 @@ impl Processor for RocketCore {
         self.model.bugs()
     }
 
-    fn run(&self, program: &Program, max_steps: usize) -> DutResult {
-        self.model.run(program, max_steps)
+    fn run_into(
+        &self,
+        program: &Program,
+        max_steps: usize,
+        scratch: &mut SimScratch,
+        out: &mut DutResult,
+    ) {
+        self.model.run_into(program, max_steps, scratch, out)
     }
 }
 

@@ -54,21 +54,64 @@ pub mod bugs;
 pub mod cores;
 pub mod pipeline;
 
+use std::any::Any;
+
 use coverage::{CoverageMap, CoverageSpace};
-use isa_sim::ExecTrace;
+use isa_sim::{ExecTrace, Memory};
 use riscv::Program;
 
 pub use bugs::{BugSet, Vulnerability};
 pub use cores::{BoomCore, Cva6Core, ProcessorKind, RocketCore};
 
 /// The result of simulating one test program on a processor model.
-#[derive(Debug, Clone)]
+///
+/// A `DutResult` doubles as a reusable output buffer: the scratch-based
+/// [`Processor::run_into`] clears and refills the trace and coverage bitmap
+/// in place, so steady-state fuzzing performs no per-test allocation here.
+#[derive(Debug, Clone, Default)]
 pub struct DutResult {
     /// The architectural commit trace, directly comparable against the golden
     /// model's trace.
     pub trace: ExecTrace,
     /// The branch-coverage bitmap for this test.
     pub coverage: CoverageMap,
+}
+
+/// Reusable per-campaign simulation state for [`Processor::run_into`].
+///
+/// Holds the memory image, the encoded-text buffer and a type-erased slot for
+/// model-specific microarchitectural component state. A scratch belongs to
+/// one processor instance at a time (models validate and rebuild the
+/// component slot if handed a foreign scratch), and one scratch per harness
+/// is enough — campaigns are single-threaded internally; parallelism happens
+/// at campaign granularity.
+#[derive(Default)]
+pub struct SimScratch {
+    mem: Memory,
+    text: Vec<u8>,
+    model_state: Option<Box<dyn Any + Send>>,
+}
+
+impl std::fmt::Debug for SimScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimScratch")
+            .field("text_len", &self.text.len())
+            .field("has_model_state", &self.model_state.is_some())
+            .finish()
+    }
+}
+
+impl SimScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> SimScratch {
+        SimScratch::default()
+    }
+
+    /// Splits the scratch into its memory image, text buffer and
+    /// model-state slot (for `Processor` implementations).
+    pub fn parts(&mut self) -> (&mut Memory, &mut Vec<u8>, &mut Option<Box<dyn Any + Send>>) {
+        (&mut self.mem, &mut self.text, &mut self.model_state)
+    }
 }
 
 /// A processor design under test.
@@ -87,7 +130,27 @@ pub trait Processor: Send + Sync {
     fn bugs(&self) -> &BugSet;
 
     /// Simulates `program` for at most `max_steps` committed instructions.
-    fn run(&self, program: &Program, max_steps: usize) -> DutResult;
+    fn run(&self, program: &Program, max_steps: usize) -> DutResult {
+        let mut scratch = SimScratch::new();
+        let mut out = DutResult::default();
+        self.run_into(program, max_steps, &mut scratch, &mut out);
+        out
+    }
+
+    /// Simulates `program` like [`run`](Processor::run), reusing the caller's
+    /// scratch state and writing the result into `out` in place.
+    ///
+    /// This is the allocation-free fuzzing hot path: a harness keeps one
+    /// [`SimScratch`] and one [`DutResult`] for the whole campaign and the
+    /// model clears and refills them per test. The output is bit-identical to
+    /// [`run`](Processor::run).
+    fn run_into(
+        &self,
+        program: &Program,
+        max_steps: usize,
+        scratch: &mut SimScratch,
+        out: &mut DutResult,
+    );
 }
 
 #[cfg(test)]

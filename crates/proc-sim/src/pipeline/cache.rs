@@ -127,7 +127,7 @@ impl CacheModel {
     pub fn contains(&self, addr: u64) -> bool {
         let set = self.set_of(addr);
         let line = self.line_of(addr);
-        self.tags[set].iter().any(|t| *t == Some(line))
+        self.tags[set].contains(&Some(line))
     }
 
     /// Simulates an access, updating tag state and coverage.

@@ -128,7 +128,7 @@ impl ExecuteModel {
                 map.cover(if overflow { ovf_t } else { ovf_f });
                 if rs2 != 0 {
                     let (exact_t, exact_f) = self.div_exact;
-                    map.cover(if rs1 % rs2 == 0 { exact_t } else { exact_f });
+                    map.cover(if rs1.is_multiple_of(rs2) { exact_t } else { exact_f });
                 }
             }
             Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu | Op::Slt | Op::Sltu

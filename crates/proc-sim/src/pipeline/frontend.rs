@@ -97,7 +97,7 @@ impl FrontendModel {
 
     /// Records an instruction fetch.
     pub fn on_fetch(&mut self, pc: u64, map: &mut CoverageMap) {
-        if pc % 64 == 0 {
+        if pc.is_multiple_of(64) {
             map.cover(self.fetch_line_start);
         } else {
             map.cover(self.fetch_line_middle);

@@ -204,10 +204,18 @@ impl Instr {
 /// Encodes a slice of instructions into a flat little-endian byte image.
 pub fn encode_all(instrs: &[Instr]) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(instrs.len() * 4);
+    encode_all_into(instrs, &mut bytes);
+    bytes
+}
+
+/// Encodes a sequence of instructions into a caller-owned buffer, appending
+/// to its current contents (clear it first for a fresh image). Reusing one
+/// buffer across encodes avoids per-call allocation in the fuzzing hot loop.
+pub fn encode_all_into(instrs: &[Instr], bytes: &mut Vec<u8>) {
+    bytes.reserve(instrs.len() * 4);
     for instr in instrs {
         bytes.extend_from_slice(&instr.encode_bytes());
     }
-    bytes
 }
 
 #[cfg(test)]

@@ -220,7 +220,7 @@ impl ProgramGenerator {
                     Instr::jal(rd, 4 * rng.gen_range(1..=remaining.min(8)))
                 } else {
                     // jalr through a register; keep the offset tiny.
-                    Instr::itype(Op::Jalr, rd, rs1, 4 * rng.gen_range(0..4))
+                    Instr::itype(Op::Jalr, rd, rs1, 4 * rng.gen_range(0i64..4))
                 }
             }
             OpClass::Csr => {

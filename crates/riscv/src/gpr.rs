@@ -22,7 +22,9 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[repr(u8)]
 #[allow(missing_docs)]
+#[derive(Default)]
 pub enum Gpr {
+    #[default]
     Zero = 0,
     Ra = 1,
     Sp = 2,
@@ -146,11 +148,6 @@ impl Gpr {
     }
 }
 
-impl Default for Gpr {
-    fn default() -> Self {
-        Gpr::Zero
-    }
-}
 
 impl fmt::Display for Gpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

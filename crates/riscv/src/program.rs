@@ -5,7 +5,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::decode::decode_all;
-use crate::encode::encode_all;
+use crate::encode::encode_all_into;
 use crate::{DecodeError, Instr, INSTR_BYTES};
 
 /// The address at which every test program is loaded and starts executing.
@@ -167,13 +167,22 @@ impl Program {
     /// Encodes the instruction sequence into the little-endian byte image
     /// fetched by the processors, applying any raw-word overrides.
     pub fn text_bytes(&self) -> Vec<u8> {
-        let mut bytes = encode_all(&self.instrs);
+        let mut bytes = Vec::with_capacity(self.instrs.len() * 4);
+        self.text_bytes_into(&mut bytes);
+        bytes
+    }
+
+    /// Encodes the text image into a caller-owned buffer (cleared first),
+    /// reusing its allocation — the no-allocation form of
+    /// [`text_bytes`](Program::text_bytes) used by the simulation hot path.
+    pub fn text_bytes_into(&self, bytes: &mut Vec<u8>) {
+        bytes.clear();
+        encode_all_into(&self.instrs, bytes);
         for (&index, &word) in &self.raw_overrides {
             if let Some(slot) = bytes.get_mut(index * 4..index * 4 + 4) {
                 slot.copy_from_slice(&word.to_le_bytes());
             }
         }
-        bytes
     }
 
     /// Returns the address of the instruction at `index`.
@@ -184,7 +193,7 @@ impl Program {
     /// Returns the index of the instruction at `addr`, or `None` when the
     /// address falls outside the program text or is misaligned.
     pub fn index_of(&self, addr: u64) -> Option<usize> {
-        if addr < TEXT_BASE || (addr - TEXT_BASE) % INSTR_BYTES != 0 {
+        if addr < TEXT_BASE || !(addr - TEXT_BASE).is_multiple_of(INSTR_BYTES) {
             return None;
         }
         let index = ((addr - TEXT_BASE) / INSTR_BYTES) as usize;

@@ -1,0 +1,262 @@
+//! Minimal, dependency-free stand-in for the subset of `criterion` this
+//! workspace uses.
+//!
+//! It keeps the structure of the real crate — `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `sample_size`, `warm_up_time` and
+//! `measurement_time`, `bench_function` / `bench_with_input`, `BenchmarkId` —
+//! and reports wall-clock mean / min / max per benchmark to stdout. There is
+//! no statistical analysis or HTML report; the point is that `cargo bench`
+//! runs, prints comparable numbers, and the bench targets stay compiling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId { id: name.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { id: name }
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly — first untimed warm-up, then
+    /// `sample_size` timed samples (each sample batches iterations so that
+    /// per-call overhead stays amortised) — and records the per-iteration
+    /// time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and calibration of the batch size.
+        let warm_up_start = Instant::now();
+        let mut warm_up_iters: u64 = 0;
+        while warm_up_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_up_iters += 1;
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / warm_up_iters.max(1) as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("non-empty");
+        let max = self.samples.iter().max().expect("non-empty");
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            format_duration(*min),
+            format_duration(mean),
+            format_duration(*max)
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named collection of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        };
+        routine(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        self.bench_function(id, |bencher| routine(bencher, input))
+    }
+
+    /// Finishes the group (reporting already happened per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", routine);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("detect", "ucb").to_string(), "detect/ucb");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert!(format_duration(Duration::from_nanos(12)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}

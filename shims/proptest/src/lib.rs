@@ -1,0 +1,283 @@
+//! Minimal, dependency-free stand-in for the subset of `proptest` this
+//! workspace uses.
+//!
+//! The shim keeps the ergonomics of the real crate — `proptest! { ... }`
+//! blocks with `arg in strategy` bindings, `prop_assert!`/`prop_assert_eq!`,
+//! integer/float range strategies, `any::<T>()` and
+//! `proptest::collection::vec` — but runs a fixed number of deterministic
+//! cases per property (no shrinking, no persistence files). Failures panic
+//! with the case number so a failing input can be reproduced by rerunning the
+//! test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of random cases each property runs.
+pub const CASES: u32 = 64;
+
+/// Fixed seed of the deterministic case stream (stability beats entropy for
+/// an offline CI).
+pub const RUNNER_SEED: u64 = 0x4d41_4246_757a_7a21; // "MABFuzz!"
+
+/// The generator handed to strategies; deterministic per test body.
+pub type TestRng = StdRng;
+
+/// Creates the deterministic runner generator.
+pub fn runner_rng() -> TestRng {
+    TestRng::seed_from_u64(RUNNER_SEED)
+}
+
+/// A value generator: the shim's equivalent of `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Generates arbitrary values of `T` (uniform over the whole domain).
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Admissible length specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> SizeRange {
+            SizeRange { min: exact, max_exclusive: exact + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(range: core::ops::Range<usize>) -> SizeRange {
+            assert!(range.start < range.end, "empty vec size range");
+            SizeRange { min: range.start, max_exclusive: range.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { min: *range.start(), max_exclusive: *range.end() + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` is expected to bring in.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Per-block runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: CASES }
+    }
+}
+
+impl ProptestConfig {
+    /// Returns a configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Defines property tests.
+///
+/// Each function inside the block becomes one `#[test]` (the attribute is
+/// written inside the block, as with the real crate); its arguments are
+/// regenerated from their strategies for [`CASES`](crate::CASES)
+/// deterministic cases (overridable with a leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_with_config! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_with_config! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_with_config {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::runner_rng();
+                let cases = ($config).cases;
+                for case in 0..cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let guard = $crate::CaseGuard::new(format!(
+                        concat!(
+                            "property `", stringify!($name), "` failed at case {} with:",
+                            $(concat!("\n  ", stringify!($arg), " = {:?}")),+
+                        ),
+                        case, $(&$arg),+
+                    ));
+                    $body
+                    guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+/// Prints the failing case's inputs when a property body panics.
+pub struct CaseGuard {
+    message: String,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms a guard for one property case.
+    pub fn new(message: String) -> CaseGuard {
+        CaseGuard { message, armed: true }
+    }
+
+    /// Disarms the guard: the case passed.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!("{}", self.message);
+        }
+    }
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges respect their bounds.
+        #[test]
+        fn range_strategies_stay_in_bounds(x in 5usize..10, y in -4i32..=4, f in 0.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        /// Vec strategies respect their size range, including nesting.
+        #[test]
+        fn vec_strategies_respect_sizes(
+            flat in crate::collection::vec(0u32..100, 3..7),
+            nested in crate::collection::vec(crate::collection::vec(0u8..4, 0..3), 1..4),
+        ) {
+            prop_assert!((3..7).contains(&flat.len()));
+            prop_assert!(flat.iter().all(|v| *v < 100));
+            prop_assert!((1..4).contains(&nested.len()));
+        }
+
+        /// `any` produces the full domain without panicking.
+        #[test]
+        fn any_generates(value in any::<u8>(), wide in any::<i64>()) {
+            let _ = (value, wide);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::runner_rng();
+        let mut b = crate::runner_rng();
+        let s = 0u32..1000;
+        for _ in 0..32 {
+            assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! No-op `Serialize` / `Deserialize` derives backing the offline serde shim.
+//!
+//! Each derive parses just enough of the item — attributes are skipped, the
+//! `struct`/`enum` keyword located, the following identifier taken as the
+//! type name — and emits an empty marker-trait implementation. `#[serde(...)]`
+//! helper attributes are accepted and ignored. Generic items are rejected
+//! with a compile error (no in-tree serde-derived type is generic).
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = match item_name(input) {
+        Ok(name) => name,
+        Err(message) => return compile_error(&message),
+    };
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated marker impl parses")
+}
+
+/// Extracts the type name of a `struct`/`enum`/`union` item, rejecting
+/// generic items.
+fn item_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter();
+    while let Some(token) = tokens.next() {
+        let TokenTree::Ident(ident) = token else { continue };
+        let keyword = ident.to_string();
+        if keyword != "struct" && keyword != "enum" && keyword != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            return Err(format!("expected a name after `{keyword}`"));
+        };
+        if let Some(TokenTree::Punct(punct)) = tokens.next() {
+            if punct.as_char() == '<' {
+                return Err(format!(
+                    "the serde shim derive does not support generic types (`{name}`)"
+                ));
+            }
+        }
+        return Ok(name.to_string());
+    }
+    Err("expected a struct, enum or union item".to_owned())
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("generated compile_error parses")
+}

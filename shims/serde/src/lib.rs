@@ -1,0 +1,20 @@
+//! Minimal, dependency-free stand-in for the subset of `serde` this
+//! workspace uses.
+//!
+//! Nothing in-tree performs serde-based serialisation (the experiment
+//! harness renders its JSON reports by hand in `mabfuzz-bench`), but the
+//! domain types carry `#[derive(Serialize, Deserialize)]` so that they stay
+//! source-compatible with the real `serde` when registry access is
+//! available. This shim therefore provides the two traits as markers plus
+//! derive macros that emit empty marker implementations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize {}

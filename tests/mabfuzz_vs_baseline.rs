@@ -29,19 +29,36 @@ fn target(kind: ProcessorKind) -> Arc<dyn Processor> {
 fn some_mabfuzz_variant_matches_or_beats_the_baseline_on_cva6_coverage() {
     // CVA6 is the design with the most headroom (lowest baseline coverage in
     // the paper); at least one MABFuzz algorithm should reach at least the
-    // baseline's coverage under the same budget.
-    let baseline = TheHuzzFuzzer::new(target(ProcessorKind::Cva6), campaign(), 21).run();
+    // baseline's coverage under the same budget. Like the paper's evaluation,
+    // the comparison averages independent repetitions — any single seed can
+    // favour either side on a budget this small.
+    const SEEDS: [u64; 3] = [21, 22, 23];
+    let baseline: usize = SEEDS
+        .iter()
+        .map(|&seed| {
+            TheHuzzFuzzer::new(target(ProcessorKind::Cva6), campaign(), seed)
+                .run()
+                .final_coverage()
+        })
+        .sum();
     let mut best = 0usize;
     for kind in BanditKind::ALL {
-        let mut config = MabFuzzConfig::new(kind);
-        config.campaign = campaign();
-        let outcome = MabFuzzer::new(target(ProcessorKind::Cva6), config, 21).run();
-        best = best.max(outcome.stats.final_coverage());
+        let total: usize = SEEDS
+            .iter()
+            .map(|&seed| {
+                let mut config = MabFuzzConfig::new(kind);
+                config.campaign = campaign();
+                MabFuzzer::new(target(ProcessorKind::Cva6), config, seed)
+                    .run()
+                    .stats
+                    .final_coverage()
+            })
+            .sum();
+        best = best.max(total);
     }
     assert!(
-        best * 100 >= baseline.final_coverage() * 98,
-        "best MABFuzz coverage {best} fell more than 2% short of the baseline {}",
-        baseline.final_coverage()
+        best * 100 >= baseline * 98,
+        "best MABFuzz mean coverage {best} fell more than 2% short of the baseline {baseline}"
     );
 }
 
