@@ -13,7 +13,7 @@ use proc_sim::ProcessorKind;
 use serde::{Deserialize, Serialize};
 
 use crate::report::TextTable;
-use crate::{campaign_config, processor_with_native_bugs, ExperimentBudget, Parallelism};
+use crate::{campaign_config, processor_with_native_bugs, ExperimentBudget, Parallelism, ShardPlan};
 
 /// One ablation data point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,6 +70,7 @@ fn run_sweep(
     processor: ProcessorKind,
     budget: &ExperimentBudget,
     parallelism: Parallelism,
+    plan: &ShardPlan,
 ) -> AblationSweep {
     let mut cells = Vec::new();
     for (index, _) in settings.iter().enumerate() {
@@ -84,7 +85,7 @@ fn run_sweep(
             settings[index].1.clone(),
             budget.base_seed + repetition,
         )
-        .run();
+        .run_sharded(plan);
         (outcome.stats.final_coverage() as f64, outcome.total_resets as f64)
     });
 
@@ -124,11 +125,21 @@ pub fn alpha_sweep_with(
     budget: &ExperimentBudget,
     parallelism: Parallelism,
 ) -> AblationSweep {
+    alpha_sweep_planned(processor, budget, parallelism, &ShardPlan::serial())
+}
+
+/// Sweeps the reward weight α with intra-campaign sharding under `plan`.
+pub fn alpha_sweep_planned(
+    processor: ProcessorKind,
+    budget: &ExperimentBudget,
+    parallelism: Parallelism,
+    plan: &ShardPlan,
+) -> AblationSweep {
     let settings = [0.0, 0.25, 0.5, 1.0]
         .iter()
         .map(|&alpha| (format!("alpha={alpha}"), base_config(budget).with_alpha(alpha)))
         .collect();
-    run_sweep("alpha", settings, processor, budget, parallelism)
+    run_sweep("alpha", settings, processor, budget, parallelism, plan)
 }
 
 /// Sweeps the reset threshold γ.
@@ -142,11 +153,21 @@ pub fn gamma_sweep_with(
     budget: &ExperimentBudget,
     parallelism: Parallelism,
 ) -> AblationSweep {
+    gamma_sweep_planned(processor, budget, parallelism, &ShardPlan::serial())
+}
+
+/// Sweeps the reset threshold γ with intra-campaign sharding under `plan`.
+pub fn gamma_sweep_planned(
+    processor: ProcessorKind,
+    budget: &ExperimentBudget,
+    parallelism: Parallelism,
+    plan: &ShardPlan,
+) -> AblationSweep {
     let settings = [1usize, 3, 10]
         .iter()
         .map(|&gamma| (format!("gamma={gamma}"), base_config(budget).with_gamma(gamma)))
         .collect();
-    run_sweep("gamma", settings, processor, budget, parallelism)
+    run_sweep("gamma", settings, processor, budget, parallelism, plan)
 }
 
 /// Sweeps the number of arms.
@@ -160,11 +181,21 @@ pub fn arms_sweep_with(
     budget: &ExperimentBudget,
     parallelism: Parallelism,
 ) -> AblationSweep {
+    arms_sweep_planned(processor, budget, parallelism, &ShardPlan::serial())
+}
+
+/// Sweeps the number of arms with intra-campaign sharding under `plan`.
+pub fn arms_sweep_planned(
+    processor: ProcessorKind,
+    budget: &ExperimentBudget,
+    parallelism: Parallelism,
+    plan: &ShardPlan,
+) -> AblationSweep {
     let settings = [4usize, 10, 20]
         .iter()
         .map(|&arms| (format!("arms={arms}"), base_config(budget).with_arms(arms)))
         .collect();
-    run_sweep("arms", settings, processor, budget, parallelism)
+    run_sweep("arms", settings, processor, budget, parallelism, plan)
 }
 
 /// Compares MABFuzz with the paper's arm-reset feature against a variant
@@ -179,12 +210,22 @@ pub fn reset_ablation_with(
     budget: &ExperimentBudget,
     parallelism: Parallelism,
 ) -> AblationSweep {
+    reset_ablation_planned(processor, budget, parallelism, &ShardPlan::serial())
+}
+
+/// Runs the arm-reset ablation with intra-campaign sharding under `plan`.
+pub fn reset_ablation_planned(
+    processor: ProcessorKind,
+    budget: &ExperimentBudget,
+    parallelism: Parallelism,
+    plan: &ShardPlan,
+) -> AblationSweep {
     let never = usize::MAX / 2;
     let settings = vec![
         ("reset(gamma=3)".to_owned(), base_config(budget).with_gamma(3)),
         ("no-reset".to_owned(), base_config(budget).with_gamma(never)),
     ];
-    run_sweep("reset", settings, processor, budget, parallelism)
+    run_sweep("reset", settings, processor, budget, parallelism, plan)
 }
 
 #[cfg(test)]

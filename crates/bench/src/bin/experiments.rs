@@ -20,11 +20,25 @@
 //! byte-identical results, and `--parallel N` pins the worker count.
 //! `--json` switches the report from text tables to the deterministic JSON
 //! renderers (one JSON document per experiment, one per line).
+//!
+//! `--shards N` (default: the `MABFUZZ_SHARDS` environment variable, else
+//! off) additionally shards every MABFuzz campaign *internally*: each bandit
+//! round simulates a fixed-size test batch across `N` worker shards with a
+//! deterministic reduction, so the report is **byte-identical for every
+//! `N`** — including `--shards 1` — while the wall clock drops on multi-core
+//! machines. The grid's cell workers are divided by the shard count so both
+//! parallelism layers compose under one thread budget. Note that sharded
+//! mode (any `N`) is a *different deterministic campaign* than the default
+//! serial mode: batching changes which RNG stream generates each test, so
+//! compare sharded runs with sharded runs. `--shards off` restores the
+//! legacy serial plan (the published, golden-pinned artefacts) even when
+//! `MABFUZZ_SHARDS` is exported; a malformed `MABFUZZ_SHARDS` value is a
+//! hard error, never a silent fallback.
 
 use std::env;
 use std::process::ExitCode;
 
-use mabfuzz_bench::{ablation, fig3, fig4, json, table1, ExperimentBudget, Parallelism};
+use mabfuzz_bench::{ablation, fig3, fig4, json, table1, ExperimentBudget, Parallelism, ShardPlan};
 use proc_sim::{ProcessorKind, Vulnerability};
 
 fn main() -> ExitCode {
@@ -67,7 +81,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: experiments <table1|fig3|fig4|ablation|all> \
 [--tests N] [--cap N] [--repeats R] [--seed S] [--cores a,b] [--vulns V1,V2] \
-[--parallel auto|serial|N] [--serial] [--json]";
+[--parallel auto|serial|N] [--serial] [--shards N|off] [--json]";
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -75,6 +89,7 @@ struct Options {
     cores: Vec<ProcessorKind>,
     vulnerabilities: Vec<Vulnerability>,
     parallelism: Parallelism,
+    plan: ShardPlan,
     json: bool,
 }
 
@@ -84,6 +99,7 @@ impl Options {
         let mut cores = ProcessorKind::ALL.to_vec();
         let mut vulnerabilities = Vulnerability::ALL.to_vec();
         let mut parallelism = Parallelism::default();
+        let mut plan = ShardPlan::from_env()?.unwrap_or_else(ShardPlan::serial);
         let mut json = false;
         let mut iter = args.iter();
         while let Some(flag) = iter.next() {
@@ -129,11 +145,32 @@ impl Options {
                         .ok_or_else(|| format!("--parallel: expected auto, serial or a thread count, got `{text}`"))?;
                 }
                 "--serial" => parallelism = Parallelism::Serial,
+                "--shards" => {
+                    let text = value()?;
+                    plan = match text.trim().to_ascii_lowercase().as_str() {
+                        // The escape hatch back to the legacy serial plan —
+                        // the published artefacts — even when MABFUZZ_SHARDS
+                        // is exported in the environment.
+                        "off" | "serial" => ShardPlan::serial(),
+                        _ => {
+                            let shards: usize =
+                                text.parse().map_err(|e| format!("--shards: {e}"))?;
+                            if shards == 0 {
+                                return Err("--shards: expected at least one shard (or `off`)"
+                                    .to_owned());
+                            }
+                            ShardPlan::sharded(shards)
+                        }
+                    };
+                }
                 "--json" => json = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
-        Ok(Options { budget, cores, vulnerabilities, parallelism, json })
+        // Cell- and shard-level parallelism compose under one thread
+        // budget: a grid of N-shard campaigns gets workers/N cell workers.
+        parallelism = parallelism.with_shard_budget(plan.shards());
+        Ok(Options { budget, cores, vulnerabilities, parallelism, plan, json })
     }
 }
 
@@ -150,7 +187,12 @@ fn run_table1(options: &Options) {
             options.parallelism
         );
     }
-    let result = table1::run_for_with(&options.vulnerabilities, &options.budget, options.parallelism);
+    let result = table1::run_for_planned(
+        &options.vulnerabilities,
+        &options.budget,
+        options.parallelism,
+        &options.plan,
+    );
     if options.json {
         println!("{}", json::table1(&result));
         return;
@@ -169,7 +211,7 @@ fn compute_fig3(options: &Options) -> fig3::Fig3Result {
             options.budget.coverage_tests, options.budget.repetitions, options.parallelism
         );
     }
-    fig3::run_for_with(&options.cores, &options.budget, options.parallelism)
+    fig3::run_for_planned(&options.cores, &options.budget, options.parallelism, &options.plan)
 }
 
 fn report_fig3(options: &Options, result: &fig3::Fig3Result) {
@@ -213,7 +255,8 @@ fn run_fig4(options: &Options) {
     // Banner before the grid: the coverage campaigns are the long part, and
     // the banner doubles as the progress cue.
     print_fig4_banner(options);
-    let fig3_result = fig3::run_for_with(&options.cores, &options.budget, options.parallelism);
+    let fig3_result =
+        fig3::run_for_planned(&options.cores, &options.budget, options.parallelism, &options.plan);
     report_fig4(options, &fig4::from_fig3(&fig3_result));
 }
 
@@ -223,10 +266,10 @@ fn run_ablation(options: &Options) {
         println!("== Parameter ablations (UCB on Rocket) ==\n");
     }
     let sweeps = [
-        ablation::alpha_sweep_with(core, &options.budget, options.parallelism),
-        ablation::gamma_sweep_with(core, &options.budget, options.parallelism),
-        ablation::arms_sweep_with(core, &options.budget, options.parallelism),
-        ablation::reset_ablation_with(core, &options.budget, options.parallelism),
+        ablation::alpha_sweep_planned(core, &options.budget, options.parallelism, &options.plan),
+        ablation::gamma_sweep_planned(core, &options.budget, options.parallelism, &options.plan),
+        ablation::arms_sweep_planned(core, &options.budget, options.parallelism, &options.plan),
+        ablation::reset_ablation_planned(core, &options.budget, options.parallelism, &options.plan),
     ];
     if options.json {
         println!("{}", json::ablations(&sweeps));

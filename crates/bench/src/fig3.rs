@@ -7,8 +7,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::report::TextTable;
 use crate::{
-    campaign_config, processor_with_native_bugs, run_campaign, ExperimentBudget, FuzzerKind,
-    Parallelism,
+    campaign_config, processor_with_native_bugs, run_campaign_planned, ExperimentBudget,
+    FuzzerKind, Parallelism, ShardPlan,
 };
 
 /// The coverage curves of every fuzzer on one processor.
@@ -94,6 +94,21 @@ pub fn run_for_with(
     budget: &ExperimentBudget,
     parallelism: Parallelism,
 ) -> Fig3Result {
+    run_for_planned(processors, budget, parallelism, &ShardPlan::serial())
+}
+
+/// Runs the Fig. 3 experiment with every MABFuzz campaign sharded
+/// intra-campaign under `plan` (the TheHuzz baseline stays serial).
+///
+/// Results are byte-identical across shard counts for a fixed batch size;
+/// callers composing thread budgets should pre-divide `parallelism` with
+/// [`Parallelism::with_shard_budget`] — the grid itself only spreads cells.
+pub fn run_for_planned(
+    processors: &[ProcessorKind],
+    budget: &ExperimentBudget,
+    parallelism: Parallelism,
+    plan: &ShardPlan,
+) -> Fig3Result {
     let mut cells = Vec::new();
     for &processor in processors {
         for &fuzzer in &FuzzerKind::ALL {
@@ -106,7 +121,7 @@ pub fn run_for_with(
     let campaigns = crate::run_grid(parallelism, &cells, |job| {
         let processor = processor_with_native_bugs(job.processor);
         let config = campaign_config(budget.coverage_tests);
-        run_campaign(job.fuzzer, processor, config, budget.base_seed + job.repetition)
+        run_campaign_planned(job.fuzzer, processor, config, budget.base_seed + job.repetition, plan)
     });
 
     // Reduce per (processor, fuzzer) group, folding repetitions in order

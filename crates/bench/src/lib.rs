@@ -32,6 +32,7 @@ use std::borrow::Cow;
 use std::sync::Arc;
 
 pub use grid::{run_grid, Parallelism};
+pub use fuzzer::ShardPlan;
 
 use fuzzer::{CampaignConfig, CampaignStats, TheHuzzFuzzer};
 use mab::BanditKind;
@@ -119,12 +120,31 @@ pub fn run_campaign(
     campaign: CampaignConfig,
     rng_seed: u64,
 ) -> CampaignStats {
+    run_campaign_planned(fuzzer_kind, processor, campaign, rng_seed, &ShardPlan::serial())
+}
+
+/// Runs one campaign of `fuzzer_kind` against `processor` under a
+/// [`ShardPlan`] and returns its statistics.
+///
+/// MABFuzz campaigns simulate each bandit round's batch across the plan's
+/// shard workers (reports are byte-identical for every shard count at a
+/// fixed batch size; see the determinism contract in `fuzzer::shard`). The
+/// TheHuzz baseline has no round structure to batch, so it ignores the plan
+/// and stays serial — callers composing thread budgets should still reserve
+/// only one thread for its cells.
+pub fn run_campaign_planned(
+    fuzzer_kind: FuzzerKind,
+    processor: Arc<dyn Processor>,
+    campaign: CampaignConfig,
+    rng_seed: u64,
+    plan: &ShardPlan,
+) -> CampaignStats {
     match fuzzer_kind {
         FuzzerKind::TheHuzz => TheHuzzFuzzer::new(processor, campaign, rng_seed).run(),
         FuzzerKind::MabFuzz(kind) => {
             let mut config = MabFuzzConfig::new(kind);
             config.campaign = campaign;
-            MabFuzzer::new(processor, config, rng_seed).run().stats
+            MabFuzzer::new(processor, config, rng_seed).run_sharded(plan).stats
         }
     }
 }

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 use crate::report::{format_speedup, TextTable};
-use crate::{campaign_config, run_campaign, ExperimentBudget, FuzzerKind, Parallelism};
+use crate::{campaign_config, ExperimentBudget, FuzzerKind, Parallelism};
 
 /// Detection statistics of one fuzzer for one vulnerability.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -119,6 +119,19 @@ pub fn run_for_with(
     budget: &ExperimentBudget,
     parallelism: Parallelism,
 ) -> Table1Result {
+    run_for_planned(vulnerabilities, budget, parallelism, &crate::ShardPlan::serial())
+}
+
+/// Runs the detection experiment with every MABFuzz campaign sharded
+/// intra-campaign under `plan` (the TheHuzz baseline stays serial).
+///
+/// Results are byte-identical across shard counts for a fixed batch size.
+pub fn run_for_planned(
+    vulnerabilities: &[Vulnerability],
+    budget: &ExperimentBudget,
+    parallelism: Parallelism,
+    plan: &crate::ShardPlan,
+) -> Table1Result {
     let fuzzers: Vec<FuzzerKind> = std::iter::once(FuzzerKind::TheHuzz)
         .chain(BanditKind::ALL.iter().map(|&kind| FuzzerKind::MabFuzz(kind)))
         .collect();
@@ -137,7 +150,13 @@ pub fn run_for_with(
         let processor: Arc<dyn proc_sim::Processor> =
             Arc::from(core_kind.build(BugSet::only(job.vulnerability)));
         let config = campaign_config(budget.detection_cap).detection_mode();
-        let stats = run_campaign(job.fuzzer, processor, config, budget.base_seed + job.repetition);
+        let stats = crate::run_campaign_planned(
+            job.fuzzer,
+            processor,
+            config,
+            budget.base_seed + job.repetition,
+            plan,
+        );
         stats.first_detection()
     });
 

@@ -6,7 +6,7 @@ use std::num::NonZeroUsize;
 
 use mabfuzz_bench::{
     ablation, campaign_config, fig3, fig4, json, run_campaign, table1, ExperimentBudget,
-    FuzzerKind, Parallelism,
+    FuzzerKind, Parallelism, ShardPlan,
 };
 use proc_sim::{ProcessorKind, Vulnerability};
 
@@ -46,6 +46,29 @@ fn ablation_parallel_json_is_byte_identical_to_serial() {
     let parallel = ablation::gamma_sweep_with(ProcessorKind::Rocket, &budget, Parallelism::Auto);
     assert_eq!(serial, parallel);
     assert_eq!(json::ablation(&serial), json::ablation(&parallel));
+}
+
+/// The two parallelism layers composed: a sharded experiment grid produces
+/// byte-identical JSON for every (cell workers × campaign shards)
+/// combination — the contract `experiments --shards N` exposes.
+#[test]
+fn sharded_experiment_json_is_byte_identical_across_layers() {
+    let budget = ExperimentBudget { coverage_tests: 48, repetitions: 2, ..tiny_budget() };
+    let cores = [ProcessorKind::Rocket];
+    let reference = fig3::run_for_planned(
+        &cores,
+        &budget,
+        Parallelism::Serial,
+        &ShardPlan::sharded(1).with_batch_size(8),
+    );
+    for cell_workers in [Parallelism::Serial, Parallelism::Auto] {
+        for shards in [1usize, 2, 3] {
+            let plan = ShardPlan::sharded(shards).with_batch_size(8);
+            let sharded = fig3::run_for_planned(&cores, &budget, cell_workers, &plan);
+            assert_eq!(reference, sharded, "{cell_workers} cell workers, {shards} shards");
+            assert_eq!(json::fig3(&reference), json::fig3(&sharded));
+        }
+    }
 }
 
 /// Determinism regression for the scratch-buffer refactor: a campaign's

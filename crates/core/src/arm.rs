@@ -86,11 +86,15 @@ impl Arm {
     /// Merges a test's coverage map into the arm-local cumulative coverage
     /// and returns how many points were new *for this arm*.
     ///
+    /// Uses the associative [`CoverageMap::merge_counting`]; the campaign
+    /// fold calls it in `test_index` order so the per-test novelty counts
+    /// (the `cov_L` reward term) are shard-count independent.
+    ///
     /// # Panics
     ///
     /// Panics if the coverage map belongs to a different space.
     pub fn absorb_coverage(&mut self, test_coverage: &CoverageMap) -> usize {
-        self.local_coverage.union_count_new(test_coverage)
+        self.local_coverage.merge_counting(test_coverage)
     }
 
     /// Returns the arm-local cumulative coverage.

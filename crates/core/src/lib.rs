@@ -14,8 +14,10 @@
 //! * [`SaturationMonitor`] — the γ-window monitor of §III-C that detects
 //!   depleted arms;
 //! * [`MabFuzzer`] — the orchestrator of Fig. 2: select an arm with the
-//!   modified MAB algorithm, simulate one of its tests, mutate, reward,
-//!   and reset saturated arms.
+//!   modified MAB algorithm, simulate a batch of its tests (serially or
+//!   across the shard workers of a [`ShardPlan`] — campaign reports are
+//!   byte-identical either way, see the determinism contract in
+//!   [`fuzzer::shard`]), mutate, reward, and reset saturated arms.
 //!
 //! # Quick start
 //!
@@ -43,6 +45,7 @@ pub mod reward;
 
 pub use arm::Arm;
 pub use config::MabFuzzConfig;
+pub use fuzzer::{ShardPlan, ShardPool};
 pub use monitor::SaturationMonitor;
 pub use orchestrator::{ArmSummary, MabFuzzOutcome, MabFuzzer};
 pub use reward::RewardParams;

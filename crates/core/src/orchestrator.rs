@@ -2,11 +2,17 @@
 
 use std::sync::Arc;
 
-use fuzzer::{CampaignStats, ExecScratch, FuzzHarness, MutationEngine, SeedGenerator};
+use coverage::CoverageMap;
+use fuzzer::shard::derive_stream_seed;
+use fuzzer::{
+    CampaignStats, DiffReport, ExecScratch, FuzzHarness, MutationEngine, SeedGenerator, ShardPlan,
+    ShardPool, TestCase,
+};
 use mab::Bandit;
 use proc_sim::Processor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use riscv::Program;
 use serde::{Deserialize, Serialize};
 
 use crate::arm::Arm;
@@ -28,7 +34,7 @@ pub struct ArmSummary {
 }
 
 /// The result of one MABFuzz campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MabFuzzOutcome {
     /// The shared campaign statistics (coverage curve, detections, …).
     pub stats: CampaignStats,
@@ -60,6 +66,7 @@ pub struct MabFuzzer {
     config: MabFuzzConfig,
     bandit: Box<dyn Bandit>,
     rng: StdRng,
+    seed: u64,
     seeds: SeedGenerator,
     mutator: MutationEngine,
 }
@@ -97,7 +104,15 @@ impl MabFuzzer {
         let harness = FuzzHarness::new(processor, config.campaign.max_steps_per_test);
         let seeds = SeedGenerator::new(config.campaign.generator.clone());
         let mutator = MutationEngine::new(config.campaign.generator.clone());
-        MabFuzzer { harness, config, bandit, rng: StdRng::seed_from_u64(rng_seed), seeds, mutator }
+        MabFuzzer {
+            harness,
+            config,
+            bandit,
+            rng: StdRng::seed_from_u64(rng_seed),
+            seed: rng_seed,
+            seeds,
+            mutator,
+        }
     }
 
     /// Returns the campaign configuration.
@@ -105,86 +120,140 @@ impl MabFuzzer {
         &self.config
     }
 
-    /// Runs the campaign to completion.
-    pub fn run(mut self) -> MabFuzzOutcome {
+    /// Runs the campaign to completion on the legacy serial plan (one test
+    /// per bandit round, no shard workers).
+    ///
+    /// Exactly equivalent to `run_sharded(&ShardPlan::serial())`; every
+    /// published paper artefact goes through this path, and the sharded
+    /// loop reproduces its RNG stream draw-for-draw in the batch-size-1
+    /// case.
+    pub fn run(self) -> MabFuzzOutcome {
+        self.run_sharded(&ShardPlan::serial())
+    }
+
+    /// Runs the campaign to completion under `plan`, simulating each bandit
+    /// round's test batch across the plan's shard workers and folding the
+    /// observations back in `test_index` order.
+    ///
+    /// The campaign report is **byte-identical for every shard count** at a
+    /// fixed batch size — see the determinism contract in
+    /// [`fuzzer::shard`]. One fuzzing round follows Fig. 2 of the paper,
+    /// batched:
+    ///
+    /// 1. the bandit selects an arm,
+    /// 2. the round's batch is popped from the arm's pool (an empty pool is
+    ///    refilled by mutating the arm's seed; batched rounds draw that
+    ///    randomness from the per-test streams of
+    ///    [`derive_stream_seed`]),
+    /// 3. the batch is simulated across the shards (differential testing
+    ///    against the golden model) — a pure, embarrassingly parallel map,
+    /// 4. outcomes are folded in `test_index` order: global then arm-local
+    ///    coverage novelty (`|cov_G|`, `|cov_L|`), detections, mutation of
+    ///    interesting tests, the reward
+    ///    `α·|cov_L| + (1 − α)·|cov_G|` (normalised for EXP3) via
+    ///    [`mab::Bandit::update_batch`], and the γ-window saturation check
+    ///    with its arm reset.
+    pub fn run_sharded(self, plan: &ShardPlan) -> MabFuzzOutcome {
         let label = format!("{} on {}", self.config.label(), self.harness.processor().name());
         let space_len = self.harness.coverage_space_len();
-        let mut stats =
-            CampaignStats::new(label, space_len, self.config.campaign.sample_interval);
-        let reward_params = RewardParams::new(self.config.alpha);
-        let arm_count = self.config.arms();
-        let mut monitor = SaturationMonitor::new(arm_count, self.config.gamma);
-
-        // One seed per arm (Fig. 2: "Given a seed pool with each seed
-        // corresponding to an arm").
-        let mut arms: Vec<Arm> = (0..arm_count)
-            .map(|index| Arm::new(index, self.seeds.generate_seed(&mut self.rng), space_len))
-            .collect();
-        let mut total_resets = 0u64;
+        let max_tests = self.config.campaign.max_tests;
+        let campaign_seed = self.seed;
+        // Per-test derived RNG streams are a batched-mode feature; the
+        // batch-size-1 plan keeps every draw on the main RNG so `run()`
+        // reproduces the pre-sharding serial campaigns byte for byte.
+        let legacy_stream = plan.batch_size() == 1;
+        let pool = (plan.shards() > 1).then(|| ShardPool::new(&self.harness, plan.shards()));
         let mut scratch = ExecScratch::new();
 
-        while stats.tests_executed() < self.config.campaign.max_tests {
-            // 1. Select an arm.
-            let arm_index = self.bandit.select(&mut self.rng);
-            let arm = &mut arms[arm_index];
+        let mut fold = CampaignFold {
+            stats: CampaignStats::new(label, space_len, self.config.campaign.sample_interval),
+            arms: Vec::new(),
+            monitor: SaturationMonitor::new(self.config.arms(), self.config.gamma),
+            bandit: self.bandit,
+            rng: self.rng,
+            seeds: self.seeds,
+            mutator: self.mutator,
+            reward_params: RewardParams::new(self.config.alpha),
+            space_len,
+            mutations_per_interesting_test: self.config.campaign.mutations_per_interesting_test,
+            stop_on_first_detection: self.config.campaign.stop_on_first_detection,
+            total_resets: 0,
+            pending_rewards: Vec::with_capacity(plan.batch_size()),
+            arm_index: 0,
+        };
+        // One seed per arm (Fig. 2: "Given a seed pool with each seed
+        // corresponding to an arm").
+        fold.arms = (0..self.config.arms())
+            .map(|index| Arm::new(index, fold.seeds.generate_seed(&mut fold.rng), space_len))
+            .collect();
 
-            // 2. Pop the arm's next test; an empty pool is refilled by
-            //    mutating the arm's seed so the arm always has something to
-            //    offer (the seed itself has already been simulated by then).
-            let test = match arm.next_test() {
-                Some(test) => test,
-                None => {
-                    let (mutant, _) = self.mutator.mutate(&arm.seed().program, &mut self.rng);
-                    let child = self.seeds.adopt_child(&arm.seed().clone(), mutant);
-                    arm.pool_mut().push(child);
-                    arm.next_test().expect("pool was just refilled")
-                }
+        let mut round: u64 = 0;
+        while fold.stats.tests_executed() < max_tests {
+            let remaining = usize::try_from(max_tests - fold.stats.tests_executed())
+                .unwrap_or(usize::MAX);
+            let batch_len = plan.batch_size().min(remaining);
+
+            // 1. Select the round's arm.
+            fold.begin_round();
+
+            // Derived per-test streams for this round (batched mode only).
+            let mut lanes: Vec<StdRng> = if legacy_stream {
+                Vec::new()
+            } else {
+                (0..batch_len)
+                    .map(|index| {
+                        StdRng::seed_from_u64(derive_stream_seed(
+                            campaign_seed,
+                            round,
+                            index as u64,
+                        ))
+                    })
+                    .collect()
             };
 
-            // 3. Simulate and compare.
-            let outcome = self.harness.run_program_into(&test.program, &mut scratch);
+            // 2. Assemble the batch before the fork: pool pops and refills
+            //    happen serially, so batch contents are shard-independent.
+            let batch = fold.assemble_batch(batch_len, &mut lanes);
 
-            // 4. Coverage bookkeeping: global novelty first (cov_G), then the
-            //    arm-local novelty (cov_L ⊇ cov_G). Only the counts are
-            //    needed for the reward, so no id vectors are materialised.
-            let detected = outcome.detected_mismatch();
-            let global_new = stats.record_test_count(test.id, outcome.coverage, outcome.diff);
-            let local_new = arm.absorb_coverage(outcome.coverage);
-
-            if self.config.campaign.stop_on_first_detection && detected {
+            // 3. Simulate — fork/join across the shard pool, or in place on
+            //    the campaign thread — and 4. fold in test order.
+            let stopped = match &pool {
+                Some(pool) => {
+                    let programs: Arc<Vec<Program>> =
+                        Arc::new(batch.iter().map(|test| test.program.clone()).collect());
+                    let outcomes = pool.simulate(&programs);
+                    let mut stopped = false;
+                    for (slot, (test, outcome)) in batch.iter().zip(&outcomes).enumerate() {
+                        if fold.fold_test(test, &outcome.coverage, &outcome.diff, lanes.get_mut(slot))
+                        {
+                            stopped = true;
+                            break;
+                        }
+                    }
+                    stopped
+                }
+                None => {
+                    let mut stopped = false;
+                    for (slot, test) in batch.iter().enumerate() {
+                        let view = self.harness.run_program_into(&test.program, &mut scratch);
+                        if fold.fold_test(test, view.coverage, view.diff, lanes.get_mut(slot)) {
+                            stopped = true;
+                            break;
+                        }
+                    }
+                    stopped
+                }
+            };
+            fold.flush_rewards();
+            if stopped {
                 break;
             }
-
-            // 5. Mutate interesting tests into the arm's pool.
-            if local_new > 0 {
-                for _ in 0..self.config.campaign.mutations_per_interesting_test {
-                    let (mutant, _) = self.mutator.mutate(&test.program, &mut self.rng);
-                    let child = self.seeds.adopt_child(&test, mutant);
-                    arms[arm_index].pool_mut().push(child);
-                }
-            }
-
-            // 6. Reward the bandit.
-            let reward = match self.bandit.kind() {
-                mab::BanditKind::Exp3 => {
-                    reward_params.normalized_reward(local_new, global_new, space_len)
-                }
-                _ => reward_params.reward(local_new, global_new),
-            };
-            self.bandit.update(arm_index, reward);
-
-            // 7. Reset saturated arms.
-            if monitor.record(arm_index, local_new) {
-                let fresh = self.seeds.generate_seed(&mut self.rng);
-                arms[arm_index].reset(fresh);
-                self.bandit.reset_arm(arm_index);
-                monitor.reset_arm(arm_index);
-                total_resets += 1;
-            }
+            round += 1;
         }
 
-        stats.finish();
-        let arm_summaries = arms
+        fold.stats.finish();
+        let arm_summaries = fold
+            .arms
             .iter()
             .map(|arm| ArmSummary {
                 index: arm.index(),
@@ -193,7 +262,131 @@ impl MabFuzzer {
                 final_local_coverage: arm.local_coverage().count(),
             })
             .collect();
-        MabFuzzOutcome { stats, arms: arm_summaries, total_resets }
+        MabFuzzOutcome { stats: fold.stats, arms: arm_summaries, total_resets: fold.total_resets }
+    }
+}
+
+/// The serial half of a campaign round: everything the ordered reduction
+/// mutates, gathered so the fold runs identically whether outcomes arrive
+/// from the campaign thread (1 shard) or from the shard pool.
+struct CampaignFold {
+    stats: CampaignStats,
+    arms: Vec<Arm>,
+    monitor: SaturationMonitor,
+    bandit: Box<dyn Bandit>,
+    rng: StdRng,
+    seeds: SeedGenerator,
+    mutator: MutationEngine,
+    reward_params: RewardParams,
+    space_len: usize,
+    mutations_per_interesting_test: usize,
+    stop_on_first_detection: bool,
+    total_resets: u64,
+    pending_rewards: Vec<f64>,
+    arm_index: usize,
+}
+
+impl CampaignFold {
+    /// Starts a round: the bandit picks the arm the whole batch pulls.
+    fn begin_round(&mut self) {
+        self.arm_index = self.bandit.select(&mut self.rng);
+    }
+
+    /// Pops the round's batch from the selected arm's pool, refilling an
+    /// empty pool by mutating the arm's seed. Refill randomness comes from
+    /// the slot's derived lane when one exists (batched rounds) and from
+    /// the main RNG otherwise (the legacy batch-size-1 stream).
+    fn assemble_batch(&mut self, batch_len: usize, lanes: &mut [StdRng]) -> Vec<TestCase> {
+        let mut batch = Vec::with_capacity(batch_len);
+        for slot in 0..batch_len {
+            let arm = &mut self.arms[self.arm_index];
+            let test = match arm.next_test() {
+                Some(test) => test,
+                None => {
+                    let rng = match lanes.get_mut(slot) {
+                        Some(lane) => lane,
+                        None => &mut self.rng,
+                    };
+                    let (mutant, _) = self.mutator.mutate(&arm.seed().program, rng);
+                    let child = self.seeds.adopt_child(&arm.seed().clone(), mutant);
+                    arm.pool_mut().push(child);
+                    arm.next_test().expect("pool was just refilled")
+                }
+            };
+            batch.push(test);
+        }
+        batch
+    }
+
+    /// Folds one simulated test into the campaign state, in `test_index`
+    /// order. Returns `true` when the campaign must stop (detection mode
+    /// hit a mismatch); the remaining outcomes of the round are then
+    /// discarded unrecorded, exactly like the tests a serial campaign would
+    /// never have simulated.
+    fn fold_test(
+        &mut self,
+        test: &TestCase,
+        coverage: &CoverageMap,
+        diff: &DiffReport,
+        lane: Option<&mut StdRng>,
+    ) -> bool {
+        // Global novelty first (cov_G), then the arm-local novelty
+        // (cov_L ⊇ cov_G). Only the counts are needed for the reward, so no
+        // id vectors are materialised.
+        let detected = !diff.is_clean();
+        let global_new = self.stats.record_test_count(test.id, coverage, diff);
+        let local_new = self.arms[self.arm_index].absorb_coverage(coverage);
+
+        if self.stop_on_first_detection && detected {
+            return true;
+        }
+
+        // Mutate interesting tests into the arm's pool.
+        if local_new > 0 {
+            let mutation_count = self.mutations_per_interesting_test;
+            let CampaignFold { rng, seeds, mutator, arms, arm_index, .. } = self;
+            let rng = match lane {
+                Some(lane) => lane,
+                None => rng,
+            };
+            for _ in 0..mutation_count {
+                let (mutant, _) = mutator.mutate(&test.program, rng);
+                let child = seeds.adopt_child(test, mutant);
+                arms[*arm_index].pool_mut().push(child);
+            }
+        }
+
+        // Queue the reward; the round flush (or a reset) folds the pending
+        // rewards into the bandit in order via `update_batch`.
+        let reward = self.reward_params.policy_reward(
+            self.bandit.kind(),
+            local_new,
+            global_new,
+            self.space_len,
+        );
+        self.pending_rewards.push(reward);
+
+        // Reset saturated arms. Pending rewards are flushed first so the
+        // bandit observes update-then-reset in the same order as a serial
+        // campaign.
+        if self.monitor.record(self.arm_index, local_new) {
+            self.flush_rewards();
+            let fresh = self.seeds.generate_seed(&mut self.rng);
+            self.arms[self.arm_index].reset(fresh);
+            self.bandit.reset_arm(self.arm_index);
+            self.monitor.reset_arm(self.arm_index);
+            self.total_resets += 1;
+        }
+        false
+    }
+
+    /// Folds the queued rewards of the current round into the bandit, in
+    /// `test_index` order.
+    fn flush_rewards(&mut self) {
+        if !self.pending_rewards.is_empty() {
+            self.bandit.update_batch(self.arm_index, &self.pending_rewards);
+            self.pending_rewards.clear();
+        }
     }
 }
 
@@ -329,6 +522,59 @@ mod tests {
         let config = quick_config(BanditKind::Ucb1, 5);
         let bandit: Box<dyn mab::Bandit> = Box::new(mab::Ucb1::new(2));
         let _ = MabFuzzer::with_bandit(Arc::new(RocketCore::new(BugSet::none())), config, bandit, 1);
+    }
+
+    #[test]
+    fn sharded_reports_are_identical_for_every_shard_count() {
+        // The in-crate smoke version of the cross-crate equivalence suite:
+        // same plan batch size, different shard counts, byte-identical
+        // outcome (including arm summaries and reset counts).
+        let plan = |shards: usize| ShardPlan::sharded(shards).with_batch_size(5);
+        let reference = MabFuzzer::new(
+            Arc::new(RocketCore::new(BugSet::none())),
+            quick_config(BanditKind::Ucb1, 42),
+            9,
+        )
+        .run_sharded(&plan(1));
+        assert_eq!(reference.stats.tests_executed(), 42);
+        for shards in [2usize, 3] {
+            let sharded = MabFuzzer::new(
+                Arc::new(RocketCore::new(BugSet::none())),
+                quick_config(BanditKind::Ucb1, 42),
+                9,
+            )
+            .run_sharded(&plan(shards));
+            assert_eq!(reference, sharded, "{shards} shards diverged from 1 shard");
+        }
+    }
+
+    #[test]
+    fn serial_plan_reproduces_run_exactly() {
+        let make = || {
+            MabFuzzer::new(
+                Arc::new(RocketCore::new(BugSet::none())),
+                quick_config(BanditKind::Exp3, 30),
+                17,
+            )
+        };
+        let via_run = make().run();
+        let via_plan = make().run_sharded(&ShardPlan::serial());
+        assert_eq!(via_run, via_plan);
+    }
+
+    #[test]
+    fn sharded_detection_mode_stops_on_the_first_mismatch() {
+        let processor = Arc::new(Cva6Core::new(BugSet::only(Vulnerability::V5MissingAccessFault)));
+        let mut config = quick_config(BanditKind::Ucb1, 400);
+        config.campaign.stop_on_first_detection = true;
+        let outcome = MabFuzzer::new(processor, config, 2)
+            .run_sharded(&ShardPlan::sharded(2).with_batch_size(8));
+        let detection = outcome.stats.first_detection().expect("V5 triggers quickly");
+        assert_eq!(
+            outcome.stats.tests_executed(),
+            detection,
+            "outcomes after the detection are discarded unrecorded"
+        );
     }
 
     #[test]

@@ -53,6 +53,26 @@ impl RewardParams {
         }
         (self.reward(local_new, global_new) / total_points as f64).clamp(0.0, 1.0)
     }
+
+    /// Computes the reward in the shape `kind` expects: EXP3 receives the
+    /// `[0, 1]`-normalised reward (divided by `total_points`), every other
+    /// policy the raw weighted count.
+    ///
+    /// This is the single reward formula of the campaign fold — serial and
+    /// sharded rounds call it per test in `test_index` order, so the bandit
+    /// observes identical rewards in both modes.
+    pub fn policy_reward(
+        &self,
+        kind: mab::BanditKind,
+        local_new: usize,
+        global_new: usize,
+        total_points: usize,
+    ) -> f64 {
+        match kind {
+            mab::BanditKind::Exp3 => self.normalized_reward(local_new, global_new, total_points),
+            _ => self.reward(local_new, global_new),
+        }
+    }
 }
 
 impl Default for RewardParams {

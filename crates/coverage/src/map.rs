@@ -93,10 +93,31 @@ impl CoverageMap {
     /// the fuzzers' reward path uses (one pass over the words instead of two,
     /// no intermediate id vector).
     ///
+    /// Alias of [`merge_counting`](CoverageMap::merge_counting), kept for the
+    /// pre-sharding callers.
+    ///
     /// # Panics
     ///
     /// Panics if the maps were created with different lengths.
     pub fn union_count_new(&mut self, other: &CoverageMap) -> usize {
+        self.merge_counting(other)
+    }
+
+    /// Merges another map into this one (set union) and returns how many of
+    /// `other`'s points were new to `self`.
+    ///
+    /// This is the **associative reduce** of the sharded campaign: per-test
+    /// and per-shard coverage maps are folded into cumulative maps with it,
+    /// and because set union is associative and commutative the final union
+    /// is independent of how tests were distributed over shards. (The
+    /// *return value* — the novelty delta — is order-sensitive, which is why
+    /// the campaign folds observations in `test_index` order; see the
+    /// determinism contract in `fuzzer::shard`.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the maps were created with different lengths.
+    pub fn merge_counting(&mut self, other: &CoverageMap) -> usize {
         assert_eq!(self.len, other.len, "coverage maps belong to different spaces");
         let mut new_points = 0usize;
         for (a, b) in self.words.iter_mut().zip(&other.words) {
@@ -317,6 +338,46 @@ mod tests {
             let delta: Vec<_> = map.newly_covered(&empty);
             let covered: Vec<_> = map.iter_covered().collect();
             prop_assert_eq!(delta, covered);
+        }
+
+        /// merge_counting is associative and order-insensitive in the final
+        /// union (the property the sharded campaign's shard-count
+        /// independence rests on), and its novelty deltas always account for
+        /// exactly the final population count.
+        #[test]
+        fn merge_counting_is_associative_and_accounts_novelty(
+            a_ids in proptest::collection::vec(0u32..192, 0..40),
+            b_ids in proptest::collection::vec(0u32..192, 0..40),
+            c_ids in proptest::collection::vec(0u32..192, 0..40),
+        ) {
+            let build = |ids: &[u32]| {
+                let mut map = CoverageMap::with_len(192);
+                for i in ids { map.cover(id(*i)); }
+                map
+            };
+            let (a, b, c) = (build(&a_ids), build(&b_ids), build(&c_ids));
+
+            // Fold left-to-right and in a shard-like permutation.
+            let mut ordered = CoverageMap::with_len(192);
+            let delta_sum = ordered.merge_counting(&a)
+                + ordered.merge_counting(&b)
+                + ordered.merge_counting(&c);
+            let mut permuted = CoverageMap::with_len(192);
+            permuted.merge_counting(&c);
+            permuted.merge_counting(&a);
+            permuted.merge_counting(&b);
+            prop_assert_eq!(&ordered, &permuted);
+            prop_assert_eq!(delta_sum, ordered.count());
+
+            // Associativity: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+            let mut left = a.clone();
+            left.merge_counting(&b);
+            left.merge_counting(&c);
+            let mut bc = b.clone();
+            bc.merge_counting(&c);
+            let mut right = a.clone();
+            right.merge_counting(&bc);
+            prop_assert_eq!(left, right);
         }
 
         /// union is idempotent and monotone in coverage count.

@@ -65,13 +65,17 @@ impl CumulativeCoverage {
     ///
     /// This is the fuzzing hot path: the MABFuzz reward needs only the
     /// count (`|cov_G|`), so the union and the delta count are computed in a
-    /// single pass over the bitmap words with no per-test allocation.
+    /// single pass over the bitmap words with no per-test allocation. The
+    /// underlying [`CoverageMap::merge_counting`] is the same associative
+    /// merge the sharded campaign uses, so absorbing tests one by one in
+    /// `test_index` order is exactly the ordered reduction of the shard
+    /// determinism contract.
     ///
     /// # Panics
     ///
     /// Panics if `test_map` belongs to a space of a different size.
     pub fn absorb_count(&mut self, test_map: &CoverageMap) -> usize {
-        let new_points = self.union.union_count_new(test_map);
+        let new_points = self.union.merge_counting(test_map);
         self.tests_absorbed += 1;
         self.history.push(self.union.count());
         new_points

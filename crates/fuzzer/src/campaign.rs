@@ -76,7 +76,7 @@ pub struct Detection {
 /// the experiment harness then reads the coverage curve (Fig. 3), the
 /// final coverage and tests-to-reach numbers (Fig. 4) and the detection test
 /// counts (Table I) from here.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignStats {
     label: String,
     cumulative: CumulativeCoverage,

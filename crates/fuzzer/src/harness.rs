@@ -177,6 +177,20 @@ impl TestOutcomeView<'_> {
     pub fn detected_mismatch(&self) -> bool {
         !self.diff.is_clean()
     }
+
+    /// Clones the borrowed view into an owned [`TestOutcome`].
+    ///
+    /// The sharded campaign path uses this to materialise batch outcomes
+    /// that outlive the worker's scratch buffers; the serial hot path keeps
+    /// borrowing instead.
+    pub fn to_outcome(&self) -> TestOutcome {
+        TestOutcome {
+            coverage: self.coverage.clone(),
+            diff: self.diff.clone(),
+            dut_commits: self.dut_commits,
+            golden_commits: self.golden_commits,
+        }
+    }
 }
 
 impl std::fmt::Debug for FuzzHarness {

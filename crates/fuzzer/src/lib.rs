@@ -15,7 +15,12 @@
 //! * [`TheHuzzFuzzer`] — the baseline: FIFO test scheduling, coverage-gated
 //!   mutation, no dynamic seed selection,
 //! * [`CampaignStats`] — per-campaign statistics (coverage curves, detection
-//!   test counts) consumed by the experiment harness.
+//!   test counts) consumed by the experiment harness,
+//! * [`shard`] — intra-campaign sharded simulation: the [`ShardPlan`] /
+//!   [`ShardPool`] fork/join executor and the per-test RNG stream
+//!   derivation behind the **determinism contract** (see the [`shard`]
+//!   module docs) that keeps campaign reports byte-identical across shard
+//!   counts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +31,7 @@ pub mod harness;
 pub mod mutate;
 pub mod pool;
 pub mod seed;
+pub mod shard;
 pub mod testcase;
 pub mod thehuzz;
 
@@ -35,5 +41,6 @@ pub use harness::{ExecScratch, FuzzHarness, TestOutcome, TestOutcomeView};
 pub use mutate::{MutationEngine, MutationOp};
 pub use pool::TestPool;
 pub use seed::SeedGenerator;
+pub use shard::{derive_stream_seed, ShardPlan, ShardPool};
 pub use testcase::{TestCase, TestId};
 pub use thehuzz::TheHuzzFuzzer;

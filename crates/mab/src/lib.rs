@@ -127,6 +127,25 @@ pub trait Bandit: Send {
     /// Implementations panic if `arm` is out of range.
     fn update(&mut self, arm: usize, reward: f64);
 
+    /// Reports the rewards of a whole batch of pulls of `arm`, folding them
+    /// **in slice order** — the bandit-side half of the sharded campaign's
+    /// ordered reduction (see the determinism contract in `fuzzer::shard`).
+    ///
+    /// The default implementation is exactly a sequence of
+    /// [`update`](Bandit::update) calls, so a policy observes the same
+    /// statistics whether its rewards arrive one by one (serial campaign)
+    /// or per round (sharded campaign). Implementations overriding this for
+    /// speed must preserve that equivalence.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `arm` is out of range.
+    fn update_batch(&mut self, arm: usize, rewards: &[f64]) {
+        for &reward in rewards {
+            self.update(arm, reward);
+        }
+    }
+
     /// Re-initialises the learner statistics of `arm` after the arm has been
     /// replaced with a fresh seed (the paper's reset-arms feature).
     fn reset_arm(&mut self, arm: usize);
@@ -142,9 +161,19 @@ pub trait Bandit: Send {
 
 /// Draws an arm index from a discrete probability distribution.
 ///
-/// Shared by the policy implementations; the probabilities must sum to
-/// (approximately) one.
-pub(crate) fn sample_discrete<R: Rng + ?Sized>(probabilities: &[f64], rng: &mut R) -> usize {
+/// Shared by the policy implementations and public so schedulers built on
+/// custom [`Bandit`]s can reuse it. The probabilities should sum to
+/// (approximately) one, but the sampler is hardened against adversarial
+/// vectors: the returned index is always `< probabilities.len()`, zero
+/// entries are skipped by the scan (only the final index can absorb the
+/// residual ticket mass of a vector summing below one), and denormal or
+/// otherwise tiny entries simply behave as (near-)zeros.
+///
+/// # Panics
+///
+/// Panics if `probabilities` is empty.
+pub fn sample_discrete<R: Rng + ?Sized>(probabilities: &[f64], rng: &mut R) -> usize {
+    assert!(!probabilities.is_empty(), "cannot sample from an empty distribution");
     let mut ticket: f64 = rng.gen();
     for (index, p) in probabilities.iter().enumerate() {
         if ticket < *p {
