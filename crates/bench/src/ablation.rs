@@ -8,7 +8,7 @@
 
 
 use mab::BanditKind;
-use mabfuzz::{MabFuzzConfig, MabFuzzer};
+use mabfuzz::{Campaign, CampaignSpec, CampaignSpecBuilder};
 use proc_sim::ProcessorKind;
 use serde::{Deserialize, Serialize};
 
@@ -60,13 +60,14 @@ impl AblationSweep {
     }
 }
 
-/// Runs one sweep: each setting is expanded into `budget.repetitions`
-/// independent campaign cells (seeded `base_seed + repetition`), the flat
-/// cell list is spread across threads, and the means fold the repetitions in
-/// order — so results are byte-identical for every [`Parallelism`] mode.
+/// Runs one sweep: each setting is a declarative [`CampaignSpec`] expanded
+/// into `budget.repetitions` independent campaign cells (the cell spec is
+/// the setting re-seeded with `base_seed + repetition`), the flat cell list
+/// is spread across threads, and the means fold the repetitions in order —
+/// so results are byte-identical for every [`Parallelism`] mode.
 fn run_sweep(
     parameter: &str,
-    settings: Vec<(String, MabFuzzConfig)>,
+    settings: Vec<(String, CampaignSpec)>,
     processor: ProcessorKind,
     budget: &ExperimentBudget,
     parallelism: Parallelism,
@@ -80,12 +81,13 @@ fn run_sweep(
     }
 
     let outcomes = crate::run_grid(parallelism, &cells, |&(index, repetition)| {
-        let outcome = MabFuzzer::new(
-            processor_with_native_bugs(processor),
-            settings[index].1.clone(),
-            budget.base_seed + repetition,
-        )
-        .run_sharded(plan);
+        let mut spec = settings[index].1.clone();
+        spec.rng_seed = budget.base_seed + repetition;
+        spec.shards = plan.shards();
+        spec.batch_size = plan.batch_size();
+        let outcome = Campaign::from_spec_on(processor_with_native_bugs(processor), &spec)
+            .expect("sweep specs are valid by construction")
+            .execute();
         (outcome.stats.final_coverage() as f64, outcome.total_resets as f64)
     });
 
@@ -108,10 +110,10 @@ fn run_sweep(
     AblationSweep { parameter: parameter.to_owned(), processor, points }
 }
 
-fn base_config(budget: &ExperimentBudget) -> MabFuzzConfig {
-    let mut config = MabFuzzConfig::new(BanditKind::Ucb1);
-    config.campaign = campaign_config(budget.coverage_tests);
-    config
+fn base_spec(budget: &ExperimentBudget) -> CampaignSpecBuilder {
+    CampaignSpec::builder()
+        .algorithm(BanditKind::Ucb1)
+        .campaign(campaign_config(budget.coverage_tests))
 }
 
 /// Sweeps the reward weight α.
@@ -137,7 +139,12 @@ pub fn alpha_sweep_planned(
 ) -> AblationSweep {
     let settings = [0.0, 0.25, 0.5, 1.0]
         .iter()
-        .map(|&alpha| (format!("alpha={alpha}"), base_config(budget).with_alpha(alpha)))
+        .map(|&alpha| {
+            (
+                format!("alpha={alpha}"),
+                base_spec(budget).alpha(alpha).build().expect("valid alpha setting"),
+            )
+        })
         .collect();
     run_sweep("alpha", settings, processor, budget, parallelism, plan)
 }
@@ -165,7 +172,12 @@ pub fn gamma_sweep_planned(
 ) -> AblationSweep {
     let settings = [1usize, 3, 10]
         .iter()
-        .map(|&gamma| (format!("gamma={gamma}"), base_config(budget).with_gamma(gamma)))
+        .map(|&gamma| {
+            (
+                format!("gamma={gamma}"),
+                base_spec(budget).gamma(gamma).build().expect("valid gamma setting"),
+            )
+        })
         .collect();
     run_sweep("gamma", settings, processor, budget, parallelism, plan)
 }
@@ -193,7 +205,12 @@ pub fn arms_sweep_planned(
 ) -> AblationSweep {
     let settings = [4usize, 10, 20]
         .iter()
-        .map(|&arms| (format!("arms={arms}"), base_config(budget).with_arms(arms)))
+        .map(|&arms| {
+            (
+                format!("arms={arms}"),
+                base_spec(budget).arms(arms).build().expect("valid arm setting"),
+            )
+        })
         .collect();
     run_sweep("arms", settings, processor, budget, parallelism, plan)
 }
@@ -222,8 +239,14 @@ pub fn reset_ablation_planned(
 ) -> AblationSweep {
     let never = usize::MAX / 2;
     let settings = vec![
-        ("reset(gamma=3)".to_owned(), base_config(budget).with_gamma(3)),
-        ("no-reset".to_owned(), base_config(budget).with_gamma(never)),
+        (
+            "reset(gamma=3)".to_owned(),
+            base_spec(budget).gamma(3).build().expect("valid reset setting"),
+        ),
+        (
+            "no-reset".to_owned(),
+            base_spec(budget).gamma(never).build().expect("valid no-reset setting"),
+        ),
     ];
     run_sweep("reset", settings, processor, budget, parallelism, plan)
 }

@@ -39,11 +39,23 @@ use std::env;
 use std::process::ExitCode;
 
 use mabfuzz_bench::{ablation, fig3, fig4, json, table1, ExperimentBudget, Parallelism, ShardPlan};
+use mabfuzz::{BugSpec, Campaign, CampaignSpec, PolicySpec, ProcessorSpec};
 use proc_sim::{ProcessorKind, Vulnerability};
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("all");
+    if command == "run" {
+        // The spec-driven single-campaign command has its own option set.
+        return match run_single_campaign(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("{RUN_USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let options = match Options::parse(&args[1.min(args.len())..]) {
         Ok(options) => options,
         Err(message) => {
@@ -69,10 +81,14 @@ fn main() -> ExitCode {
             report_fig4(&options, &fig4::from_fig3(&fig3_result));
             run_ablation(&options);
         }
-        "help" | "--help" | "-h" => println!("{USAGE}"),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            println!("{RUN_USAGE}");
+        }
         other => {
             eprintln!("error: unknown command `{other}`");
             eprintln!("{USAGE}");
+            eprintln!("{RUN_USAGE}");
             return ExitCode::FAILURE;
         }
     }
@@ -82,6 +98,113 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: experiments <table1|fig3|fig4|ablation|all> \
 [--tests N] [--cap N] [--repeats R] [--seed S] [--cores a,b] [--vulns V1,V2] \
 [--parallel auto|serial|N] [--serial] [--shards N|off] [--json]";
+
+const RUN_USAGE: &str = "usage: experiments run [--spec file.json] \
+[--algorithm NAME] [--core NAME] [--bugs none|native|V1..V7] [--tests N] \
+[--seed S] [--shards N] [--batch N] [--json]";
+
+/// `experiments run`: execute one campaign described by a JSON
+/// [`CampaignSpec`] (with optional command-line overrides) through the
+/// `Campaign` session type, and report it as text or one deterministic JSON
+/// document.
+fn run_single_campaign(args: &[String]) -> Result<(), String> {
+    // First pass: the spec file (if any) is the base, regardless of where
+    // `--spec` sits among the flags — every other flag is an *override* and
+    // must win over the file even when written before it.
+    let mut spec = CampaignSpec::default();
+    let mut spec_seen = false;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if flag == "--spec" {
+            if spec_seen {
+                return Err("--spec given more than once".to_owned());
+            }
+            spec_seen = true;
+            let path =
+                iter.next().cloned().ok_or_else(|| format!("flag `{flag}` expects a value"))?;
+            let text = std::fs::read_to_string(&path)
+                .map_err(|error| format!("--spec {path}: {error}"))?;
+            spec = CampaignSpec::from_json(&text)
+                .map_err(|error| format!("--spec {path}: {error}"))?;
+        }
+    }
+
+    let mut json_output = false;
+    // Deferred until after the loop so `--bugs` composes with `--core`
+    // regardless of flag order.
+    let mut bugs_override: Option<BugSpec> = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next().cloned().ok_or_else(|| format!("flag `{flag}` expects a value"))
+        };
+        match flag.as_str() {
+            "--spec" => {
+                let _ = value()?; // consumed in the first pass
+            }
+            // A typo'd algorithm fails loudly with the full list of valid
+            // policies (built-ins and registered customs) instead of
+            // silently defaulting.
+            "--algorithm" => spec.policy = PolicySpec::parse(&value()?).map_err(|e| e.to_string())?,
+            "--core" => {
+                let name = value()?;
+                let core = ProcessorKind::parse(&name)
+                    .ok_or_else(|| format!("unknown core `{name}`"))?;
+                let bugs = spec.processor.map_or(BugSpec::Native, |p| p.bugs);
+                spec.processor = Some(ProcessorSpec { core, bugs });
+            }
+            "--bugs" => {
+                bugs_override = Some(BugSpec::parse(&value()?).map_err(|e| e.to_string())?);
+            }
+            "--tests" => {
+                spec.campaign.max_tests = value()?.parse().map_err(|e| format!("--tests: {e}"))?
+            }
+            "--seed" => {
+                spec.rng_seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--shards" => {
+                spec.shards = value()?.parse().map_err(|e| format!("--shards: {e}"))?
+            }
+            "--batch" => {
+                spec.batch_size = value()?.parse().map_err(|e| format!("--batch: {e}"))?
+            }
+            "--json" => json_output = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if let Some(bugs) = bugs_override {
+        let processor = spec
+            .processor
+            .as_mut()
+            .ok_or("--bugs needs a processor (--core or a spec with one)")?;
+        processor.bugs = bugs;
+    }
+    let campaign = Campaign::from_spec(&spec).map_err(|error| match error {
+        // The library message suggests a Rust API; at the CLI the fix is a
+        // flag or a spec-file section.
+        mabfuzz::SpecError::MissingProcessor => {
+            "no processor to run against: pass --core NAME (optionally --bugs ...) \
+             or a --spec file with a \"processor\" section"
+                .to_owned()
+        }
+        other => other.to_string(),
+    })?;
+    let outcome = campaign.execute();
+    if json_output {
+        println!("{}", json::campaign(&spec, &outcome));
+        return Ok(());
+    }
+    println!("== Campaign: {} ==", outcome.stats.label());
+    println!("(spec policy {}, seed {}, {} shard(s) x {} test(s)/round)\n", spec.policy, spec.rng_seed, spec.shards, spec.batch_size);
+    println!("{}", outcome.stats);
+    if let Some(first) = outcome.stats.first_detection() {
+        println!("first detection after {first} tests");
+    }
+    if !outcome.arms.is_empty() {
+        println!("total arm resets: {}", outcome.total_resets);
+    }
+    Ok(())
+}
 
 #[derive(Debug, Clone)]
 struct Options {

@@ -9,6 +9,8 @@
 
 use std::fmt::Write as _;
 
+use mabfuzz::{CampaignSpec, MabFuzzOutcome};
+
 use crate::ablation::AblationSweep;
 use crate::fig3::Fig3Result;
 use crate::fig4::Fig4Result;
@@ -194,6 +196,58 @@ pub fn ablation(sweep: &AblationSweep) -> String {
 pub fn ablations(sweeps: &[AblationSweep]) -> String {
     let rendered: Vec<String> = sweeps.iter().map(ablation).collect();
     format!("[{}]", rendered.join(","))
+}
+
+/// Renders the outcome of one spec-driven campaign (`experiments run
+/// --spec`): label, policy, the spec that produced it, coverage curve,
+/// detections and per-arm summary — one deterministic JSON document.
+pub fn campaign(spec: &CampaignSpec, outcome: &MabFuzzOutcome) -> String {
+    let stats = &outcome.stats;
+    let series: Vec<String> = stats
+        .series()
+        .points()
+        .iter()
+        .map(|p| format!("[{},{}]", p.tests, p.covered))
+        .collect();
+    let detections: Vec<String> = stats
+        .detections()
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"test_number\":{},\"test_id\":{},\"summary\":{}}}",
+                d.test_number,
+                d.test_id.0,
+                escape(&d.summary)
+            )
+        })
+        .collect();
+    let arms: Vec<String> = outcome
+        .arms
+        .iter()
+        .map(|arm| {
+            format!(
+                "{{\"index\":{},\"pulls\":{},\"resets\":{},\"final_local_coverage\":{}}}",
+                arm.index, arm.pulls, arm.resets, arm.final_local_coverage
+            )
+        })
+        .collect();
+    format!(
+        "{{\"experiment\":\"campaign\",\"label\":{},\"policy\":{},\"spec\":{},\
+         \"tests_executed\":{},\"final_coverage\":{},\"mismatching_tests\":{},\
+         \"first_detection\":{},\"total_resets\":{},\"series\":[{}],\
+         \"detections\":[{}],\"arms\":[{}]}}",
+        escape(stats.label()),
+        escape(spec.policy.name()),
+        spec.to_json(),
+        stats.tests_executed(),
+        stats.final_coverage(),
+        stats.mismatching_tests(),
+        stats.first_detection().map_or_else(|| "null".to_owned(), |t| t.to_string()),
+        outcome.total_resets,
+        series.join(","),
+        detections.join(","),
+        arms.join(",")
+    )
 }
 
 #[cfg(test)]

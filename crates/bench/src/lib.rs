@@ -33,10 +33,10 @@ use std::sync::Arc;
 
 pub use grid::{run_grid, Parallelism};
 pub use fuzzer::ShardPlan;
+pub use mabfuzz::{Campaign, CampaignSpec, PolicySpec};
 
-use fuzzer::{CampaignConfig, CampaignStats, TheHuzzFuzzer};
+use fuzzer::{CampaignConfig, CampaignStats};
 use mab::BanditKind;
-use mabfuzz::{MabFuzzConfig, MabFuzzer};
 use proc_sim::{BugSet, Processor, ProcessorKind};
 
 /// Which fuzzer a campaign uses: the baseline or MABFuzz with one of the
@@ -67,15 +67,26 @@ impl FuzzerKind {
 
     /// Returns the display name used in tables.
     ///
-    /// Borrowed from precomputed labels — `name()` sits in hot bench loops
-    /// (benchmark ids, per-row table rendering), so it must not allocate.
+    /// Borrowed from precomputed labels for the paper's fuzzers — `name()`
+    /// sits in hot bench loops (benchmark ids, per-row table rendering), so
+    /// the built-in variants must not allocate. Custom registered policies
+    /// (outside every hot loop) render as `MABFuzz: <registered name>`.
     pub fn name(self) -> Cow<'static, str> {
         Cow::Borrowed(match self {
             FuzzerKind::TheHuzz => "TheHuzz",
             FuzzerKind::MabFuzz(BanditKind::EpsilonGreedy) => "MABFuzz: epsilon-greedy",
             FuzzerKind::MabFuzz(BanditKind::Ucb1) => "MABFuzz: UCB",
             FuzzerKind::MabFuzz(BanditKind::Exp3) => "MABFuzz: EXP3",
+            FuzzerKind::MabFuzz(custom) => return Cow::Owned(format!("MABFuzz: {custom}")),
         })
+    }
+
+    /// The policy this fuzzer corresponds to in a [`CampaignSpec`].
+    pub fn policy(self) -> PolicySpec {
+        match self {
+            FuzzerKind::TheHuzz => PolicySpec::Baseline,
+            FuzzerKind::MabFuzz(kind) => PolicySpec::Bandit(kind),
+        }
     }
 }
 
@@ -112,6 +123,35 @@ impl ExperimentBudget {
     }
 }
 
+/// Builds the [`CampaignSpec`] describing one grid cell: `fuzzer_kind` with
+/// the paper-default reward/reset parameters over `campaign`, seeded
+/// `rng_seed`, sharded per `plan`.
+///
+/// This is the construction every experiment cell goes through — the grid
+/// is a consumer of specs, and a cell's spec serializes
+/// ([`CampaignSpec::to_json`]) into exactly what `experiments run --spec`
+/// would replay.
+///
+/// # Panics
+///
+/// Panics when the combination is invalid (a zero test budget, say) —
+/// grid callers construct cells programmatically, so an invalid cell is a
+/// harness bug, not user input.
+pub fn campaign_spec(
+    fuzzer_kind: FuzzerKind,
+    campaign: CampaignConfig,
+    rng_seed: u64,
+    plan: &ShardPlan,
+) -> CampaignSpec {
+    CampaignSpec::builder()
+        .policy(fuzzer_kind.policy())
+        .campaign(campaign)
+        .rng_seed(rng_seed)
+        .plan(plan)
+        .build()
+        .expect("grid cells are valid by construction")
+}
+
 /// Runs one campaign of `fuzzer_kind` against `processor` and returns its
 /// statistics.
 pub fn run_campaign(
@@ -126,12 +166,14 @@ pub fn run_campaign(
 /// Runs one campaign of `fuzzer_kind` against `processor` under a
 /// [`ShardPlan`] and returns its statistics.
 ///
-/// MABFuzz campaigns simulate each bandit round's batch across the plan's
-/// shard workers (reports are byte-identical for every shard count at a
-/// fixed batch size; see the determinism contract in `fuzzer::shard`). The
-/// TheHuzz baseline has no round structure to batch, so it ignores the plan
-/// and stays serial — callers composing thread budgets should still reserve
-/// only one thread for its cells.
+/// The cell is described by a [`CampaignSpec`] (see [`campaign_spec`]) and
+/// executed through the [`Campaign`] session type. MABFuzz campaigns
+/// simulate each bandit round's batch across the plan's shard workers
+/// (reports are byte-identical for every shard count at a fixed batch size;
+/// see the determinism contract in `fuzzer::shard`). The TheHuzz baseline
+/// has no round structure to batch, so it ignores the plan and stays
+/// serial — callers composing thread budgets should still reserve only one
+/// thread for its cells.
 pub fn run_campaign_planned(
     fuzzer_kind: FuzzerKind,
     processor: Arc<dyn Processor>,
@@ -139,14 +181,11 @@ pub fn run_campaign_planned(
     rng_seed: u64,
     plan: &ShardPlan,
 ) -> CampaignStats {
-    match fuzzer_kind {
-        FuzzerKind::TheHuzz => TheHuzzFuzzer::new(processor, campaign, rng_seed).run(),
-        FuzzerKind::MabFuzz(kind) => {
-            let mut config = MabFuzzConfig::new(kind);
-            config.campaign = campaign;
-            MabFuzzer::new(processor, config, rng_seed).run_sharded(plan).stats
-        }
-    }
+    let spec = campaign_spec(fuzzer_kind, campaign, rng_seed, plan);
+    Campaign::from_spec_on(processor, &spec)
+        .expect("grid specs are valid by construction")
+        .execute()
+        .stats
 }
 
 /// Builds a processor with its paper-native bugs enabled.

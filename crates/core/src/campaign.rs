@@ -1,0 +1,839 @@
+//! The campaign session type: spec in, outcome out.
+//!
+//! [`Campaign`] is the single execution entry point behind every fuzzing
+//! run in the workspace. It is built from a declarative
+//! [`CampaignSpec`] — either self-contained
+//! ([`Campaign::from_spec`]) or against a caller-supplied processor
+//! ([`Campaign::from_spec_on`]) — optionally decorated with streaming
+//! [`CampaignObserver`]s, and consumed by [`execute`](Campaign::execute).
+//! The legacy `MabFuzzer::run` / `run_sharded` constructors are thin
+//! compatibility wrappers over this type, and the experiment grid drives it
+//! through specs for every cell.
+//!
+//! Both scheduling worlds run through here:
+//!
+//! * [`PolicySpec::Baseline`](crate::spec::PolicySpec) executes the
+//!   TheHuzz-style FIFO baseline (no bandit, no arms — the outcome's arm
+//!   summary is empty, and observers receive only the final
+//!   [`CampaignFinished`] event: the baseline loop predates the event seam
+//!   and does not stream per-test events yet);
+//! * [`PolicySpec::Bandit`](crate::spec::PolicySpec) executes the MABFuzz
+//!   loop of Fig. 2, serial or sharded per the spec's plan, with the
+//!   determinism contract of `fuzzer::shard` intact: attaching observers or
+//!   changing the shard count never changes a single byte of the report.
+
+use std::sync::Arc;
+
+use coverage::CoverageMap;
+use fuzzer::shard::derive_stream_seed;
+use fuzzer::{
+    CampaignStats, DiffReport, ExecScratch, FuzzHarness, MutationEngine, SeedGenerator, ShardPlan,
+    ShardPool, TestCase, TheHuzzFuzzer,
+};
+use mab::Bandit;
+use proc_sim::Processor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use riscv::Program;
+
+use crate::arm::Arm;
+use crate::config::MabFuzzConfig;
+use crate::monitor::SaturationMonitor;
+use crate::observer::{
+    ArmReset, ArmSelected, BatchFolded, CampaignFinished, CampaignObserver, CoverageMilestone,
+    DetectionObserved, TestFolded,
+};
+use crate::orchestrator::{ArmSummary, MabFuzzOutcome};
+use crate::reward::RewardParams;
+use crate::spec::{CampaignSpec, PolicySpec, SpecError};
+
+/// The assembled state of one MABFuzz campaign, ready to run.
+///
+/// This is what `MabFuzzer` has always carried; it now lives behind the
+/// [`Campaign`] session type so the spec path and the legacy constructors
+/// share one execution loop.
+pub(crate) struct MabSession {
+    pub(crate) harness: FuzzHarness,
+    pub(crate) config: MabFuzzConfig,
+    pub(crate) bandit: Box<dyn Bandit>,
+    pub(crate) rng: StdRng,
+    pub(crate) seed: u64,
+    pub(crate) seeds: SeedGenerator,
+    pub(crate) mutator: MutationEngine,
+}
+
+impl MabSession {
+    pub(crate) fn new(
+        processor: Arc<dyn Processor>,
+        config: MabFuzzConfig,
+        bandit: Box<dyn Bandit>,
+        rng_seed: u64,
+    ) -> MabSession {
+        let harness = FuzzHarness::new(processor, config.campaign.max_steps_per_test);
+        let seeds = SeedGenerator::new(config.campaign.generator.clone());
+        let mutator = MutationEngine::new(config.campaign.generator.clone());
+        MabSession {
+            harness,
+            config,
+            bandit,
+            rng: StdRng::seed_from_u64(rng_seed),
+            seed: rng_seed,
+            seeds,
+            mutator,
+        }
+    }
+}
+
+enum CampaignKind {
+    Baseline(TheHuzzFuzzer),
+    Mab { session: MabSession, plan: ShardPlan },
+}
+
+/// One fuzzing campaign, assembled and ready to
+/// [`execute`](Campaign::execute).
+///
+/// # Example
+///
+/// A custom policy registered at runtime drives a full campaign through a
+/// spec, with no edit to any core type:
+///
+/// ```
+/// use mab::{register_policy, BanditKind, EpsilonGreedy, PolicyParams};
+/// use mabfuzz::{BugSpec, Campaign, CampaignSpec};
+/// use proc_sim::ProcessorKind;
+///
+/// // A "custom" policy (here simply uniform-random exploration).
+/// register_policy("doc-uniform", |params: &PolicyParams| {
+///     Box::new(EpsilonGreedy::new(params.arms, 1.0))
+/// })
+/// .expect("fresh name");
+///
+/// let spec = CampaignSpec::builder()
+///     .policy_named("doc-uniform")
+///     .arms(4)
+///     .max_tests(16)
+///     .processor(ProcessorKind::Rocket, BugSpec::None)
+///     .rng_seed(3)
+///     .build()
+///     .unwrap();
+/// let outcome = Campaign::from_spec(&spec).unwrap().execute();
+/// assert_eq!(outcome.stats.tests_executed(), 16);
+/// assert!(outcome.stats.label().contains("doc-uniform"));
+/// ```
+pub struct Campaign {
+    kind: CampaignKind,
+    observers: Vec<Box<dyn CampaignObserver>>,
+}
+
+impl Campaign {
+    /// Assembles a self-contained campaign: the spec names the processor.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::MissingProcessor`] when the spec has no processor
+    /// section, or any validation error of the spec.
+    pub fn from_spec(spec: &CampaignSpec) -> Result<Campaign, SpecError> {
+        spec.validate()?;
+        let processor = spec.processor.ok_or(SpecError::MissingProcessor)?;
+        Campaign::assemble(Arc::from(processor.build()), spec)
+    }
+
+    /// Assembles a campaign from a spec against a caller-supplied processor
+    /// (the experiment grid's path — cells build their processors once and
+    /// reuse the spec).
+    ///
+    /// # Errors
+    ///
+    /// Any validation error of the spec.
+    pub fn from_spec_on(
+        processor: Arc<dyn Processor>,
+        spec: &CampaignSpec,
+    ) -> Result<Campaign, SpecError> {
+        spec.validate()?;
+        Campaign::assemble(processor, spec)
+    }
+
+    /// Assembles a campaign from an already-validated spec (both `from_spec`
+    /// entry points funnel through here, so validation runs exactly once per
+    /// construction and error ordering cannot drift between them).
+    fn assemble(processor: Arc<dyn Processor>, spec: &CampaignSpec) -> Result<Campaign, SpecError> {
+        let kind = match spec.policy {
+            PolicySpec::Baseline => CampaignKind::Baseline(TheHuzzFuzzer::new(
+                processor,
+                spec.campaign.clone(),
+                spec.rng_seed,
+            )),
+            PolicySpec::Bandit(kind) => {
+                let bandit = kind.build_with(&spec.policy_params(kind));
+                if bandit.arms() != spec.arms() {
+                    return Err(SpecError::ArmCountMismatch {
+                        bandit: bandit.arms(),
+                        spec: spec.arms(),
+                    });
+                }
+                CampaignKind::Mab {
+                    session: MabSession::new(processor, spec.to_mab_config(), bandit, spec.rng_seed),
+                    plan: spec.plan(),
+                }
+            }
+        };
+        Ok(Campaign { kind, observers: Vec::new() })
+    }
+
+    /// Assembles a MABFuzz campaign from already-built parts (the legacy
+    /// `MabFuzzer` wrappers route through here).
+    pub(crate) fn from_session(session: MabSession, plan: ShardPlan) -> Campaign {
+        Campaign { kind: CampaignKind::Mab { session, plan }, observers: Vec::new() }
+    }
+
+    /// Attaches a streaming observer (builder style). Observers receive the
+    /// campaign's event stream in deterministic fold order and cannot affect
+    /// the outcome.
+    pub fn with_observer(mut self, observer: Box<dyn CampaignObserver>) -> Campaign {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Attaches a streaming observer in place.
+    pub fn attach_observer(&mut self, observer: Box<dyn CampaignObserver>) {
+        self.observers.push(observer);
+    }
+
+    /// Returns the campaign's report label (`"TheHuzz on rocket"`,
+    /// `"MABFuzz: UCB on cva6"`, …).
+    pub fn label(&self) -> String {
+        match &self.kind {
+            CampaignKind::Baseline(fuzzer) => format!("TheHuzz on {}", fuzzer.processor_name()),
+            CampaignKind::Mab { session, .. } => {
+                format!("{} on {}", session.config.label(), session.harness.processor().name())
+            }
+        }
+    }
+
+    /// Runs the campaign to completion.
+    ///
+    /// Baseline campaigns return an outcome with an empty arm summary (there
+    /// are no bandit arms to report), and their observers receive only the
+    /// final [`CampaignFinished`] event — the TheHuzz loop does not stream
+    /// per-test events yet. MABFuzz campaigns produce the full per-arm
+    /// report and the complete event stream. Reports are byte-identical for
+    /// every shard count of the plan at a fixed batch size, and independent
+    /// of attached observers.
+    pub fn execute(mut self) -> MabFuzzOutcome {
+        match self.kind {
+            CampaignKind::Baseline(fuzzer) => {
+                let stats = fuzzer.run();
+                let finished = CampaignFinished {
+                    tests_executed: stats.tests_executed(),
+                    final_coverage: stats.final_coverage(),
+                    total_resets: 0,
+                };
+                for observer in &mut self.observers {
+                    observer.campaign_finished(&finished);
+                }
+                MabFuzzOutcome { stats, arms: Vec::new(), total_resets: 0 }
+            }
+            CampaignKind::Mab { session, plan } => execute_mab(session, &plan, self.observers),
+        }
+    }
+}
+
+impl std::fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("label", &self.label())
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+/// The MABFuzz campaign loop (Fig. 2 of the paper, batched): select an arm,
+/// assemble the round's batch, simulate it (in place or across the shard
+/// pool), fold the outcomes in `test_index` order.
+fn execute_mab(
+    session: MabSession,
+    plan: &ShardPlan,
+    observers: Vec<Box<dyn CampaignObserver>>,
+) -> MabFuzzOutcome {
+    let label = format!("{} on {}", session.config.label(), session.harness.processor().name());
+    let space_len = session.harness.coverage_space_len();
+    let max_tests = session.config.campaign.max_tests;
+    let campaign_seed = session.seed;
+    // Per-test derived RNG streams are a batched-mode feature; the
+    // batch-size-1 plan keeps every draw on the main RNG so `run()`
+    // reproduces the pre-sharding serial campaigns byte for byte.
+    let legacy_stream = plan.batch_size() == 1;
+    let pool = (plan.shards() > 1).then(|| ShardPool::new(&session.harness, plan.shards()));
+    let mut scratch = ExecScratch::new();
+
+    let mut fold = CampaignFold {
+        stats: CampaignStats::new(label, space_len, session.config.campaign.sample_interval),
+        arms: Vec::new(),
+        monitor: SaturationMonitor::new(session.config.arms(), session.config.gamma),
+        bandit: session.bandit,
+        rng: session.rng,
+        seeds: session.seeds,
+        mutator: session.mutator,
+        reward_params: RewardParams::new(session.config.alpha),
+        space_len,
+        mutations_per_interesting_test: session.config.campaign.mutations_per_interesting_test,
+        stop_on_first_detection: session.config.campaign.stop_on_first_detection,
+        total_resets: 0,
+        pending_rewards: Vec::with_capacity(plan.batch_size()),
+        arm_index: 0,
+        round: 0,
+        round_tests: 0,
+        last_decile: 0,
+        observers,
+    };
+    // One seed per arm (Fig. 2: "Given a seed pool with each seed
+    // corresponding to an arm").
+    fold.arms = (0..session.config.arms())
+        .map(|index| Arm::new(index, fold.seeds.generate_seed(&mut fold.rng), space_len))
+        .collect();
+
+    let mut round: u64 = 0;
+    while fold.stats.tests_executed() < max_tests {
+        let remaining =
+            usize::try_from(max_tests - fold.stats.tests_executed()).unwrap_or(usize::MAX);
+        let batch_len = plan.batch_size().min(remaining);
+
+        // 1. Select the round's arm.
+        fold.begin_round(round, batch_len);
+
+        // Derived per-test streams for this round (batched mode only).
+        let mut lanes: Vec<StdRng> = if legacy_stream {
+            Vec::new()
+        } else {
+            (0..batch_len)
+                .map(|index| {
+                    StdRng::seed_from_u64(derive_stream_seed(campaign_seed, round, index as u64))
+                })
+                .collect()
+        };
+
+        // 2. Assemble the batch before the fork: pool pops and refills
+        //    happen serially, so batch contents are shard-independent.
+        let batch = fold.assemble_batch(batch_len, &mut lanes);
+
+        // 3. Simulate — fork/join across the shard pool, or in place on
+        //    the campaign thread — and 4. fold in test order.
+        let stopped = match &pool {
+            Some(pool) => {
+                let programs: Arc<Vec<Program>> =
+                    Arc::new(batch.iter().map(|test| test.program.clone()).collect());
+                let outcomes = pool.simulate(&programs);
+                let mut stopped = false;
+                for (slot, (test, outcome)) in batch.iter().zip(&outcomes).enumerate() {
+                    if fold.fold_test(test, &outcome.coverage, &outcome.diff, lanes.get_mut(slot)) {
+                        stopped = true;
+                        break;
+                    }
+                }
+                // Hand the batch's outcome buffers back to the workers so
+                // the next round reuses their allocations (coverage bitmap,
+                // diff vector) instead of cloning afresh per test.
+                pool.recycle(outcomes);
+                stopped
+            }
+            None => {
+                let mut stopped = false;
+                for (slot, test) in batch.iter().enumerate() {
+                    let view = session.harness.run_program_into(&test.program, &mut scratch);
+                    if fold.fold_test(test, view.coverage, view.diff, lanes.get_mut(slot)) {
+                        stopped = true;
+                        break;
+                    }
+                }
+                stopped
+            }
+        };
+        fold.flush_rewards();
+        fold.finish_round();
+        if stopped {
+            break;
+        }
+        round += 1;
+    }
+
+    fold.stats.finish();
+    let arm_summaries = fold
+        .arms
+        .iter()
+        .map(|arm| ArmSummary {
+            index: arm.index(),
+            pulls: arm.total_pulls(),
+            resets: arm.resets(),
+            final_local_coverage: arm.local_coverage().count(),
+        })
+        .collect();
+    let finished = CampaignFinished {
+        tests_executed: fold.stats.tests_executed(),
+        final_coverage: fold.stats.final_coverage(),
+        total_resets: fold.total_resets,
+    };
+    for observer in &mut fold.observers {
+        observer.campaign_finished(&finished);
+    }
+    MabFuzzOutcome { stats: fold.stats, arms: arm_summaries, total_resets: fold.total_resets }
+}
+
+/// The serial half of a campaign round: everything the ordered reduction
+/// mutates, gathered so the fold runs identically whether outcomes arrive
+/// from the campaign thread (1 shard) or from the shard pool.
+///
+/// The fold *is* the built-in observer: its direct `stats` bookkeeping
+/// performs exactly what `impl CampaignObserver for CampaignStats` performs,
+/// and every attached observer receives the corresponding event right after
+/// the reduction step it describes.
+struct CampaignFold {
+    stats: CampaignStats,
+    arms: Vec<Arm>,
+    monitor: SaturationMonitor,
+    bandit: Box<dyn Bandit>,
+    rng: StdRng,
+    seeds: SeedGenerator,
+    mutator: MutationEngine,
+    reward_params: RewardParams,
+    space_len: usize,
+    mutations_per_interesting_test: usize,
+    stop_on_first_detection: bool,
+    total_resets: u64,
+    pending_rewards: Vec<f64>,
+    arm_index: usize,
+    round: u64,
+    round_tests: usize,
+    last_decile: u32,
+    observers: Vec<Box<dyn CampaignObserver>>,
+}
+
+impl CampaignFold {
+    /// Starts a round: the bandit picks the arm the whole batch pulls.
+    fn begin_round(&mut self, round: u64, batch_len: usize) {
+        self.arm_index = self.bandit.select(&mut self.rng);
+        self.round = round;
+        self.round_tests = 0;
+        if !self.observers.is_empty() {
+            let event = ArmSelected { round, arm: self.arm_index, batch_len };
+            for observer in &mut self.observers {
+                observer.arm_selected(&event);
+            }
+        }
+    }
+
+    /// Ends a round after its rewards were flushed.
+    fn finish_round(&mut self) {
+        if !self.observers.is_empty() {
+            let event =
+                BatchFolded { round: self.round, arm: self.arm_index, tests: self.round_tests };
+            for observer in &mut self.observers {
+                observer.batch_folded(&event);
+            }
+        }
+    }
+
+    /// Pops the round's batch from the selected arm's pool, refilling an
+    /// empty pool by mutating the arm's seed. Refill randomness comes from
+    /// the slot's derived lane when one exists (batched rounds) and from
+    /// the main RNG otherwise (the legacy batch-size-1 stream).
+    fn assemble_batch(&mut self, batch_len: usize, lanes: &mut [StdRng]) -> Vec<TestCase> {
+        let mut batch = Vec::with_capacity(batch_len);
+        for slot in 0..batch_len {
+            let arm = &mut self.arms[self.arm_index];
+            let test = match arm.next_test() {
+                Some(test) => test,
+                None => {
+                    let rng = match lanes.get_mut(slot) {
+                        Some(lane) => lane,
+                        None => &mut self.rng,
+                    };
+                    let (mutant, _) = self.mutator.mutate(&arm.seed().program, rng);
+                    let child = self.seeds.adopt_child(&arm.seed().clone(), mutant);
+                    arm.pool_mut().push(child);
+                    arm.next_test().expect("pool was just refilled")
+                }
+            };
+            batch.push(test);
+        }
+        batch
+    }
+
+    /// Folds one simulated test into the campaign state, in `test_index`
+    /// order. Returns `true` when the campaign must stop (detection mode
+    /// hit a mismatch); the remaining outcomes of the round are then
+    /// discarded unrecorded, exactly like the tests a serial campaign would
+    /// never have simulated.
+    fn fold_test(
+        &mut self,
+        test: &TestCase,
+        coverage: &CoverageMap,
+        diff: &DiffReport,
+        lane: Option<&mut StdRng>,
+    ) -> bool {
+        // Global novelty first (cov_G), then the arm-local novelty
+        // (cov_L ⊇ cov_G). Only the counts are needed for the reward, so no
+        // id vectors are materialised.
+        let detected = !diff.is_clean();
+        let global_new = self.stats.record_test_count(test.id, coverage, diff);
+        let local_new = self.arms[self.arm_index].absorb_coverage(coverage);
+        self.round_tests += 1;
+
+        if self.stop_on_first_detection && detected {
+            self.emit_test_events(test, coverage, diff, local_new, global_new, 0.0, detected);
+            return true;
+        }
+
+        // Mutate interesting tests into the arm's pool.
+        if local_new > 0 {
+            let mutation_count = self.mutations_per_interesting_test;
+            let CampaignFold { rng, seeds, mutator, arms, arm_index, .. } = self;
+            let rng = match lane {
+                Some(lane) => lane,
+                None => rng,
+            };
+            for _ in 0..mutation_count {
+                let (mutant, _) = mutator.mutate(&test.program, rng);
+                let child = seeds.adopt_child(test, mutant);
+                arms[*arm_index].pool_mut().push(child);
+            }
+        }
+
+        // Queue the reward; the round flush (or a reset) folds the pending
+        // rewards into the bandit in order via `update_batch`.
+        let reward = self.reward_params.policy_reward(
+            self.bandit.kind(),
+            local_new,
+            global_new,
+            self.space_len,
+        );
+        self.pending_rewards.push(reward);
+        self.emit_test_events(test, coverage, diff, local_new, global_new, reward, detected);
+
+        // Reset saturated arms. Pending rewards are flushed first so the
+        // bandit observes update-then-reset in the same order as a serial
+        // campaign.
+        if self.monitor.record(self.arm_index, local_new) {
+            self.flush_rewards();
+            let fresh = self.seeds.generate_seed(&mut self.rng);
+            self.arms[self.arm_index].reset(fresh);
+            self.bandit.reset_arm(self.arm_index);
+            self.monitor.reset_arm(self.arm_index);
+            self.total_resets += 1;
+            if !self.observers.is_empty() {
+                let event = ArmReset {
+                    arm: self.arm_index,
+                    test_number: self.stats.tests_executed(),
+                    total_resets: self.total_resets,
+                };
+                for observer in &mut self.observers {
+                    observer.arm_reset(&event);
+                }
+            }
+        }
+        false
+    }
+
+    /// Streams the per-test events (test folded, detection, coverage
+    /// milestone) to the attached observers.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_test_events(
+        &mut self,
+        test: &TestCase,
+        coverage: &CoverageMap,
+        diff: &DiffReport,
+        local_new: usize,
+        global_new: usize,
+        reward: f64,
+        detected: bool,
+    ) {
+        // Observer-less campaigns (the whole experiment grid, the golden
+        // runs, the benches) skip all event bookkeeping: observers can only
+        // attach before `execute()` consumes the campaign, so nothing can
+        // ever observe state tracked while this list is empty.
+        if self.observers.is_empty() {
+            return;
+        }
+        let covered = self.stats.final_coverage();
+        let decile = (covered * 10)
+            .checked_div(self.space_len)
+            .map_or(0, |d| d.min(10) as u32);
+        let crossed = (self.last_decile + 1)..=decile;
+        self.last_decile = decile.max(self.last_decile);
+        let test_number = self.stats.tests_executed();
+        let event = TestFolded {
+            test_number,
+            test_id: test.id,
+            arm: self.arm_index,
+            local_new,
+            global_new,
+            covered,
+            reward,
+            detected,
+            coverage,
+            diff,
+        };
+        for observer in &mut self.observers {
+            observer.test_folded(&event);
+        }
+        if detected {
+            let event = DetectionObserved {
+                test_number,
+                test_id: test.id,
+                arm: self.arm_index,
+                diff,
+            };
+            for observer in &mut self.observers {
+                observer.detection(&event);
+            }
+        }
+        for decile in crossed {
+            let event = CoverageMilestone {
+                decile,
+                covered,
+                space_len: self.space_len,
+                test_number,
+            };
+            for observer in &mut self.observers {
+                observer.coverage_milestone(&event);
+            }
+        }
+    }
+
+    /// Folds the queued rewards of the current round into the bandit, in
+    /// `test_index` order.
+    fn flush_rewards(&mut self) {
+        if !self.pending_rewards.is_empty() {
+            self.bandit.update_batch(self.arm_index, &self.pending_rewards);
+            self.pending_rewards.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    use mab::BanditKind;
+    use proc_sim::cores::{Cva6Core, RocketCore};
+    use proc_sim::{BugSet, Processor, ProcessorKind, Vulnerability};
+
+    use crate::spec::BugSpec;
+
+    fn quick_spec(kind: BanditKind, max_tests: u64) -> CampaignSpec {
+        CampaignSpec::builder()
+            .algorithm(kind)
+            .arms(4)
+            .max_tests(max_tests)
+            .max_steps_per_test(200)
+            .mutations_per_interesting_test(2)
+            .sample_interval(5)
+            .rng_seed(3)
+            .build()
+            .expect("valid spec")
+    }
+
+    #[test]
+    fn spec_execution_matches_the_legacy_wrapper_byte_for_byte() {
+        use crate::orchestrator::MabFuzzer;
+        for kind in BanditKind::ALL {
+            let spec = quick_spec(kind, 25);
+            let via_spec = Campaign::from_spec_on(
+                Arc::new(RocketCore::new(BugSet::none())),
+                &spec,
+            )
+            .unwrap()
+            .execute();
+            let via_wrapper = MabFuzzer::new(
+                Arc::new(RocketCore::new(BugSet::none())),
+                spec.to_mab_config(),
+                spec.rng_seed,
+            )
+            .run();
+            assert_eq!(via_spec, via_wrapper, "{kind}");
+        }
+    }
+
+    #[test]
+    fn self_contained_specs_build_their_processor() {
+        let spec = CampaignSpec::builder()
+            .arms(4)
+            .max_tests(10)
+            .processor(ProcessorKind::Rocket, BugSpec::None)
+            .build()
+            .unwrap();
+        let outcome = Campaign::from_spec(&spec).unwrap().execute();
+        assert_eq!(outcome.stats.tests_executed(), 10);
+        assert!(outcome.stats.label().contains("rocket"));
+    }
+
+    #[test]
+    fn specs_without_a_processor_require_from_spec_on() {
+        let spec = CampaignSpec::builder().build().unwrap();
+        assert_eq!(
+            Campaign::from_spec(&spec).err(),
+            Some(SpecError::MissingProcessor),
+            "self-contained execution needs a processor section"
+        );
+    }
+
+    #[test]
+    fn baseline_specs_run_thehuzz() {
+        let spec = CampaignSpec::builder()
+            .baseline()
+            .max_tests(15)
+            .processor(ProcessorKind::Rocket, BugSpec::None)
+            .rng_seed(1)
+            .build()
+            .unwrap();
+        let campaign = Campaign::from_spec(&spec).unwrap();
+        assert!(campaign.label().starts_with("TheHuzz on rocket"), "{}", campaign.label());
+        let outcome = campaign.execute();
+        assert_eq!(outcome.stats.tests_executed(), 15);
+        assert!(outcome.arms.is_empty(), "the baseline has no bandit arms");
+        assert_eq!(outcome.total_resets, 0);
+        assert!(outcome.stats.label().contains("TheHuzz"));
+    }
+
+    /// Records every event category, to pin dispatch order and content.
+    #[derive(Default)]
+    struct Recorder {
+        log: Arc<Mutex<Vec<String>>>,
+    }
+
+    impl CampaignObserver for Recorder {
+        fn arm_selected(&mut self, event: &ArmSelected) {
+            self.log.lock().unwrap().push(format!("select:{}:{}", event.round, event.arm));
+        }
+        fn test_folded(&mut self, event: &TestFolded<'_>) {
+            self.log.lock().unwrap().push(format!("test:{}", event.test_number));
+        }
+        fn batch_folded(&mut self, event: &BatchFolded) {
+            self.log.lock().unwrap().push(format!("batch:{}:{}", event.round, event.tests));
+        }
+        fn detection(&mut self, event: &DetectionObserved<'_>) {
+            self.log.lock().unwrap().push(format!("detect:{}", event.test_number));
+        }
+        fn arm_reset(&mut self, event: &ArmReset) {
+            self.log.lock().unwrap().push(format!("reset:{}", event.arm));
+        }
+        fn coverage_milestone(&mut self, event: &CoverageMilestone) {
+            self.log.lock().unwrap().push(format!("decile:{}", event.decile));
+        }
+        fn campaign_finished(&mut self, event: &CampaignFinished) {
+            self.log.lock().unwrap().push(format!("finish:{}", event.tests_executed));
+        }
+    }
+
+    #[test]
+    fn observers_stream_the_campaign_without_changing_it() {
+        let spec = quick_spec(BanditKind::Ucb1, 30);
+        let plain = Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec)
+            .unwrap()
+            .execute();
+
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let shadow_stats = CampaignStats::new(
+            plain.stats.label().to_owned(),
+            RocketCore::new(BugSet::none()).coverage_space().len(),
+            spec.campaign.sample_interval,
+        );
+        let shadow = Arc::new(Mutex::new(Some(shadow_stats)));
+
+        /// Routes events into a shared `CampaignStats` — the "shadow stats"
+        /// monitoring pattern from the module docs.
+        struct Shadow(Arc<Mutex<Option<CampaignStats>>>);
+        impl CampaignObserver for Shadow {
+            fn test_folded(&mut self, event: &TestFolded<'_>) {
+                self.0.lock().unwrap().as_mut().unwrap().test_folded(event);
+            }
+            fn campaign_finished(&mut self, event: &CampaignFinished) {
+                self.0.lock().unwrap().as_mut().unwrap().campaign_finished(event);
+            }
+        }
+
+        let observed = Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec)
+            .unwrap()
+            .with_observer(Box::new(Recorder { log: Arc::clone(&log) }))
+            .with_observer(Box::new(Shadow(Arc::clone(&shadow))))
+            .execute();
+
+        assert_eq!(plain, observed, "observers must never change the campaign");
+
+        let log = log.lock().unwrap();
+        let selects = log.iter().filter(|l| l.starts_with("select:")).count();
+        let tests = log.iter().filter(|l| l.starts_with("test:")).count();
+        let batches = log.iter().filter(|l| l.starts_with("batch:")).count();
+        assert_eq!(tests, 30, "one test event per executed test");
+        assert_eq!(selects, 30, "batch size 1: one selection per test");
+        assert_eq!(batches, selects, "every round closes with a batch event");
+        assert!(log.iter().any(|l| l.starts_with("decile:")), "coverage crosses deciles");
+        assert_eq!(log.last().unwrap(), &format!("finish:{}", observed.stats.tests_executed()));
+
+        // The shadow stats replayed from events match the built-in collection.
+        let shadow = shadow.lock().unwrap().take().unwrap();
+        assert_eq!(shadow, observed.stats, "CampaignStats-as-observer replays the campaign");
+    }
+
+    #[test]
+    fn detection_events_fire_in_detection_mode() {
+        let spec = CampaignSpec::builder()
+            .algorithm(BanditKind::Ucb1)
+            .arms(4)
+            .max_tests(400)
+            .max_steps_per_test(200)
+            .mutations_per_interesting_test(2)
+            .sample_interval(5)
+            .stop_on_first_detection(true)
+            .rng_seed(2)
+            .build()
+            .unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let outcome = Campaign::from_spec_on(
+            Arc::new(Cva6Core::new(BugSet::only(Vulnerability::V5MissingAccessFault))),
+            &spec,
+        )
+        .unwrap()
+        .with_observer(Box::new(Recorder { log: Arc::clone(&log) }))
+        .execute();
+        let detection = outcome.stats.first_detection().expect("V5 triggers quickly");
+        let log = log.lock().unwrap();
+        assert!(
+            log.contains(&format!("detect:{detection}")),
+            "the stopping detection streams as an event"
+        );
+    }
+
+    #[test]
+    fn sharded_spec_execution_is_shard_count_independent() {
+        let spec = |shards: usize| {
+            CampaignSpec::builder()
+                .algorithm(BanditKind::Ucb1)
+                .arms(4)
+                .max_tests(42)
+                .max_steps_per_test(200)
+                .mutations_per_interesting_test(2)
+                .sample_interval(5)
+                .rng_seed(9)
+                .shards(shards)
+                .batch_size(5)
+                .build()
+                .unwrap()
+        };
+        let reference = Campaign::from_spec_on(
+            Arc::new(RocketCore::new(BugSet::none())),
+            &spec(1),
+        )
+        .unwrap()
+        .execute();
+        for shards in [2usize, 3] {
+            let sharded = Campaign::from_spec_on(
+                Arc::new(RocketCore::new(BugSet::none())),
+                &spec(shards),
+            )
+            .unwrap()
+            .execute();
+            assert_eq!(reference, sharded, "{shards} shards diverged");
+        }
+    }
+}

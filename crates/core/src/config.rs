@@ -81,16 +81,22 @@ impl MabFuzzConfig {
     }
 
     /// Builds the bandit policy described by this configuration.
+    ///
+    /// Routes through [`BanditKind::build_with`], so custom policies
+    /// registered via [`mab::register_policy`] construct exactly like the
+    /// built-ins (their factories receive this configuration's ε and η).
     pub fn build_bandit(&self) -> Box<dyn mab::Bandit> {
-        match self.algorithm {
-            BanditKind::EpsilonGreedy => Box::new(mab::EpsilonGreedy::new(self.arms(), self.epsilon)),
-            BanditKind::Ucb1 => Box::new(mab::Ucb1::new(self.arms())),
-            BanditKind::Exp3 => Box::new(mab::Exp3::new(self.arms(), self.eta)),
-        }
+        self.algorithm.build_with(&mab::PolicyParams {
+            kind: self.algorithm,
+            arms: self.arms(),
+            epsilon: self.epsilon,
+            eta: self.eta,
+        })
     }
 
     /// Returns the human-readable campaign label used in reports
-    /// (e.g. `"MABFuzz: UCB"`).
+    /// (e.g. `"MABFuzz: UCB"`; custom policies appear under their
+    /// registered name).
     pub fn label(&self) -> String {
         format!("MABFuzz: {}", self.algorithm)
     }

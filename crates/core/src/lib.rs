@@ -19,33 +19,67 @@
 //!   byte-identical either way, see the determinism contract in
 //!   [`fuzzer::shard`]), mutate, reward, and reset saturated arms.
 //!
+//! Around that core, the campaign-facing API is declarative:
+//!
+//! * [`CampaignSpec`] — one validated, JSON-serializable description of a
+//!   whole campaign (policy, α/γ/ε/η, budget, generator, RNG seed, shard
+//!   plan, optionally the processor), with a fluent builder;
+//! * [`Campaign`] — the session type: `Campaign::from_spec(&spec)?.execute()`
+//!   runs anything from the TheHuzz baseline to a custom bandit registered
+//!   at runtime through [`mab::register_policy`];
+//! * [`CampaignObserver`] — streaming per-round/per-test events (arm
+//!   selected, test folded, detection, arm reset, coverage milestone) for
+//!   monitoring a campaign while it runs; the built-in statistics are
+//!   expressed against the same events.
+//!
 //! # Quick start
 //!
 //! ```
-//! use std::sync::Arc;
 //! use mab::BanditKind;
-//! use mabfuzz::{MabFuzzConfig, MabFuzzer};
-//! use proc_sim::{cores::RocketCore, BugSet};
+//! use mabfuzz::{BugSpec, Campaign, CampaignSpec};
+//! use proc_sim::ProcessorKind;
 //!
-//! let processor = Arc::new(RocketCore::new(BugSet::none()));
-//! let mut config = MabFuzzConfig::new(BanditKind::Ucb1);
-//! config.campaign.max_tests = 25;
-//! let outcome = MabFuzzer::new(processor, config, 7).run();
+//! let spec = CampaignSpec::builder()
+//!     .algorithm(BanditKind::Ucb1)
+//!     .max_tests(25)
+//!     .processor(ProcessorKind::Rocket, BugSpec::None)
+//!     .rng_seed(7)
+//!     .build()
+//!     .unwrap();
+//! let outcome = Campaign::from_spec(&spec).unwrap().execute();
 //! assert_eq!(outcome.stats.tests_executed(), 25);
+//!
+//! // The spec is one serializable object; this exact campaign replays from
+//! // its JSON (also: `experiments run --spec file.json`).
+//! assert_eq!(CampaignSpec::from_json(&spec.to_json()).unwrap(), spec);
 //! ```
+//!
+//! The imperative constructors (`MabFuzzer::new(...).run()`) remain as thin
+//! compatibility wrappers over [`Campaign`] and keep working unchanged.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arm;
+pub mod campaign;
 pub mod config;
 pub mod monitor;
+pub mod observer;
 pub mod orchestrator;
 pub mod reward;
+pub mod spec;
 
 pub use arm::Arm;
+pub use campaign::Campaign;
 pub use config::MabFuzzConfig;
 pub use fuzzer::{ShardPlan, ShardPool};
 pub use monitor::SaturationMonitor;
+pub use observer::{
+    ArmReset, ArmSelected, BatchFolded, CampaignFinished, CampaignObserver, CoverageMilestone,
+    DetectionObserved, TestFolded,
+};
 pub use orchestrator::{ArmSummary, MabFuzzOutcome, MabFuzzer};
 pub use reward::RewardParams;
+pub use spec::{
+    BugSpec, CampaignSpec, CampaignSpecBuilder, PolicySpec, ProcessorSpec, SpecError,
+};

@@ -128,6 +128,73 @@ mod tests {
         let _ = SaturationMonitor::new(1, 0);
     }
 
+    #[test]
+    fn gamma_boundary_saturates_exactly_at_the_gamma_th_pull() {
+        // Off-by-one guard on the window boundary: γ−1 zero-gain pulls must
+        // not saturate, the γ-th must, and the monitor must stay saturated
+        // on further zero-gain pulls (no modular wrap-around resetting it).
+        for gamma in 1usize..=5 {
+            let mut monitor = SaturationMonitor::new(1, gamma);
+            for pull in 1..gamma {
+                assert!(
+                    !monitor.record(0, 0),
+                    "gamma={gamma}: pull {pull} of {gamma} must not saturate yet"
+                );
+            }
+            assert!(monitor.record(0, 0), "gamma={gamma}: the {gamma}-th zero-gain pull saturates");
+            assert!(monitor.record(0, 0), "gamma={gamma}: saturation is sticky under zero gains");
+            assert_eq!(monitor.window(0).len(), gamma, "the window never exceeds gamma");
+        }
+    }
+
+    #[test]
+    fn gamma_one_saturates_on_any_zero_gain_pull() {
+        let mut monitor = SaturationMonitor::new(1, 1);
+        assert!(monitor.record(0, 0), "gamma=1: a single empty pull saturates");
+        assert!(!monitor.record(0, 3), "a gain un-saturates immediately");
+        assert!(monitor.record(0, 0), "and the next empty pull saturates again");
+    }
+
+    #[test]
+    fn reset_arm_empties_only_that_arms_window() {
+        let mut monitor = SaturationMonitor::new(3, 2);
+        monitor.record(0, 0);
+        monitor.record(0, 4);
+        monitor.record(1, 0);
+        monitor.record(1, 0);
+        monitor.record(2, 7);
+        assert!(monitor.is_saturated(1));
+
+        monitor.reset_arm(1);
+        assert_eq!(monitor.window(1), Vec::<usize>::new(), "the reset arm's window is empty");
+        assert!(!monitor.is_saturated(1), "an empty window is never saturated");
+        assert_eq!(monitor.window(0), vec![0, 4], "other arms keep their windows");
+        assert_eq!(monitor.window(2), vec![7]);
+
+        // After the reset, the arm needs a *full fresh* γ-window of zero
+        // gains again — history from before the reset must not count.
+        assert!(!monitor.record(1, 0), "one post-reset zero gain is not enough");
+        assert!(monitor.record(1, 0), "a fresh full window saturates again");
+    }
+
+    #[test]
+    fn window_contents_follow_record_order_after_reset() {
+        let mut monitor = SaturationMonitor::new(1, 3);
+        for gain in [1, 0, 2] {
+            monitor.record(0, gain);
+        }
+        assert_eq!(monitor.window(0), vec![1, 0, 2], "oldest first");
+        monitor.reset_arm(0);
+        for gain in [5, 6] {
+            monitor.record(0, gain);
+        }
+        assert_eq!(
+            monitor.window(0),
+            vec![5, 6],
+            "post-reset windows contain only post-reset gains"
+        );
+    }
+
     proptest! {
         /// The monitor is saturated exactly when the last γ recorded gains are
         /// all zero and at least γ pulls have happened.

@@ -1,24 +1,21 @@
 //! The MABFuzz orchestrator (Fig. 2 of the paper).
+//!
+//! Since the `Campaign` session redesign, the execution loop itself lives in
+//! [`crate::campaign`]; [`MabFuzzer`] remains as the stable, imperative
+//! compatibility surface (`new` / `with_bandit` / `run` / `run_sharded`)
+//! over [`Campaign`]. New code should prefer
+//! [`CampaignSpec`](crate::CampaignSpec) + `Campaign::from_spec` — see the
+//! migration note in `CHANGES.md`.
 
 use std::sync::Arc;
 
-use coverage::CoverageMap;
-use fuzzer::shard::derive_stream_seed;
-use fuzzer::{
-    CampaignStats, DiffReport, ExecScratch, FuzzHarness, MutationEngine, SeedGenerator, ShardPlan,
-    ShardPool, TestCase,
-};
+use fuzzer::{CampaignStats, ShardPlan};
 use mab::Bandit;
 use proc_sim::Processor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use riscv::Program;
 use serde::{Deserialize, Serialize};
 
-use crate::arm::Arm;
+use crate::campaign::{Campaign, MabSession};
 use crate::config::MabFuzzConfig;
-use crate::monitor::SaturationMonitor;
-use crate::reward::RewardParams;
 
 /// Per-arm summary included in the campaign outcome.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,14 +58,16 @@ pub struct MabFuzzOutcome {
 /// 6. the γ-window monitor decides whether the arm is depleted; if so the arm
 ///    is reset: fresh seed, cleared pool and local coverage, and re-initialised
 ///    bandit statistics.
+///
+/// `MabFuzzer` is the legacy imperative constructor for this loop; it is a
+/// thin wrapper over the [`Campaign`] session type, which new code should
+/// reach through a declarative [`CampaignSpec`](crate::CampaignSpec)
+/// (`Campaign::from_spec(...).execute()`) instead — specs serialize, carry
+/// the shard plan and RNG seed, and accept custom registered policies by
+/// name. Attach streaming observers via
+/// [`Campaign::with_observer`](crate::Campaign::with_observer).
 pub struct MabFuzzer {
-    harness: FuzzHarness,
-    config: MabFuzzConfig,
-    bandit: Box<dyn Bandit>,
-    rng: StdRng,
-    seed: u64,
-    seeds: SeedGenerator,
-    mutator: MutationEngine,
+    session: MabSession,
 }
 
 impl MabFuzzer {
@@ -85,7 +84,9 @@ impl MabFuzzer {
     /// (paper contribution 3): anything implementing [`mab::Bandit`] — not
     /// just the three algorithms evaluated in the paper — can schedule seeds.
     /// The `config.algorithm` field is ignored; everything else (arms, α, γ,
-    /// campaign budget) applies as usual.
+    /// campaign budget) applies as usual. (Policies registered through
+    /// [`mab::register_policy`] no longer need this hook: name them in a
+    /// [`CampaignSpec`](crate::CampaignSpec) instead.)
     ///
     /// # Panics
     ///
@@ -101,23 +102,12 @@ impl MabFuzzer {
             config.arms(),
             "the bandit must have exactly one arm per seed"
         );
-        let harness = FuzzHarness::new(processor, config.campaign.max_steps_per_test);
-        let seeds = SeedGenerator::new(config.campaign.generator.clone());
-        let mutator = MutationEngine::new(config.campaign.generator.clone());
-        MabFuzzer {
-            harness,
-            config,
-            bandit,
-            rng: StdRng::seed_from_u64(rng_seed),
-            seed: rng_seed,
-            seeds,
-            mutator,
-        }
+        MabFuzzer { session: MabSession::new(processor, config, bandit, rng_seed) }
     }
 
     /// Returns the campaign configuration.
     pub fn config(&self) -> &MabFuzzConfig {
-        &self.config
+        &self.session.config
     }
 
     /// Runs the campaign to completion on the legacy serial plan (one test
@@ -137,266 +127,20 @@ impl MabFuzzer {
     ///
     /// The campaign report is **byte-identical for every shard count** at a
     /// fixed batch size — see the determinism contract in
-    /// [`fuzzer::shard`]. One fuzzing round follows Fig. 2 of the paper,
-    /// batched:
-    ///
-    /// 1. the bandit selects an arm,
-    /// 2. the round's batch is popped from the arm's pool (an empty pool is
-    ///    refilled by mutating the arm's seed; batched rounds draw that
-    ///    randomness from the per-test streams of
-    ///    [`derive_stream_seed`]),
-    /// 3. the batch is simulated across the shards (differential testing
-    ///    against the golden model) — a pure, embarrassingly parallel map,
-    /// 4. outcomes are folded in `test_index` order: global then arm-local
-    ///    coverage novelty (`|cov_G|`, `|cov_L|`), detections, mutation of
-    ///    interesting tests, the reward
-    ///    `α·|cov_L| + (1 − α)·|cov_G|` (normalised for EXP3) via
-    ///    [`mab::Bandit::update_batch`], and the γ-window saturation check
-    ///    with its arm reset.
+    /// [`fuzzer::shard`]. The loop itself lives in the [`Campaign`] session
+    /// type; this wrapper hands it the assembled session.
     pub fn run_sharded(self, plan: &ShardPlan) -> MabFuzzOutcome {
-        let label = format!("{} on {}", self.config.label(), self.harness.processor().name());
-        let space_len = self.harness.coverage_space_len();
-        let max_tests = self.config.campaign.max_tests;
-        let campaign_seed = self.seed;
-        // Per-test derived RNG streams are a batched-mode feature; the
-        // batch-size-1 plan keeps every draw on the main RNG so `run()`
-        // reproduces the pre-sharding serial campaigns byte for byte.
-        let legacy_stream = plan.batch_size() == 1;
-        let pool = (plan.shards() > 1).then(|| ShardPool::new(&self.harness, plan.shards()));
-        let mut scratch = ExecScratch::new();
-
-        let mut fold = CampaignFold {
-            stats: CampaignStats::new(label, space_len, self.config.campaign.sample_interval),
-            arms: Vec::new(),
-            monitor: SaturationMonitor::new(self.config.arms(), self.config.gamma),
-            bandit: self.bandit,
-            rng: self.rng,
-            seeds: self.seeds,
-            mutator: self.mutator,
-            reward_params: RewardParams::new(self.config.alpha),
-            space_len,
-            mutations_per_interesting_test: self.config.campaign.mutations_per_interesting_test,
-            stop_on_first_detection: self.config.campaign.stop_on_first_detection,
-            total_resets: 0,
-            pending_rewards: Vec::with_capacity(plan.batch_size()),
-            arm_index: 0,
-        };
-        // One seed per arm (Fig. 2: "Given a seed pool with each seed
-        // corresponding to an arm").
-        fold.arms = (0..self.config.arms())
-            .map(|index| Arm::new(index, fold.seeds.generate_seed(&mut fold.rng), space_len))
-            .collect();
-
-        let mut round: u64 = 0;
-        while fold.stats.tests_executed() < max_tests {
-            let remaining = usize::try_from(max_tests - fold.stats.tests_executed())
-                .unwrap_or(usize::MAX);
-            let batch_len = plan.batch_size().min(remaining);
-
-            // 1. Select the round's arm.
-            fold.begin_round();
-
-            // Derived per-test streams for this round (batched mode only).
-            let mut lanes: Vec<StdRng> = if legacy_stream {
-                Vec::new()
-            } else {
-                (0..batch_len)
-                    .map(|index| {
-                        StdRng::seed_from_u64(derive_stream_seed(
-                            campaign_seed,
-                            round,
-                            index as u64,
-                        ))
-                    })
-                    .collect()
-            };
-
-            // 2. Assemble the batch before the fork: pool pops and refills
-            //    happen serially, so batch contents are shard-independent.
-            let batch = fold.assemble_batch(batch_len, &mut lanes);
-
-            // 3. Simulate — fork/join across the shard pool, or in place on
-            //    the campaign thread — and 4. fold in test order.
-            let stopped = match &pool {
-                Some(pool) => {
-                    let programs: Arc<Vec<Program>> =
-                        Arc::new(batch.iter().map(|test| test.program.clone()).collect());
-                    let outcomes = pool.simulate(&programs);
-                    let mut stopped = false;
-                    for (slot, (test, outcome)) in batch.iter().zip(&outcomes).enumerate() {
-                        if fold.fold_test(test, &outcome.coverage, &outcome.diff, lanes.get_mut(slot))
-                        {
-                            stopped = true;
-                            break;
-                        }
-                    }
-                    stopped
-                }
-                None => {
-                    let mut stopped = false;
-                    for (slot, test) in batch.iter().enumerate() {
-                        let view = self.harness.run_program_into(&test.program, &mut scratch);
-                        if fold.fold_test(test, view.coverage, view.diff, lanes.get_mut(slot)) {
-                            stopped = true;
-                            break;
-                        }
-                    }
-                    stopped
-                }
-            };
-            fold.flush_rewards();
-            if stopped {
-                break;
-            }
-            round += 1;
-        }
-
-        fold.stats.finish();
-        let arm_summaries = fold
-            .arms
-            .iter()
-            .map(|arm| ArmSummary {
-                index: arm.index(),
-                pulls: arm.total_pulls(),
-                resets: arm.resets(),
-                final_local_coverage: arm.local_coverage().count(),
-            })
-            .collect();
-        MabFuzzOutcome { stats: fold.stats, arms: arm_summaries, total_resets: fold.total_resets }
-    }
-}
-
-/// The serial half of a campaign round: everything the ordered reduction
-/// mutates, gathered so the fold runs identically whether outcomes arrive
-/// from the campaign thread (1 shard) or from the shard pool.
-struct CampaignFold {
-    stats: CampaignStats,
-    arms: Vec<Arm>,
-    monitor: SaturationMonitor,
-    bandit: Box<dyn Bandit>,
-    rng: StdRng,
-    seeds: SeedGenerator,
-    mutator: MutationEngine,
-    reward_params: RewardParams,
-    space_len: usize,
-    mutations_per_interesting_test: usize,
-    stop_on_first_detection: bool,
-    total_resets: u64,
-    pending_rewards: Vec<f64>,
-    arm_index: usize,
-}
-
-impl CampaignFold {
-    /// Starts a round: the bandit picks the arm the whole batch pulls.
-    fn begin_round(&mut self) {
-        self.arm_index = self.bandit.select(&mut self.rng);
-    }
-
-    /// Pops the round's batch from the selected arm's pool, refilling an
-    /// empty pool by mutating the arm's seed. Refill randomness comes from
-    /// the slot's derived lane when one exists (batched rounds) and from
-    /// the main RNG otherwise (the legacy batch-size-1 stream).
-    fn assemble_batch(&mut self, batch_len: usize, lanes: &mut [StdRng]) -> Vec<TestCase> {
-        let mut batch = Vec::with_capacity(batch_len);
-        for slot in 0..batch_len {
-            let arm = &mut self.arms[self.arm_index];
-            let test = match arm.next_test() {
-                Some(test) => test,
-                None => {
-                    let rng = match lanes.get_mut(slot) {
-                        Some(lane) => lane,
-                        None => &mut self.rng,
-                    };
-                    let (mutant, _) = self.mutator.mutate(&arm.seed().program, rng);
-                    let child = self.seeds.adopt_child(&arm.seed().clone(), mutant);
-                    arm.pool_mut().push(child);
-                    arm.next_test().expect("pool was just refilled")
-                }
-            };
-            batch.push(test);
-        }
-        batch
-    }
-
-    /// Folds one simulated test into the campaign state, in `test_index`
-    /// order. Returns `true` when the campaign must stop (detection mode
-    /// hit a mismatch); the remaining outcomes of the round are then
-    /// discarded unrecorded, exactly like the tests a serial campaign would
-    /// never have simulated.
-    fn fold_test(
-        &mut self,
-        test: &TestCase,
-        coverage: &CoverageMap,
-        diff: &DiffReport,
-        lane: Option<&mut StdRng>,
-    ) -> bool {
-        // Global novelty first (cov_G), then the arm-local novelty
-        // (cov_L ⊇ cov_G). Only the counts are needed for the reward, so no
-        // id vectors are materialised.
-        let detected = !diff.is_clean();
-        let global_new = self.stats.record_test_count(test.id, coverage, diff);
-        let local_new = self.arms[self.arm_index].absorb_coverage(coverage);
-
-        if self.stop_on_first_detection && detected {
-            return true;
-        }
-
-        // Mutate interesting tests into the arm's pool.
-        if local_new > 0 {
-            let mutation_count = self.mutations_per_interesting_test;
-            let CampaignFold { rng, seeds, mutator, arms, arm_index, .. } = self;
-            let rng = match lane {
-                Some(lane) => lane,
-                None => rng,
-            };
-            for _ in 0..mutation_count {
-                let (mutant, _) = mutator.mutate(&test.program, rng);
-                let child = seeds.adopt_child(test, mutant);
-                arms[*arm_index].pool_mut().push(child);
-            }
-        }
-
-        // Queue the reward; the round flush (or a reset) folds the pending
-        // rewards into the bandit in order via `update_batch`.
-        let reward = self.reward_params.policy_reward(
-            self.bandit.kind(),
-            local_new,
-            global_new,
-            self.space_len,
-        );
-        self.pending_rewards.push(reward);
-
-        // Reset saturated arms. Pending rewards are flushed first so the
-        // bandit observes update-then-reset in the same order as a serial
-        // campaign.
-        if self.monitor.record(self.arm_index, local_new) {
-            self.flush_rewards();
-            let fresh = self.seeds.generate_seed(&mut self.rng);
-            self.arms[self.arm_index].reset(fresh);
-            self.bandit.reset_arm(self.arm_index);
-            self.monitor.reset_arm(self.arm_index);
-            self.total_resets += 1;
-        }
-        false
-    }
-
-    /// Folds the queued rewards of the current round into the bandit, in
-    /// `test_index` order.
-    fn flush_rewards(&mut self) {
-        if !self.pending_rewards.is_empty() {
-            self.bandit.update_batch(self.arm_index, &self.pending_rewards);
-            self.pending_rewards.clear();
-        }
+        Campaign::from_session(self.session, *plan).execute()
     }
 }
 
 impl std::fmt::Debug for MabFuzzer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MabFuzzer")
-            .field("processor", &self.harness.processor().name())
-            .field("algorithm", &self.config.algorithm)
-            .field("arms", &self.config.arms())
-            .field("max_tests", &self.config.campaign.max_tests)
+            .field("processor", &self.session.harness.processor().name())
+            .field("algorithm", &self.session.config.algorithm)
+            .field("arms", &self.session.config.arms())
+            .field("max_tests", &self.session.config.campaign.max_tests)
             .finish()
     }
 }

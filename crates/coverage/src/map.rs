@@ -180,6 +180,21 @@ impl CoverageMap {
         self.ones = 0;
     }
 
+    /// Makes `self` an exact copy of `other`, reusing `self`'s word
+    /// allocation whenever its capacity suffices.
+    ///
+    /// This is the buffer-recycling counterpart of `clone()`: the pooled
+    /// shard workers refill returned [`CoverageMap`]s with it instead of
+    /// allocating a fresh bitmap per test. (The derived `Clone` does not
+    /// override `clone_from`, so a plain `clone_from` call would still
+    /// allocate.)
+    pub fn copy_from(&mut self, other: &CoverageMap) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+        self.ones = other.ones;
+    }
+
     /// Reshapes the map for a space with `len` points and clears it, reusing
     /// the existing allocation whenever it is large enough.
     pub fn reset_for_len(&mut self, len: usize) {
@@ -297,6 +312,21 @@ mod tests {
         map.cover(id(7));
         map.clear();
         assert_eq!(map.count(), 0);
+    }
+
+    #[test]
+    fn copy_from_equals_clone_even_across_sizes() {
+        let mut source = CoverageMap::with_len(200);
+        source.cover(id(3));
+        source.cover(id(150));
+        for target_len in [0usize, 64, 200, 1000] {
+            let mut target = CoverageMap::with_len(target_len);
+            target.cover(id(1));
+            target.copy_from(&source);
+            assert_eq!(target, source);
+            assert_eq!(target.count(), 2);
+            assert_eq!(target.len(), 200);
+        }
     }
 
     #[test]

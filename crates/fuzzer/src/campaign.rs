@@ -10,7 +10,7 @@ use crate::diff::DiffReport;
 use crate::testcase::TestId;
 
 /// Configuration shared by every fuzzing campaign (baseline and MABFuzz).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Total number of tests to simulate (the paper runs 50 000 per campaign;
     /// the benches default to much smaller budgets).

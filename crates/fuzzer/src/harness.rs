@@ -191,6 +191,19 @@ impl TestOutcomeView<'_> {
             golden_commits: self.golden_commits,
         }
     }
+
+    /// Writes the view into an existing [`TestOutcome`], reusing its
+    /// coverage-bitmap and mismatch-vector allocations.
+    ///
+    /// Equivalent to `*out = self.to_outcome()` but allocation-free in the
+    /// steady state — this is how the shard pool refills recycled outcome
+    /// buffers (see `ShardPool::recycle`).
+    pub fn clone_into_outcome(&self, out: &mut TestOutcome) {
+        out.coverage.copy_from(self.coverage);
+        out.diff.copy_from(self.diff);
+        out.dut_commits = self.dut_commits;
+        out.golden_commits = self.golden_commits;
+    }
 }
 
 impl std::fmt::Debug for FuzzHarness {
@@ -264,6 +277,32 @@ mod tests {
                 assert_eq!(fresh.golden_commits, reused.golden_commits);
                 assert_eq!(fresh.detected_mismatch(), reused.detected_mismatch());
             }
+        }
+    }
+
+    #[test]
+    fn clone_into_outcome_matches_to_outcome() {
+        let harness = FuzzHarness::new(
+            Arc::new(Cva6Core::new(BugSet::only(Vulnerability::V6UnimplCsrJunk))),
+            500,
+        );
+        let programs = [
+            program("addi a0, zero, 5\nmul a1, a0, a0\necall\n"),
+            program("csrrw a0, 0x5c0, zero\necall\n"), // mismatching
+            program("addi a0, zero, 1\necall\n"),
+        ];
+        let mut scratch = ExecScratch::new();
+        // Seed the recycled buffer with unrelated content so stale state
+        // would be caught.
+        let mut recycled = harness.run_program(&programs[1]);
+        for prog in &programs {
+            let view = harness.run_program_into(prog, &mut scratch);
+            let fresh = view.to_outcome();
+            view.clone_into_outcome(&mut recycled);
+            assert_eq!(recycled.coverage, fresh.coverage);
+            assert_eq!(recycled.diff, fresh.diff);
+            assert_eq!(recycled.dut_commits, fresh.dut_commits);
+            assert_eq!(recycled.golden_commits, fresh.golden_commits);
         }
     }
 

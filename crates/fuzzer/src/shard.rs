@@ -225,6 +225,7 @@ type ShardResult = (usize, Option<TestOutcome>);
 pub struct ShardPool {
     job_txs: Vec<Sender<Arc<Vec<Program>>>>,
     results_rx: Receiver<ShardResult>,
+    recycle_txs: Vec<Sender<TestOutcome>>,
     handles: Vec<JoinHandle<()>>,
     shards: usize,
 }
@@ -239,22 +240,43 @@ impl ShardPool {
         assert!(shards > 0, "a shard pool needs at least one shard");
         let (results_tx, results_rx) = channel::<ShardResult>();
         let mut job_txs = Vec::with_capacity(shards);
+        let mut recycle_txs = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for shard in 0..shards {
             let (job_tx, job_rx) = channel::<Arc<Vec<Program>>>();
+            let (recycle_tx, recycle_rx) = channel::<TestOutcome>();
             let results = results_tx.clone();
             let harness = harness.clone();
             handles.push(std::thread::spawn(move || {
-                shard_worker(shard, shards, harness, job_rx, results)
+                shard_worker(shard, shards, harness, job_rx, results, recycle_rx)
             }));
             job_txs.push(job_tx);
+            recycle_txs.push(recycle_tx);
         }
-        ShardPool { job_txs, results_rx, handles, shards }
+        ShardPool { job_txs, results_rx, recycle_txs, handles, shards }
     }
 
     /// Number of worker shards.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Hands consumed outcome buffers back to the workers that produced
+    /// them, so subsequent batches refill the buffers in place
+    /// ([`crate::TestOutcomeView::clone_into_outcome`]) instead of cloning a fresh
+    /// coverage bitmap and mismatch vector per test.
+    ///
+    /// Outcome `i` of a [`simulate`](ShardPool::simulate) batch was produced
+    /// by worker `i % shards`, and that is where it returns — each worker
+    /// only ever reuses buffers it sized itself. Purely an allocation
+    /// optimisation: recycling (or not recycling, or dropping some of the
+    /// outcomes first) never changes simulation results.
+    pub fn recycle(&self, outcomes: Vec<TestOutcome>) {
+        for (index, outcome) in outcomes.into_iter().enumerate() {
+            // A worker that already exited (campaign teardown) just drops
+            // the returned buffer.
+            let _ = self.recycle_txs[index % self.shards].send(outcome);
+        }
     }
 
     /// Simulates one batch across the shards and returns the outcomes in
@@ -305,12 +327,27 @@ fn shard_worker(
     harness: FuzzHarness,
     jobs: Receiver<Arc<Vec<Program>>>,
     results: Sender<ShardResult>,
+    recycle: Receiver<TestOutcome>,
 ) {
     let mut scratch = ExecScratch::new();
+    // Outcome buffers returned through `ShardPool::recycle`, refilled in
+    // place for the next test instead of cloning fresh allocations.
+    let mut free: Vec<TestOutcome> = Vec::new();
     while let Ok(batch) = jobs.recv() {
         for index in (shard..batch.len()).step_by(shards) {
+            while let Ok(returned) = recycle.try_recv() {
+                free.push(returned);
+            }
+            let recycled = free.pop();
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                harness.run_program_into(&batch[index], &mut scratch).to_outcome()
+                let view = harness.run_program_into(&batch[index], &mut scratch);
+                match recycled {
+                    Some(mut outcome) => {
+                        view.clone_into_outcome(&mut outcome);
+                        outcome
+                    }
+                    None => view.to_outcome(),
+                }
             }));
             match outcome {
                 Ok(outcome) => {
@@ -414,6 +451,51 @@ mod tests {
                 assert_eq!(sharded.dut_commits, serial.dut_commits);
                 assert_eq!(sharded.golden_commits, serial.golden_commits);
             }
+        }
+    }
+
+    #[test]
+    fn recycled_buffers_produce_identical_outcomes() {
+        // Same batch simulated three times through one pool, recycling the
+        // outcome buffers in between: every run must equal the serial
+        // reference byte for byte (recycling is purely an allocation
+        // optimisation).
+        let harness = harness();
+        let batch = programs(9);
+        let mut scratch = ExecScratch::new();
+        let reference = simulate_serial(&harness, &batch, &mut scratch);
+        let arc = Arc::new(batch);
+        let pool = ShardPool::new(&harness, 3);
+        for round in 0..3 {
+            let outcomes = pool.simulate(&arc);
+            for (index, (pooled, serial)) in outcomes.iter().zip(&reference).enumerate() {
+                assert_eq!(pooled.coverage, serial.coverage, "round {round}, test {index}");
+                assert_eq!(pooled.diff, serial.diff, "round {round}, test {index}");
+                assert_eq!(pooled.dut_commits, serial.dut_commits);
+                assert_eq!(pooled.golden_commits, serial.golden_commits);
+            }
+            pool.recycle(outcomes);
+        }
+    }
+
+    #[test]
+    fn recycling_tolerates_partial_and_foreign_batches() {
+        let harness = harness();
+        let pool = ShardPool::new(&harness, 2);
+        let first = Arc::new(programs(6));
+        let mut outcomes = pool.simulate(&first);
+        // Drop a few outcomes before recycling (detection-mode campaigns
+        // stop folding mid-batch and may consume buffers).
+        outcomes.truncate(3);
+        pool.recycle(outcomes);
+        pool.recycle(Vec::new());
+        let second = Arc::new(programs(4));
+        let mut scratch = ExecScratch::new();
+        let reference = simulate_serial(&harness, second.iter(), &mut scratch);
+        let pooled = pool.simulate(&second);
+        for (index, (pooled, serial)) in pooled.iter().zip(&reference).enumerate() {
+            assert_eq!(pooled.coverage, serial.coverage, "test {index}");
+            assert_eq!(pooled.diff, serial.diff, "test {index}");
         }
     }
 

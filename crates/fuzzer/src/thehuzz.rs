@@ -56,6 +56,11 @@ impl TheHuzzFuzzer {
         &self.config
     }
 
+    /// Returns the name of the processor under test.
+    pub fn processor_name(&self) -> &str {
+        self.harness.processor().name()
+    }
+
     /// Runs the campaign to completion and returns its statistics.
     pub fn run(mut self) -> CampaignStats {
         let label = format!("TheHuzz on {}", self.harness.processor().name());

@@ -43,16 +43,29 @@
 
 pub mod epsilon_greedy;
 pub mod exp3;
+pub mod registry;
 pub mod ucb;
 
 pub use epsilon_greedy::EpsilonGreedy;
 pub use exp3::Exp3;
+pub use registry::{
+    lookup_policy, register_policy, registered_policies, PolicyFactory, PolicyParams,
+    RegistryError, BASELINE_SCHEDULER_NAMES,
+};
 pub use ucb::Ucb1;
+
+use std::fmt;
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Identifies which bandit algorithm a policy implements.
+///
+/// Beyond the three algorithms evaluated in the paper,
+/// [`Custom`](BanditKind::Custom) identifies a policy registered at runtime through
+/// [`register_policy`] — parsing, building and display all route through the
+/// registry, so a custom policy behaves exactly like a built-in everywhere a
+/// `BanditKind` is accepted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BanditKind {
     /// ε-greedy: exploit the best-known arm with probability `1 − ε`.
@@ -61,24 +74,53 @@ pub enum BanditKind {
     Ucb1,
     /// EXP3: exponential weights for adversarial (non-stationary) rewards.
     Exp3,
+    /// A policy registered at runtime under this name (see
+    /// [`register_policy`]). The name is interned by the registry for the
+    /// lifetime of the process.
+    Custom(&'static str),
 }
+
+/// The error [`BanditKind::parse`] returns for an unknown policy name.
+///
+/// Its `Display` form lists every valid policy — built-ins first, then the
+/// registered custom policies — so a typo'd `--algorithm` flag tells the
+/// user what would have been accepted instead of silently defaulting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPolicy {
+    /// The name that failed to parse.
+    pub name: String,
+    /// Every acceptable policy name at the time of the call.
+    pub valid: Vec<&'static str>,
+}
+
+impl fmt::Display for UnknownPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown bandit policy `{}` (valid policies: {})", self.name, self.valid.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownPolicy {}
 
 impl BanditKind {
     /// All algorithm kinds evaluated in the paper.
     pub const ALL: [BanditKind; 3] = [BanditKind::EpsilonGreedy, BanditKind::Ucb1, BanditKind::Exp3];
 
-    /// Returns the display name used in the paper's tables and figures.
+    /// Returns the display name used in the paper's tables and figures (for
+    /// custom policies, the name they were registered under).
     pub fn name(self) -> &'static str {
         match self {
             BanditKind::EpsilonGreedy => "epsilon-greedy",
             BanditKind::Ucb1 => "UCB",
             BanditKind::Exp3 => "EXP3",
+            BanditKind::Custom(name) => name,
         }
     }
 
-    /// Parses an algorithm name (several common spellings accepted).
-    pub fn parse(text: &str) -> Option<BanditKind> {
-        match text.trim().to_ascii_lowercase().as_str() {
+    /// Parses a built-in algorithm name. `text` must already be lower-case;
+    /// shared by [`parse`](BanditKind::parse) and the registry's
+    /// reserved-name check.
+    pub(crate) fn parse_builtin(text: &str) -> Option<BanditKind> {
+        match text {
             "epsilon-greedy" | "epsilon_greedy" | "eps-greedy" | "egreedy" | "e-greedy" => {
                 Some(BanditKind::EpsilonGreedy)
             }
@@ -88,13 +130,57 @@ impl BanditKind {
         }
     }
 
+    /// Parses an algorithm name, case-insensitively: the built-in spellings
+    /// (several common aliases accepted) plus every policy registered through
+    /// [`register_policy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownPolicy`] — whose `Display` lists all valid names —
+    /// when the name matches neither a built-in nor a registered policy.
+    pub fn parse(text: &str) -> Result<BanditKind, UnknownPolicy> {
+        let key = text.trim().to_ascii_lowercase();
+        if let Some(kind) = BanditKind::parse_builtin(&key) {
+            return Ok(kind);
+        }
+        if let Some(kind) = lookup_policy(&key) {
+            return Ok(kind);
+        }
+        let mut valid: Vec<&'static str> = BanditKind::ALL.iter().map(|k| k.name()).collect();
+        valid.extend(registered_policies());
+        Err(UnknownPolicy { name: text.trim().to_owned(), valid })
+    }
+
     /// Builds the corresponding policy with the paper's default parameters
     /// (ε = 0.1, EXP3 learning rate η = 0.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a hand-constructed [`Custom`](BanditKind::Custom) kind
+    /// whose name was never registered. Custom kinds obtained from
+    /// [`register_policy`] or [`parse`](BanditKind::parse) always build;
+    /// the campaign-spec layer additionally validates registration and
+    /// returns an error instead of panicking.
     pub fn build(self, arms: usize) -> Box<dyn Bandit> {
+        self.build_with(&PolicyParams::defaults(self, arms))
+    }
+
+    /// Builds the corresponding policy with explicit parameters. Custom
+    /// kinds route through the factory registered under their name.
+    ///
+    /// # Panics
+    ///
+    /// See [`build`](BanditKind::build).
+    pub fn build_with(self, params: &PolicyParams) -> Box<dyn Bandit> {
         match self {
-            BanditKind::EpsilonGreedy => Box::new(EpsilonGreedy::new(arms, 0.1)),
-            BanditKind::Ucb1 => Box::new(Ucb1::new(arms)),
-            BanditKind::Exp3 => Box::new(Exp3::new(arms, 0.1)),
+            BanditKind::EpsilonGreedy => Box::new(EpsilonGreedy::new(params.arms, params.epsilon)),
+            BanditKind::Ucb1 => Box::new(Ucb1::new(params.arms)),
+            BanditKind::Exp3 => Box::new(Exp3::new(params.arms, params.eta)),
+            BanditKind::Custom(name) => {
+                let params = PolicyParams { kind: self, ..*params };
+                registry::build_registered(name, &params)
+                    .unwrap_or_else(|| panic!("custom policy `{name}` is not registered"))
+            }
         }
     }
 }
@@ -193,10 +279,33 @@ mod tests {
     #[test]
     fn kind_parse_round_trip() {
         for kind in BanditKind::ALL {
-            assert_eq!(BanditKind::parse(kind.name()), Some(kind));
+            assert_eq!(BanditKind::parse(kind.name()), Ok(kind));
         }
-        assert_eq!(BanditKind::parse("ucb1"), Some(BanditKind::Ucb1));
-        assert_eq!(BanditKind::parse("thompson"), None);
+        assert_eq!(BanditKind::parse("ucb1"), Ok(BanditKind::Ucb1));
+        assert_eq!(BanditKind::parse("UCB1"), Ok(BanditKind::Ucb1), "parsing is case-insensitive");
+    }
+
+    #[test]
+    fn unknown_policies_fail_loudly_with_the_valid_names() {
+        let error = BanditKind::parse("not-a-policy").expect_err("unknown name");
+        assert_eq!(error.name, "not-a-policy");
+        let message = error.to_string();
+        assert!(message.contains("not-a-policy"));
+        for kind in BanditKind::ALL {
+            assert!(message.contains(kind.name()), "{message} should list {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn registered_policies_parse_like_built_ins() {
+        let kind = register_policy("lib-test-uniform", |params: &PolicyParams| {
+            Box::new(EpsilonGreedy::new(params.arms, 1.0))
+        })
+        .expect("fresh name");
+        assert_eq!(BanditKind::parse("LIB-test-Uniform"), Ok(kind));
+        assert_eq!(kind.to_string(), "lib-test-uniform");
+        let error = BanditKind::parse("lib-test-missing").expect_err("unknown");
+        assert!(error.to_string().contains("lib-test-uniform"), "registered names are listed");
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Name → factory registry for user-defined bandit policies.
+//!
+//! The MABFuzz paper's third contribution is that the fuzzing loop is
+//! *agnostic* to the MAB algorithm. The built-in [`BanditKind`] variants
+//! cover the three algorithms the paper evaluates; this registry opens the
+//! same seam to policies defined *outside* the workspace: register a factory
+//! under a name once (at program start, from a test, from an example) and
+//! everything that resolves policies by name — `BanditKind::parse`, the
+//! campaign-spec layer, the experiments CLI, report labels — picks it up
+//! without any edit to the core crates.
+//!
+//! # Example
+//!
+//! ```
+//! use mab::{register_policy, Bandit, BanditKind, PolicyParams};
+//!
+//! struct Greedy { kind: BanditKind, values: Vec<f64>, pulls: Vec<u64> }
+//! impl Bandit for Greedy {
+//!     fn kind(&self) -> BanditKind { self.kind }
+//!     fn arms(&self) -> usize { self.values.len() }
+//!     fn select(&mut self, _rng: &mut dyn rand::RngCore) -> usize {
+//!         (0..self.values.len())
+//!             .max_by(|a, b| self.values[*a].total_cmp(&self.values[*b]))
+//!             .unwrap_or(0)
+//!     }
+//!     fn update(&mut self, arm: usize, reward: f64) {
+//!         self.pulls[arm] += 1;
+//!         let n = self.pulls[arm] as f64;
+//!         self.values[arm] += (reward - self.values[arm]) / n;
+//!     }
+//!     fn reset_arm(&mut self, arm: usize) { self.values[arm] = 0.0; self.pulls[arm] = 0; }
+//!     fn value(&self, arm: usize) -> f64 { self.values[arm] }
+//!     fn pulls(&self, arm: usize) -> u64 { self.pulls[arm] }
+//! }
+//!
+//! let kind = register_policy("doc-greedy", |params: &PolicyParams| {
+//!     Box::new(Greedy {
+//!         kind: params.kind,
+//!         values: vec![0.0; params.arms],
+//!         pulls: vec![0; params.arms],
+//!     })
+//! })
+//! .expect("fresh name");
+//! assert_eq!(kind.name(), "doc-greedy");
+//! assert_eq!(BanditKind::parse("DOC-Greedy"), Ok(kind));
+//! let bandit = kind.build(4);
+//! assert_eq!(bandit.arms(), 4);
+//! assert_eq!(bandit.kind(), kind);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::{Bandit, BanditKind};
+
+/// The parameters a policy factory receives when a campaign instantiates
+/// its policy.
+///
+/// Built-in policies consume `epsilon` (ε-greedy) or `eta` (EXP3) and ignore
+/// the rest; custom factories are free to reinterpret either knob or ignore
+/// both. `kind` is the registered [`BanditKind::Custom`] identity the
+/// produced policy should return from [`Bandit::kind`] so that labels and
+/// reports name it correctly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyParams {
+    /// The policy identity being built (for custom policies, the registered
+    /// [`BanditKind::Custom`] value).
+    pub kind: BanditKind,
+    /// Number of arms the campaign schedules over.
+    pub arms: usize,
+    /// Exploration probability (the ε-greedy knob).
+    pub epsilon: f64,
+    /// Learning rate (the EXP3 knob).
+    pub eta: f64,
+}
+
+impl PolicyParams {
+    /// The paper-default parameters (ε = 0.1, η = 0.1) for `kind` over
+    /// `arms` arms.
+    pub fn defaults(kind: BanditKind, arms: usize) -> PolicyParams {
+        PolicyParams { kind, arms, epsilon: 0.1, eta: 0.1 }
+    }
+}
+
+/// The factory signature stored in the registry.
+pub type PolicyFactory = dyn Fn(&PolicyParams) -> Box<dyn Bandit> + Send + Sync;
+
+/// The baseline-scheduler spellings reserved alongside the built-in policy
+/// names: the campaign-spec layer resolves these to the TheHuzz FIFO
+/// baseline *before* consulting this registry, so a policy registered under
+/// one of them would be unreachable by name (silently shadowed). This
+/// constant is the single source of truth — the spec layer's parser
+/// consumes it too.
+pub const BASELINE_SCHEDULER_NAMES: [&str; 3] = ["thehuzz", "baseline", "fifo"];
+
+struct Registered {
+    /// Canonical spelling, interned for the lifetime of the process so
+    /// [`BanditKind::Custom`] can stay `Copy`.
+    name: &'static str,
+    /// `Arc` so a lookup can clone the factory and release the registry
+    /// lock *before* invoking it — factories may re-enter the registry
+    /// (e.g. a composing policy looking up its delegate) without
+    /// deadlocking.
+    factory: Arc<PolicyFactory>,
+}
+
+/// Keyed by the lower-cased name, so lookups are case-insensitive.
+fn registry() -> &'static RwLock<BTreeMap<String, Registered>> {
+    static REGISTRY: OnceLock<RwLock<BTreeMap<String, Registered>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(BTreeMap::new()))
+}
+
+/// Why a policy registration was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The name is empty or all whitespace.
+    EmptyName,
+    /// The name collides (case-insensitively) with a built-in policy or one
+    /// of its accepted aliases.
+    ReservedName(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::EmptyName => f.write_str("policy names must be non-empty"),
+            RegistryError::ReservedName(name) => {
+                write!(f, "`{name}` is reserved by a built-in policy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Registers (or replaces) a custom bandit policy under `name` and returns
+/// the [`BanditKind::Custom`] handle that identifies it everywhere a
+/// built-in kind is accepted: `BanditKind::parse`, `BanditKind::build`,
+/// campaign specs and report labels.
+///
+/// Names are matched case-insensitively but reported in the spelling given
+/// here. Re-registering an existing name replaces its factory and returns
+/// the same kind (last registration wins — convenient for tests).
+pub fn register_policy<F>(name: &str, factory: F) -> Result<BanditKind, RegistryError>
+where
+    F: Fn(&PolicyParams) -> Box<dyn Bandit> + Send + Sync + 'static,
+{
+    let trimmed = name.trim();
+    if trimmed.is_empty() {
+        return Err(RegistryError::EmptyName);
+    }
+    let key = trimmed.to_ascii_lowercase();
+    if BanditKind::parse_builtin(&key).is_some()
+        || BASELINE_SCHEDULER_NAMES.contains(&key.as_str())
+    {
+        return Err(RegistryError::ReservedName(trimmed.to_owned()));
+    }
+    let mut entries = registry().write().expect("policy registry poisoned");
+    let interned = match entries.get(&key) {
+        // Reuse the interned spelling so repeated re-registration (test
+        // suites!) does not leak a new string each time.
+        Some(existing) => existing.name,
+        None => Box::leak(trimmed.to_owned().into_boxed_str()),
+    };
+    entries.insert(key, Registered { name: interned, factory: Arc::new(factory) });
+    Ok(BanditKind::Custom(interned))
+}
+
+/// Looks up a registered policy by name (case-insensitive).
+pub fn lookup_policy(name: &str) -> Option<BanditKind> {
+    let key = name.trim().to_ascii_lowercase();
+    registry()
+        .read()
+        .expect("policy registry poisoned")
+        .get(&key)
+        .map(|entry| BanditKind::Custom(entry.name))
+}
+
+/// Returns the canonical names of every registered custom policy, in
+/// alphabetical order (the order error messages list them in).
+pub fn registered_policies() -> Vec<&'static str> {
+    registry()
+        .read()
+        .expect("policy registry poisoned")
+        .values()
+        .map(|entry| entry.name)
+        .collect()
+}
+
+/// Instantiates the registered factory for `name`, if any.
+pub(crate) fn build_registered(name: &str, params: &PolicyParams) -> Option<Box<dyn Bandit>> {
+    let key = name.trim().to_ascii_lowercase();
+    // Clone the factory handle and drop the read guard before calling it:
+    // a factory is user code and may itself consult the registry (parse a
+    // delegate policy, list names for a message) — invoking it under the
+    // lock would deadlock such re-entrant uses.
+    let factory = {
+        let entries = registry().read().expect("policy registry poisoned");
+        entries.get(&key).map(|entry| Arc::clone(&entry.factory))
+    };
+    factory.map(|factory| factory(params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal fixed-arm policy for registry tests.
+    struct Fixed {
+        kind: BanditKind,
+        arms: usize,
+    }
+
+    impl Bandit for Fixed {
+        fn kind(&self) -> BanditKind {
+            self.kind
+        }
+        fn arms(&self) -> usize {
+            self.arms
+        }
+        fn select(&mut self, _rng: &mut dyn rand::RngCore) -> usize {
+            0
+        }
+        fn update(&mut self, _arm: usize, _reward: f64) {}
+        fn reset_arm(&mut self, _arm: usize) {}
+        fn value(&self, _arm: usize) -> f64 {
+            0.0
+        }
+        fn pulls(&self, _arm: usize) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn register_lookup_and_build_round_trip() {
+        let kind = register_policy("Registry-Test-Fixed", |params: &PolicyParams| {
+            Box::new(Fixed { kind: params.kind, arms: params.arms })
+        })
+        .expect("fresh name");
+        assert_eq!(kind.name(), "Registry-Test-Fixed");
+        assert_eq!(lookup_policy("registry-test-fixed"), Some(kind));
+        assert_eq!(lookup_policy("REGISTRY-TEST-FIXED"), Some(kind));
+        let bandit = kind.build(7);
+        assert_eq!(bandit.arms(), 7);
+        assert_eq!(bandit.kind(), kind);
+        assert!(registered_policies().contains(&"Registry-Test-Fixed"));
+    }
+
+    #[test]
+    fn re_registration_replaces_the_factory_and_keeps_the_kind() {
+        let first = register_policy("registry-test-replace", |params: &PolicyParams| {
+            Box::new(Fixed { kind: params.kind, arms: params.arms })
+        })
+        .expect("fresh name");
+        let second = register_policy("Registry-Test-Replace", |params: &PolicyParams| {
+            Box::new(Fixed { kind: params.kind, arms: params.arms + 1 })
+        })
+        .expect("replacement");
+        assert_eq!(first, second, "same name, same kind");
+        assert_eq!(second.build(3).arms(), 4, "last registration wins");
+    }
+
+    #[test]
+    fn reserved_and_empty_names_are_rejected() {
+        for reserved in ["UCB", "ucb1", "exp3", "epsilon-greedy", "EGREEDY", "TheHuzz", "baseline", "FIFO"] {
+            assert_eq!(
+                register_policy(reserved, |p: &PolicyParams| {
+                    Box::new(Fixed { kind: p.kind, arms: p.arms }) as Box<dyn Bandit>
+                }),
+                Err(RegistryError::ReservedName(reserved.to_owned())),
+                "{reserved}"
+            );
+        }
+        assert_eq!(
+            register_policy("  ", |p: &PolicyParams| {
+                Box::new(Fixed { kind: p.kind, arms: p.arms }) as Box<dyn Bandit>
+            }),
+            Err(RegistryError::EmptyName)
+        );
+        assert!(RegistryError::EmptyName.to_string().contains("non-empty"));
+        assert!(RegistryError::ReservedName("ucb".into()).to_string().contains("reserved"));
+    }
+
+    #[test]
+    fn factories_may_re_enter_the_registry() {
+        // A composing policy's factory consults the registry while being
+        // invoked; this must not deadlock (the lookup releases the registry
+        // lock before calling the factory).
+        register_policy("registry-test-delegate", |params: &PolicyParams| {
+            Box::new(Fixed { kind: params.kind, arms: params.arms })
+        })
+        .expect("fresh name");
+        let kind = register_policy("registry-test-composer", |params: &PolicyParams| {
+            let delegate = lookup_policy("registry-test-delegate").expect("delegate registered");
+            assert!(!registered_policies().is_empty());
+            delegate.build(params.arms)
+        })
+        .expect("fresh name");
+        let bandit = kind.build(3);
+        assert_eq!(bandit.arms(), 3);
+    }
+
+    #[test]
+    fn unknown_names_do_not_resolve() {
+        assert_eq!(lookup_policy("registry-test-missing"), None);
+        assert!(build_registered("registry-test-missing", &PolicyParams::defaults(BanditKind::Ucb1, 2)).is_none());
+    }
+}

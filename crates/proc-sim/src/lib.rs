@@ -5,10 +5,10 @@
 //! here, so this crate provides the closest synthetic equivalent that
 //! exercises the same fuzzing interfaces:
 //!
-//! * an **architectural trace** per test (the same [`ExecTrace`](isa_sim::ExecTrace)
+//! * an **architectural trace** per test (the same [`ExecTrace`]
 //!   the golden model produces), consumed by the differential-testing engine;
 //! * a **branch-coverage bitmap** per test over a per-design
-//!   [`CoverageSpace`](coverage::CoverageSpace), consumed by the fuzzers'
+//!   [`CoverageSpace`], consumed by the fuzzers'
 //!   feedback loops.
 //!
 //! Each core is an instruction-level micro-architectural simulator: for every

@@ -11,7 +11,7 @@
 //! * [`Gpr`] — the 32 general-purpose integer registers,
 //! * [`CsrAddr`] — control-and-status-register addresses with machine-mode metadata,
 //! * [`Op`] / [`Instr`] — a decoded, mutation-friendly instruction representation,
-//! * [`encode`](Instr::encode) / [`decode`] — lossless conversion to and from the
+//! * [`encode`](Instr::encode) / [`decode`](mod@decode) — lossless conversion to and from the
 //!   32-bit instruction words that the fuzzer mutates at the bit level,
 //! * [`Program`] — an executable test case (a sequence of instruction words plus a
 //!   data region),

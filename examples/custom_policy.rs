@@ -1,0 +1,133 @@
+//! Registered custom policy: Thompson sampling end-to-end through the
+//! campaign-spec API.
+//!
+//! Where `examples/custom_bandit.rs` plugs a policy in imperatively through
+//! `MabFuzzer::with_bandit`, this example uses the *registry* redesign: a
+//! Thompson-sampling policy (a Bayesian sampler in the spirit of the
+//! Thompson-sampling grey-box fuzzing line of work, arXiv:1808.08256) is
+//! registered once under the name `"thompson"`, and from then on it behaves
+//! exactly like a built-in algorithm — it parses by name, it is named in a
+//! declarative [`CampaignSpec`], it drives a full campaign through
+//! `Campaign::from_spec(...).execute()`, and it appears in the report label
+//! — **without editing a single line of the core or bench crates**.
+//!
+//! ```sh
+//! cargo run --example custom_policy
+//! ```
+
+use mab::{Bandit, BanditKind, PolicyParams};
+use mabfuzz::{BugSpec, Campaign, CampaignSpec};
+use proc_sim::ProcessorKind;
+
+/// Thompson sampling with a Gaussian posterior per arm.
+///
+/// Each arm keeps the empirical mean of its rewards; selection draws one
+/// sample per arm from `Normal(mean, 1/sqrt(n + 1))` — uncertainty shrinks
+/// as an arm accumulates pulls — and pulls the argmax. `reset_arm` restores
+/// the wide prior, which is exactly the paper's reset-arm modification: a
+/// fresh seed starts with fresh beliefs.
+struct ThompsonSampling {
+    kind: BanditKind,
+    means: Vec<f64>,
+    pulls: Vec<u64>,
+}
+
+impl ThompsonSampling {
+    fn new(kind: BanditKind, arms: usize) -> ThompsonSampling {
+        ThompsonSampling { kind, means: vec![0.0; arms], pulls: vec![0; arms] }
+    }
+
+    /// One standard-normal draw via Box–Muller (the vendored `rand` shim
+    /// provides uniform `f64`s only).
+    fn standard_normal(rng: &mut dyn rand::RngCore) -> f64 {
+        use rand::Rng as _;
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Bandit for ThompsonSampling {
+    fn kind(&self) -> BanditKind {
+        // The registered Custom kind: labels and reports show "thompson".
+        self.kind
+    }
+
+    fn arms(&self) -> usize {
+        self.means.len()
+    }
+
+    fn select(&mut self, rng: &mut dyn rand::RngCore) -> usize {
+        let mut best = 0usize;
+        let mut best_sample = f64::NEG_INFINITY;
+        for arm in 0..self.means.len() {
+            let sigma = 1.0 / ((self.pulls[arm] as f64) + 1.0).sqrt();
+            let sample = self.means[arm] + sigma * Self::standard_normal(rng);
+            if sample > best_sample {
+                best_sample = sample;
+                best = arm;
+            }
+        }
+        best
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        self.pulls[arm] += 1;
+        let n = self.pulls[arm] as f64;
+        self.means[arm] += (reward - self.means[arm]) / n;
+    }
+
+    fn reset_arm(&mut self, arm: usize) {
+        self.means[arm] = 0.0;
+        self.pulls[arm] = 0;
+    }
+
+    fn value(&self, arm: usize) -> f64 {
+        self.means[arm]
+    }
+
+    fn pulls(&self, arm: usize) -> u64 {
+        self.pulls[arm]
+    }
+}
+
+fn main() {
+    // One registration, process-wide. From here on "thompson" parses
+    // everywhere a policy name is accepted *in this process* — specs,
+    // `BanditKind::parse`, report labels. (Registration is per-process: a
+    // separate binary like `experiments` would need to register the policy
+    // itself before `run --algorithm thompson` could resolve it.)
+    mab::register_policy("thompson", |params: &PolicyParams| {
+        Box::new(ThompsonSampling::new(params.kind, params.arms))
+    })
+    .expect("the name is fresh");
+
+    let tests = 400;
+    let spec_for = |policy: &str| {
+        CampaignSpec::builder()
+            .policy_named(policy)
+            .max_tests(tests)
+            .processor(ProcessorKind::Cva6, BugSpec::Native)
+            .rng_seed(17)
+            .build()
+            .expect("valid spec")
+    };
+
+    // The same declarative pipeline runs a built-in and the custom policy.
+    let ucb = Campaign::from_spec(&spec_for("ucb")).expect("built-in spec").execute();
+    let thompson = Campaign::from_spec(&spec_for("thompson")).expect("custom spec").execute();
+
+    println!("MABFuzz on cva6, {tests} tests per campaign\n");
+    println!("{}", ucb.stats);
+    println!("{}", thompson.stats);
+    assert!(thompson.stats.label().contains("thompson"), "custom policies label their reports");
+    println!(
+        "\narm resets — UCB: {}, thompson: {}",
+        ucb.total_resets, thompson.total_resets
+    );
+    println!(
+        "\nThe Thompson policy was registered at runtime and named in a\n\
+         serializable CampaignSpec; core and bench sources are untouched\n\
+         (paper contribution 3: the fuzzing loop is MAB-algorithm-agnostic)."
+    );
+}

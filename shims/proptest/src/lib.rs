@@ -77,7 +77,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Admissible length specifications for [`vec`].
+    /// Admissible length specifications for [`vec`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,

@@ -17,7 +17,9 @@ use mabfuzz_suite::fuzzer::{
     TestCase, TestOutcome, TestPool, TheHuzzFuzzer,
 };
 use mabfuzz_suite::mab::{Bandit, EpsilonGreedy, Exp3, Ucb1};
-use mabfuzz_suite::mabfuzz::{Arm, MabFuzzOutcome, MabFuzzer, SaturationMonitor};
+use mabfuzz_suite::mabfuzz::{
+    Arm, Campaign, CampaignObserver, CampaignSpec, MabFuzzOutcome, MabFuzzer, SaturationMonitor,
+};
 use mabfuzz_suite::proc_sim::{DutResult, Processor, SimScratch};
 
 fn assert_send<T: Send>() {}
@@ -30,6 +32,13 @@ fn campaign_state_is_send() {
     assert_send::<MabFuzzer>();
     assert_send::<TheHuzzFuzzer>();
     assert_send::<MabFuzzOutcome>();
+
+    // The session redesign: assembled campaigns (observers included — the
+    // trait carries a `Send` supertrait exactly for this), and the specs
+    // the grid fans out.
+    assert_send::<Campaign>();
+    assert_send::<CampaignSpec>();
+    assert_send::<Box<dyn CampaignObserver>>();
 
     // The pieces a campaign is assembled from.
     assert_send::<FuzzHarness>();
