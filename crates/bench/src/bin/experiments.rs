@@ -39,7 +39,7 @@ use std::env;
 use std::process::ExitCode;
 
 use mabfuzz_bench::{ablation, fig3, fig4, json, table1, ExperimentBudget, Parallelism, ShardPlan};
-use mabfuzz::{BugSpec, Campaign, CampaignSpec, PolicySpec, ProcessorSpec};
+use mabfuzz::{BugSpec, Campaign, CampaignSpec, EventLog, PolicySpec, ProcessorSpec, ProgressMonitor};
 use proc_sim::{ProcessorKind, Vulnerability};
 
 fn main() -> ExitCode {
@@ -101,12 +101,19 @@ const USAGE: &str = "usage: experiments <table1|fig3|fig4|ablation|all> \
 
 const RUN_USAGE: &str = "usage: experiments run [--spec file.json] \
 [--algorithm NAME] [--core NAME] [--bugs none|native|V1..V7] [--tests N] \
-[--seed S] [--shards N] [--batch N] [--json]";
+[--seed S] [--shards N] [--batch N] [--events FILE] [--progress] [--json]";
 
 /// `experiments run`: execute one campaign described by a JSON
 /// [`CampaignSpec`] (with optional command-line overrides) through the
 /// `Campaign` session type, and report it as text or one deterministic JSON
 /// document.
+///
+/// `--events FILE` additionally streams the campaign's full observer event
+/// stream (baseline and MABFuzz campaigns alike) to `FILE` as JSONL — one
+/// event per line, in deterministic fold order, byte-identical for every
+/// `--shards N` at a fixed batch size. `--progress` attaches a live stderr
+/// progress monitor (tests/sec, coverage %, per-arm pulls, detections);
+/// stdout artefacts stay byte-identical either way.
 fn run_single_campaign(args: &[String]) -> Result<(), String> {
     // First pass: the spec file (if any) is the base, regardless of where
     // `--spec` sits among the flags — every other flag is an *override* and
@@ -130,6 +137,8 @@ fn run_single_campaign(args: &[String]) -> Result<(), String> {
     }
 
     let mut json_output = false;
+    let mut events_path: Option<String> = None;
+    let mut progress = false;
     // Deferred until after the loop so `--bugs` composes with `--core`
     // regardless of flag order.
     let mut bugs_override: Option<BugSpec> = None;
@@ -168,6 +177,8 @@ fn run_single_campaign(args: &[String]) -> Result<(), String> {
             "--batch" => {
                 spec.batch_size = value()?.parse().map_err(|e| format!("--batch: {e}"))?
             }
+            "--events" => events_path = Some(value()?),
+            "--progress" => progress = true,
             "--json" => json_output = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -179,7 +190,7 @@ fn run_single_campaign(args: &[String]) -> Result<(), String> {
             .ok_or("--bugs needs a processor (--core or a spec with one)")?;
         processor.bugs = bugs;
     }
-    let campaign = Campaign::from_spec(&spec).map_err(|error| match error {
+    let mut campaign = Campaign::from_spec(&spec).map_err(|error| match error {
         // The library message suggests a Rust API; at the CLI the fix is a
         // flag or a spec-file section.
         mabfuzz::SpecError::MissingProcessor => {
@@ -189,7 +200,32 @@ fn run_single_campaign(args: &[String]) -> Result<(), String> {
         }
         other => other.to_string(),
     })?;
+    // Observer consumers: the JSONL event sink (deterministic, golden-pinned
+    // bytes on its own file) and the live stderr progress monitor. Neither
+    // can perturb the campaign, so the stdout report stays byte-identical
+    // with or without them.
+    let events_health = match &events_path {
+        Some(path) => {
+            let log = EventLog::create(path).map_err(|error| format!("--events {path}: {error}"))?;
+            let health = log.health();
+            campaign.attach_observer(Box::new(log));
+            Some(health)
+        }
+        None => None,
+    };
+    if progress {
+        let interval = (spec.campaign.max_tests / 20).clamp(1, ProgressMonitor::DEFAULT_INTERVAL);
+        let monitor = ProgressMonitor::new(campaign.coverage_space_len()).with_interval(interval);
+        campaign.attach_observer(Box::new(monitor));
+    }
     let outcome = campaign.execute();
+    if let (Some(health), Some(path)) = (events_health, &events_path) {
+        if health.failed() {
+            return Err(format!(
+                "--events {path}: the event stream was truncated by a write error"
+            ));
+        }
+    }
     if json_output {
         println!("{}", json::campaign(&spec, &outcome));
         return Ok(());

@@ -33,7 +33,7 @@ use std::sync::Arc;
 
 pub use grid::{run_grid, Parallelism};
 pub use fuzzer::ShardPlan;
-pub use mabfuzz::{Campaign, CampaignSpec, PolicySpec};
+pub use mabfuzz::{Campaign, CampaignObserver, CampaignSpec, EventLog, PolicySpec, ProgressMonitor};
 
 use fuzzer::{CampaignConfig, CampaignStats};
 use mab::BanditKind;

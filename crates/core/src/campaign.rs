@@ -10,17 +10,22 @@
 //! compatibility wrappers over this type, and the experiment grid drives it
 //! through specs for every cell.
 //!
-//! Both scheduling worlds run through here:
+//! Both scheduling worlds run through here, and both speak the full
+//! [`CampaignObserver`] event protocol:
 //!
 //! * [`PolicySpec::Baseline`](crate::spec::PolicySpec) executes the
 //!   TheHuzz-style FIFO baseline (no bandit, no arms — the outcome's arm
-//!   summary is empty, and observers receive only the final
-//!   [`CampaignFinished`] event: the baseline loop predates the event seam
-//!   and does not stream per-test events yet);
+//!   summary is empty) through the instrumented per-test fold of
+//!   `TheHuzzFuzzer::run_with`: observers stream [`TestFolded`],
+//!   [`DetectionObserved`] and [`CoverageMilestone`] per executed test
+//!   (under the baseline conventions documented in
+//!   [`observer`](crate::observer)) and the final [`CampaignFinished`];
 //! * [`PolicySpec::Bandit`](crate::spec::PolicySpec) executes the MABFuzz
 //!   loop of Fig. 2, serial or sharded per the spec's plan, with the
 //!   determinism contract of `fuzzer::shard` intact: attaching observers or
-//!   changing the shard count never changes a single byte of the report.
+//!   changing the shard count never changes a single byte of the report —
+//!   nor of the event stream, which always fires in `test_index` fold
+//!   order.
 
 use std::sync::Arc;
 
@@ -41,7 +46,7 @@ use crate::config::MabFuzzConfig;
 use crate::monitor::SaturationMonitor;
 use crate::observer::{
     ArmReset, ArmSelected, BatchFolded, CampaignFinished, CampaignObserver, CoverageMilestone,
-    DetectionObserved, TestFolded,
+    DecileTracker, DetectionObserved, TestFolded,
 };
 use crate::orchestrator::{ArmSummary, MabFuzzOutcome};
 use crate::reward::RewardParams;
@@ -210,28 +215,30 @@ impl Campaign {
         }
     }
 
+    /// Returns the size of the processor's coverage space — what the
+    /// campaign's [`CoverageMilestone`] deciles and coverage percentages
+    /// (e.g. a [`ProgressMonitor`](crate::ProgressMonitor)) are measured
+    /// against.
+    pub fn coverage_space_len(&self) -> usize {
+        match &self.kind {
+            CampaignKind::Baseline(fuzzer) => fuzzer.coverage_space_len(),
+            CampaignKind::Mab { session, .. } => session.harness.coverage_space_len(),
+        }
+    }
+
     /// Runs the campaign to completion.
     ///
     /// Baseline campaigns return an outcome with an empty arm summary (there
-    /// are no bandit arms to report), and their observers receive only the
-    /// final [`CampaignFinished`] event — the TheHuzz loop does not stream
-    /// per-test events yet. MABFuzz campaigns produce the full per-arm
-    /// report and the complete event stream. Reports are byte-identical for
-    /// every shard count of the plan at a fixed batch size, and independent
-    /// of attached observers.
+    /// are no bandit arms to report); MABFuzz campaigns produce the full
+    /// per-arm report. Both stream the complete event protocol to attached
+    /// observers (see the baseline vocabulary in
+    /// [`observer`](crate::observer)). Reports — and event streams — are
+    /// byte-identical for every shard count of the plan at a fixed batch
+    /// size, and independent of attached observers.
     pub fn execute(mut self) -> MabFuzzOutcome {
         match self.kind {
             CampaignKind::Baseline(fuzzer) => {
-                let stats = fuzzer.run();
-                let finished = CampaignFinished {
-                    tests_executed: stats.tests_executed(),
-                    final_coverage: stats.final_coverage(),
-                    total_resets: 0,
-                };
-                for observer in &mut self.observers {
-                    observer.campaign_finished(&finished);
-                }
-                MabFuzzOutcome { stats, arms: Vec::new(), total_resets: 0 }
+                execute_baseline(fuzzer, &mut self.observers)
             }
             CampaignKind::Mab { session, plan } => execute_mab(session, &plan, self.observers),
         }
@@ -245,6 +252,77 @@ impl std::fmt::Debug for Campaign {
             .field("observers", &self.observers.len())
             .finish()
     }
+}
+
+/// The baseline (TheHuzz) campaign path: the FIFO loop of
+/// `fuzzer::thehuzz`, instrumented with the shared per-test event protocol.
+///
+/// Observer-less campaigns (the whole experiment grid, the golden runs, the
+/// benches) take the sink-less `run()` and pay nothing for the seam;
+/// observed campaigns stream [`TestFolded`], [`DetectionObserved`] and
+/// [`CoverageMilestone`] per executed test in FIFO order — draw-for-draw the
+/// same campaign, since the sink cannot perturb the loop.
+fn execute_baseline(
+    fuzzer: TheHuzzFuzzer,
+    observers: &mut [Box<dyn CampaignObserver>],
+) -> MabFuzzOutcome {
+    let stats = if observers.is_empty() {
+        fuzzer.run()
+    } else {
+        let space_len = fuzzer.coverage_space_len();
+        let mut deciles = DecileTracker::new(space_len);
+        fuzzer.run_with(|record| {
+            let event = TestFolded {
+                test_number: record.test_number,
+                test_id: record.test_id,
+                // Baseline conventions (see the observer module docs): no
+                // arms (0), one global pool (local == global novelty), no
+                // bandit to reward (0.0).
+                arm: 0,
+                local_new: record.new_points,
+                global_new: record.new_points,
+                covered: record.covered,
+                reward: 0.0,
+                detected: record.detected,
+                coverage: record.coverage,
+                diff: record.diff,
+            };
+            for observer in observers.iter_mut() {
+                observer.test_folded(&event);
+            }
+            if record.detected {
+                let event = DetectionObserved {
+                    test_number: record.test_number,
+                    test_id: record.test_id,
+                    arm: 0,
+                    diff: record.diff,
+                };
+                for observer in observers.iter_mut() {
+                    observer.detection(&event);
+                }
+            }
+            for decile in deciles.crossed(record.covered) {
+                let event = CoverageMilestone {
+                    decile,
+                    covered: record.covered,
+                    space_len,
+                    test_number: record.test_number,
+                };
+                for observer in observers.iter_mut() {
+                    observer.coverage_milestone(&event);
+                }
+            }
+        })
+    };
+    let finished = CampaignFinished {
+        tests_executed: stats.tests_executed(),
+        final_coverage: stats.final_coverage(),
+        total_resets: 0,
+    };
+    for observer in observers.iter_mut() {
+        observer.campaign_finished(&finished);
+    }
+    MabFuzzOutcome { stats, arms: Vec::new(), total_resets: 0 }
 }
 
 /// The MABFuzz campaign loop (Fig. 2 of the paper, batched): select an arm,
@@ -283,7 +361,7 @@ fn execute_mab(
         arm_index: 0,
         round: 0,
         round_tests: 0,
-        last_decile: 0,
+        deciles: DecileTracker::new(space_len),
         observers,
     };
     // One seed per arm (Fig. 2: "Given a seed pool with each seed
@@ -403,7 +481,7 @@ struct CampaignFold {
     arm_index: usize,
     round: u64,
     round_tests: usize,
-    last_decile: u32,
+    deciles: DecileTracker,
     observers: Vec<Box<dyn CampaignObserver>>,
 }
 
@@ -554,11 +632,7 @@ impl CampaignFold {
             return;
         }
         let covered = self.stats.final_coverage();
-        let decile = (covered * 10)
-            .checked_div(self.space_len)
-            .map_or(0, |d| d.min(10) as u32);
-        let crossed = (self.last_decile + 1)..=decile;
-        self.last_decile = decile.max(self.last_decile);
+        let crossed = self.deciles.crossed(covered);
         let test_number = self.stats.tests_executed();
         let event = TestFolded {
             test_number,
@@ -693,6 +767,82 @@ mod tests {
         assert!(outcome.arms.is_empty(), "the baseline has no bandit arms");
         assert_eq!(outcome.total_resets, 0);
         assert!(outcome.stats.label().contains("TheHuzz"));
+    }
+
+    #[test]
+    fn baseline_campaigns_stream_the_per_test_event_protocol() {
+        let spec = CampaignSpec::builder()
+            .baseline()
+            .max_tests(30)
+            .max_steps_per_test(200)
+            .sample_interval(5)
+            .rng_seed(1)
+            .build()
+            .unwrap();
+        let plain = Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec)
+            .unwrap()
+            .execute();
+
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let observed = Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec)
+            .unwrap()
+            .with_observer(Box::new(Recorder { log: Arc::clone(&log) }))
+            .execute();
+        assert_eq!(plain, observed, "observers must never change the baseline campaign");
+
+        let log = log.lock().unwrap();
+        let tests = log.iter().filter(|l| l.starts_with("test:")).count();
+        assert_eq!(tests, 30, "one TestFolded per executed FIFO test");
+        assert!(
+            !log.iter().any(|l| l.starts_with("select:") || l.starts_with("batch:")),
+            "the baseline has no bandit rounds: {log:?}"
+        );
+        assert!(
+            log.iter().any(|l| l.starts_with("decile:")),
+            "baseline coverage crosses deciles too"
+        );
+        assert_eq!(log.last().unwrap(), &format!("finish:{}", observed.stats.tests_executed()));
+    }
+
+    #[test]
+    fn routed_baseline_matches_the_legacy_wrapper_in_detection_mode() {
+        // Satellite check: TheHuzz breaks out of the loop after recording the
+        // detecting test but before enqueuing mutants; the Campaign-routed
+        // path must reproduce that ordering draw-for-draw.
+        let spec = CampaignSpec::builder()
+            .baseline()
+            .max_tests(400)
+            .max_steps_per_test(200)
+            .mutations_per_interesting_test(2)
+            .arms(4)
+            .sample_interval(5)
+            .stop_on_first_detection(true)
+            .rng_seed(3)
+            .build()
+            .unwrap();
+        let cva6 = || Arc::new(Cva6Core::new(BugSet::only(Vulnerability::V5MissingAccessFault)));
+        let legacy = fuzzer::TheHuzzFuzzer::new(cva6(), spec.campaign.clone(), spec.rng_seed).run();
+
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let routed = Campaign::from_spec_on(cva6(), &spec)
+            .unwrap()
+            .with_observer(Box::new(Recorder { log: Arc::clone(&log) }))
+            .execute();
+
+        assert_eq!(legacy, routed.stats, "routed baseline diverged from the legacy wrapper");
+        let detection = legacy.first_detection().expect("V5 is easy to trigger");
+        assert_eq!(legacy.tests_executed(), detection, "the campaign stops on the detecting test");
+        assert_eq!(routed.stats.tests_executed(), detection);
+        let log = log.lock().unwrap();
+        assert!(
+            log.contains(&format!("detect:{detection}")),
+            "the stopping detection streams as an event: {log:?}"
+        );
+        assert_eq!(
+            log.iter().filter(|l| l.starts_with("test:")).count() as u64,
+            detection,
+            "the detecting test is the last TestFolded"
+        );
     }
 
     /// Records every event category, to pin dispatch order and content.

@@ -1,0 +1,62 @@
+//! The crate's shared JSON text conventions: string escaping and
+//! finite-float-or-null rendering.
+//!
+//! Two golden-pinned artifact formats are built on these — the campaign-spec
+//! codec (`spec::CampaignSpec::to_json`) and the JSONL event stream
+//! (`event_log::EventLog`) — so there is exactly one definition of each
+//! convention; a change here moves both formats together (and fails both
+//! golden suites together).
+
+use std::fmt::Write as _;
+
+/// Appends a JSON string literal (quoted, escaped) to `out`.
+pub(crate) fn push_json_string(out: &mut String, text: &str) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a float as JSON: shortest round-trip for finite values, `null`
+/// otherwise.
+pub(crate) fn push_json_float(out: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, "{value}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_specials() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn floats_render_shortest_or_null() {
+        let mut out = String::new();
+        push_json_float(&mut out, 2.75);
+        out.push(',');
+        push_json_float(&mut out, 600.0);
+        out.push(',');
+        push_json_float(&mut out, f64::NAN);
+        assert_eq!(out, "2.75,600,null");
+    }
+}

@@ -30,7 +30,14 @@
 //! * [`CampaignObserver`] — streaming per-round/per-test events (arm
 //!   selected, test folded, detection, arm reset, coverage milestone) for
 //!   monitoring a campaign while it runs; the built-in statistics are
-//!   expressed against the same events.
+//!   expressed against the same events, and **both** scheduling worlds —
+//!   MABFuzz campaigns and the TheHuzz baseline — emit the full per-test
+//!   stream in deterministic fold order;
+//! * [`EventLog`] / [`ProgressMonitor`] — the first production consumers of
+//!   that seam: a buffered JSONL event sink whose stream is byte-identical
+//!   across shard counts (golden-pinned in CI), and a live tests/sec +
+//!   coverage + per-arm progress reporter (both surfaced as
+//!   `experiments run --events out.jsonl --progress`).
 //!
 //! # Quick start
 //!
@@ -63,21 +70,26 @@
 pub mod arm;
 pub mod campaign;
 pub mod config;
+pub mod event_log;
+mod json_text;
 pub mod monitor;
 pub mod observer;
 pub mod orchestrator;
+pub mod progress;
 pub mod reward;
 pub mod spec;
 
 pub use arm::Arm;
 pub use campaign::Campaign;
 pub use config::MabFuzzConfig;
+pub use event_log::{EventLog, EventLogHealth, SharedBuffer};
 pub use fuzzer::{ShardPlan, ShardPool};
 pub use monitor::SaturationMonitor;
 pub use observer::{
     ArmReset, ArmSelected, BatchFolded, CampaignFinished, CampaignObserver, CoverageMilestone,
     DetectionObserved, TestFolded,
 };
+pub use progress::ProgressMonitor;
 pub use orchestrator::{ArmSummary, MabFuzzOutcome, MabFuzzer};
 pub use reward::RewardParams;
 pub use spec::{

@@ -20,10 +20,36 @@
 //! influence the campaign: attaching any number of observers leaves every
 //! campaign report byte-identical.
 //!
-//! The full per-round/per-test stream is emitted by MABFuzz campaigns;
-//! baseline ([`PolicySpec::Baseline`](crate::spec::PolicySpec)) campaigns
-//! currently emit only [`CampaignFinished`] — the TheHuzz loop predates the
-//! event seam (see the open item in `ROADMAP.md`).
+//! # Event-ordering contract
+//!
+//! Events fire on the campaign thread, in the exact order the deterministic
+//! fold processes them:
+//!
+//! 1. per round: [`ArmSelected`], then for each test of the batch in
+//!    ascending `test_index` order a [`TestFolded`] — followed immediately
+//!    by [`DetectionObserved`] when that test mismatched, the
+//!    [`CoverageMilestone`]s it crossed, and [`ArmReset`] when its fold
+//!    saturated the arm — then one [`BatchFolded`] after the round's rewards
+//!    were flushed;
+//! 2. one final [`CampaignFinished`] after the statistics are finalised.
+//!
+//! Because the fold itself is shard-independent (rule 3 of the determinism
+//! contract in `fuzzer::shard`: outcomes always reduce in `test_index`
+//! order), **the event stream is byte-for-byte identical for every shard
+//! count** at a fixed batch size — an `EventLog` written under `--shards 4`
+//! compares equal to one written under `--shards 1`.
+//!
+//! # Baseline campaigns
+//!
+//! Baseline ([`PolicySpec::Baseline`](crate::spec::PolicySpec)) campaigns
+//! stream the same per-test protocol through the instrumented TheHuzz FIFO
+//! loop (`fuzzer::thehuzz::TheHuzzFuzzer::run_with`): [`TestFolded`],
+//! [`DetectionObserved`] and [`CoverageMilestone`] fire per executed test in
+//! FIFO order, and [`CampaignFinished`] closes the stream. The baseline has
+//! no bandit rounds, so [`ArmSelected`], [`BatchFolded`] and [`ArmReset`]
+//! never fire, and its [`TestFolded`] events use the conventions documented
+//! on the fields: `arm` is always 0, `local_new == global_new` (one global
+//! pool), and `reward` is 0.0 (no bandit is rewarded).
 //!
 //! # Example
 //!
@@ -74,9 +100,12 @@ pub struct TestFolded<'a> {
     pub test_number: u64,
     /// Id of the test case.
     pub test_id: TestId,
-    /// The arm the test was pulled from.
+    /// The arm the test was pulled from. Baseline campaigns have no arms and
+    /// always report 0.
     pub arm: usize,
-    /// Coverage points new to the arm (the `|cov_L|` reward term).
+    /// Coverage points new to the arm (the `|cov_L|` reward term). Baseline
+    /// campaigns have one global pool, so this equals `global_new` — the
+    /// novelty count that gates mutation in the FIFO loop.
     pub local_new: usize,
     /// Coverage points new to the whole campaign (the `|cov_G|` term).
     pub global_new: usize,
@@ -84,9 +113,10 @@ pub struct TestFolded<'a> {
     pub covered: usize,
     /// The reward handed to the bandit for this pull.
     ///
-    /// Exception: when a detection-mode campaign stops on this test, the
+    /// Exceptions: when a detection-mode campaign stops on this test, the
     /// campaign halts before a reward is computed or handed to the bandit,
-    /// and this field is `0.0` (`detected` is `true` in that case).
+    /// and this field is `0.0` (`detected` is `true` in that case); baseline
+    /// campaigns have no bandit to reward and always report `0.0`.
     pub reward: f64,
     /// Whether the test exposed an architectural mismatch.
     pub detected: bool,
@@ -120,6 +150,17 @@ pub struct DetectionObserved<'a> {
     pub arm: usize,
     /// The full differential report of the mismatching test.
     pub diff: &'a DiffReport,
+}
+
+impl DetectionObserved<'_> {
+    /// The one-line summary of the first mismatch — the same convention
+    /// `CampaignStats` records in its `Detection` entries, shared by every
+    /// consumer (`EventLog`'s golden-pinned stream, `ProgressMonitor`'s flag
+    /// lines) so the rendered summaries cannot drift apart. Empty for a
+    /// clean report, which a detection event never carries in practice.
+    pub fn summary(&self) -> String {
+        self.diff.first().map_or_else(String::new, |mismatch| mismatch.to_string())
+    }
 }
 
 /// The γ-window monitor declared an arm saturated and the campaign reset it
@@ -206,6 +247,33 @@ pub trait CampaignObserver: Send {
     }
 }
 
+/// Tracks which coverage deciles a campaign has crossed so each
+/// [`CoverageMilestone`] fires exactly once, shared by the MABFuzz fold and
+/// the baseline event path — one implementation, so the two streams cannot
+/// drift.
+#[derive(Debug)]
+pub(crate) struct DecileTracker {
+    space_len: usize,
+    last_decile: u32,
+}
+
+impl DecileTracker {
+    /// A fresh tracker over a coverage space of `space_len` points.
+    pub(crate) fn new(space_len: usize) -> DecileTracker {
+        DecileTracker { space_len, last_decile: 0 }
+    }
+
+    /// Returns the deciles newly crossed when cumulative coverage reaches
+    /// `covered`, advancing the tracker (an empty range when none were).
+    pub(crate) fn crossed(&mut self, covered: usize) -> std::ops::RangeInclusive<u32> {
+        let decile =
+            (covered * 10).checked_div(self.space_len).map_or(0, |d| d.min(10) as u32);
+        let crossed = (self.last_decile + 1)..=decile;
+        self.last_decile = self.last_decile.max(decile);
+        crossed
+    }
+}
+
 /// The built-in statistics collection, re-expressed as an observer: a
 /// [`CampaignStats`] fed the event stream accumulates exactly what the
 /// campaign's own stats accumulate (the fold's direct bookkeeping *is* this
@@ -249,6 +317,19 @@ mod tests {
             final_coverage: 10,
             total_resets: 0,
         });
+    }
+
+    #[test]
+    fn decile_tracker_reports_each_crossing_once() {
+        let mut tracker = DecileTracker::new(100);
+        assert_eq!(tracker.crossed(5).count(), 0, "below the first decile");
+        assert_eq!(tracker.crossed(10).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(tracker.crossed(12).count(), 0, "decile 1 already reported");
+        assert_eq!(tracker.crossed(47).collect::<Vec<_>>(), vec![2, 3, 4], "jumps report each");
+        assert_eq!(tracker.crossed(100).collect::<Vec<_>>(), vec![5, 6, 7, 8, 9, 10]);
+        assert_eq!(tracker.crossed(100).count(), 0, "saturated");
+        let mut empty_space = DecileTracker::new(0);
+        assert_eq!(empty_space.crossed(0).count(), 0, "an empty space has no deciles");
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Live campaign progress reporting — the second production consumer of the
+//! [`CampaignObserver`] seam.
+//!
+//! A [`ProgressMonitor`] watches the event stream and periodically prints a
+//! one-line human-readable status: tests executed, throughput (tests/sec),
+//! cumulative coverage percentage, per-arm pull counts, and detection/reset
+//! tallies. It is what `experiments run --progress` attaches.
+//!
+//! Progress lines go to stderr by default (or any caller-supplied writer) so
+//! they never mix with the deterministic artefacts on stdout: a campaign's
+//! JSON report and JSONL event stream stay byte-identical whether or not a
+//! monitor is attached — the monitor's own output is the only
+//! non-deterministic thing about it (it measures wall-clock throughput).
+//! Write errors are ignored: progress is best-effort by design.
+
+use std::io::{self, Write};
+use std::time::Instant;
+
+use crate::observer::{
+    ArmReset, CampaignFinished, CampaignObserver, CoverageMilestone, DetectionObserved, TestFolded,
+};
+
+/// Streams periodic progress lines for one campaign.
+pub struct ProgressMonitor {
+    writer: Box<dyn Write + Send>,
+    space_len: usize,
+    /// Report every `interval` folded tests (≥ 1).
+    interval: u64,
+    started: Option<Instant>,
+    tests: u64,
+    covered: usize,
+    /// Pull counts per arm index, grown on demand (the monitor does not need
+    /// to know the arm count up front).
+    arm_pulls: Vec<u64>,
+    detections: u64,
+    resets: u64,
+}
+
+impl ProgressMonitor {
+    /// The default reporting interval, in folded tests.
+    pub const DEFAULT_INTERVAL: u64 = 1000;
+
+    /// A monitor over a coverage space of `space_len` points (see
+    /// [`Campaign::coverage_space_len`](crate::Campaign::coverage_space_len)),
+    /// reporting to stderr every
+    /// [`DEFAULT_INTERVAL`](ProgressMonitor::DEFAULT_INTERVAL) tests.
+    pub fn new(space_len: usize) -> ProgressMonitor {
+        ProgressMonitor::to_writer(space_len, Box::new(io::stderr()))
+    }
+
+    /// A monitor reporting to an arbitrary writer.
+    pub fn to_writer(space_len: usize, writer: Box<dyn Write + Send>) -> ProgressMonitor {
+        ProgressMonitor {
+            writer,
+            space_len,
+            interval: ProgressMonitor::DEFAULT_INTERVAL,
+            started: None,
+            tests: 0,
+            covered: 0,
+            arm_pulls: Vec::new(),
+            detections: 0,
+            resets: 0,
+        }
+    }
+
+    /// Sets the reporting interval in folded tests (clamped to at least 1).
+    pub fn with_interval(mut self, interval: u64) -> ProgressMonitor {
+        self.interval = interval.max(1);
+        self
+    }
+
+    /// Wall-clock seconds since the first observed event.
+    fn elapsed_secs(&self) -> f64 {
+        self.started.map_or(0.0, |start| start.elapsed().as_secs_f64())
+    }
+
+    /// Tests per second since the first observed event.
+    fn rate(&self) -> f64 {
+        let elapsed = self.elapsed_secs();
+        if elapsed > 0.0 {
+            self.tests as f64 / elapsed
+        } else {
+            0.0
+        }
+    }
+
+    /// Coverage as a percentage of the space (0 when the space is empty).
+    fn coverage_percent(&self) -> f64 {
+        if self.space_len == 0 {
+            0.0
+        } else {
+            self.covered as f64 * 100.0 / self.space_len as f64
+        }
+    }
+
+    fn write_status(&mut self, tag: &str) {
+        let rate = self.rate();
+        let percent = self.coverage_percent();
+        let mut arms = String::new();
+        for (index, pulls) in self.arm_pulls.iter().enumerate() {
+            if index > 0 {
+                arms.push(',');
+            }
+            arms.push_str(&pulls.to_string());
+        }
+        let _ = writeln!(
+            self.writer,
+            "[{tag}] {} tests | {rate:.0} tests/sec | coverage {percent:.1}% ({}/{}) | \
+             arms [{arms}] | detections {} | resets {}",
+            self.tests, self.covered, self.space_len, self.detections, self.resets
+        );
+    }
+}
+
+impl CampaignObserver for ProgressMonitor {
+    fn test_folded(&mut self, event: &TestFolded<'_>) {
+        self.started.get_or_insert_with(Instant::now);
+        self.tests = event.test_number;
+        self.covered = event.covered;
+        if event.arm >= self.arm_pulls.len() {
+            self.arm_pulls.resize(event.arm + 1, 0);
+        }
+        self.arm_pulls[event.arm] += 1;
+        if event.detected {
+            self.detections += 1;
+        }
+        if event.test_number.is_multiple_of(self.interval) {
+            self.write_status("progress");
+        }
+    }
+
+    fn detection(&mut self, event: &DetectionObserved<'_>) {
+        let _ = writeln!(
+            self.writer,
+            "[detect] test {} (arm {}): {}",
+            event.test_number,
+            event.arm,
+            event.summary()
+        );
+    }
+
+    fn arm_reset(&mut self, event: &ArmReset) {
+        self.resets = event.total_resets;
+        let _ = writeln!(
+            self.writer,
+            "[reset] arm {} saturated at test {} (total resets {})",
+            event.arm, event.test_number, event.total_resets
+        );
+    }
+
+    fn coverage_milestone(&mut self, event: &CoverageMilestone) {
+        let _ = writeln!(
+            self.writer,
+            "[milestone] {}0% of the coverage space at test {} ({}/{})",
+            event.decile, event.test_number, event.covered, event.space_len
+        );
+    }
+
+    fn campaign_finished(&mut self, event: &CampaignFinished) {
+        self.tests = event.tests_executed;
+        self.covered = event.final_coverage;
+        self.resets = event.total_resets;
+        let elapsed = self.elapsed_secs();
+        self.write_status("done");
+        let _ = writeln!(self.writer, "[done] finished in {elapsed:.2}s");
+        let _ = self.writer.flush();
+    }
+}
+
+impl std::fmt::Debug for ProgressMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressMonitor")
+            .field("space_len", &self.space_len)
+            .field("interval", &self.interval)
+            .field("tests", &self.tests)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event_log::SharedBuffer;
+    use coverage::CoverageMap;
+    use fuzzer::{DiffReport, TestId};
+
+    #[test]
+    fn progress_lines_appear_at_the_interval_and_at_finish() {
+        let buffer = SharedBuffer::new();
+        let mut monitor =
+            ProgressMonitor::to_writer(100, Box::new(buffer.clone())).with_interval(2);
+        let map = CoverageMap::with_len(8);
+        let diff = DiffReport::default();
+        for test_number in 1..=5u64 {
+            monitor.test_folded(&TestFolded {
+                test_number,
+                test_id: TestId(test_number),
+                arm: (test_number % 2) as usize,
+                local_new: 1,
+                global_new: 1,
+                covered: 10 * test_number as usize,
+                reward: 1.0,
+                detected: false,
+                coverage: &map,
+                diff: &diff,
+            });
+        }
+        monitor.campaign_finished(&CampaignFinished {
+            tests_executed: 5,
+            final_coverage: 50,
+            total_resets: 0,
+        });
+        let out = buffer.contents();
+        let progress_lines = out.lines().filter(|l| l.starts_with("[progress]")).count();
+        assert_eq!(progress_lines, 2, "tests 2 and 4 report at interval 2: {out}");
+        assert!(out.contains("coverage 50.0% (50/100)"), "final status reports coverage: {out}");
+        assert!(out.contains("arms [2,3]") || out.contains("arms [3,2]"), "{out}");
+        assert!(out.lines().any(|l| l.starts_with("[done]")), "{out}");
+    }
+
+    #[test]
+    fn milestones_resets_and_detections_flag_lines() {
+        let buffer = SharedBuffer::new();
+        let mut monitor = ProgressMonitor::to_writer(100, Box::new(buffer.clone()));
+        monitor.coverage_milestone(&CoverageMilestone {
+            decile: 3,
+            covered: 30,
+            space_len: 100,
+            test_number: 12,
+        });
+        monitor.arm_reset(&ArmReset { arm: 2, test_number: 15, total_resets: 1 });
+        let diff = DiffReport::default();
+        monitor.detection(&DetectionObserved {
+            test_number: 16,
+            test_id: TestId(16),
+            arm: 0,
+            diff: &diff,
+        });
+        let out = buffer.contents();
+        assert!(out.contains("[milestone] 30% of the coverage space at test 12"), "{out}");
+        assert!(out.contains("[reset] arm 2 saturated at test 15"), "{out}");
+        assert!(out.contains("[detect] test 16 (arm 0)"), "{out}");
+    }
+
+    #[test]
+    fn empty_coverage_space_reports_zero_percent() {
+        let buffer = SharedBuffer::new();
+        let mut monitor = ProgressMonitor::to_writer(0, Box::new(buffer.clone()));
+        monitor.campaign_finished(&CampaignFinished {
+            tests_executed: 0,
+            final_coverage: 0,
+            total_resets: 0,
+        });
+        assert!(buffer.contents().contains("coverage 0.0% (0/0)"));
+    }
+}

@@ -687,31 +687,14 @@ impl CampaignSpecBuilder {
 
 fn json_string(text: &str) -> String {
     let mut out = String::with_capacity(text.len() + 2);
-    out.push('"');
-    for c in text.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                use std::fmt::Write as _;
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    crate::json_text::push_json_string(&mut out, text);
     out
 }
 
 fn json_float(value: f64) -> String {
-    if value.is_finite() {
-        format!("{value}")
-    } else {
-        "null".to_owned()
-    }
+    let mut out = String::new();
+    crate::json_text::push_json_float(&mut out, value);
+    out
 }
 
 fn spec_from_value(value: &json::Value) -> Result<CampaignSpec, SpecError> {

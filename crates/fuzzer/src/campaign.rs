@@ -90,6 +90,12 @@ pub struct CampaignStats {
 impl CampaignStats {
     /// Creates empty statistics for a campaign labelled `label` over a
     /// coverage space with `space_len` points.
+    ///
+    /// A `sample_interval` of 0 is clamped to 1 — purely a defensive
+    /// backstop for the legacy imperative constructors, which accept raw
+    /// integers. The validated path rejects the value up front:
+    /// `CampaignSpec::validate` fails a zero interval with a `SpecError`
+    /// naming the field, so no spec-built campaign ever reaches this clamp.
     pub fn new(label: impl Into<String>, space_len: usize, sample_interval: u64) -> CampaignStats {
         let label = label.into();
         CampaignStats {
@@ -290,6 +296,21 @@ mod tests {
         assert_eq!(stats.first_detection(), Some(2));
         assert_eq!(stats.detections().len(), 1);
         assert_eq!(stats.detections()[0].test_id, TestId(1));
+    }
+
+    #[test]
+    fn zero_sample_interval_clamps_on_the_legacy_constructor_path() {
+        // The spec layer rejects 0 during validation; the raw constructor
+        // keeps a clamp so a hand-assembled legacy config cannot divide by
+        // zero in the sampling check.
+        let mut clamped = CampaignStats::new("legacy", 10, 0);
+        let mut reference = CampaignStats::new("legacy", 10, 1);
+        for stats in [&mut clamped, &mut reference] {
+            stats.record_test(TestId(0), &coverage_with(10, &[0]), &clean_diff());
+            stats.record_test(TestId(1), &coverage_with(10, &[1]), &clean_diff());
+            stats.finish();
+        }
+        assert_eq!(clamped, reference, "interval 0 behaves as interval 1");
     }
 
     #[test]

@@ -43,4 +43,4 @@ pub use pool::TestPool;
 pub use seed::SeedGenerator;
 pub use shard::{derive_stream_seed, ShardPlan, ShardPool};
 pub use testcase::{TestCase, TestId};
-pub use thehuzz::TheHuzzFuzzer;
+pub use thehuzz::{BaselineTestRecord, TheHuzzFuzzer};

@@ -6,18 +6,57 @@
 //! into a fixed number of children which join the back of the pool, and when
 //! the pool runs dry a fresh random seed is generated. There is no dynamic
 //! decision anywhere — that is precisely the limitation MABFuzz addresses.
+//!
+//! The baseline speaks the same per-test fold protocol as the MABFuzz
+//! campaign loop: [`TheHuzzFuzzer::run_with`] reports every executed test as
+//! a [`BaselineTestRecord`] the moment it is folded into the statistics, so
+//! the campaign layer (`mabfuzz::Campaign`) can stream the same
+//! per-test events for baseline campaigns as for bandit campaigns.
+//! [`TheHuzzFuzzer::run`] is the sink-less special case and remains
+//! byte-identical to the pre-instrumentation loop.
 
 use std::sync::Arc;
 
+use coverage::CoverageMap;
 use proc_sim::Processor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::campaign::{CampaignConfig, CampaignStats};
+use crate::diff::DiffReport;
 use crate::harness::{ExecScratch, FuzzHarness};
 use crate::mutate::MutationEngine;
 use crate::pool::TestPool;
 use crate::seed::SeedGenerator;
+use crate::testcase::TestId;
+
+/// One executed baseline test, handed to the sink of
+/// [`TheHuzzFuzzer::run_with`] right after the test was folded into the
+/// campaign statistics — the baseline counterpart of the MABFuzz fold's
+/// per-test step.
+///
+/// The record is emitted *before* the detection-mode stop check and before
+/// any mutants are enqueued, in strict FIFO execution order, so a sink
+/// observes exactly the sequence the statistics observe (the detecting test
+/// of a stopping campaign included).
+#[derive(Debug)]
+pub struct BaselineTestRecord<'a> {
+    /// 1-based number of the test within the campaign.
+    pub test_number: u64,
+    /// Id of the test case.
+    pub test_id: TestId,
+    /// Coverage points new to the whole campaign — the novelty count that
+    /// gates mutation in the FIFO loop.
+    pub new_points: usize,
+    /// Cumulative campaign coverage after this test.
+    pub covered: usize,
+    /// Whether the test exposed an architectural mismatch.
+    pub detected: bool,
+    /// The test's coverage bitmap.
+    pub coverage: &'a CoverageMap,
+    /// The differential-testing report.
+    pub diff: &'a DiffReport,
+}
 
 /// The baseline fuzzer.
 ///
@@ -61,8 +100,29 @@ impl TheHuzzFuzzer {
         self.harness.processor().name()
     }
 
+    /// Returns the size of the DUT's coverage space.
+    pub fn coverage_space_len(&self) -> usize {
+        self.harness.coverage_space_len()
+    }
+
     /// Runs the campaign to completion and returns its statistics.
-    pub fn run(mut self) -> CampaignStats {
+    ///
+    /// Equivalent to [`run_with`](TheHuzzFuzzer::run_with) with a no-op sink
+    /// (the closure inlines away, so the uninstrumented hot path pays
+    /// nothing for the seam).
+    pub fn run(self) -> CampaignStats {
+        self.run_with(|_| {})
+    }
+
+    /// Runs the campaign to completion, reporting every executed test to
+    /// `sink` as a [`BaselineTestRecord`] in FIFO execution order.
+    ///
+    /// The sink cannot influence the campaign — records are immutable
+    /// borrows — so the returned statistics are byte-identical to
+    /// [`run`](TheHuzzFuzzer::run) for any sink. Detection-mode ordering is
+    /// preserved exactly: the detecting test is recorded (and reported) and
+    /// the loop then breaks *before* enqueuing mutants.
+    pub fn run_with(mut self, mut sink: impl FnMut(&BaselineTestRecord<'_>)) -> CampaignStats {
         let label = format!("TheHuzz on {}", self.harness.processor().name());
         let mut stats = CampaignStats::new(
             label,
@@ -84,6 +144,15 @@ impl TheHuzzFuzzer {
             let outcome = self.harness.run_program_into(&test.program, &mut scratch);
             let detected = outcome.detected_mismatch();
             let new_points = stats.record_test_count(test.id, outcome.coverage, outcome.diff);
+            sink(&BaselineTestRecord {
+                test_number: stats.tests_executed(),
+                test_id: test.id,
+                new_points,
+                covered: stats.final_coverage(),
+                detected,
+                coverage: outcome.coverage,
+                diff: outcome.diff,
+            });
 
             if self.config.stop_on_first_detection && detected {
                 break;
@@ -167,6 +236,44 @@ mod tests {
         let b = TheHuzzFuzzer::new(Arc::new(RocketCore::new(BugSet::none())), small_config(15), 9).run();
         assert_eq!(a.final_coverage(), b.final_coverage());
         assert_eq!(a.cumulative().history(), b.cumulative().history());
+    }
+
+    #[test]
+    fn run_with_reports_every_test_without_changing_the_campaign() {
+        let plain =
+            TheHuzzFuzzer::new(Arc::new(RocketCore::new(BugSet::none())), small_config(40), 5).run();
+        let mut records: Vec<(u64, u64, usize, usize)> = Vec::new();
+        let observed =
+            TheHuzzFuzzer::new(Arc::new(RocketCore::new(BugSet::none())), small_config(40), 5)
+                .run_with(|record| {
+                    assert!(record.covered >= record.new_points);
+                    records.push((
+                        record.test_number,
+                        record.test_id.0,
+                        record.new_points,
+                        record.covered,
+                    ));
+                });
+        assert_eq!(plain, observed, "the sink must not perturb the campaign");
+        assert_eq!(records.len(), 40, "one record per executed test");
+        let numbers: Vec<u64> = records.iter().map(|r| r.0).collect();
+        assert_eq!(numbers, (1..=40).collect::<Vec<u64>>(), "records arrive in FIFO order");
+        assert_eq!(records.last().unwrap().3, observed.final_coverage());
+    }
+
+    #[test]
+    fn detection_mode_reports_the_stopping_test_before_breaking() {
+        let processor = Arc::new(Cva6Core::new(BugSet::only(Vulnerability::V5MissingAccessFault)));
+        let mut last: Option<(u64, bool)> = None;
+        let stats = TheHuzzFuzzer::new(processor, small_config(400).detection_mode(), 3)
+            .run_with(|record| last = Some((record.test_number, record.detected)));
+        let detection = stats.first_detection().expect("V5 is easy to trigger");
+        assert_eq!(
+            last,
+            Some((detection, true)),
+            "the detecting test is the last record a stopping campaign reports"
+        );
+        assert_eq!(stats.tests_executed(), detection);
     }
 
     #[test]
