@@ -9,6 +9,8 @@
 //! experiments fig4     [--tests N] [--repeats R] [--seed S] [--cores ...]
 //! experiments ablation [--tests N] [--repeats R] [--seed S]
 //! experiments all      [--tests N] [--repeats R] [--seed S]
+//! experiments run      [--spec file.json] [--events FILE] [...]
+//! experiments serve    [--addr 127.0.0.1:PORT] [--workers N]
 //! ```
 //!
 //! With no arguments the default budget (2 000 coverage tests, 3 000-test
@@ -56,6 +58,17 @@ fn main() -> ExitCode {
             }
         };
     }
+    if command == "serve" {
+        // The campaign daemon has its own option set too.
+        return match run_serve(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("{SERVE_USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let options = match Options::parse(&args[1.min(args.len())..]) {
         Ok(options) => options,
         Err(message) => {
@@ -84,11 +97,13 @@ fn main() -> ExitCode {
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             println!("{RUN_USAGE}");
+            println!("{SERVE_USAGE}");
         }
         other => {
             eprintln!("error: unknown command `{other}`");
             eprintln!("{USAGE}");
             eprintln!("{RUN_USAGE}");
+            eprintln!("{SERVE_USAGE}");
             return ExitCode::FAILURE;
         }
     }
@@ -102,6 +117,51 @@ const USAGE: &str = "usage: experiments <table1|fig3|fig4|ablation|all> \
 const RUN_USAGE: &str = "usage: experiments run [--spec file.json] \
 [--algorithm NAME] [--core NAME] [--bugs none|native|V1..V7] [--tests N] \
 [--seed S] [--shards N] [--batch N] [--events FILE] [--progress] [--json]";
+
+const SERVE_USAGE: &str = "usage: experiments serve [--addr 127.0.0.1:PORT] \
+[--workers auto|N]";
+
+/// `experiments serve`: run the campaign service daemon
+/// (`mabfuzz_service::CampaignServer`) — remote spec submission, live NDJSON
+/// event streams, status/report queries and cancellation over plain HTTP.
+///
+/// `--addr` defaults to `127.0.0.1:0` (an ephemeral port); the bound address
+/// is printed to stdout as `listening on HOST:PORT` before the accept loop
+/// starts, so scripts can capture it. `--workers` sizes the campaign worker
+/// pool and defaults to the same [`Parallelism`] auto thread budget the
+/// experiment grid uses (one worker per available core); campaigns whose
+/// specs request internal shards spawn those shard workers *inside* their
+/// campaign worker, exactly like grid cells do.
+///
+/// The daemon runs until a client posts `/shutdown` (see the protocol
+/// reference in the `mabfuzz_service` crate docs).
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:0".to_owned();
+    let mut workers = Parallelism::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next().cloned().ok_or_else(|| format!("flag `{flag}` expects a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value()?,
+            "--workers" => {
+                let text = value()?;
+                workers = Parallelism::parse(&text).ok_or_else(|| {
+                    format!("--workers: expected auto, serial or a thread count, got `{text}`")
+                })?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let server = mabfuzz_service::CampaignServer::bind(&addr, workers.workers())
+        .map_err(|error| format!("--addr {addr}: {error}"))?;
+    println!("listening on {} ({} campaign workers)", server.local_addr(), workers.workers());
+    // Scripts block on this line to learn the ephemeral port; make sure it
+    // is out before the accept loop parks the thread.
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    server.serve().map_err(|error| format!("serve: {error}"))
+}
 
 /// `experiments run`: execute one campaign described by a JSON
 /// [`CampaignSpec`] (with optional command-line overrides) through the

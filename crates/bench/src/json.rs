@@ -7,7 +7,6 @@
 //! explicit and stable: floats use Rust's shortest-round-trip `Display`,
 //! `None` renders as `null`.
 
-use std::fmt::Write as _;
 
 use mabfuzz::{CampaignSpec, MabFuzzOutcome};
 
@@ -17,25 +16,11 @@ use crate::fig4::Fig4Result;
 use crate::table1::Table1Result;
 use crate::ExperimentBudget;
 
-/// Escapes a string for embedding in JSON.
+/// Escapes a string for embedding in JSON (the workspace's shared escaping
+/// conventions, delegated to `mabfuzz::report::json_string` so the report,
+/// spec, event-stream and service renderers cannot drift apart).
 pub fn escape(text: &str) -> String {
-    let mut out = String::with_capacity(text.len() + 2);
-    out.push('"');
-    for c in text.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    mabfuzz::report::json_string(text)
 }
 
 fn float(value: f64) -> String {
@@ -201,53 +186,12 @@ pub fn ablations(sweeps: &[AblationSweep]) -> String {
 /// Renders the outcome of one spec-driven campaign (`experiments run
 /// --spec`): label, policy, the spec that produced it, coverage curve,
 /// detections and per-arm summary — one deterministic JSON document.
+///
+/// Delegates to [`mabfuzz::report::campaign_json`], the workspace's single
+/// campaign-report renderer, so the CLI's document and the campaign
+/// service's `GET /campaigns/{id}/report` body cannot drift apart.
 pub fn campaign(spec: &CampaignSpec, outcome: &MabFuzzOutcome) -> String {
-    let stats = &outcome.stats;
-    let series: Vec<String> = stats
-        .series()
-        .points()
-        .iter()
-        .map(|p| format!("[{},{}]", p.tests, p.covered))
-        .collect();
-    let detections: Vec<String> = stats
-        .detections()
-        .iter()
-        .map(|d| {
-            format!(
-                "{{\"test_number\":{},\"test_id\":{},\"summary\":{}}}",
-                d.test_number,
-                d.test_id.0,
-                escape(&d.summary)
-            )
-        })
-        .collect();
-    let arms: Vec<String> = outcome
-        .arms
-        .iter()
-        .map(|arm| {
-            format!(
-                "{{\"index\":{},\"pulls\":{},\"resets\":{},\"final_local_coverage\":{}}}",
-                arm.index, arm.pulls, arm.resets, arm.final_local_coverage
-            )
-        })
-        .collect();
-    format!(
-        "{{\"experiment\":\"campaign\",\"label\":{},\"policy\":{},\"spec\":{},\
-         \"tests_executed\":{},\"final_coverage\":{},\"mismatching_tests\":{},\
-         \"first_detection\":{},\"total_resets\":{},\"series\":[{}],\
-         \"detections\":[{}],\"arms\":[{}]}}",
-        escape(stats.label()),
-        escape(spec.policy.name()),
-        spec.to_json(),
-        stats.tests_executed(),
-        stats.final_coverage(),
-        stats.mismatching_tests(),
-        stats.first_detection().map_or_else(|| "null".to_owned(), |t| t.to_string()),
-        outcome.total_resets,
-        series.join(","),
-        detections.join(","),
-        arms.join(",")
-    )
+    mabfuzz::report::campaign_json(spec, outcome)
 }
 
 #[cfg(test)]

@@ -42,6 +42,7 @@ use rand::SeedableRng;
 use riscv::Program;
 
 use crate::arm::Arm;
+use crate::cancel::CancelToken;
 use crate::config::MabFuzzConfig;
 use crate::monitor::SaturationMonitor;
 use crate::observer::{
@@ -128,6 +129,7 @@ enum CampaignKind {
 pub struct Campaign {
     kind: CampaignKind,
     observers: Vec<Box<dyn CampaignObserver>>,
+    cancel: Option<CancelToken>,
 }
 
 impl Campaign {
@@ -182,13 +184,13 @@ impl Campaign {
                 }
             }
         };
-        Ok(Campaign { kind, observers: Vec::new() })
+        Ok(Campaign { kind, observers: Vec::new(), cancel: None })
     }
 
     /// Assembles a MABFuzz campaign from already-built parts (the legacy
     /// `MabFuzzer` wrappers route through here).
     pub(crate) fn from_session(session: MabSession, plan: ShardPlan) -> Campaign {
-        Campaign { kind: CampaignKind::Mab { session, plan }, observers: Vec::new() }
+        Campaign { kind: CampaignKind::Mab { session, plan }, observers: Vec::new(), cancel: None }
     }
 
     /// Attaches a streaming observer (builder style). Observers receive the
@@ -202,6 +204,20 @@ impl Campaign {
     /// Attaches a streaming observer in place.
     pub fn attach_observer(&mut self, observer: Box<dyn CampaignObserver>) {
         self.observers.push(observer);
+    }
+
+    /// Attaches a cooperative cancellation token (builder style). Any clone
+    /// of the token may request cancellation from any thread; the campaign
+    /// stops at the next deterministic fold boundary — between bandit rounds
+    /// for MABFuzz campaigns, between FIFO tests for the baseline. An
+    /// interrupted campaign finalises its statistics over the tests it
+    /// folded and does **not** emit [`CampaignFinished`], so its event
+    /// stream is a strict prefix of the uncancelled run's stream; check
+    /// [`CancelToken::was_interrupted`] after [`execute`](Campaign::execute)
+    /// to learn whether the run was cut short.
+    pub fn with_cancellation(mut self, token: CancelToken) -> Campaign {
+        self.cancel = Some(token);
+        self
     }
 
     /// Returns the campaign's report label (`"TheHuzz on rocket"`,
@@ -238,9 +254,11 @@ impl Campaign {
     pub fn execute(mut self) -> MabFuzzOutcome {
         match self.kind {
             CampaignKind::Baseline(fuzzer) => {
-                execute_baseline(fuzzer, &mut self.observers)
+                execute_baseline(fuzzer, &mut self.observers, self.cancel.as_ref())
             }
-            CampaignKind::Mab { session, plan } => execute_mab(session, &plan, self.observers),
+            CampaignKind::Mab { session, plan } => {
+                execute_mab(session, &plan, self.observers, self.cancel.as_ref())
+            }
         }
     }
 }
@@ -265,13 +283,26 @@ impl std::fmt::Debug for Campaign {
 fn execute_baseline(
     fuzzer: TheHuzzFuzzer,
     observers: &mut [Box<dyn CampaignObserver>],
+    cancel: Option<&CancelToken>,
 ) -> MabFuzzOutcome {
-    let stats = if observers.is_empty() {
+    // The stop probe marks the token the moment the FIFO loop observes it,
+    // so `was_interrupted` reflects an actual early cut, not merely a
+    // request that arrived after the budget was already exhausted.
+    let should_stop = || {
+        cancel.is_some_and(|token| {
+            let cancelled = token.is_cancelled();
+            if cancelled {
+                token.mark_interrupted();
+            }
+            cancelled
+        })
+    };
+    let stats = if observers.is_empty() && cancel.is_none() {
         fuzzer.run()
     } else {
         let space_len = fuzzer.coverage_space_len();
         let mut deciles = DecileTracker::new(space_len);
-        fuzzer.run_with(|record| {
+        fuzzer.run_with_stop(should_stop, |record| {
             let event = TestFolded {
                 test_number: record.test_number,
                 test_id: record.test_id,
@@ -314,13 +345,17 @@ fn execute_baseline(
             }
         })
     };
-    let finished = CampaignFinished {
-        tests_executed: stats.tests_executed(),
-        final_coverage: stats.final_coverage(),
-        total_resets: 0,
-    };
-    for observer in observers.iter_mut() {
-        observer.campaign_finished(&finished);
+    // An interrupted campaign's stream stays a strict prefix of the full
+    // run's stream: the finished event is withheld (see `cancel`).
+    if !cancel.is_some_and(CancelToken::was_interrupted) {
+        let finished = CampaignFinished {
+            tests_executed: stats.tests_executed(),
+            final_coverage: stats.final_coverage(),
+            total_resets: 0,
+        };
+        for observer in observers.iter_mut() {
+            observer.campaign_finished(&finished);
+        }
     }
     MabFuzzOutcome { stats, arms: Vec::new(), total_resets: 0 }
 }
@@ -332,6 +367,7 @@ fn execute_mab(
     session: MabSession,
     plan: &ShardPlan,
     observers: Vec<Box<dyn CampaignObserver>>,
+    cancel: Option<&CancelToken>,
 ) -> MabFuzzOutcome {
     let label = format!("{} on {}", session.config.label(), session.harness.processor().name());
     let space_len = session.harness.coverage_space_len();
@@ -372,6 +408,15 @@ fn execute_mab(
 
     let mut round: u64 = 0;
     while fold.stats.tests_executed() < max_tests {
+        // Cooperative cancellation cuts the campaign at a round (fold)
+        // boundary: every round that started folds completely, so the event
+        // stream so far is a strict prefix of the uncancelled stream.
+        if let Some(token) = cancel {
+            if token.is_cancelled() {
+                token.mark_interrupted();
+                break;
+            }
+        }
         let remaining =
             usize::try_from(max_tests - fold.stats.tests_executed()).unwrap_or(usize::MAX);
         let batch_len = plan.batch_size().min(remaining);
@@ -445,13 +490,17 @@ fn execute_mab(
             final_local_coverage: arm.local_coverage().count(),
         })
         .collect();
-    let finished = CampaignFinished {
-        tests_executed: fold.stats.tests_executed(),
-        final_coverage: fold.stats.final_coverage(),
-        total_resets: fold.total_resets,
-    };
-    for observer in &mut fold.observers {
-        observer.campaign_finished(&finished);
+    // An interrupted campaign's stream stays a strict prefix of the full
+    // run's stream: the finished event is withheld (see `cancel`).
+    if !cancel.is_some_and(CancelToken::was_interrupted) {
+        let finished = CampaignFinished {
+            tests_executed: fold.stats.tests_executed(),
+            final_coverage: fold.stats.final_coverage(),
+            total_resets: fold.total_resets,
+        };
+        for observer in &mut fold.observers {
+            observer.campaign_finished(&finished);
+        }
     }
     MabFuzzOutcome { stats: fold.stats, arms: arm_summaries, total_resets: fold.total_resets }
 }
@@ -952,6 +1001,115 @@ mod tests {
             log.contains(&format!("detect:{detection}")),
             "the stopping detection streams as an event"
         );
+    }
+
+    #[test]
+    fn cancellation_cuts_a_mab_campaign_to_a_stream_prefix() {
+        let spec = quick_spec(BanditKind::Ucb1, 400);
+        // The full reference stream of the uncancelled campaign.
+        let full = {
+            let buffer = crate::SharedBuffer::new();
+            Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec)
+                .unwrap()
+                .with_observer(Box::new(crate::EventLog::new(buffer.clone())))
+                .execute();
+            buffer.contents()
+        };
+        // A token flipped by an observer mid-stream cuts at the next round.
+        struct CancelAt {
+            token: CancelToken,
+            at: u64,
+        }
+        impl CampaignObserver for CancelAt {
+            fn test_folded(&mut self, event: &TestFolded<'_>) {
+                if event.test_number == self.at {
+                    self.token.cancel();
+                }
+            }
+        }
+        let token = CancelToken::new();
+        let buffer = crate::SharedBuffer::new();
+        let outcome = Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec)
+            .unwrap()
+            .with_observer(Box::new(CancelAt { token: token.clone(), at: 37 }))
+            .with_observer(Box::new(crate::EventLog::new(buffer.clone())))
+            .with_cancellation(token.clone())
+            .execute();
+        assert!(token.was_interrupted(), "the campaign observed the request");
+        assert_eq!(outcome.stats.tests_executed(), 37, "batch size 1: cut right after the fold");
+        let partial = buffer.contents();
+        assert!(partial.len() < full.len(), "the cut stream is shorter");
+        assert!(full.starts_with(&partial), "the cut stream is a strict prefix");
+        assert!(
+            !partial.contains("campaign_finished"),
+            "an interrupted campaign withholds the finished event"
+        );
+    }
+
+    #[test]
+    fn cancellation_cuts_a_baseline_campaign_to_a_stream_prefix() {
+        let spec = CampaignSpec::builder()
+            .baseline()
+            .max_tests(200)
+            .max_steps_per_test(200)
+            .sample_interval(5)
+            .rng_seed(1)
+            .build()
+            .unwrap();
+        let full = {
+            let buffer = crate::SharedBuffer::new();
+            Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec)
+                .unwrap()
+                .with_observer(Box::new(crate::EventLog::new(buffer.clone())))
+                .execute();
+            buffer.contents()
+        };
+        let token = CancelToken::new();
+        struct CancelAt {
+            token: CancelToken,
+            at: u64,
+        }
+        impl CampaignObserver for CancelAt {
+            fn test_folded(&mut self, event: &TestFolded<'_>) {
+                if event.test_number == self.at {
+                    self.token.cancel();
+                }
+            }
+        }
+        let buffer = crate::SharedBuffer::new();
+        let outcome = Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec)
+            .unwrap()
+            .with_observer(Box::new(CancelAt { token: token.clone(), at: 11 }))
+            .with_observer(Box::new(crate::EventLog::new(buffer.clone())))
+            .with_cancellation(token.clone())
+            .execute();
+        assert!(token.was_interrupted());
+        assert_eq!(outcome.stats.tests_executed(), 11, "the FIFO loop stops at a test boundary");
+        let partial = buffer.contents();
+        assert!(full.starts_with(&partial) && partial.len() < full.len());
+        assert!(!partial.contains("campaign_finished"));
+    }
+
+    #[test]
+    fn late_cancellation_leaves_the_campaign_complete() {
+        let spec = quick_spec(BanditKind::Exp3, 20);
+        let plain = Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec)
+            .unwrap()
+            .execute();
+        let token = CancelToken::new();
+        let buffer = crate::SharedBuffer::new();
+        let observed = Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec)
+            .unwrap()
+            .with_observer(Box::new(crate::EventLog::new(buffer.clone())))
+            .with_cancellation(token.clone())
+            .execute();
+        // Never cancelled: the token is inert and the stream is complete.
+        assert_eq!(plain, observed, "an unused token cannot perturb the campaign");
+        assert!(!token.was_interrupted());
+        assert!(buffer.contents().contains("campaign_finished"));
+        // A request landing after execute() changes nothing retroactively.
+        token.cancel();
+        assert!(!token.was_interrupted());
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Cooperative campaign cancellation.
+//!
+//! A [`CancelToken`] is a cloneable, thread-safe flag attached to a
+//! [`Campaign`](crate::Campaign) before execution
+//! ([`Campaign::with_cancellation`](crate::Campaign::with_cancellation)).
+//! Any holder of a clone may call [`cancel`](CancelToken::cancel) from any
+//! thread; the campaign polls the flag at its deterministic fold boundaries —
+//! between bandit rounds for MABFuzz campaigns, between FIFO tests for the
+//! baseline — and stops there, with its statistics finalised over exactly
+//! the tests it folded.
+//!
+//! Determinism of the cut: because the campaign only ever stops at a fold
+//! boundary, the event stream of a cancelled campaign is a **strict prefix**
+//! of the stream the uncancelled campaign would have produced (see the
+//! event-ordering contract in [`observer`](crate::observer)) — the final
+//! [`CampaignFinished`](crate::observer::CampaignFinished) event is *not*
+//! emitted for an interrupted run, so a consumer can distinguish a completed
+//! stream (ends with `campaign_finished`) from a truncated one.
+//!
+//! [`was_interrupted`](CancelToken::was_interrupted) reports — after
+//! `execute()` returned — whether the campaign actually stopped early: a
+//! cancellation that lands after the last fold leaves the campaign (and its
+//! event stream) fully complete, and the flag stays `false`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag for one running campaign.
+///
+/// # Example
+///
+/// ```
+/// use mabfuzz::{Campaign, CampaignSpec, CancelToken};
+/// use proc_sim::{cores::RocketCore, BugSet};
+/// use std::sync::Arc;
+///
+/// let spec = CampaignSpec::builder().max_tests(500).build().unwrap();
+/// let token = CancelToken::new();
+/// token.cancel(); // cancelled before the first round: stops immediately
+/// let outcome = Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec)
+///     .unwrap()
+///     .with_cancellation(token.clone())
+///     .execute();
+/// assert!(token.was_interrupted());
+/// assert_eq!(outcome.stats.tests_executed(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Flags>,
+}
+
+#[derive(Debug, Default)]
+struct Flags {
+    /// Set by `cancel()`: the campaign should stop at the next boundary.
+    requested: AtomicBool,
+    /// Set by the campaign when it actually stopped early.
+    interrupted: AtomicBool,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.inner.requested.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.requested.load(Ordering::Acquire)
+    }
+
+    /// Whether a campaign observed the request and stopped before running
+    /// its full budget. Meaningful once `execute()` has returned: `false`
+    /// means the campaign completed normally (the request, if any, landed
+    /// too late to cut anything).
+    pub fn was_interrupted(&self) -> bool {
+        self.inner.interrupted.load(Ordering::Acquire)
+    }
+
+    /// Records that the campaign stopped early at a fold boundary.
+    pub(crate) fn mark_interrupted(&self) {
+        self.inner.interrupted.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_share_state_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(!token.was_interrupted(), "only a campaign marks interruption");
+        token.mark_interrupted();
+        assert!(clone.was_interrupted());
+    }
+}

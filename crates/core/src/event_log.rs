@@ -44,7 +44,7 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::json_text::{push_json_float, push_json_string};
 use crate::observer::{
@@ -223,13 +223,32 @@ impl<W: Write + Send> std::fmt::Debug for EventLog<W> {
 /// impl) for capturing an event stream without a file: tests, equivalence
 /// checks, or a service layer polling the buffer while the campaign runs on
 /// another thread.
+///
+/// [`failing_after`](SharedBuffer::failing_after) builds a fault-injecting
+/// variant for exercising consumer error paths: writes succeed until the
+/// buffer holds the configured number of bytes, a write straddling the limit
+/// is *short* (the prefix up to the limit is accepted), and every write after
+/// that fails with an I/O error — the behaviour of a disk filling up, without
+/// a disk.
 #[derive(Debug, Clone, Default)]
-pub struct SharedBuffer(Arc<Mutex<Vec<u8>>>);
+pub struct SharedBuffer {
+    bytes: Arc<Mutex<Vec<u8>>>,
+    /// Total bytes accepted before writes start failing (`None` = unlimited).
+    fail_after: Option<usize>,
+}
 
 impl SharedBuffer {
-    /// An empty buffer.
+    /// An empty buffer that accepts every write.
     pub fn new() -> SharedBuffer {
         SharedBuffer::default()
+    }
+
+    /// An empty buffer that accepts exactly `limit` bytes: the write that
+    /// crosses the limit is short (its prefix is kept), and every subsequent
+    /// write fails with an I/O error. `failing_after(0)` fails from the
+    /// first write.
+    pub fn failing_after(limit: usize) -> SharedBuffer {
+        SharedBuffer { bytes: Arc::default(), fail_after: Some(limit) }
     }
 
     /// Returns a copy of the buffered bytes as a string (event streams are
@@ -240,14 +259,152 @@ impl SharedBuffer {
     /// Panics when the buffer holds non-UTF-8 bytes — impossible for bytes
     /// written by an [`EventLog`].
     pub fn contents(&self) -> String {
-        String::from_utf8(self.0.lock().expect("buffer lock").clone())
+        String::from_utf8(self.bytes.lock().expect("buffer lock").clone())
             .expect("event streams are UTF-8")
+    }
+
+    /// Number of bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.bytes.lock().expect("buffer lock").len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
 impl Write for SharedBuffer {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.0.lock().expect("buffer lock").extend_from_slice(buf);
+        let mut bytes = self.bytes.lock().expect("buffer lock");
+        if let Some(limit) = self.fail_after {
+            let remaining = limit.saturating_sub(bytes.len());
+            if remaining == 0 {
+                return Err(io::Error::other(format!(
+                    "SharedBuffer: simulated write failure after {limit} bytes"
+                )));
+            }
+            if buf.len() > remaining {
+                bytes.extend_from_slice(&buf[..remaining]);
+                return Ok(remaining);
+            }
+        }
+        bytes.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A cloneable, append-only event-stream fan-out: one writer (an
+/// [`EventLog`] attached to the running campaign), any number of concurrent
+/// subscribers, each reading the same byte stream from any offset — the
+/// sink behind the campaign service's `GET /campaigns/{id}/events`.
+///
+/// The broadcast keeps the full history, so a subscriber arriving *after*
+/// the campaign finished replays the complete stream; because the stream is
+/// deterministic (see the event-ordering contract in
+/// [`observer`](crate::observer)), every subscriber — early, late, or
+/// reconnecting — observes byte-identical history. [`close`] marks the end
+/// of the stream and wakes all blocked readers.
+///
+/// [`close`]: EventBroadcast::close
+///
+/// # Example
+///
+/// ```
+/// use mabfuzz::EventBroadcast;
+/// use std::io::Write as _;
+///
+/// let broadcast = EventBroadcast::new();
+/// let mut writer = broadcast.clone();
+/// writer.write_all(b"{\"event\":\"x\"}\n").unwrap();
+/// broadcast.close();
+///
+/// let mut offset = 0;
+/// while let Some(bytes) = broadcast.wait_from(offset) {
+///     offset += bytes.len();
+/// }
+/// assert_eq!(offset, 14, "the subscriber drained the whole stream");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventBroadcast {
+    shared: Arc<BroadcastShared>,
+}
+
+#[derive(Debug, Default)]
+struct BroadcastShared {
+    state: Mutex<BroadcastState>,
+    arrived: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct BroadcastState {
+    bytes: Vec<u8>,
+    closed: bool,
+}
+
+impl EventBroadcast {
+    /// An empty, open broadcast.
+    pub fn new() -> EventBroadcast {
+        EventBroadcast::default()
+    }
+
+    /// Marks the end of the stream and wakes every blocked reader.
+    /// Idempotent; writes after `close` are still recorded (the campaign
+    /// owns the writer — closing is the *publisher's* end-of-stream marker,
+    /// emitted once execution returned).
+    pub fn close(&self) {
+        let mut state = self.shared.state.lock().expect("broadcast lock");
+        state.closed = true;
+        self.shared.arrived.notify_all();
+    }
+
+    /// Whether the publisher closed the stream.
+    pub fn is_closed(&self) -> bool {
+        self.shared.state.lock().expect("broadcast lock").closed
+    }
+
+    /// Number of bytes published so far.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().expect("broadcast lock").bytes.len()
+    }
+
+    /// Whether no bytes have been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the full stream so far.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.shared.state.lock().expect("broadcast lock").bytes.clone()
+    }
+
+    /// Blocks until bytes beyond `offset` exist (returning a copy of them)
+    /// or the stream is closed with nothing left to read (returning `None`).
+    /// Subscribers drain the stream with a cursor:
+    /// `while let Some(bytes) = broadcast.wait_from(offset) { offset += bytes.len(); … }`.
+    pub fn wait_from(&self, offset: usize) -> Option<Vec<u8>> {
+        let mut state = self.shared.state.lock().expect("broadcast lock");
+        loop {
+            if state.bytes.len() > offset {
+                return Some(state.bytes[offset..].to_vec());
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.shared.arrived.wait(state).expect("broadcast lock");
+        }
+    }
+}
+
+impl Write for EventBroadcast {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut state = self.shared.state.lock().expect("broadcast lock");
+        state.bytes.extend_from_slice(buf);
+        self.shared.arrived.notify_all();
         Ok(buf.len())
     }
 
@@ -346,4 +503,107 @@ mod tests {
         log.arm_selected(&ArmSelected { round: 1, arm: 0, batch_len: 1 });
     }
 
+    #[test]
+    fn failing_shared_buffers_accept_the_limit_then_error() {
+        let mut buffer = SharedBuffer::failing_after(10);
+        assert_eq!(buffer.write(b"12345").unwrap(), 5, "under the limit: full write");
+        assert_eq!(buffer.write(b"abcdefgh").unwrap(), 5, "straddling the limit: short write");
+        let error = buffer.write(b"x").expect_err("the limit is reached");
+        assert!(error.to_string().contains("after 10 bytes"), "{error}");
+        assert_eq!(buffer.contents(), "12345abcde", "the accepted prefix is kept");
+        let mut dead = SharedBuffer::failing_after(0);
+        dead.write(b"x").expect_err("failing_after(0) rejects the first write");
+    }
+
+    #[test]
+    fn short_writers_raise_the_health_flag_without_panicking() {
+        // `write_all` retries a short write, so the straddling event sees
+        // Ok(partial) then Err — the log must fold both into the same
+        // raise-once, drop-the-rest behaviour a plain error gets.
+        let buffer = SharedBuffer::failing_after(40);
+        let mut log = EventLog::new(buffer.clone());
+        let health = log.health();
+        for round in 0..4u64 {
+            log.arm_selected(&ArmSelected { round, arm: 0, batch_len: 1 });
+        }
+        log.campaign_finished(&CampaignFinished {
+            tests_executed: 4,
+            final_coverage: 1,
+            total_resets: 0,
+        });
+        assert!(health.failed(), "the limit is hit mid-stream");
+        assert_eq!(buffer.len(), 40, "exactly the limit's prefix was written");
+        let contents = buffer.contents();
+        assert!(
+            !contents.contains("campaign_finished"),
+            "events after the failure are dropped: {contents}"
+        );
+    }
+
+    #[test]
+    fn failing_event_logs_never_perturb_the_campaign() {
+        use crate::{Campaign, CampaignSpec};
+        use proc_sim::{cores::RocketCore, BugSet};
+        use std::sync::Arc;
+
+        let spec = CampaignSpec::builder().max_tests(30).rng_seed(4).build().unwrap();
+        let plain = Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec)
+            .unwrap()
+            .execute();
+        let buffer = SharedBuffer::failing_after(100);
+        let log = EventLog::new(buffer.clone());
+        let health = log.health();
+        let observed = Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec)
+            .unwrap()
+            .with_observer(Box::new(log))
+            .execute();
+        assert_eq!(plain, observed, "a failing sink cannot change the campaign");
+        assert!(health.failed(), "100 bytes cannot hold a 30-test stream");
+        assert!(buffer.len() <= 100);
+    }
+
+    #[test]
+    fn broadcasts_fan_out_replay_and_close() {
+        let broadcast = EventBroadcast::new();
+        let mut log = EventLog::new(broadcast.clone());
+        log.arm_selected(&ArmSelected { round: 0, arm: 1, batch_len: 2 });
+        // An early subscriber sees the published prefix without blocking.
+        let first = broadcast.wait_from(0).expect("bytes are available");
+        assert!(first.starts_with(b"{\"event\":\"arm_selected\""));
+        log.batch_folded(&BatchFolded { round: 0, arm: 1, tests: 2 });
+        broadcast.close();
+        assert!(broadcast.is_closed());
+        // A late subscriber replays the identical full stream, then drains.
+        let mut replay = Vec::new();
+        let mut offset = 0;
+        while let Some(bytes) = broadcast.wait_from(offset) {
+            offset += bytes.len();
+            replay.extend_from_slice(&bytes);
+        }
+        assert_eq!(replay, broadcast.snapshot());
+        assert_eq!(replay.iter().filter(|b| **b == b'\n').count(), 2, "two complete lines");
+    }
+
+    #[test]
+    fn blocked_broadcast_readers_wake_on_publish_and_on_close() {
+        let broadcast = EventBroadcast::new();
+        let reader = {
+            let broadcast = broadcast.clone();
+            std::thread::spawn(move || {
+                let mut offset = 0;
+                let mut collected = Vec::new();
+                while let Some(bytes) = broadcast.wait_from(offset) {
+                    offset += bytes.len();
+                    collected.extend_from_slice(&bytes);
+                }
+                collected
+            })
+        };
+        let mut writer = broadcast.clone();
+        writer.write_all(b"line one\n").unwrap();
+        writer.write_all(b"line two\n").unwrap();
+        broadcast.close();
+        let collected = reader.join().expect("reader thread");
+        assert_eq!(collected, b"line one\nline two\n");
+    }
 }

@@ -37,7 +37,15 @@
 //!   that seam: a buffered JSONL event sink whose stream is byte-identical
 //!   across shard counts (golden-pinned in CI), and a live tests/sec +
 //!   coverage + per-arm progress reporter (both surfaced as
-//!   `experiments run --events out.jsonl --progress`).
+//!   `experiments run --events out.jsonl --progress`);
+//! * [`EventBroadcast`] / [`CancelToken`] — the service-layer seams: a
+//!   replay-from-start fan-out sink for concurrent event subscribers, and
+//!   cooperative cancellation that stops a campaign at a deterministic fold
+//!   boundary (its event stream stays a strict prefix of the full run's).
+//!   The `mabfuzz-service` crate serves both over HTTP
+//!   (`experiments serve`), with final reports rendered by
+//!   [`report::campaign_json`] — the same document `experiments run --json`
+//!   prints.
 //!
 //! # Quick start
 //!
@@ -69,20 +77,24 @@
 
 pub mod arm;
 pub mod campaign;
+pub mod cancel;
 pub mod config;
 pub mod event_log;
+pub mod json_value;
 mod json_text;
 pub mod monitor;
 pub mod observer;
 pub mod orchestrator;
 pub mod progress;
+pub mod report;
 pub mod reward;
 pub mod spec;
 
 pub use arm::Arm;
 pub use campaign::Campaign;
+pub use cancel::CancelToken;
 pub use config::MabFuzzConfig;
-pub use event_log::{EventLog, EventLogHealth, SharedBuffer};
+pub use event_log::{EventBroadcast, EventLog, EventLogHealth, SharedBuffer};
 pub use fuzzer::{ShardPlan, ShardPool};
 pub use monitor::SaturationMonitor;
 pub use observer::{

@@ -243,6 +243,46 @@ mod tests {
     }
 
     #[test]
+    fn failing_writers_never_panic_the_monitor() {
+        // Progress is best-effort by contract: a writer that dies mid-stream
+        // (here after 64 bytes, via the fault-injecting SharedBuffer) must
+        // not panic or change any observable behaviour of the monitor.
+        let buffer = SharedBuffer::failing_after(64);
+        let mut monitor =
+            ProgressMonitor::to_writer(100, Box::new(buffer.clone())).with_interval(1);
+        let map = CoverageMap::with_len(8);
+        let diff = DiffReport::default();
+        for test_number in 1..=20u64 {
+            monitor.test_folded(&TestFolded {
+                test_number,
+                test_id: TestId(test_number),
+                arm: 0,
+                local_new: 1,
+                global_new: 1,
+                covered: test_number as usize,
+                reward: 1.0,
+                detected: test_number == 7,
+                coverage: &map,
+                diff: &diff,
+            });
+            monitor.coverage_milestone(&CoverageMilestone {
+                decile: 1,
+                covered: test_number as usize,
+                space_len: 100,
+                test_number,
+            });
+        }
+        monitor.arm_reset(&ArmReset { arm: 0, test_number: 20, total_resets: 1 });
+        monitor.campaign_finished(&CampaignFinished {
+            tests_executed: 20,
+            final_coverage: 20,
+            total_resets: 1,
+        });
+        assert!(buffer.len() <= 64, "nothing past the fault is written");
+        assert!(!buffer.contents().is_empty(), "the pre-fault prefix went through");
+    }
+
+    #[test]
     fn empty_coverage_space_reports_zero_percent() {
         let buffer = SharedBuffer::new();
         let mut monitor = ProgressMonitor::to_writer(0, Box::new(buffer.clone()));

@@ -1,0 +1,116 @@
+//! Deterministic JSON rendering of one campaign's outcome.
+//!
+//! [`campaign_json`] is **the** campaign report document of the workspace:
+//! it is what `experiments run --spec file.json --json` prints (the bench
+//! crate's `json::campaign` delegates here) and what the campaign service
+//! serves from `GET /campaigns/{id}/report` — one renderer, so a report
+//! fetched over the wire is byte-identical to the one the CLI would have
+//! printed for the same spec, and the concurrency-equivalence suite can
+//! `cmp` the two directly.
+//!
+//! Rendering is by hand with fixed field order and shortest-round-trip float
+//! formatting (the `json_text` conventions shared with
+//! the spec codec and the JSONL event stream): the document is a stable
+//! machine-readable artefact, golden-pinned in
+//! `tests/golden/spec_campaign_smoke.json`.
+
+use crate::json_text::push_json_string;
+use crate::orchestrator::MabFuzzOutcome;
+use crate::spec::CampaignSpec;
+
+/// Renders a JSON string literal (quoted, escaped) under the workspace's
+/// shared escaping conventions — the one escaping routine behind the spec
+/// codec, the event stream, the campaign report and the service protocol
+/// bodies, exported so no consumer needs a drift-prone copy.
+pub fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    push_json_string(&mut out, text);
+    out
+}
+
+/// Renders the outcome of one spec-driven campaign: label, policy, the spec
+/// that produced it, coverage curve, detections and per-arm summary — one
+/// deterministic JSON document.
+pub fn campaign_json(spec: &CampaignSpec, outcome: &MabFuzzOutcome) -> String {
+    let stats = &outcome.stats;
+    let series: Vec<String> = stats
+        .series()
+        .points()
+        .iter()
+        .map(|p| format!("[{},{}]", p.tests, p.covered))
+        .collect();
+    let detections: Vec<String> = stats
+        .detections()
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"test_number\":{},\"test_id\":{},\"summary\":{}}}",
+                d.test_number,
+                d.test_id.0,
+                json_string(&d.summary)
+            )
+        })
+        .collect();
+    let arms: Vec<String> = outcome
+        .arms
+        .iter()
+        .map(|arm| {
+            format!(
+                "{{\"index\":{},\"pulls\":{},\"resets\":{},\"final_local_coverage\":{}}}",
+                arm.index, arm.pulls, arm.resets, arm.final_local_coverage
+            )
+        })
+        .collect();
+    format!(
+        "{{\"experiment\":\"campaign\",\"label\":{},\"policy\":{},\"spec\":{},\
+         \"tests_executed\":{},\"final_coverage\":{},\"mismatching_tests\":{},\
+         \"first_detection\":{},\"total_resets\":{},\"series\":[{}],\
+         \"detections\":[{}],\"arms\":[{}]}}",
+        json_string(stats.label()),
+        json_string(spec.policy.name()),
+        spec.to_json(),
+        stats.tests_executed(),
+        stats.final_coverage(),
+        stats.mismatching_tests(),
+        stats.first_detection().map_or_else(|| "null".to_owned(), |t| t.to_string()),
+        outcome.total_resets,
+        series.join(","),
+        detections.join(","),
+        arms.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Campaign;
+    use proc_sim::{cores::RocketCore, BugSet};
+    use std::sync::Arc;
+
+    #[test]
+    fn campaign_reports_render_deterministically() {
+        let spec = CampaignSpec::builder()
+            .max_tests(20)
+            .sample_interval(5)
+            .rng_seed(3)
+            .build()
+            .unwrap();
+        let run = || {
+            Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec)
+                .unwrap()
+                .execute()
+        };
+        let a = campaign_json(&spec, &run());
+        let b = campaign_json(&spec, &run());
+        assert_eq!(a, b, "identical campaigns render identical documents");
+        assert!(a.starts_with("{\"experiment\":\"campaign\",\"label\":"), "{a}");
+        assert!(a.contains("\"tests_executed\":20"), "{a}");
+        assert!(a.contains(&format!("\"spec\":{}", spec.to_json())), "{a}");
+    }
+
+    #[test]
+    fn strings_follow_the_shared_escaping_conventions() {
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\there\"");
+    }
+}

@@ -50,6 +50,7 @@ use riscv::gen::{ClassWeights, GeneratorConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::config::MabFuzzConfig;
+use crate::json_value as json;
 
 /// Which scheduling policy drives the campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -825,290 +826,6 @@ fn weights_from_value(value: &json::Value, weights: &mut ClassWeights) -> Result
         *target = field.as_u32(&format!("weights.{key}"))?;
     }
     Ok(())
-}
-
-/// A minimal strict JSON reader: just enough for campaign-spec documents
-/// (objects, arrays, strings, numbers, booleans, null; no trailing commas,
-/// no comments). Numbers keep their raw token so 64-bit integers round-trip
-/// without a detour through `f64`.
-mod json {
-    use super::SpecError;
-
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        Null,
-        Bool(bool),
-        /// The raw number token, converted on access.
-        Number(String),
-        String(String),
-        #[allow(dead_code)]
-        Array(Vec<Value>),
-        Object(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        pub fn is_null(&self) -> bool {
-            matches!(self, Value::Null)
-        }
-
-        pub fn as_object(&self, field: &str) -> Result<&[(String, Value)], SpecError> {
-            match self {
-                Value::Object(entries) => Ok(entries),
-                other => Err(type_error(field, "an object", other)),
-            }
-        }
-
-        pub fn as_str(&self, field: &str) -> Result<&str, SpecError> {
-            match self {
-                Value::String(text) => Ok(text),
-                other => Err(type_error(field, "a string", other)),
-            }
-        }
-
-        pub fn as_bool(&self, field: &str) -> Result<bool, SpecError> {
-            match self {
-                Value::Bool(value) => Ok(*value),
-                other => Err(type_error(field, "a boolean", other)),
-            }
-        }
-
-        pub fn as_f64(&self, field: &str) -> Result<f64, SpecError> {
-            match self {
-                Value::Number(raw) => raw
-                    .parse()
-                    .map_err(|_| SpecError::Json(format!("{field}: invalid number `{raw}`"))),
-                other => Err(type_error(field, "a number", other)),
-            }
-        }
-
-        pub fn as_u64(&self, field: &str) -> Result<u64, SpecError> {
-            match self {
-                Value::Number(raw) => raw.parse().map_err(|_| {
-                    SpecError::Json(format!("{field}: expected a non-negative integer, got `{raw}`"))
-                }),
-                other => Err(type_error(field, "an integer", other)),
-            }
-        }
-
-        pub fn as_usize(&self, field: &str) -> Result<usize, SpecError> {
-            self.as_u64(field).and_then(|value| {
-                usize::try_from(value)
-                    .map_err(|_| SpecError::Json(format!("{field}: {value} does not fit usize")))
-            })
-        }
-
-        pub fn as_u32(&self, field: &str) -> Result<u32, SpecError> {
-            self.as_u64(field).and_then(|value| {
-                u32::try_from(value)
-                    .map_err(|_| SpecError::Json(format!("{field}: {value} does not fit u32")))
-            })
-        }
-    }
-
-    fn type_error(field: &str, expected: &str, got: &Value) -> SpecError {
-        let kind = match got {
-            Value::Null => "null",
-            Value::Bool(_) => "a boolean",
-            Value::Number(_) => "a number",
-            Value::String(_) => "a string",
-            Value::Array(_) => "an array",
-            Value::Object(_) => "an object",
-        };
-        SpecError::Json(format!("{field}: expected {expected}, got {kind}"))
-    }
-
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_whitespace(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing content at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    fn skip_whitespace(bytes: &[u8], pos: &mut usize) {
-        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        }
-    }
-
-    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_whitespace(bytes, pos);
-        match bytes.get(*pos) {
-            None => Err("unexpected end of input".to_owned()),
-            Some(b'{') => parse_object(bytes, pos),
-            Some(b'[') => parse_array(bytes, pos),
-            Some(b'"') => parse_string(bytes, pos).map(Value::String),
-            Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
-            Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
-            Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
-            Some(_) => parse_number(bytes, pos),
-        }
-    }
-
-    fn parse_literal(
-        bytes: &[u8],
-        pos: &mut usize,
-        literal: &str,
-        value: Value,
-    ) -> Result<Value, String> {
-        if bytes[*pos..].starts_with(literal.as_bytes()) {
-            *pos += literal.len();
-            Ok(value)
-        } else {
-            Err(format!("invalid literal at byte {pos}", pos = *pos))
-        }
-    }
-
-    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        let start = *pos;
-        if matches!(bytes.get(*pos), Some(b'-')) {
-            *pos += 1;
-        }
-        while *pos < bytes.len()
-            && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        {
-            *pos += 1;
-        }
-        let raw = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
-        if raw.is_empty() || raw.parse::<f64>().is_err() {
-            return Err(format!("invalid number `{raw}` at byte {start}"));
-        }
-        Ok(Value::Number(raw.to_owned()))
-    }
-
-    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-        debug_assert_eq!(bytes[*pos], b'"');
-        *pos += 1;
-        let mut out = String::new();
-        loop {
-            match bytes.get(*pos) {
-                None => return Err("unterminated string".to_owned()),
-                Some(b'"') => {
-                    *pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    *pos += 1;
-                    match bytes.get(*pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let code = parse_hex4(bytes, *pos + 1)?;
-                            *pos += 4;
-                            let scalar = if (0xD800..=0xDBFF).contains(&code) {
-                                // RFC 8259: non-BMP characters arrive as a
-                                // surrogate pair of \u escapes.
-                                if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
-                                    return Err(format!(
-                                        "lone high surrogate \\u{code:04x} (expected a \
-                                         \\u low surrogate next)"
-                                    ));
-                                }
-                                let low = parse_hex4(bytes, *pos + 3)?;
-                                if !(0xDC00..=0xDFFF).contains(&low) {
-                                    return Err(format!(
-                                        "invalid low surrogate \\u{low:04x} after \\u{code:04x}"
-                                    ));
-                                }
-                                *pos += 6;
-                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
-                            } else {
-                                code
-                            };
-                            out.push(
-                                char::from_u32(scalar)
-                                    .ok_or(format!("invalid \\u escape {scalar:#x}"))?,
-                            );
-                        }
-                        other => return Err(format!("invalid escape {other:?}")),
-                    }
-                    *pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (the input is a &str, so the
-                    // boundary arithmetic is safe).
-                    let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().expect("non-empty rest");
-                    out.push(c);
-                    *pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    /// Reads the four hex digits of a `\u` escape starting at `start`.
-    fn parse_hex4(bytes: &[u8], start: usize) -> Result<u32, String> {
-        let hex = bytes.get(start..start + 4).ok_or("truncated \\u escape".to_owned())?;
-        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-        u32::from_str_radix(hex, 16).map_err(|e| e.to_string())
-    }
-
-    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        debug_assert_eq!(bytes[*pos], b'[');
-        *pos += 1;
-        let mut items = Vec::new();
-        skip_whitespace(bytes, pos);
-        if matches!(bytes.get(*pos), Some(b']')) {
-            *pos += 1;
-            return Ok(Value::Array(items));
-        }
-        loop {
-            items.push(parse_value(bytes, pos)?);
-            skip_whitespace(bytes, pos);
-            match bytes.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(Value::Array(items));
-                }
-                _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
-            }
-        }
-    }
-
-    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        debug_assert_eq!(bytes[*pos], b'{');
-        *pos += 1;
-        let mut entries: Vec<(String, Value)> = Vec::new();
-        skip_whitespace(bytes, pos);
-        if matches!(bytes.get(*pos), Some(b'}')) {
-            *pos += 1;
-            return Ok(Value::Object(entries));
-        }
-        loop {
-            skip_whitespace(bytes, pos);
-            if !matches!(bytes.get(*pos), Some(b'"')) {
-                return Err(format!("expected a string key at byte {pos}", pos = *pos));
-            }
-            let key = parse_string(bytes, pos)?;
-            if entries.iter().any(|(existing, _)| *existing == key) {
-                return Err(format!("duplicate key `{key}`"));
-            }
-            skip_whitespace(bytes, pos);
-            if !matches!(bytes.get(*pos), Some(b':')) {
-                return Err(format!("expected `:` at byte {pos}", pos = *pos));
-            }
-            *pos += 1;
-            let value = parse_value(bytes, pos)?;
-            entries.push((key, value));
-            skip_whitespace(bytes, pos);
-            match bytes.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(Value::Object(entries));
-                }
-                _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
-            }
-        }
-    }
 }
 
 #[cfg(test)]

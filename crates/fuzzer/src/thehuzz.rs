@@ -122,7 +122,21 @@ impl TheHuzzFuzzer {
     /// [`run`](TheHuzzFuzzer::run) for any sink. Detection-mode ordering is
     /// preserved exactly: the detecting test is recorded (and reported) and
     /// the loop then breaks *before* enqueuing mutants.
-    pub fn run_with(mut self, mut sink: impl FnMut(&BaselineTestRecord<'_>)) -> CampaignStats {
+    pub fn run_with(self, sink: impl FnMut(&BaselineTestRecord<'_>)) -> CampaignStats {
+        self.run_with_stop(|| false, sink)
+    }
+
+    /// [`run_with`](TheHuzzFuzzer::run_with), plus a cooperative stop probe
+    /// polled before each test: when `should_stop` returns `true` the loop
+    /// ends at that test boundary and the statistics are finalised over
+    /// exactly the tests already folded (the campaign layer's cancellation
+    /// hook). A probe that fires before the first test yields an empty,
+    /// finished campaign.
+    pub fn run_with_stop(
+        mut self,
+        mut should_stop: impl FnMut() -> bool,
+        mut sink: impl FnMut(&BaselineTestRecord<'_>),
+    ) -> CampaignStats {
         let label = format!("TheHuzz on {}", self.harness.processor().name());
         let mut stats = CampaignStats::new(
             label,
@@ -133,7 +147,7 @@ impl TheHuzzFuzzer {
         pool.push_all(self.seeds.generate_seeds(&mut self.rng, self.config.num_seeds));
         let mut scratch = ExecScratch::new();
 
-        while stats.tests_executed() < self.config.max_tests {
+        while stats.tests_executed() < self.config.max_tests && !should_stop() {
             // Static decision #1: strictly FIFO test selection; when the pool
             // is empty a fresh random seed is generated.
             let test = match pool.pop() {
@@ -274,6 +288,28 @@ mod tests {
             "the detecting test is the last record a stopping campaign reports"
         );
         assert_eq!(stats.tests_executed(), detection);
+    }
+
+    #[test]
+    fn stop_probes_cut_the_loop_at_a_test_boundary() {
+        let fuzzer =
+            TheHuzzFuzzer::new(Arc::new(RocketCore::new(BugSet::none())), small_config(50), 7);
+        let executed = std::cell::Cell::new(0u64);
+        let stats = fuzzer.run_with_stop(
+            || executed.get() >= 12,
+            |record| {
+                assert_eq!(record.test_number, executed.get() + 1, "records stay in FIFO order");
+                executed.set(record.test_number);
+            },
+        );
+        assert_eq!(stats.tests_executed(), 12, "the probe cut the campaign early");
+        assert_eq!(stats.cumulative().history().len(), 12);
+
+        // A probe that fires immediately yields an empty, finished campaign.
+        let fuzzer =
+            TheHuzzFuzzer::new(Arc::new(RocketCore::new(BugSet::none())), small_config(50), 7);
+        let stats = fuzzer.run_with_stop(|| true, |_| panic!("no test may run"));
+        assert_eq!(stats.tests_executed(), 0);
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! A small blocking client for the campaign service.
+//!
+//! One connection per request (the server replies `Connection: close`), so
+//! the client is `Clone`-free state: just the server address. It is what the
+//! in-tree round-trip tests and `examples/remote_campaign.rs` drive — the
+//! whole loop of submit spec → tail events → fetch final report.
+
+use std::fmt;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use mabfuzz::json_value;
+
+use crate::http::{
+    read_response_head, read_sized_body, stream_chunked_body, ResponseHead,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A socket or framing error.
+    Io(io::Error),
+    /// The server answered with a non-success status; `message` carries the
+    /// body's `error` text (the `SpecError` text for rejected specs).
+    Http {
+        /// The HTTP status code.
+        status: u16,
+        /// The server's error message.
+        message: String,
+    },
+    /// The response body did not match the protocol schema.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(error) => write!(f, "I/O error: {error}"),
+            ClientError::Http { status, message } => write!(f, "HTTP {status}: {message}"),
+            ClientError::Protocol(message) => write!(f, "protocol error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(error: io::Error) -> ClientError {
+        ClientError::Io(error)
+    }
+}
+
+/// The status snapshot of one remote campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignStatus {
+    /// The campaign id.
+    pub id: u64,
+    /// The lifecycle status: `queued`, `running`, `finished`, `cancelled`
+    /// or `failed`.
+    pub status: String,
+    /// The campaign's report label (`"MABFuzz: UCB"`, `"TheHuzz"`, …).
+    pub label: String,
+}
+
+impl CampaignStatus {
+    /// Whether the campaign will make no further progress.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.status.as_str(), "finished" | "cancelled" | "failed")
+    }
+}
+
+/// A blocking campaign-service client.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+}
+
+impl Client {
+    /// A client for the daemon at `addr`.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr }
+    }
+
+    /// Resolves `addr` (e.g. `"127.0.0.1:8080"`) and builds a client for it.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the address does not resolve.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Protocol(format!("`{addr}` resolves to nothing")))?;
+        Ok(Client { addr })
+    }
+
+    /// Submits a campaign-spec JSON document (`POST /campaigns`) and returns
+    /// the assigned campaign id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Http`] with status 400 and the strict codec's
+    /// `SpecError` text when the spec is rejected.
+    pub fn submit(&self, spec_json: &str) -> Result<u64, ClientError> {
+        let body = self.request_sized("POST", "/campaigns", Some(spec_json))?;
+        let value = parse_body(&body)?;
+        field(&value, "id")?.as_u64("id").map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Fetches one campaign's status (`GET /campaigns/{id}`).
+    pub fn status(&self, id: u64) -> Result<CampaignStatus, ClientError> {
+        let body = self.request_sized("GET", &format!("/campaigns/{id}"), None)?;
+        parse_status(&parse_body(&body)?)
+    }
+
+    /// Lists every campaign the server knows (`GET /campaigns`).
+    pub fn list(&self) -> Result<Vec<CampaignStatus>, ClientError> {
+        let body = self.request_sized("GET", "/campaigns", None)?;
+        let value = parse_body(&body)?;
+        let entries = field(&value, "campaigns")?
+            .as_array("campaigns")
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        entries.iter().map(parse_status).collect()
+    }
+
+    /// Fetches the final report document (`GET /campaigns/{id}/report`) —
+    /// byte-identical to what `experiments run --spec <spec> --json` prints
+    /// for the same spec.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Http`] with status 409 while the campaign is still
+    /// queued or running.
+    pub fn report(&self, id: u64) -> Result<String, ClientError> {
+        let body = self.request_sized("GET", &format!("/campaigns/{id}/report"), None)?;
+        String::from_utf8(body).map_err(|_| ClientError::Protocol("report is not UTF-8".into()))
+    }
+
+    /// Requests cancellation (`POST /campaigns/{id}/cancel`); the campaign
+    /// stops at its next fold boundary.
+    pub fn cancel(&self, id: u64) -> Result<(), ClientError> {
+        self.request_sized("POST", &format!("/campaigns/{id}/cancel"), None)?;
+        Ok(())
+    }
+
+    /// Tails a campaign's live NDJSON event stream
+    /// (`GET /campaigns/{id}/events`) into `sink`, chunk by chunk as events
+    /// arrive, returning the total bytes streamed once the stream ends. The
+    /// streamed bytes are exactly the campaign's `EventLog` stream — late
+    /// subscribers replay it from the start.
+    pub fn stream_events(&self, id: u64, sink: &mut dyn Write) -> Result<u64, ClientError> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        write!(
+            stream,
+            "GET /campaigns/{id}/events HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.addr
+        )?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let head = read_response_head(&mut reader)?;
+        if head.status != 200 {
+            return Err(self.error_from(&mut reader, &head));
+        }
+        if !head.chunked {
+            return Err(ClientError::Protocol("event stream is not chunked".into()));
+        }
+        Ok(stream_chunked_body(&mut reader, sink)?)
+    }
+
+    /// [`stream_events`](Client::stream_events) into a `String`.
+    pub fn events(&self, id: u64) -> Result<String, ClientError> {
+        let mut bytes = Vec::new();
+        self.stream_events(id, &mut bytes)?;
+        String::from_utf8(bytes)
+            .map_err(|_| ClientError::Protocol("event stream is not UTF-8".into()))
+    }
+
+    /// Polls the status every `interval` until the campaign is terminal and
+    /// returns the final snapshot.
+    pub fn wait_terminal(
+        &self,
+        id: u64,
+        interval: Duration,
+    ) -> Result<CampaignStatus, ClientError> {
+        loop {
+            let status = self.status(id)?;
+            if status.is_terminal() {
+                return Ok(status);
+            }
+            std::thread::sleep(interval);
+        }
+    }
+
+    /// Evicts a terminal campaign from the server
+    /// (`DELETE /campaigns/{id}`), freeing its retained event history and
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Http`] with status 409 while the campaign is still
+    /// queued or running, 404 for unknown ids.
+    pub fn delete(&self, id: u64) -> Result<(), ClientError> {
+        self.request_sized("DELETE", &format!("/campaigns/{id}"), None)?;
+        Ok(())
+    }
+
+    /// Asks the daemon to shut down cleanly (`POST /shutdown`): it stops
+    /// accepting work, drains already-queued campaigns and joins its
+    /// workers.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        self.request_sized("POST", "/shutdown", None)?;
+        Ok(())
+    }
+
+    /// One request/response cycle with a sized (non-streaming) body.
+    fn request_sized(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Vec<u8>, ClientError> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        let body = body.unwrap_or("");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        )?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let head = read_response_head(&mut reader)?;
+        if !(200..300).contains(&head.status) {
+            return Err(self.error_from(&mut reader, &head));
+        }
+        Ok(read_sized_body(&mut reader, &head)?)
+    }
+
+    /// Builds the [`ClientError::Http`] for a non-success response, pulling
+    /// the message out of the error body when possible.
+    fn error_from(
+        &self,
+        reader: &mut BufReader<TcpStream>,
+        head: &ResponseHead,
+    ) -> ClientError {
+        let message = read_sized_body(reader, head)
+            .ok()
+            .and_then(|body| String::from_utf8(body).ok())
+            .map(|body| {
+                json_value::parse(&body)
+                    .ok()
+                    .and_then(|value| {
+                        value.get("error").and_then(|m| m.as_str("error").ok().map(String::from))
+                    })
+                    .unwrap_or(body)
+            })
+            .unwrap_or_default();
+        ClientError::Http { status: head.status, message }
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<json_value::Value, ClientError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ClientError::Protocol("response body is not UTF-8".into()))?;
+    json_value::parse(text).map_err(ClientError::Protocol)
+}
+
+fn field<'a>(
+    value: &'a json_value::Value,
+    name: &str,
+) -> Result<&'a json_value::Value, ClientError> {
+    value.get(name).ok_or_else(|| ClientError::Protocol(format!("response lacks `{name}`")))
+}
+
+fn parse_status(value: &json_value::Value) -> Result<CampaignStatus, ClientError> {
+    let err = |e: mabfuzz::SpecError| ClientError::Protocol(e.to_string());
+    Ok(CampaignStatus {
+        id: field(value, "id")?.as_u64("id").map_err(err)?,
+        status: field(value, "status")?.as_str("status").map_err(err)?.to_owned(),
+        label: field(value, "label")?.as_str("label").map_err(err)?.to_owned(),
+    })
+}

@@ -1,0 +1,359 @@
+//! A minimal, dependency-free HTTP/1.1 subset for the campaign service.
+//!
+//! The workspace is offline-shimmed, so the wire layer is hand-rolled over
+//! `std::net` — exactly the subset the campaign protocol needs and nothing
+//! more: one request per connection (`Connection: close` on every response),
+//! `Content-Length` request bodies, and chunked transfer encoding for the
+//! live event streams. Both the server and the [`Client`](crate::Client)
+//! speak through these helpers, so the two ends of the protocol cannot
+//! drift apart.
+
+use std::io::{self, BufRead, Write};
+
+pub(crate) use mabfuzz::report::json_string;
+
+/// Upper bound on a request body (campaign specs are a few KiB; a service
+/// must not buffer unbounded attacker-controlled input).
+pub(crate) const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Upper bound on header count — enough for any real client, small enough
+/// to bound a hostile request.
+const MAX_HEADERS: usize = 64;
+
+/// Upper bound on any single protocol line (request line, header, chunk
+/// size). `read_line` alone would buffer a newline-free byte stream without
+/// limit; every line in this module goes through [`read_line_capped`] so a
+/// hostile peer cannot grow memory past this.
+const MAX_LINE_BYTES: u64 = 8 * 1024;
+
+/// Reads one `\n`-terminated line of at most [`MAX_LINE_BYTES`] bytes.
+/// `Ok(None)` is a clean EOF before any byte; an overlong line is an error.
+fn read_line_capped<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    // UFCS pins `Self = &mut R` so `take` borrows the reader instead of
+    // consuming it (plain `reader.take(..)` auto-derefs and moves `*reader`).
+    let read = io::Read::take(reader, MAX_LINE_BYTES).read_line(&mut line)?;
+    if read == 0 {
+        return Ok(None);
+    }
+    if !line.ends_with('\n') && read as u64 == MAX_LINE_BYTES {
+        return Err(protocol_error(format!(
+            "protocol line exceeds the {MAX_LINE_BYTES}-byte limit"
+        )));
+    }
+    Ok(Some(line))
+}
+
+/// One parsed request: method, path and (possibly empty) body.
+#[derive(Debug)]
+pub(crate) struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+/// Reads one request. `Ok(None)` means the peer closed the connection
+/// without sending anything (the server's shutdown self-wake does this).
+pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+    let Some(line) = read_line_capped(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(method), Some(path), Some(version)) => (method, path, version),
+        _ => return Err(protocol_error(format!("malformed request line `{}`", line.trim_end()))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(protocol_error(format!("unsupported protocol `{version}`")));
+    }
+    let request =
+        Request { method: method.to_owned(), path: path.to_owned(), body: Vec::new() };
+    let headers = read_headers(reader)?;
+    let content_length = header_value(&headers, "content-length")
+        .map(|value| {
+            value.parse::<usize>().map_err(|_| {
+                protocol_error(format!("invalid Content-Length `{value}`"))
+            })
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(protocol_error(format!(
+            "request body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request { body, ..request }))
+}
+
+/// Reads header lines until the blank separator, lower-casing names.
+fn read_headers<R: BufRead>(reader: &mut R) -> io::Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line_capped(reader)? else {
+            return Err(protocol_error("connection closed inside the header block"));
+        };
+        let line = line.trim_end();
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(protocol_error("too many headers"));
+        }
+        match line.split_once(':') {
+            Some((name, value)) => {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+            }
+            None => return Err(protocol_error(format!("malformed header `{line}`"))),
+        }
+    }
+}
+
+fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(key, _)| key == name).map(|(_, value)| value.as_str())
+}
+
+/// The reason phrase of the status codes the service emits.
+pub(crate) fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete JSON response (`Content-Length` framing,
+/// `Connection: close`).
+pub(crate) fn respond_json(writer: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        status_text(status),
+        body.len()
+    )?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
+/// Writes an error response whose body is `{"error":"<message>"}`.
+pub(crate) fn respond_error(
+    writer: &mut impl Write,
+    status: u16,
+    message: &str,
+) -> io::Result<()> {
+    respond_json(writer, status, &format!("{{\"error\":{}}}", json_string(message)))
+}
+
+/// Starts a chunked NDJSON response; follow with [`write_chunk`] per payload
+/// and one [`finish_chunked`].
+pub(crate) fn start_chunked(writer: &mut impl Write) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+         Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )?;
+    writer.flush()
+}
+
+/// Writes one non-empty chunk (an empty chunk would terminate the stream).
+pub(crate) fn write_chunk(writer: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
+    debug_assert!(!bytes.is_empty(), "an empty chunk is the terminator");
+    write!(writer, "{:x}\r\n", bytes.len())?;
+    writer.write_all(bytes)?;
+    writer.write_all(b"\r\n")?;
+    writer.flush()
+}
+
+/// Writes the terminating zero-length chunk.
+pub(crate) fn finish_chunked(writer: &mut impl Write) -> io::Result<()> {
+    writer.write_all(b"0\r\n\r\n")?;
+    writer.flush()
+}
+
+/// The parsed status line and framing headers of a response.
+#[derive(Debug)]
+pub(crate) struct ResponseHead {
+    pub status: u16,
+    pub chunked: bool,
+    pub content_length: Option<usize>,
+}
+
+/// Reads a response's status line and headers, leaving the reader at the
+/// first body byte.
+pub(crate) fn read_response_head<R: BufRead>(reader: &mut R) -> io::Result<ResponseHead> {
+    let Some(line) = read_line_capped(reader)? else {
+        return Err(protocol_error("connection closed before the status line"));
+    };
+    let mut parts = line.split_whitespace();
+    let status = match (parts.next(), parts.next()) {
+        (Some(version), Some(code)) if version.starts_with("HTTP/1.") => {
+            code.parse::<u16>().map_err(|_| {
+                protocol_error(format!("malformed status line `{}`", line.trim_end()))
+            })?
+        }
+        _ => return Err(protocol_error(format!("malformed status line `{}`", line.trim_end()))),
+    };
+    let headers = read_headers(reader)?;
+    let chunked = header_value(&headers, "transfer-encoding")
+        .is_some_and(|value| value.eq_ignore_ascii_case("chunked"));
+    let content_length = header_value(&headers, "content-length")
+        .map(|value| {
+            value
+                .parse::<usize>()
+                .map_err(|_| protocol_error(format!("invalid Content-Length `{value}`")))
+        })
+        .transpose()?;
+    Ok(ResponseHead { status, chunked, content_length })
+}
+
+/// Reads a `Content-Length`-framed body (the non-streaming endpoints).
+pub(crate) fn read_sized_body<R: BufRead>(
+    reader: &mut R,
+    head: &ResponseHead,
+) -> io::Result<Vec<u8>> {
+    let length = head.content_length.ok_or_else(|| {
+        protocol_error("response carries neither Content-Length nor chunked framing")
+    })?;
+    if length > MAX_BODY_BYTES {
+        return Err(protocol_error(format!(
+            "response body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Decodes a chunked body, forwarding each chunk's payload to `sink` as it
+/// arrives (this is how the client tails a live event stream). Returns the
+/// total payload bytes streamed.
+pub(crate) fn stream_chunked_body<R: BufRead>(
+    reader: &mut R,
+    sink: &mut dyn Write,
+) -> io::Result<u64> {
+    let mut total = 0u64;
+    let mut chunk = Vec::new();
+    loop {
+        let Some(size_line) = read_line_capped(reader)? else {
+            return Err(protocol_error("connection closed inside the chunked body"));
+        };
+        let size_token = size_line.trim().split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_token, 16)
+            .map_err(|_| protocol_error(format!("invalid chunk size `{size_token}`")))?;
+        if size == 0 {
+            // Trailer section: header lines (none in practice) up to the
+            // final blank line; tolerated but ignored.
+            let _ = read_headers(reader);
+            return Ok(total);
+        }
+        chunk.resize(size, 0);
+        reader.read_exact(&mut chunk)?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(protocol_error("chunk payload not terminated by CRLF"));
+        }
+        sink.write_all(&chunk)?;
+        total += size as u64;
+    }
+}
+
+fn protocol_error(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Cursor};
+
+    #[test]
+    fn requests_parse_method_path_and_body() {
+        let raw = b"POST /campaigns HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"";
+        let request = read_request(&mut BufReader::new(Cursor::new(&raw[..])))
+            .unwrap()
+            .expect("a full request");
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/campaigns");
+        assert_eq!(request.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn empty_connections_and_garbage_fail_cleanly() {
+        assert!(
+            read_request(&mut BufReader::new(Cursor::new(&b""[..]))).unwrap().is_none(),
+            "a silent close is not an error"
+        );
+        let error = read_request(&mut BufReader::new(Cursor::new(&b"nonsense\r\n\r\n"[..])))
+            .expect_err("malformed request line");
+        assert!(error.to_string().contains("malformed request line"), "{error}");
+        let raw = b"GET / HTTP/1.1\r\nContent-Length: lots\r\n\r\n";
+        let error = read_request(&mut BufReader::new(Cursor::new(&raw[..])))
+            .expect_err("bogus length");
+        assert!(error.to_string().contains("invalid Content-Length"), "{error}");
+    }
+
+    #[test]
+    fn newline_free_streams_cannot_grow_memory_unboundedly() {
+        // A peer that never sends `\n` is cut off at MAX_LINE_BYTES, not
+        // buffered forever: the request line, the header block and chunk
+        // size lines all read through the capped line reader.
+        let endless = "X".repeat(MAX_LINE_BYTES as usize + 1);
+        let error = read_request(&mut BufReader::new(Cursor::new(endless.clone().into_bytes())))
+            .expect_err("capped request line");
+        assert!(error.to_string().contains("byte limit"), "{error}");
+        let raw = format!("GET / HTTP/1.1\r\n{endless}");
+        let error = read_request(&mut BufReader::new(Cursor::new(raw.into_bytes())))
+            .expect_err("capped header line");
+        assert!(error.to_string().contains("byte limit"), "{error}");
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_before_buffering() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let error = read_request(&mut BufReader::new(Cursor::new(raw.into_bytes())))
+            .expect_err("limit enforced");
+        assert!(error.to_string().contains("exceeds"), "{error}");
+    }
+
+    #[test]
+    fn responses_round_trip_sized_bodies() {
+        let mut wire = Vec::new();
+        respond_json(&mut wire, 201, "{\"id\":7}").unwrap();
+        let mut reader = BufReader::new(Cursor::new(wire));
+        let head = read_response_head(&mut reader).unwrap();
+        assert_eq!(head.status, 201);
+        assert!(!head.chunked);
+        assert_eq!(read_sized_body(&mut reader, &head).unwrap(), b"{\"id\":7}");
+    }
+
+    #[test]
+    fn chunked_streams_round_trip_byte_identically() {
+        let mut wire = Vec::new();
+        start_chunked(&mut wire).unwrap();
+        write_chunk(&mut wire, b"{\"event\":\"a\"}\n").unwrap();
+        write_chunk(&mut wire, b"{\"event\":\"b\"}\n{\"event\":\"c\"}\n").unwrap();
+        finish_chunked(&mut wire).unwrap();
+        let mut reader = BufReader::new(Cursor::new(wire));
+        let head = read_response_head(&mut reader).unwrap();
+        assert!(head.chunked);
+        let mut decoded = Vec::new();
+        let total = stream_chunked_body(&mut reader, &mut decoded).unwrap();
+        assert_eq!(decoded, b"{\"event\":\"a\"}\n{\"event\":\"b\"}\n{\"event\":\"c\"}\n");
+        assert_eq!(total, decoded.len() as u64);
+    }
+
+    #[test]
+    fn error_bodies_escape_their_message() {
+        let mut wire = Vec::new();
+        respond_error(&mut wire, 400, "bad \"spec\"").unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("{\"error\":\"bad \\\"spec\\\"\"}"), "{text}");
+    }
+}

@@ -1,0 +1,342 @@
+//! The service's shared campaign registry and job queue.
+//!
+//! A [`Hub`] owns every campaign the server has accepted: its spec, its
+//! lifecycle [`Status`], its [`EventBroadcast`] (the replay-from-start event
+//! stream connections subscribe to), its [`CancelToken`] and — once terminal
+//! — its final report document. Connection handlers and the worker pool
+//! share one `Arc<Hub>`; all state lives behind a single mutex with a
+//! condvar for queue hand-off, so the hot path (the campaign itself) never
+//! touches hub locks — workers only lock to pop a job and to publish
+//! terminal state.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+use mabfuzz::{CampaignSpec, CancelToken, EventBroadcast};
+
+use crate::http::json_string;
+
+/// Lifecycle of one submitted campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Ran its full budget (or stopped on a detection); report available.
+    Finished,
+    /// Stopped early at a fold boundary by `POST /campaigns/{id}/cancel`;
+    /// a report over the folded prefix is available.
+    Cancelled,
+    /// Could not be executed (the error text is the report's `error` field).
+    Failed,
+}
+
+impl Status {
+    /// The wire spelling of the status.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Queued => "queued",
+            Status::Running => "running",
+            Status::Finished => "finished",
+            Status::Cancelled => "cancelled",
+            Status::Failed => "failed",
+        }
+    }
+
+    /// Whether the campaign will make no further progress.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Status::Finished | Status::Cancelled | Status::Failed)
+    }
+}
+
+/// Everything the hub tracks for one campaign.
+struct CampaignEntry {
+    spec: CampaignSpec,
+    label: String,
+    status: Status,
+    events: EventBroadcast,
+    cancel: CancelToken,
+    /// The final report document (`report::campaign_json`) once terminal,
+    /// or the failure message for `Failed` entries.
+    report: Option<String>,
+}
+
+#[derive(Default)]
+struct HubState {
+    next_id: u64,
+    campaigns: BTreeMap<u64, CampaignEntry>,
+    queue: VecDeque<u64>,
+    shutting_down: bool,
+}
+
+/// Shared state between the accept loop, connection handlers and workers.
+#[derive(Default)]
+pub(crate) struct Hub {
+    state: Mutex<HubState>,
+    jobs: Condvar,
+}
+
+/// A snapshot of one campaign's externally visible state.
+pub(crate) struct CampaignView {
+    pub id: u64,
+    pub status: Status,
+    pub label: String,
+    pub report: Option<String>,
+}
+
+impl CampaignView {
+    /// Renders the status document (`GET /campaigns/{id}` and the entries of
+    /// `GET /campaigns`): id, status, label, and the inline report (the full
+    /// campaign document for terminal entries, `null` otherwise; byte-exact
+    /// retrieval goes through `GET /campaigns/{id}/report`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"status\":{},\"label\":{},\"report\":{}}}",
+            self.id,
+            json_string(self.status.name()),
+            json_string(&self.label),
+            self.report.as_deref().unwrap_or("null")
+        )
+    }
+}
+
+impl Hub {
+    pub fn new() -> Hub {
+        Hub::default()
+    }
+
+    /// Registers a validated spec and queues it for execution, returning its
+    /// campaign id. `None` when the hub is shutting down.
+    pub fn submit(&self, spec: CampaignSpec) -> Option<u64> {
+        let mut state = self.state.lock().expect("hub lock");
+        if state.shutting_down {
+            return None;
+        }
+        state.next_id += 1;
+        let id = state.next_id;
+        let label = spec.label();
+        state.campaigns.insert(
+            id,
+            CampaignEntry {
+                spec,
+                label,
+                status: Status::Queued,
+                events: EventBroadcast::new(),
+                cancel: CancelToken::new(),
+                report: None,
+            },
+        );
+        state.queue.push_back(id);
+        self.jobs.notify_one();
+        Some(id)
+    }
+
+    /// Blocks until a job is available (returning its id, spec, broadcast
+    /// and token, and marking it running) or the hub is shutting down with
+    /// an empty queue (returning `None`). Already-queued jobs are drained
+    /// before shutdown completes.
+    pub fn next_job(&self) -> Option<(u64, CampaignSpec, EventBroadcast, CancelToken)> {
+        let mut state = self.state.lock().expect("hub lock");
+        loop {
+            if let Some(id) = state.queue.pop_front() {
+                let entry = state.campaigns.get_mut(&id).expect("queued entries exist");
+                entry.status = Status::Running;
+                return Some((
+                    id,
+                    entry.spec.clone(),
+                    entry.events.clone(),
+                    entry.cancel.clone(),
+                ));
+            }
+            if state.shutting_down {
+                return None;
+            }
+            state = self.jobs.wait(state).expect("hub lock");
+        }
+    }
+
+    /// Publishes a terminal state: the report document plus whether the run
+    /// was cancelled, and closes the event stream.
+    pub fn complete(&self, id: u64, report: String, cancelled: bool) {
+        let mut state = self.state.lock().expect("hub lock");
+        let entry = state.campaigns.get_mut(&id).expect("completed entries exist");
+        entry.status = if cancelled { Status::Cancelled } else { Status::Finished };
+        entry.report = Some(report);
+        entry.events.close();
+    }
+
+    /// Publishes an execution failure and closes the event stream.
+    pub fn fail(&self, id: u64, error: String) {
+        let mut state = self.state.lock().expect("hub lock");
+        let entry = state.campaigns.get_mut(&id).expect("failed entries exist");
+        entry.status = Status::Failed;
+        entry.report = Some(format!("{{\"error\":{}}}", json_string(&error)));
+        entry.events.close();
+    }
+
+    /// Requests cancellation of a campaign. Returns the status observed at
+    /// request time (`None` for unknown ids); terminal campaigns are left
+    /// untouched.
+    pub fn cancel(&self, id: u64) -> Option<Status> {
+        let state = self.state.lock().expect("hub lock");
+        let entry = state.campaigns.get(&id)?;
+        if !entry.status.is_terminal() {
+            entry.cancel.cancel();
+        }
+        Some(entry.status)
+    }
+
+    /// A snapshot of one campaign.
+    pub fn view(&self, id: u64) -> Option<CampaignView> {
+        let state = self.state.lock().expect("hub lock");
+        let entry = state.campaigns.get(&id)?;
+        Some(CampaignView {
+            id,
+            status: entry.status,
+            label: entry.label.clone(),
+            report: entry.report.clone(),
+        })
+    }
+
+    /// The raw report document of a terminal campaign (`None` while the
+    /// campaign is still queued or running, or for unknown ids — callers
+    /// disambiguate through [`view`](Hub::view)).
+    pub fn report(&self, id: u64) -> Option<String> {
+        let state = self.state.lock().expect("hub lock");
+        state.campaigns.get(&id).and_then(|entry| entry.report.clone())
+    }
+
+    /// The event broadcast of a campaign (replay-from-start subscriptions).
+    pub fn events(&self, id: u64) -> Option<EventBroadcast> {
+        let state = self.state.lock().expect("hub lock");
+        state.campaigns.get(&id).map(|entry| entry.events.clone())
+    }
+
+    /// Evicts a *terminal* campaign — its event history, report and spec are
+    /// dropped (the hub otherwise retains every campaign for replay, so
+    /// long-running deployments evict what they have consumed). Returns the
+    /// blocking status for non-terminal entries, `None` for unknown ids.
+    ///
+    /// # Errors
+    ///
+    /// `Some(Err(status))` when the campaign is still queued or running.
+    #[allow(clippy::type_complexity)]
+    pub fn remove(&self, id: u64) -> Option<Result<(), Status>> {
+        let mut state = self.state.lock().expect("hub lock");
+        let entry = state.campaigns.get(&id)?;
+        if !entry.status.is_terminal() {
+            return Some(Err(entry.status));
+        }
+        state.campaigns.remove(&id);
+        Some(Ok(()))
+    }
+
+    /// Snapshots every campaign in submission order.
+    pub fn list(&self) -> Vec<CampaignView> {
+        let state = self.state.lock().expect("hub lock");
+        state
+            .campaigns
+            .iter()
+            .map(|(id, entry)| CampaignView {
+                id: *id,
+                status: entry.status,
+                label: entry.label.clone(),
+                // Keep the listing light: reports are fetched per campaign.
+                report: None,
+            })
+            .collect()
+    }
+
+    /// Number of campaigns ever accepted.
+    pub fn campaign_count(&self) -> usize {
+        self.state.lock().expect("hub lock").campaigns.len()
+    }
+
+    /// Starts shutdown: refuses new submissions, wakes every idle worker so
+    /// they can drain the queue and exit.
+    pub fn begin_shutdown(&self) {
+        let mut state = self.state.lock().expect("hub lock");
+        state.shutting_down = true;
+        self.jobs.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.lock().expect("hub lock").shutting_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::builder().max_tests(5).build().unwrap()
+    }
+
+    #[test]
+    fn submissions_queue_in_order_and_views_track_status() {
+        let hub = Hub::new();
+        let first = hub.submit(spec()).unwrap();
+        let second = hub.submit(spec()).unwrap();
+        assert_eq!((first, second), (1, 2), "ids are sequential");
+        assert_eq!(hub.view(1).unwrap().status, Status::Queued);
+        let (id, ..) = hub.next_job().unwrap();
+        assert_eq!(id, 1, "FIFO queue");
+        assert_eq!(hub.view(1).unwrap().status, Status::Running);
+        hub.complete(1, "{\"r\":1}".to_owned(), false);
+        let view = hub.view(1).unwrap();
+        assert_eq!(view.status, Status::Finished);
+        assert_eq!(view.report.as_deref(), Some("{\"r\":1}"));
+        assert!(view.to_json().contains("\"status\":\"finished\""));
+        assert!(hub.events(1).unwrap().is_closed(), "terminal streams are closed");
+        assert!(hub.view(99).is_none());
+    }
+
+    #[test]
+    fn cancellation_flags_the_token_and_spares_terminal_entries() {
+        let hub = Hub::new();
+        hub.submit(spec()).unwrap();
+        let (id, _, _, token) = hub.next_job().unwrap();
+        assert_eq!(hub.cancel(id), Some(Status::Running));
+        assert!(token.is_cancelled());
+        hub.complete(id, "{}".to_owned(), true);
+        assert_eq!(hub.view(id).unwrap().status, Status::Cancelled);
+        assert_eq!(hub.cancel(id), Some(Status::Cancelled), "terminal: no-op");
+        assert_eq!(hub.cancel(404), None);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_and_drains_the_queue() {
+        let hub = Hub::new();
+        hub.submit(spec()).unwrap();
+        hub.begin_shutdown();
+        assert!(hub.submit(spec()).is_none(), "no submissions after shutdown");
+        assert!(hub.next_job().is_some(), "queued jobs drain first");
+        assert!(hub.next_job().is_none(), "then workers are released");
+    }
+
+    #[test]
+    fn removal_evicts_terminal_entries_only() {
+        let hub = Hub::new();
+        hub.submit(spec()).unwrap();
+        let (id, ..) = hub.next_job().unwrap();
+        assert_eq!(hub.remove(id), Some(Err(Status::Running)), "running entries stay");
+        hub.complete(id, "{}".to_owned(), false);
+        assert_eq!(hub.remove(id), Some(Ok(())));
+        assert!(hub.view(id).is_none(), "the entry and its stream are gone");
+        assert_eq!(hub.remove(id), None, "a second delete is an unknown id");
+    }
+
+    #[test]
+    fn failures_publish_an_error_report() {
+        let hub = Hub::new();
+        hub.submit(spec()).unwrap();
+        let (id, ..) = hub.next_job().unwrap();
+        hub.fail(id, "boom \"quoted\"".to_owned());
+        let view = hub.view(id).unwrap();
+        assert_eq!(view.status, Status::Failed);
+        assert!(view.report.unwrap().contains("boom \\\"quoted\\\""));
+    }
+}

@@ -1,0 +1,104 @@
+//! The MABFuzz campaign service: remote campaign control over HTTP.
+//!
+//! This crate turns the workspace's declarative campaign surface into a
+//! multi-tenant daemon: clients submit [`CampaignSpec`] documents over TCP,
+//! a bounded worker pool executes them through
+//! `Campaign::from_spec(..).execute()`, and every campaign's live per-test
+//! [`CampaignObserver`] protocol is streamed back as NDJSON — **byte
+//! identical** to the `EventLog` JSONL the CLI writes for the same spec, so
+//! the golden streams under `tests/golden/` pin the wire format too. It is
+//! what `experiments serve --addr 127.0.0.1:PORT --workers N` runs, and the
+//! substrate the ROADMAP's "remote campaign control, live dashboards" item
+//! called for.
+//!
+//! Everything is `std`-only (`std::net::TcpListener`, hand-rolled minimal
+//! HTTP/1.1): the workspace is offline-shimmed, so no external dependencies.
+//!
+//! # Protocol reference
+//!
+//! All responses are JSON (errors: `{"error":"<message>"}`) and close the
+//! connection (`Connection: close` — one request per connection).
+//!
+//! | Method & path | Body | Response |
+//! |---|---|---|
+//! | `POST /campaigns` | strict [`CampaignSpec`] JSON | `201` `{"id":N,"status":"queued"}` |
+//! | `GET /campaigns` | — | `200` `{"campaigns":[{"id","status","label","report":null},…]}` |
+//! | `GET /campaigns/{id}` | — | `200` `{"id","status","label","report"}` |
+//! | `GET /campaigns/{id}/events` | — | `200` chunked NDJSON event stream |
+//! | `GET /campaigns/{id}/report` | — | `200` final campaign report document |
+//! | `POST /campaigns/{id}/cancel` | — | `200` `{"id":N,"status":"<at request time>"}` |
+//! | `DELETE /campaigns/{id}` | — | `200` `{"id":N,"status":"deleted"}` |
+//! | `POST /shutdown` | — | `200` `{"status":"shutting down"}` |
+//! | `GET /healthz` | — | `200` `{"status":"ok","campaigns":N}` |
+//!
+//! Details per endpoint:
+//!
+//! * **`POST /campaigns`** — the body goes through the strict spec codec
+//!   ([`CampaignSpec::from_json`]): unknown fields, unknown policies and
+//!   invalid parameters are rejected with `400` and exactly the `SpecError`
+//!   text the CLI prints (`unknown spec field `polcy``, `unknown policy …
+//!   (valid policies: …)`, …). The spec must be self-contained (carry a
+//!   `"processor"` section); otherwise `400` with the `MissingProcessor`
+//!   text.
+//! * **`GET /campaigns/{id}/events`** — replays the campaign's event stream
+//!   from the start (late subscribers see the complete deterministic
+//!   history) and then follows it live, as chunked
+//!   `application/x-ndjson`, until the campaign reaches a terminal state.
+//!   The de-chunked payload is byte-identical to the `EventLog` JSONL of
+//!   the same spec: one event object per line, in deterministic fold order,
+//!   shard-count invariant. Any number of subscribers may tail one campaign
+//!   concurrently; each holds its own cursor into the shared broadcast
+//!   ring.
+//! * **`GET /campaigns/{id}/report`** — the final report document, rendered
+//!   by the workspace's single campaign renderer
+//!   (`mabfuzz::report::campaign_json`), byte-identical to
+//!   `experiments run --spec <spec> --json` for the same spec. `409` while
+//!   the campaign is queued/running; for `failed` campaigns the document is
+//!   `{"error":"<why>"}`.
+//! * **`POST /campaigns/{id}/cancel`** — flags the campaign's
+//!   `CancelToken`; the run stops at its next deterministic fold boundary.
+//!   Its status becomes `cancelled`, its report covers the folded prefix,
+//!   and its event stream — which omits the final `campaign_finished`
+//!   event — is a strict prefix of the stream the uncancelled campaign
+//!   would have produced. Cancelling a terminal campaign is a no-op.
+//! * **`DELETE /campaigns/{id}`** — evicts a *terminal* campaign, freeing
+//!   its retained event history and report (the hub otherwise keeps every
+//!   stream for replay-from-start; long-running deployments delete what
+//!   they have consumed). `409` while the campaign is queued or running.
+//! * **`POST /shutdown`** — the daemon stops accepting submissions, drains
+//!   already-queued campaigns, joins its workers and exits `serve()`
+//!   cleanly.
+//!
+//! Campaign lifecycle: `queued → running → finished | cancelled | failed`.
+//!
+//! # Architecture
+//!
+//! [`CampaignServer`] couples three pieces: an accept loop (thread per
+//! connection — campaign execution dwarfs connection cost at this
+//! protocol's request rates), a bounded worker pool (`--workers N`, sized by
+//! the CLI from the same `Parallelism` budget as the experiment grid), and
+//! a shared hub mapping campaign ids to their spec, status,
+//! `EventBroadcast` (the fan-out sink behind `/events`) and `CancelToken`.
+//! The campaign hot path never touches hub locks: the only writer into a
+//! broadcast is the campaign's own `EventLog`, and subscribers read
+//! append-only history under a condvar.
+//!
+//! [`Client`] is the matching blocking client — submit, status, events,
+//! report, cancel, shutdown — used by the in-tree round-trip suites and
+//! `examples/remote_campaign.rs`.
+//!
+//! [`CampaignSpec`]: mabfuzz::CampaignSpec
+//! [`CampaignSpec::from_json`]: mabfuzz::CampaignSpec::from_json
+//! [`CampaignObserver`]: mabfuzz::CampaignObserver
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod http;
+mod hub;
+mod server;
+
+pub use client::{CampaignStatus, Client, ClientError};
+pub use hub::Status;
+pub use server::CampaignServer;

@@ -1,0 +1,310 @@
+//! The campaign daemon: TCP accept loop, request routing, worker pool.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use mabfuzz::report::campaign_json;
+use mabfuzz::{Campaign, CampaignSpec, EventLog, SpecError};
+
+use crate::http::{
+    finish_chunked, json_string, read_request, respond_error, respond_json, start_chunked,
+    write_chunk, Request,
+};
+use crate::hub::Hub;
+
+/// The campaign service daemon (what `experiments serve` runs).
+///
+/// Bind with [`bind`](CampaignServer::bind), read the ephemeral port back
+/// with [`local_addr`](CampaignServer::local_addr), then hand the thread to
+/// [`serve`](CampaignServer::serve), which blocks until a client posts
+/// `/shutdown`. See the crate docs for the wire protocol.
+///
+/// # Example
+///
+/// ```
+/// use mabfuzz_service::{CampaignServer, Client};
+///
+/// let server = CampaignServer::bind("127.0.0.1:0", 1).unwrap();
+/// let addr = server.local_addr();
+/// let handle = std::thread::spawn(move || server.serve());
+///
+/// let client = Client::new(addr);
+/// let spec = "{\"policy\":\"ucb\",\"rng_seed\":1,\
+///             \"processor\":{\"core\":\"rocket\",\"bugs\":\"none\"},\
+///             \"campaign\":{\"max_tests\":10}}";
+/// let id = client.submit(spec).unwrap();
+/// let events = client.events(id).unwrap();
+/// assert_eq!(events.lines().filter(|l| l.contains("\"test_folded\"")).count(), 10);
+/// assert!(events.lines().last().unwrap().starts_with("{\"event\":\"campaign_finished\""));
+/// client.shutdown().unwrap();
+/// handle.join().unwrap().unwrap();
+/// ```
+pub struct CampaignServer {
+    listener: TcpListener,
+    hub: Arc<Hub>,
+    workers: usize,
+}
+
+impl CampaignServer {
+    /// Binds the listener (use port 0 for an ephemeral port) and sizes the
+    /// worker pool to `workers` campaign-executing threads (clamped to at
+    /// least 1).
+    ///
+    /// # Errors
+    ///
+    /// Any error of [`TcpListener::bind`].
+    pub fn bind(addr: &str, workers: usize) -> io::Result<CampaignServer> {
+        Ok(CampaignServer {
+            listener: TcpListener::bind(addr)?,
+            hub: Arc::new(Hub::new()),
+            workers: workers.max(1),
+        })
+    }
+
+    /// The address the listener actually bound (the source of truth when
+    /// binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("a bound listener has an address")
+    }
+
+    /// Runs the daemon: spawns the worker pool, accepts connections (one
+    /// request per connection) until a client posts `/shutdown`, then drains
+    /// the already-queued campaigns and joins every worker before
+    /// returning — a clean shutdown leaves no detached campaign running.
+    ///
+    /// # Errors
+    ///
+    /// A fatal accept-loop error. Per-connection I/O errors are contained
+    /// to their connection thread.
+    pub fn serve(self) -> io::Result<()> {
+        let workers: Vec<_> = (0..self.workers)
+            .map(|index| {
+                let hub = Arc::clone(&self.hub);
+                thread::Builder::new()
+                    .name(format!("campaign-worker-{index}"))
+                    .spawn(move || worker_loop(&hub))
+                    .expect("spawn campaign worker")
+            })
+            .collect();
+
+        let local_addr = self.local_addr();
+        for stream in self.listener.incoming() {
+            if self.hub.is_shutting_down() {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                // A failed accept of one connection is not fatal to the
+                // daemon.
+                Err(_) => continue,
+            };
+            let hub = Arc::clone(&self.hub);
+            let _ = thread::Builder::new().name("campaign-conn".to_owned()).spawn(move || {
+                let shutdown = handle_connection(&hub, stream);
+                if shutdown {
+                    hub.begin_shutdown();
+                    // The accept loop is blocked in `accept`; a throwaway
+                    // connection wakes it so it can observe the flag.
+                    let _ = TcpStream::connect(local_addr);
+                }
+            });
+        }
+
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for CampaignServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignServer")
+            .field("addr", &self.local_addr())
+            .field("workers", &self.workers)
+            .field("campaigns", &self.hub.campaign_count())
+            .finish()
+    }
+}
+
+/// One worker: pop queued campaigns and execute them until shutdown drains
+/// the queue.
+fn worker_loop(hub: &Hub) {
+    while let Some((id, spec, events, cancel)) = hub.next_job() {
+        let log = EventLog::new(events.clone());
+        match Campaign::from_spec(&spec) {
+            Ok(campaign) => {
+                let outcome = campaign
+                    .with_observer(Box::new(log))
+                    .with_cancellation(cancel.clone())
+                    .execute();
+                hub.complete(id, campaign_json(&spec, &outcome), cancel.was_interrupted());
+            }
+            // Submission validates specs, so this arm is a backstop (e.g. a
+            // custom policy unregistered between submit and execution).
+            Err(error) => hub.fail(id, error.to_string()),
+        }
+    }
+}
+
+/// Handles one connection (one request). Returns whether the request asked
+/// the daemon to shut down.
+fn handle_connection(hub: &Hub, stream: TcpStream) -> bool {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return false,
+    });
+    let mut writer = stream;
+    let request = match read_request(&mut reader) {
+        Ok(Some(request)) => request,
+        // Silent close (e.g. the shutdown self-wake): nothing to answer.
+        Ok(None) => return false,
+        Err(error) => {
+            let _ = respond_error(&mut writer, 400, &error.to_string());
+            return false;
+        }
+    };
+    let shutdown = request.method == "POST" && request.path == "/shutdown";
+    if let Err(_error) = route(hub, &request, &mut writer) {
+        // The peer vanished mid-response; nothing useful left to do.
+    }
+    shutdown
+}
+
+/// Routes one parsed request to its handler.
+fn route(hub: &Hub, request: &Request, writer: &mut TcpStream) -> io::Result<()> {
+    let path = request.path.as_str();
+    let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["campaigns"]) => submit(hub, &request.body, writer),
+        ("GET", ["campaigns"]) => {
+            let entries: Vec<String> =
+                hub.list().iter().map(|view| view.to_json()).collect();
+            respond_json(writer, 200, &format!("{{\"campaigns\":[{}]}}", entries.join(",")))
+        }
+        ("GET", ["campaigns", id]) => match parse_id(id) {
+            Some(id) => match hub.view(id) {
+                Some(view) => respond_json(writer, 200, &view.to_json()),
+                None => unknown_campaign(writer, id),
+            },
+            None => bad_id(writer, id),
+        },
+        ("GET", ["campaigns", id, "events"]) => match parse_id(id) {
+            Some(id) => stream_events(hub, id, writer),
+            None => bad_id(writer, id),
+        },
+        ("GET", ["campaigns", id, "report"]) => match parse_id(id) {
+            Some(id) => match (hub.report(id), hub.view(id)) {
+                (Some(report), _) => respond_json(writer, 200, &report),
+                (None, Some(view)) => respond_error(
+                    writer,
+                    409,
+                    &format!("campaign {id} is {}; no report yet", view.status.name()),
+                ),
+                (None, None) => unknown_campaign(writer, id),
+            },
+            None => bad_id(writer, id),
+        },
+        ("POST", ["campaigns", id, "cancel"]) => match parse_id(id) {
+            Some(id) => match hub.cancel(id) {
+                Some(status) => respond_json(
+                    writer,
+                    200,
+                    &format!(
+                        "{{\"id\":{id},\"status\":{}}}",
+                        json_string(status.name())
+                    ),
+                ),
+                None => unknown_campaign(writer, id),
+            },
+            None => bad_id(writer, id),
+        },
+        ("DELETE", ["campaigns", id]) => match parse_id(id) {
+            Some(id) => match hub.remove(id) {
+                Some(Ok(())) => respond_json(
+                    writer,
+                    200,
+                    &format!("{{\"id\":{id},\"status\":\"deleted\"}}"),
+                ),
+                Some(Err(status)) => respond_error(
+                    writer,
+                    409,
+                    &format!(
+                        "campaign {id} is {}; cancel it or wait before deleting",
+                        status.name()
+                    ),
+                ),
+                None => unknown_campaign(writer, id),
+            },
+            None => bad_id(writer, id),
+        },
+        ("POST", ["shutdown"]) => {
+            respond_json(writer, 200, "{\"status\":\"shutting down\"}")
+        }
+        ("GET", ["healthz"]) => respond_json(
+            writer,
+            200,
+            &format!("{{\"status\":\"ok\",\"campaigns\":{}}}", hub.campaign_count()),
+        ),
+        ("GET" | "POST" | "DELETE", _) => {
+            respond_error(writer, 404, &format!("no route for `{path}`"))
+        }
+        (method, _) => respond_error(writer, 405, &format!("method `{method}` not supported")),
+    }
+}
+
+/// `POST /campaigns`: parse + validate the spec body strictly, queue it.
+fn submit(hub: &Hub, body: &[u8], writer: &mut TcpStream) -> io::Result<()> {
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return respond_error(writer, 400, "request body is not UTF-8"),
+    };
+    // The strict spec codec is the single gatekeeper: unknown fields,
+    // unknown policies and invalid parameters all fail here with the same
+    // `SpecError` text the CLI prints.
+    let spec = match CampaignSpec::from_json(text) {
+        Ok(spec) => spec,
+        Err(error) => return respond_error(writer, 400, &error.to_string()),
+    };
+    if spec.processor.is_none() {
+        return respond_error(writer, 400, &SpecError::MissingProcessor.to_string());
+    }
+    match hub.submit(spec) {
+        Some(id) => respond_json(
+            writer,
+            201,
+            &format!("{{\"id\":{id},\"status\":\"queued\"}}"),
+        ),
+        None => respond_error(writer, 409, "the server is shutting down"),
+    }
+}
+
+/// `GET /campaigns/{id}/events`: chunked NDJSON, replayed from the start of
+/// the stream and followed live until the campaign's broadcast closes. The
+/// payload bytes are exactly the campaign's `EventLog` stream.
+fn stream_events(hub: &Hub, id: u64, writer: &mut TcpStream) -> io::Result<()> {
+    let Some(events) = hub.events(id) else {
+        return unknown_campaign(writer, id);
+    };
+    start_chunked(writer)?;
+    let mut offset = 0usize;
+    while let Some(bytes) = events.wait_from(offset) {
+        offset += bytes.len();
+        write_chunk(writer, &bytes)?;
+    }
+    finish_chunked(writer)
+}
+
+fn parse_id(text: &str) -> Option<u64> {
+    text.parse().ok()
+}
+
+fn unknown_campaign(writer: &mut TcpStream, id: u64) -> io::Result<()> {
+    respond_error(writer, 404, &format!("unknown campaign id {id}"))
+}
+
+fn bad_id(writer: &mut TcpStream, id: &str) -> io::Result<()> {
+    respond_error(writer, 400, &format!("malformed campaign id `{id}`"))
+}

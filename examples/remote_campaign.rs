@@ -1,0 +1,120 @@
+//! Drive a campaign end to end over the service protocol: submit a spec,
+//! tail the live NDJSON event stream, fetch the final report.
+//!
+//! ```text
+//! cargo run --release --example remote_campaign -- \
+//!     [--addr HOST:PORT] [--spec FILE] [--events-out FILE] [--shutdown]
+//! ```
+//!
+//! With `--addr` the example talks to an already-running daemon (start one
+//! with `experiments serve --addr 127.0.0.1:PORT`); without it, a server is
+//! spawned in-process on an ephemeral port and shut down at the end, so the
+//! example is self-contained. `--spec FILE` submits a campaign-spec JSON
+//! file (e.g. `tests/golden/campaign_spec.json`); the default is a small
+//! UCB-on-Rocket campaign. `--events-out FILE` writes the streamed events
+//! to a file — byte-identical to what `experiments run --spec FILE --events
+//! FILE` would have written locally, which is exactly what the CI service
+//! smoke job `cmp`s against the golden stream. `--shutdown` asks the daemon
+//! to shut down cleanly after the report is fetched.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use mabfuzz_service::{CampaignServer, Client};
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!(
+                "usage: remote_campaign [--addr HOST:PORT] [--spec FILE] \
+                 [--events-out FILE] [--shutdown]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut spec_path: Option<String> = None;
+    let mut events_out: Option<String> = None;
+    let mut shutdown = false;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next().cloned().ok_or_else(|| format!("flag `{flag}` expects a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(value()?),
+            "--spec" => spec_path = Some(value()?),
+            "--events-out" => events_out = Some(value()?),
+            "--shutdown" => shutdown = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+
+    let spec_json = match &spec_path {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("--spec {path}: {e}"))?,
+        None => mabfuzz::CampaignSpec::builder()
+            .max_tests(200)
+            .processor(proc_sim::ProcessorKind::Rocket, mabfuzz::BugSpec::None)
+            .rng_seed(7)
+            .build()
+            .expect("the demo spec is valid")
+            .to_json(),
+    };
+
+    // Without --addr, host an in-process daemon for a self-contained demo
+    // (and always shut it down so the server thread joins).
+    let (client, local_server, shutdown) = match addr {
+        Some(addr) => (Client::connect(&addr).map_err(|e| e.to_string())?, None, shutdown),
+        None => {
+            let server = CampaignServer::bind("127.0.0.1:0", 2).map_err(|e| e.to_string())?;
+            let client = Client::new(server.local_addr());
+            println!("hosting an in-process daemon on {}", server.local_addr());
+            (client, Some(std::thread::spawn(move || server.serve())), true)
+        }
+    };
+
+    let id = client.submit(&spec_json).map_err(|e| format!("submit: {e}"))?;
+    println!("submitted campaign {id}");
+
+    // Tail the live stream on a side thread while the campaign runs.
+    let tail = {
+        let client = client.clone();
+        std::thread::spawn(move || client.events(id))
+    };
+    let status = client
+        .wait_terminal(id, Duration::from_millis(20))
+        .map_err(|e| format!("status: {e}"))?;
+    let events = tail.join().expect("tail thread").map_err(|e| format!("events: {e}"))?;
+    println!(
+        "campaign {id} ({label}) is {status}: {lines} events streamed",
+        label = status.label,
+        status = status.status,
+        lines = events.lines().count()
+    );
+    if let Some(path) = &events_out {
+        std::fs::write(path, &events).map_err(|e| format!("--events-out {path}: {e}"))?;
+        println!("event stream written to {path}");
+    }
+
+    let report = client.report(id).map_err(|e| format!("report: {e}"))?;
+    println!("{report}");
+    let _ = std::io::stdout().flush();
+
+    if shutdown {
+        client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        println!("asked the daemon to shut down");
+    }
+    if let Some(server) = local_server {
+        server
+            .join()
+            .expect("server thread")
+            .map_err(|e| format!("in-process server: {e}"))?;
+    }
+    Ok(())
+}
