@@ -8,12 +8,13 @@
 
 
 use mab::BanditKind;
-use mabfuzz::{Campaign, CampaignSpec, CampaignSpecBuilder};
+use mabfuzz::{BugSpec, CampaignSpec, CampaignSpecBuilder, ProcessorSpec};
 use proc_sim::ProcessorKind;
 use serde::{Deserialize, Serialize};
 
 use crate::report::TextTable;
-use crate::{campaign_config, processor_with_native_bugs, ExperimentBudget, Parallelism, ShardPlan};
+use crate::runner::{CellRunner, LocalRunner};
+use crate::{campaign_config, ExperimentBudget, Parallelism, ShardPlan};
 
 /// One ablation data point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,33 +64,35 @@ impl AblationSweep {
 /// Runs one sweep: each setting is a declarative [`CampaignSpec`] expanded
 /// into `budget.repetitions` independent campaign cells (the cell spec is
 /// the setting re-seeded with `base_seed + repetition`), the flat cell list
-/// is spread across threads, and the means fold the repetitions in order —
-/// so results are byte-identical for every [`Parallelism`] mode.
-fn run_sweep(
+/// goes to `runner` — in-process threads for a [`LocalRunner`], remote
+/// workers under `experiments dispatch` — and the means fold the
+/// repetitions in order, so results are byte-identical for every
+/// [`Parallelism`] mode and every faithful runner.
+fn run_sweep_on(
     parameter: &str,
     settings: Vec<(String, CampaignSpec)>,
     processor: ProcessorKind,
     budget: &ExperimentBudget,
-    parallelism: Parallelism,
     plan: &ShardPlan,
-) -> AblationSweep {
-    let mut cells = Vec::new();
-    for (index, _) in settings.iter().enumerate() {
+    runner: &dyn CellRunner,
+) -> Result<AblationSweep, String> {
+    let mut specs = Vec::new();
+    for (_, setting) in &settings {
         for repetition in 0..budget.repetitions {
-            cells.push((index, repetition));
+            let mut spec = setting.clone();
+            spec.rng_seed = budget.base_seed + repetition;
+            spec.shards = plan.shards();
+            spec.batch_size = plan.batch_size();
+            spec.processor = Some(ProcessorSpec { core: processor, bugs: BugSpec::Native });
+            specs.push(spec);
         }
     }
 
-    let outcomes = crate::run_grid(parallelism, &cells, |&(index, repetition)| {
-        let mut spec = settings[index].1.clone();
-        spec.rng_seed = budget.base_seed + repetition;
-        spec.shards = plan.shards();
-        spec.batch_size = plan.batch_size();
-        let outcome = Campaign::from_spec_on(processor_with_native_bugs(processor), &spec)
-            .expect("sweep specs are valid by construction")
-            .execute();
-        (outcome.stats.final_coverage() as f64, outcome.total_resets as f64)
-    });
+    let summaries = runner.run_cells(&specs)?;
+    let outcomes: Vec<(f64, f64)> = summaries
+        .iter()
+        .map(|summary| (summary.final_coverage as f64, summary.total_resets as f64))
+        .collect();
 
     // One group per setting, in construction order.
     let n = budget.repetitions.max(1) as f64;
@@ -107,7 +110,7 @@ fn run_sweep(
             }
         })
         .collect();
-    AblationSweep { parameter: parameter.to_owned(), processor, points }
+    Ok(AblationSweep { parameter: parameter.to_owned(), processor, points })
 }
 
 fn base_spec(budget: &ExperimentBudget) -> CampaignSpecBuilder {
@@ -137,6 +140,21 @@ pub fn alpha_sweep_planned(
     parallelism: Parallelism,
     plan: &ShardPlan,
 ) -> AblationSweep {
+    alpha_sweep_on(processor, budget, plan, &LocalRunner::new(parallelism))
+        .expect("local cell execution cannot fail")
+}
+
+/// Sweeps the reward weight α with cell execution delegated to `runner`.
+///
+/// # Errors
+///
+/// Whatever error the runner reports; local runners never fail.
+pub fn alpha_sweep_on(
+    processor: ProcessorKind,
+    budget: &ExperimentBudget,
+    plan: &ShardPlan,
+    runner: &dyn CellRunner,
+) -> Result<AblationSweep, String> {
     let settings = [0.0, 0.25, 0.5, 1.0]
         .iter()
         .map(|&alpha| {
@@ -146,7 +164,7 @@ pub fn alpha_sweep_planned(
             )
         })
         .collect();
-    run_sweep("alpha", settings, processor, budget, parallelism, plan)
+    run_sweep_on("alpha", settings, processor, budget, plan, runner)
 }
 
 /// Sweeps the reset threshold γ.
@@ -170,6 +188,21 @@ pub fn gamma_sweep_planned(
     parallelism: Parallelism,
     plan: &ShardPlan,
 ) -> AblationSweep {
+    gamma_sweep_on(processor, budget, plan, &LocalRunner::new(parallelism))
+        .expect("local cell execution cannot fail")
+}
+
+/// Sweeps the reset threshold γ with cell execution delegated to `runner`.
+///
+/// # Errors
+///
+/// Whatever error the runner reports; local runners never fail.
+pub fn gamma_sweep_on(
+    processor: ProcessorKind,
+    budget: &ExperimentBudget,
+    plan: &ShardPlan,
+    runner: &dyn CellRunner,
+) -> Result<AblationSweep, String> {
     let settings = [1usize, 3, 10]
         .iter()
         .map(|&gamma| {
@@ -179,7 +212,7 @@ pub fn gamma_sweep_planned(
             )
         })
         .collect();
-    run_sweep("gamma", settings, processor, budget, parallelism, plan)
+    run_sweep_on("gamma", settings, processor, budget, plan, runner)
 }
 
 /// Sweeps the number of arms.
@@ -203,6 +236,21 @@ pub fn arms_sweep_planned(
     parallelism: Parallelism,
     plan: &ShardPlan,
 ) -> AblationSweep {
+    arms_sweep_on(processor, budget, plan, &LocalRunner::new(parallelism))
+        .expect("local cell execution cannot fail")
+}
+
+/// Sweeps the number of arms with cell execution delegated to `runner`.
+///
+/// # Errors
+///
+/// Whatever error the runner reports; local runners never fail.
+pub fn arms_sweep_on(
+    processor: ProcessorKind,
+    budget: &ExperimentBudget,
+    plan: &ShardPlan,
+    runner: &dyn CellRunner,
+) -> Result<AblationSweep, String> {
     let settings = [4usize, 10, 20]
         .iter()
         .map(|&arms| {
@@ -212,7 +260,7 @@ pub fn arms_sweep_planned(
             )
         })
         .collect();
-    run_sweep("arms", settings, processor, budget, parallelism, plan)
+    run_sweep_on("arms", settings, processor, budget, plan, runner)
 }
 
 /// Compares MABFuzz with the paper's arm-reset feature against a variant
@@ -237,6 +285,21 @@ pub fn reset_ablation_planned(
     parallelism: Parallelism,
     plan: &ShardPlan,
 ) -> AblationSweep {
+    reset_ablation_on(processor, budget, plan, &LocalRunner::new(parallelism))
+        .expect("local cell execution cannot fail")
+}
+
+/// Runs the arm-reset ablation with cell execution delegated to `runner`.
+///
+/// # Errors
+///
+/// Whatever error the runner reports; local runners never fail.
+pub fn reset_ablation_on(
+    processor: ProcessorKind,
+    budget: &ExperimentBudget,
+    plan: &ShardPlan,
+    runner: &dyn CellRunner,
+) -> Result<AblationSweep, String> {
     let never = usize::MAX / 2;
     let settings = vec![
         (
@@ -248,7 +311,7 @@ pub fn reset_ablation_planned(
             base_spec(budget).gamma(never).build().expect("valid no-reset setting"),
         ),
     ];
-    run_sweep("reset", settings, processor, budget, parallelism, plan)
+    run_sweep_on("reset", settings, processor, budget, plan, runner)
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 //! experiments all      [--tests N] [--repeats R] [--seed S]
 //! experiments run      [--spec file.json] [--events FILE] [...]
 //! experiments serve    [--addr 127.0.0.1:PORT] [--workers N]
+//! experiments dispatch <cmd> --workers host:port,host:port [...]
 //! ```
 //!
 //! With no arguments the default budget (2 000 coverage tests, 3 000-test
@@ -39,9 +40,17 @@
 
 use std::env;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use mabfuzz_bench::{ablation, fig3, fig4, json, table1, ExperimentBudget, Parallelism, ShardPlan};
-use mabfuzz::{BugSpec, Campaign, CampaignSpec, EventLog, PolicySpec, ProcessorSpec, ProgressMonitor};
+use mabfuzz_bench::{
+    ablation, fig3, fig4, json, table1, CellRunner, ExperimentBudget, LocalRunner, Parallelism,
+    ShardPlan,
+};
+use mabfuzz::{
+    json_value, BugSpec, Campaign, CampaignSpec, CampaignSummary, EventLog, PolicySpec,
+    ProcessorSpec, ProgressMonitor,
+};
+use mabfuzz_service::{Client, Coordinator, RetryPolicy};
 use proc_sim::{ProcessorKind, Vulnerability};
 
 fn main() -> ExitCode {
@@ -69,6 +78,17 @@ fn main() -> ExitCode {
             }
         };
     }
+    if command == "dispatch" {
+        // And so does the multi-node dispatch coordinator.
+        return match run_dispatch(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("{DISPATCH_USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let options = match Options::parse(&args[1.min(args.len())..]) {
         Ok(options) => options,
         Err(message) => {
@@ -78,36 +98,49 @@ fn main() -> ExitCode {
         }
     };
 
-    match command {
-        "table1" => run_table1(&options),
-        "fig3" => run_fig3(&options),
-        "fig4" => run_fig4(&options),
-        "ablation" => run_ablation(&options),
-        "all" => {
-            run_table1(&options);
-            // Fig. 4 derives from the Fig. 3 campaigns, so the coverage grid
-            // — the most expensive part of the run — is simulated once and
-            // reported twice.
-            let fig3_result = compute_fig3(&options);
-            report_fig3(&options, &fig3_result);
-            print_fig4_banner(&options);
-            report_fig4(&options, &fig4::from_fig3(&fig3_result));
-            run_ablation(&options);
-        }
+    let local = LocalRunner::new(options.parallelism);
+    let result = match command {
+        "table1" => run_table1(&options, &local),
+        "fig3" => run_fig3(&options, &local),
+        "fig4" => run_fig4(&options, &local),
+        "ablation" => run_ablation(&options, &local),
+        "all" => run_all(&options, &local),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             println!("{RUN_USAGE}");
             println!("{SERVE_USAGE}");
+            println!("{DISPATCH_USAGE}");
+            Ok(())
         }
         other => {
             eprintln!("error: unknown command `{other}`");
             eprintln!("{USAGE}");
             eprintln!("{RUN_USAGE}");
             eprintln!("{SERVE_USAGE}");
+            eprintln!("{DISPATCH_USAGE}");
             return ExitCode::FAILURE;
         }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
     }
-    ExitCode::SUCCESS
+}
+
+/// Runs every experiment, reusing the Fig. 3 grid for Fig. 4.
+fn run_all(options: &Options, runner: &dyn CellRunner) -> Result<(), String> {
+    run_table1(options, runner)?;
+    // Fig. 4 derives from the Fig. 3 campaigns, so the coverage grid
+    // — the most expensive part of the run — is simulated once and
+    // reported twice.
+    let fig3_result = compute_fig3(options, runner)?;
+    report_fig3(options, &fig3_result);
+    print_fig4_banner(options);
+    report_fig4(options, &fig4::from_fig3(&fig3_result));
+    run_ablation(options, runner)
 }
 
 const USAGE: &str = "usage: experiments <table1|fig3|fig4|ablation|all> \
@@ -119,7 +152,13 @@ const RUN_USAGE: &str = "usage: experiments run [--spec file.json] \
 [--seed S] [--shards N] [--batch N] [--events FILE] [--progress] [--json]";
 
 const SERVE_USAGE: &str = "usage: experiments serve [--addr 127.0.0.1:PORT] \
-[--workers auto|N]";
+[--workers auto|N] [--ttl SECONDS] [--auth-token TOKEN] [--io-timeout-ms N|0]";
+
+const DISPATCH_USAGE: &str = "usage: experiments dispatch \
+<all|table1|fig3|fig4|ablation> --workers host:port,host:port \
+[--spec-grid FILE] [--auth-token TOKEN] [--attempts N] [--timeout-ms N] \
+[--retire-threshold N] [--no-local-fallback] [grid flags: --tests --cap \
+--repeats --seed --cores --vulns --shards --json ...]";
 
 /// `experiments serve`: run the campaign service daemon
 /// (`mabfuzz_service::CampaignServer`) — remote spec submission, live NDJSON
@@ -135,9 +174,17 @@ const SERVE_USAGE: &str = "usage: experiments serve [--addr 127.0.0.1:PORT] \
 ///
 /// The daemon runs until a client posts `/shutdown` (see the protocol
 /// reference in the `mabfuzz_service` crate docs).
+/// Daemon hardening flags (see the `mabfuzz_service` crate docs):
+/// `--ttl SECONDS` auto-evicts terminal campaigns that long after they
+/// finish; `--auth-token TOKEN` requires `Authorization: Bearer TOKEN` on
+/// everything except `GET /healthz`; `--io-timeout-ms N` bounds every
+/// connection's socket reads/writes (default 30 000, `0` disables).
 fn run_serve(args: &[String]) -> Result<(), String> {
     let mut addr = "127.0.0.1:0".to_owned();
     let mut workers = Parallelism::default();
+    let mut ttl: Option<std::time::Duration> = None;
+    let mut auth_token: Option<String> = None;
+    let mut io_timeout = Some(mabfuzz_service::DEFAULT_IO_TIMEOUT);
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut value = || {
@@ -151,11 +198,25 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                     format!("--workers: expected auto, serial or a thread count, got `{text}`")
                 })?;
             }
+            "--ttl" => {
+                let seconds: u64 = value()?.parse().map_err(|e| format!("--ttl: {e}"))?;
+                ttl = Some(std::time::Duration::from_secs(seconds));
+            }
+            "--auth-token" => auth_token = Some(value()?),
+            "--io-timeout-ms" => {
+                let millis: u64 =
+                    value()?.parse().map_err(|e| format!("--io-timeout-ms: {e}"))?;
+                io_timeout =
+                    (millis > 0).then(|| std::time::Duration::from_millis(millis));
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     let server = mabfuzz_service::CampaignServer::bind(&addr, workers.workers())
-        .map_err(|error| format!("--addr {addr}: {error}"))?;
+        .map_err(|error| format!("--addr {addr}: {error}"))?
+        .with_io_timeout(io_timeout)
+        .with_auth_token(auth_token)
+        .with_ttl(ttl);
     println!("listening on {} ({} campaign workers)", server.local_addr(), workers.workers());
     // Scripts block on this line to learn the ephemeral port; make sure it
     // is out before the accept loop parks the thread.
@@ -393,7 +454,7 @@ impl Options {
     }
 }
 
-fn run_table1(options: &Options) {
+fn run_table1(options: &Options, runner: &dyn CellRunner) -> Result<(), String> {
     if !options.json {
         // Header first: the default budget simulates for a while, and the
         // banner doubles as the progress cue.
@@ -406,23 +467,20 @@ fn run_table1(options: &Options) {
             options.parallelism
         );
     }
-    let result = table1::run_for_planned(
-        &options.vulnerabilities,
-        &options.budget,
-        options.parallelism,
-        &options.plan,
-    );
+    let result =
+        table1::run_for_on(&options.vulnerabilities, &options.budget, &options.plan, runner)?;
     if options.json {
         println!("{}", json::table1(&result));
-        return;
+        return Ok(());
     }
     println!("{}", result.to_table());
     if let Some(best) = result.best_speedup() {
         println!("best speedup over TheHuzz: {best:.2}x\n");
     }
+    Ok(())
 }
 
-fn compute_fig3(options: &Options) -> fig3::Fig3Result {
+fn compute_fig3(options: &Options, runner: &dyn CellRunner) -> Result<fig3::Fig3Result, String> {
     if !options.json {
         println!("== Fig. 3: branch coverage vs. number of tests ==");
         println!(
@@ -430,7 +488,7 @@ fn compute_fig3(options: &Options) -> fig3::Fig3Result {
             options.budget.coverage_tests, options.budget.repetitions, options.parallelism
         );
     }
-    fig3::run_for_planned(&options.cores, &options.budget, options.parallelism, &options.plan)
+    fig3::run_for_on(&options.cores, &options.budget, &options.plan, runner)
 }
 
 fn report_fig3(options: &Options, result: &fig3::Fig3Result) {
@@ -448,9 +506,10 @@ fn report_fig3(options: &Options, result: &fig3::Fig3Result) {
     }
 }
 
-fn run_fig3(options: &Options) {
-    let result = compute_fig3(options);
+fn run_fig3(options: &Options, runner: &dyn CellRunner) -> Result<(), String> {
+    let result = compute_fig3(options, runner)?;
     report_fig3(options, &result);
+    Ok(())
 }
 
 fn print_fig4_banner(options: &Options) {
@@ -470,32 +529,220 @@ fn report_fig4(options: &Options, result: &fig4::Fig4Result) {
     }
 }
 
-fn run_fig4(options: &Options) {
+fn run_fig4(options: &Options, runner: &dyn CellRunner) -> Result<(), String> {
     // Banner before the grid: the coverage campaigns are the long part, and
     // the banner doubles as the progress cue.
     print_fig4_banner(options);
-    let fig3_result =
-        fig3::run_for_planned(&options.cores, &options.budget, options.parallelism, &options.plan);
+    let fig3_result = fig3::run_for_on(&options.cores, &options.budget, &options.plan, runner)?;
     report_fig4(options, &fig4::from_fig3(&fig3_result));
+    Ok(())
 }
 
-fn run_ablation(options: &Options) {
+fn run_ablation(options: &Options, runner: &dyn CellRunner) -> Result<(), String> {
     let core = options.cores.first().copied().unwrap_or(ProcessorKind::Rocket);
     if !options.json {
         println!("== Parameter ablations (UCB on Rocket) ==\n");
     }
     let sweeps = [
-        ablation::alpha_sweep_planned(core, &options.budget, options.parallelism, &options.plan),
-        ablation::gamma_sweep_planned(core, &options.budget, options.parallelism, &options.plan),
-        ablation::arms_sweep_planned(core, &options.budget, options.parallelism, &options.plan),
-        ablation::reset_ablation_planned(core, &options.budget, options.parallelism, &options.plan),
+        ablation::alpha_sweep_on(core, &options.budget, &options.plan, runner)?,
+        ablation::gamma_sweep_on(core, &options.budget, &options.plan, runner)?,
+        ablation::arms_sweep_on(core, &options.budget, &options.plan, runner)?,
+        ablation::reset_ablation_on(core, &options.budget, &options.plan, runner)?,
     ];
     if options.json {
         println!("{}", json::ablations(&sweeps));
-        return;
+        return Ok(());
     }
     for sweep in sweeps {
         println!("-- {} sweep on {} --", sweep.parameter, sweep.processor);
         println!("{}", sweep.to_table());
+    }
+    Ok(())
+}
+
+/// `experiments dispatch`: run an experiment grid (or an explicit spec list)
+/// with every campaign farmed out to remote `experiments serve` workers
+/// through the fault-tolerant [`Coordinator`].
+///
+/// `--workers` takes a comma-separated list of `host:port` daemon addresses
+/// and is required. Campaigns are retried with capped exponential backoff
+/// (`--attempts`, default 4), every request carries a socket deadline
+/// (`--timeout-ms`, default 30 000; `0` disables), workers that keep failing
+/// are quarantined and retired (`--retire-threshold`), and campaigns lost
+/// in flight are reassigned with their replayed event-stream prefix checked
+/// byte-for-byte against the first attempt. When every worker is lost the
+/// coordinator finishes the remaining campaigns locally unless
+/// `--no-local-fallback` is given, in which case dispatch fails loudly.
+///
+/// The experiment artefacts on stdout are byte-identical to a local
+/// `experiments <cmd>` run with the same grid flags; coordinator diagnostics
+/// (reassignments, fallback runs) go to stderr.
+///
+/// `--spec-grid FILE` bypasses the named experiments: the file holds
+/// self-contained campaign specs (a JSON array or one JSON object per line)
+/// and the output is one report document per spec, in input order.
+fn run_dispatch(args: &[String]) -> Result<(), String> {
+    // Split coordinator flags from grid flags: the leading non-flag token is
+    // the experiment command, dispatch-specific flags are consumed here, and
+    // everything else passes through to `Options::parse` in order.
+    let mut command = "all".to_owned();
+    let mut workers_arg: Option<String> = None;
+    let mut spec_grid: Option<String> = None;
+    let mut auth_token: Option<String> = None;
+    let mut attempts: u32 = RetryPolicy::default().max_attempts;
+    let mut timeout_ms: u64 = 30_000;
+    let mut retire_threshold: Option<u32> = None;
+    let mut local_fallback = true;
+    let mut grid_args: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    let mut first = true;
+    while let Some(arg) = iter.next() {
+        if first && !arg.starts_with("--") {
+            command = arg.clone();
+            first = false;
+            continue;
+        }
+        first = false;
+        let mut value = || {
+            iter.next().cloned().ok_or_else(|| format!("flag `{arg}` expects a value"))
+        };
+        match arg.as_str() {
+            "--workers" => workers_arg = Some(value()?),
+            "--spec-grid" => spec_grid = Some(value()?),
+            "--auth-token" => auth_token = Some(value()?),
+            "--attempts" => {
+                attempts = value()?.parse().map_err(|e| format!("--attempts: {e}"))?;
+                if attempts == 0 {
+                    return Err("--attempts: expected at least one attempt".to_owned());
+                }
+            }
+            "--timeout-ms" => {
+                timeout_ms = value()?.parse().map_err(|e| format!("--timeout-ms: {e}"))?;
+            }
+            "--retire-threshold" => {
+                retire_threshold =
+                    Some(value()?.parse().map_err(|e| format!("--retire-threshold: {e}"))?);
+            }
+            "--no-local-fallback" => local_fallback = false,
+            _ => grid_args.push(arg.clone()),
+        }
+    }
+
+    let workers_arg = workers_arg.ok_or("--workers host:port[,host:port...] is required")?;
+    let deadline = (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms));
+    let mut clients = Vec::new();
+    for addr in workers_arg.split(',').map(str::trim).filter(|a| !a.is_empty()) {
+        let mut client = Client::connect(addr)
+            .map_err(|error| format!("--workers {addr}: {error}"))?
+            .with_deadline(deadline);
+        if let Some(token) = &auth_token {
+            client = client.with_auth_token(token.clone());
+        }
+        clients.push(client);
+    }
+    if clients.is_empty() {
+        return Err("--workers: expected at least one host:port address".to_owned());
+    }
+
+    let policy = RetryPolicy { max_attempts: attempts, ..RetryPolicy::default() };
+    let mut coordinator = Coordinator::new(clients)
+        .with_retry_policy(policy)
+        .with_local_fallback(local_fallback)
+        .with_verbose(true);
+    if let Some(threshold) = retire_threshold {
+        coordinator = coordinator.with_retire_threshold(threshold);
+    }
+
+    if let Some(path) = spec_grid {
+        if !grid_args.is_empty() {
+            return Err(format!(
+                "--spec-grid does not combine with grid flags (got `{}`)",
+                grid_args.join(" ")
+            ));
+        }
+        dispatch_spec_grid(&coordinator, &path)?;
+        report_dispatch_stats(&coordinator);
+        return Ok(());
+    }
+
+    let options = Options::parse(&grid_args)?;
+    let remote = RemoteRunner { coordinator: &coordinator };
+    let result = match command.as_str() {
+        "table1" => run_table1(&options, &remote),
+        "fig3" => run_fig3(&options, &remote),
+        "fig4" => run_fig4(&options, &remote),
+        "ablation" => run_ablation(&options, &remote),
+        "all" => run_all(&options, &remote),
+        other => Err(format!("unknown dispatch command `{other}`")),
+    };
+    report_dispatch_stats(&coordinator);
+    result
+}
+
+/// Adapts the fault-tolerant [`Coordinator`] to the experiment grid's
+/// [`CellRunner`] seam: each grid cell becomes one dispatched campaign, and
+/// the summaries come back in spec order so the reductions fold exactly as
+/// they do locally.
+struct RemoteRunner<'a> {
+    coordinator: &'a Coordinator,
+}
+
+impl CellRunner for RemoteRunner<'_> {
+    fn run_cells(&self, specs: &[CampaignSpec]) -> Result<Vec<CampaignSummary>, String> {
+        let outcomes = self.coordinator.run(specs).map_err(|error| error.to_string())?;
+        Ok(outcomes.into_iter().map(|outcome| outcome.summary).collect())
+    }
+}
+
+/// Dispatches an explicit spec list (JSON array or NDJSON file) and prints
+/// one report document per spec, in input order.
+fn dispatch_spec_grid(coordinator: &Coordinator, path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|error| format!("--spec-grid {path}: {error}"))?;
+    let specs =
+        parse_spec_grid(&text).map_err(|error| format!("--spec-grid {path}: {error}"))?;
+    if specs.is_empty() {
+        return Err(format!("--spec-grid {path}: no campaign specs found"));
+    }
+    let outcomes = coordinator.run(&specs).map_err(|error| error.to_string())?;
+    for outcome in &outcomes {
+        println!("{}", outcome.report);
+    }
+    Ok(())
+}
+
+/// Parses a spec-grid file: a JSON array of campaign specs, or NDJSON with
+/// one spec object per line (blank lines ignored).
+fn parse_spec_grid(text: &str) -> Result<Vec<CampaignSpec>, String> {
+    if text.trim_start().starts_with('[') {
+        let value = json_value::parse(text)?;
+        let entries = value.as_array("spec grid").map_err(|e| e.to_string())?;
+        return entries
+            .iter()
+            .enumerate()
+            .map(|(index, entry)| {
+                CampaignSpec::from_value(entry).map_err(|e| format!("spec #{index}: {e}"))
+            })
+            .collect();
+    }
+    text.lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty())
+        .enumerate()
+        .map(|(index, line)| {
+            CampaignSpec::from_json(line).map_err(|e| format!("spec #{index}: {e}"))
+        })
+        .collect()
+}
+
+/// Prints the coordinator's fault-handling tally to stderr (stdout carries
+/// only the deterministic experiment artefacts).
+fn report_dispatch_stats(coordinator: &Coordinator) {
+    let reassignments = coordinator.reassignments();
+    let local_runs = coordinator.local_runs();
+    if reassignments > 0 || local_runs > 0 {
+        eprintln!(
+            "dispatch: {reassignments} reassignment(s), {local_runs} local fallback run(s)"
+        );
     }
 }

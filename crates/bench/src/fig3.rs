@@ -2,13 +2,15 @@
 //! and per fuzzer.
 
 use coverage::CoverageSeries;
+use mabfuzz::{BugSpec, CampaignSummary, ProcessorSpec};
 use proc_sim::ProcessorKind;
 use serde::{Deserialize, Serialize};
 
 use crate::report::TextTable;
+use crate::runner::{CellRunner, LocalRunner};
 use crate::{
-    campaign_config, processor_with_native_bugs, run_campaign_planned, ExperimentBudget,
-    FuzzerKind, Parallelism, ShardPlan,
+    campaign_config, processor_with_native_bugs, ExperimentBudget, FuzzerKind, Parallelism,
+    ShardPlan,
 };
 
 /// The coverage curves of every fuzzer on one processor.
@@ -72,15 +74,6 @@ impl Fig3Result {
     }
 }
 
-/// One independent campaign of the Fig. 3 grid: a (processor, fuzzer,
-/// repetition) triple.
-#[derive(Debug, Clone, Copy)]
-struct CoverageCellJob {
-    processor: ProcessorKind,
-    fuzzer: FuzzerKind,
-    repetition: u64,
-}
-
 /// Runs the Fig. 3 experiment for the given processors, spreading the
 /// campaign grid across threads as requested.
 ///
@@ -109,24 +102,44 @@ pub fn run_for_planned(
     parallelism: Parallelism,
     plan: &ShardPlan,
 ) -> Fig3Result {
-    let mut cells = Vec::new();
+    run_for_on(processors, budget, plan, &LocalRunner::new(parallelism))
+        .expect("local cell execution cannot fail")
+}
+
+/// Runs the Fig. 3 experiment with cell execution delegated to `runner` —
+/// the seam `experiments dispatch` uses to farm cells out to remote
+/// workers. Any runner that executes the specs faithfully yields a result
+/// byte-identical to the local one.
+///
+/// # Errors
+///
+/// Whatever error the runner reports (e.g. a dispatch failure); local
+/// runners never fail.
+pub fn run_for_on(
+    processors: &[ProcessorKind],
+    budget: &ExperimentBudget,
+    plan: &ShardPlan,
+    runner: &dyn CellRunner,
+) -> Result<Fig3Result, String> {
+    let mut specs = Vec::new();
     for &processor in processors {
         for &fuzzer in &FuzzerKind::ALL {
             for repetition in 0..budget.repetitions {
-                cells.push(CoverageCellJob { processor, fuzzer, repetition });
+                let config = campaign_config(budget.coverage_tests);
+                let mut spec =
+                    crate::campaign_spec(fuzzer, config, budget.base_seed + repetition, plan);
+                spec.processor =
+                    Some(ProcessorSpec { core: processor, bugs: BugSpec::Native });
+                specs.push(spec);
             }
         }
     }
 
-    let campaigns = crate::run_grid(parallelism, &cells, |job| {
-        let processor = processor_with_native_bugs(job.processor);
-        let config = campaign_config(budget.coverage_tests);
-        run_campaign_planned(job.fuzzer, processor, config, budget.base_seed + job.repetition, plan)
-    });
+    let summaries = runner.run_cells(&specs)?;
 
     // Reduce per (processor, fuzzer) group, folding repetitions in order
     // (the loop nesting here must mirror the cell-construction loops above).
-    let mut next_group = crate::grid::result_groups(&campaigns, budget.repetitions);
+    let mut next_group = crate::grid::result_groups(&summaries, budget.repetitions);
     let processor_curves = processors
         .iter()
         .map(|&kind| {
@@ -138,7 +151,7 @@ pub fn run_for_planned(
             ProcessorCurves { processor: kind, space_len, curves }
         })
         .collect();
-    Fig3Result { processors: processor_curves, budget: budget.clone() }
+    Ok(Fig3Result { processors: processor_curves, budget: budget.clone() })
 }
 
 /// Runs the Fig. 3 experiment for the given processors.
@@ -159,7 +172,7 @@ pub fn run_with(budget: &ExperimentBudget, parallelism: Parallelism) -> Fig3Resu
 fn averaged_curve(
     fuzzer: FuzzerKind,
     kind: ProcessorKind,
-    runs: &[fuzzer::CampaignStats],
+    runs: &[CampaignSummary],
 ) -> CoverageSeries {
     // Average the cumulative coverage at the sample positions of the first run.
     let label = format!("{} on {}", fuzzer.name(), kind.name());
@@ -167,10 +180,10 @@ fn averaged_curve(
     let Some(reference) = runs.first() else {
         return series;
     };
-    for point in reference.series().points() {
+    for point in reference.series.points() {
         let mean: f64 = runs
             .iter()
-            .map(|stats| stats.series().coverage_at(point.tests) as f64)
+            .map(|summary| summary.series.coverage_at(point.tests) as f64)
             .sum::<f64>()
             / runs.len() as f64;
         series.record(point.tests, mean.round() as usize);

@@ -26,6 +26,7 @@ pub mod fig4;
 pub mod grid;
 pub mod json;
 pub mod report;
+pub mod runner;
 pub mod table1;
 
 use std::borrow::Cow;
@@ -34,6 +35,7 @@ use std::sync::Arc;
 pub use grid::{run_grid, Parallelism};
 pub use fuzzer::ShardPlan;
 pub use mabfuzz::{Campaign, CampaignObserver, CampaignSpec, EventLog, PolicySpec, ProgressMonitor};
+pub use runner::{CellRunner, LocalRunner};
 
 use fuzzer::{CampaignConfig, CampaignStats};
 use mab::BanditKind;

@@ -1,0 +1,83 @@
+//! Pluggable cell execution for the experiment grids.
+//!
+//! Every experiment (Table I, Fig. 3, the ablations) reduces a flat list of
+//! campaign cells, each described by a self-contained [`CampaignSpec`]. The
+//! [`CellRunner`] trait is the seam between *what* those cells are and
+//! *where* they execute: [`LocalRunner`] spreads them across in-process
+//! threads exactly as before, while `experiments dispatch` plugs in a
+//! remote runner backed by the `mabfuzz-service` coordinator. Because
+//! campaigns are deterministic and the reductions consume only the exact
+//! integers of [`CampaignSummary`], every runner produces byte-identical
+//! experiment reports.
+
+use mabfuzz::{Campaign, CampaignSpec, CampaignSummary};
+
+use crate::Parallelism;
+
+/// Executes a batch of campaign cells and returns one summary per spec, in
+/// input order.
+pub trait CellRunner: Sync {
+    /// Runs every spec to completion. Implementations must preserve input
+    /// order and must not skip cells; an `Err` aborts the experiment.
+    fn run_cells(&self, specs: &[CampaignSpec]) -> Result<Vec<CampaignSummary>, String>;
+}
+
+/// The in-process runner: cells spread across threads by the same
+/// [`Parallelism`] budget the grid executor always used.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalRunner {
+    parallelism: Parallelism,
+}
+
+impl LocalRunner {
+    /// A runner executing cells under `parallelism`.
+    pub fn new(parallelism: Parallelism) -> LocalRunner {
+        LocalRunner { parallelism }
+    }
+}
+
+impl CellRunner for LocalRunner {
+    fn run_cells(&self, specs: &[CampaignSpec]) -> Result<Vec<CampaignSummary>, String> {
+        Ok(crate::run_grid(self.parallelism, specs, |spec| {
+            let outcome = Campaign::from_spec(spec)
+                .expect("grid specs are valid by construction")
+                .execute();
+            CampaignSummary::from_outcome(&outcome)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mabfuzz::BugSpec;
+    use proc_sim::ProcessorKind;
+
+    fn spec(seed: u64) -> CampaignSpec {
+        CampaignSpec::builder()
+            .max_tests(10)
+            .rng_seed(seed)
+            .processor(ProcessorKind::Rocket, BugSpec::None)
+            .build()
+            .expect("valid spec")
+    }
+
+    #[test]
+    fn local_runner_matches_direct_execution_in_every_parallelism_mode() {
+        let specs = vec![spec(1), spec(2), spec(3)];
+        let direct: Vec<CampaignSummary> = specs
+            .iter()
+            .map(|s| {
+                CampaignSummary::from_outcome(
+                    &Campaign::from_spec(s).expect("valid spec").execute(),
+                )
+            })
+            .collect();
+        let serial = LocalRunner::new(Parallelism::Serial).run_cells(&specs).expect("serial");
+        let three = std::num::NonZeroUsize::new(3).expect("nonzero");
+        let threaded =
+            LocalRunner::new(Parallelism::Threads(three)).run_cells(&specs).expect("threads");
+        assert_eq!(serial, direct);
+        assert_eq!(threaded, direct, "summaries are parallelism-invariant");
+    }
+}

@@ -1,11 +1,12 @@
 //! Table I — vulnerability-detection speedup of MABFuzz over TheHuzz.
 
 use mab::BanditKind;
-use proc_sim::{BugSet, ProcessorKind, Vulnerability};
+use mabfuzz::{BugSpec, CampaignSpec, ProcessorSpec};
+use proc_sim::{ProcessorKind, Vulnerability};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 
 use crate::report::{format_speedup, TextTable};
+use crate::runner::{CellRunner, LocalRunner};
 use crate::{campaign_config, ExperimentBudget, FuzzerKind, Parallelism};
 
 /// Detection statistics of one fuzzer for one vulnerability.
@@ -97,15 +98,21 @@ impl Table1Result {
     }
 }
 
-/// One independent campaign of the Table I grid: a (vulnerability, fuzzer,
-/// repetition) triple. Cells share no state — the RNG seed is
-/// `base_seed + repetition` — so the grid executor may run them in any order
-/// on any thread.
-#[derive(Debug, Clone, Copy)]
-struct DetectionCellJob {
+/// Builds the self-contained spec of one Table I cell: `fuzzer` hunting
+/// `vulnerability` (alone) on its native core, in detection mode, seeded
+/// `base_seed + repetition`.
+fn cell_spec(
     vulnerability: Vulnerability,
     fuzzer: FuzzerKind,
     repetition: u64,
+    budget: &ExperimentBudget,
+    plan: &crate::ShardPlan,
+) -> CampaignSpec {
+    let core = ProcessorKind::parse(vulnerability.native_core()).expect("known core name");
+    let config = campaign_config(budget.detection_cap).detection_mode();
+    let mut spec = crate::campaign_spec(fuzzer, config, budget.base_seed + repetition, plan);
+    spec.processor = Some(ProcessorSpec { core, bugs: BugSpec::Only(vulnerability) });
+    spec
 }
 
 /// Runs the detection experiment for a chosen subset of vulnerabilities,
@@ -132,33 +139,40 @@ pub fn run_for_planned(
     parallelism: Parallelism,
     plan: &crate::ShardPlan,
 ) -> Table1Result {
+    run_for_on(vulnerabilities, budget, plan, &LocalRunner::new(parallelism))
+        .expect("local cell execution cannot fail")
+}
+
+/// Runs the detection experiment with cell execution delegated to `runner` —
+/// the seam `experiments dispatch` uses to farm cells out to remote
+/// workers. Any runner that executes the specs faithfully yields a result
+/// byte-identical to the local one.
+///
+/// # Errors
+///
+/// Whatever error the runner reports (e.g. a dispatch failure); local
+/// runners never fail.
+pub fn run_for_on(
+    vulnerabilities: &[Vulnerability],
+    budget: &ExperimentBudget,
+    plan: &crate::ShardPlan,
+    runner: &dyn CellRunner,
+) -> Result<Table1Result, String> {
     let fuzzers: Vec<FuzzerKind> = std::iter::once(FuzzerKind::TheHuzz)
         .chain(BanditKind::ALL.iter().map(|&kind| FuzzerKind::MabFuzz(kind)))
         .collect();
-    let mut cells = Vec::new();
+    let mut specs = Vec::new();
     for &vulnerability in vulnerabilities {
         for &fuzzer in &fuzzers {
             for repetition in 0..budget.repetitions {
-                cells.push(DetectionCellJob { vulnerability, fuzzer, repetition });
+                specs.push(cell_spec(vulnerability, fuzzer, repetition, budget, plan));
             }
         }
     }
 
-    let detections = crate::run_grid(parallelism, &cells, |job| {
-        let core_kind =
-            ProcessorKind::parse(job.vulnerability.native_core()).expect("known core name");
-        let processor: Arc<dyn proc_sim::Processor> =
-            Arc::from(core_kind.build(BugSet::only(job.vulnerability)));
-        let config = campaign_config(budget.detection_cap).detection_mode();
-        let stats = crate::run_campaign_planned(
-            job.fuzzer,
-            processor,
-            config,
-            budget.base_seed + job.repetition,
-            plan,
-        );
-        stats.first_detection()
-    });
+    let summaries = runner.run_cells(&specs)?;
+    let detections: Vec<Option<u64>> =
+        summaries.iter().map(|summary| summary.first_detection).collect();
 
     // Reduce per (vulnerability, fuzzer) group, folding repetitions in order
     // (the loop nesting here must mirror the cell-construction loops above).
@@ -171,7 +185,7 @@ pub fn run_for_planned(
         let mabfuzz = BanditKind::ALL.iter().copied().zip(cells_by_fuzzer).collect();
         rows.push(Table1Row { vulnerability, thehuzz, mabfuzz });
     }
-    Table1Result { rows, budget: budget.clone() }
+    Ok(Table1Result { rows, budget: budget.clone() })
 }
 
 fn reduce_detection(first_detections: &[Option<u64>], budget: &ExperimentBudget) -> DetectionCell {

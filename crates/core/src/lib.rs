@@ -101,8 +101,10 @@ pub use observer::{
     ArmReset, ArmSelected, BatchFolded, CampaignFinished, CampaignObserver, CoverageMilestone,
     DetectionObserved, TestFolded,
 };
+pub use fuzzer::shard::derive_stream_seed;
 pub use progress::ProgressMonitor;
 pub use orchestrator::{ArmSummary, MabFuzzOutcome, MabFuzzer};
+pub use report::CampaignSummary;
 pub use reward::RewardParams;
 pub use spec::{
     BugSpec, CampaignSpec, CampaignSpecBuilder, PolicySpec, ProcessorSpec, SpecError,

@@ -496,6 +496,19 @@ impl CampaignSpec {
         // single validation authority — no second pass needed here.
         spec_from_value(&value)
     }
+
+    /// Parses and validates a spec from an already-parsed JSON value — the
+    /// entry point for callers whose specs are embedded in a larger
+    /// document (a dispatch grid file holding an array of specs, say) and
+    /// that therefore cannot hand [`from_json`](CampaignSpec::from_json) a
+    /// standalone text. Same strict schema, same errors.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`from_json`](CampaignSpec::from_json).
+    pub fn from_value(value: &json::Value) -> Result<CampaignSpec, SpecError> {
+        spec_from_value(value)
+    }
 }
 
 impl Default for CampaignSpec {

@@ -6,8 +6,9 @@
 //! whole loop of submit spec → tail events → fetch final report.
 
 use std::fmt;
-use std::io::{self, BufReader, Write};
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
 use mabfuzz::json_value;
@@ -15,6 +16,7 @@ use mabfuzz::json_value;
 use crate::http::{
     read_response_head, read_sized_body, stream_chunked_body, ResponseHead,
 };
+use crate::transport::{Connection, TcpTransport, Transport};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -71,15 +73,26 @@ impl CampaignStatus {
 }
 
 /// A blocking campaign-service client.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Client {
     addr: SocketAddr,
+    transport: Arc<dyn Transport>,
+    auth_token: Option<String>,
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("addr", &self.addr)
+            .field("auth", &self.auth_token.is_some())
+            .finish()
+    }
 }
 
 impl Client {
-    /// A client for the daemon at `addr`.
+    /// A client for the daemon at `addr` (plain TCP, no deadlines, no auth).
     pub fn new(addr: SocketAddr) -> Client {
-        Client { addr }
+        Client { addr, transport: Arc::new(TcpTransport::default()), auth_token: None }
     }
 
     /// Resolves `addr` (e.g. `"127.0.0.1:8080"`) and builds a client for it.
@@ -92,7 +105,78 @@ impl Client {
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| ClientError::Protocol(format!("`{addr}` resolves to nothing")))?;
-        Ok(Client { addr })
+        Ok(Client::new(addr))
+    }
+
+    /// Routes every connection through `transport` — the dispatch
+    /// coordinator's deadline-bearing [`TcpTransport`] or a chaos suite's
+    /// [`FaultyTransport`](crate::FaultyTransport).
+    pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> Client {
+        self.transport = transport;
+        self
+    }
+
+    /// Applies connect/read/write deadlines to every request (`None`
+    /// restores unbounded I/O). A convenience for
+    /// [`with_transport`](Client::with_transport) over a deadline-bearing
+    /// [`TcpTransport`].
+    pub fn with_deadline(self, timeout: Option<Duration>) -> Client {
+        self.with_transport(Arc::new(TcpTransport::with_deadlines(timeout)))
+    }
+
+    /// Sends `Authorization: Bearer <token>` on every request — required
+    /// when the daemon runs with `--auth-token`.
+    pub fn with_auth_token(mut self, token: impl Into<String>) -> Client {
+        self.auth_token = Some(token.into());
+        self
+    }
+
+    /// The server address this client targets.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Opens a connection and writes the request head (plus any auth
+    /// header).
+    fn open(
+        &self,
+        method: &str,
+        path: &str,
+        body_len: Option<usize>,
+    ) -> Result<Box<dyn Connection>, ClientError> {
+        let mut conn = self.transport.connect(self.addr)?;
+        let auth = match &self.auth_token {
+            Some(token) => format!("Authorization: Bearer {token}\r\n"),
+            None => String::new(),
+        };
+        let length = match body_len {
+            Some(length) => format!("Content-Length: {length}\r\n"),
+            None => String::new(),
+        };
+        write!(
+            conn,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\n{auth}{length}Connection: close\r\n\r\n",
+            self.addr
+        )?;
+        Ok(conn)
+    }
+
+    /// Probes `GET /healthz` and returns the server's campaign count — the
+    /// heartbeat the dispatch coordinator uses to readmit quarantined
+    /// workers. The probe is deliberately exempt from auth (see the crate
+    /// docs), so it works regardless of token configuration.
+    pub fn healthz(&self) -> Result<u64, ClientError> {
+        let body = self.request_sized("GET", "/healthz", None)?;
+        let value = parse_body(&body)?;
+        let status = field(&value, "status")?
+            .as_str("status")
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if status != "ok" {
+            return Err(ClientError::Protocol(format!("healthz status `{status}`")));
+        }
+        field(&value, "campaigns")?
+            .as_u64("campaigns")
+            .map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
     /// Submits a campaign-spec JSON document (`POST /campaigns`) and returns
@@ -150,12 +234,7 @@ impl Client {
     /// streamed bytes are exactly the campaign's `EventLog` stream — late
     /// subscribers replay it from the start.
     pub fn stream_events(&self, id: u64, sink: &mut dyn Write) -> Result<u64, ClientError> {
-        let mut stream = TcpStream::connect(self.addr)?;
-        write!(
-            stream,
-            "GET /campaigns/{id}/events HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
-            self.addr
-        )?;
+        let mut stream = self.open("GET", &format!("/campaigns/{id}/events"), None)?;
         stream.flush()?;
         let mut reader = BufReader::new(stream);
         let head = read_response_head(&mut reader)?;
@@ -220,15 +299,8 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<Vec<u8>, ClientError> {
-        let mut stream = TcpStream::connect(self.addr)?;
         let body = body.unwrap_or("");
-        write!(
-            stream,
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\
-             Connection: close\r\n\r\n",
-            self.addr,
-            body.len()
-        )?;
+        let mut stream = self.open(method, path, Some(body.len()))?;
         stream.write_all(body.as_bytes())?;
         stream.flush()?;
         let mut reader = BufReader::new(stream);
@@ -241,11 +313,7 @@ impl Client {
 
     /// Builds the [`ClientError::Http`] for a non-success response, pulling
     /// the message out of the error body when possible.
-    fn error_from(
-        &self,
-        reader: &mut BufReader<TcpStream>,
-        head: &ResponseHead,
-    ) -> ClientError {
+    fn error_from<R: BufRead>(&self, reader: &mut R, head: &ResponseHead) -> ClientError {
         let message = read_sized_body(reader, head)
             .ok()
             .and_then(|body| String::from_utf8(body).ok())

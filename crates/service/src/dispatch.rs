@@ -1,0 +1,747 @@
+//! Fault-tolerant multi-node campaign dispatch.
+//!
+//! The [`Coordinator`] partitions a list of self-contained [`CampaignSpec`]s
+//! across a fleet of remote `experiments serve` workers and merges the
+//! results into exactly what a local run would have produced. Determinism is
+//! the contract: campaigns are seeded, so the same spec produces the same
+//! event stream and the same report no matter where (or how many times) it
+//! runs — which is what makes retry and reassignment safe.
+//!
+//! # Failure model
+//!
+//! Every remote interaction can fail: connects refused, sockets cut
+//! mid-stream, peers stalling past a deadline, bytes corrupted in flight.
+//! The coordinator's responses, in order of escalation:
+//!
+//! * **Retry with backoff** — each job gets up to
+//!   [`RetryPolicy::max_attempts`] tries, spaced by capped exponential
+//!   backoff with deterministic jitter (derived from the policy's seed, the
+//!   job index and the attempt number — two coordinators with the same
+//!   policy back off identically).
+//! * **Reassignment** — a worker that fails *after* a campaign was
+//!   submitted loses that campaign: the failure is logged (exactly once per
+//!   lost in-flight campaign), the worker is quarantined in the
+//!   [`FleetHealth`] state machine, and the next attempt goes to a
+//!   different healthy worker.
+//! * **Replay verification** — the coordinator keeps the longest validated
+//!   NDJSON event prefix it has seen for each job. A replay (retry or
+//!   reassignment) must reproduce that prefix byte-for-byte; any difference
+//!   is a [`DispatchError::Divergence`] and fails the whole dispatch
+//!   loudly, because divergent replays mean the determinism contract — and
+//!   therefore every merged number — is suspect.
+//! * **Quarantine → retire → readmit** — repeatedly failing workers stop
+//!   receiving campaigns; an unauthenticated `GET /healthz` heartbeat probe
+//!   readmits them when they come back (see [`FleetHealth`]).
+//! * **Local fallback** — when every worker is unusable and retries are
+//!   exhausted, the coordinator (unless told otherwise) degrades gracefully
+//!   by running the remaining campaigns in-process, subject to the same
+//!   replay verification against any partial remote prefix.
+//!
+//! What the coordinator *cannot* repair is a fault that forges valid JSON:
+//! corruption is detected because garbage fails NDJSON line validation or
+//! HTTP framing, but a byte flip that yields a *parseable* line differing
+//! from the true stream is indistinguishable from nondeterminism and is
+//! reported as divergence. That is deliberate — silently accepting either
+//! would poison the merged report.
+//!
+//! Results are never folded twice: a job contributes exactly one report
+//! (fetched once, after its campaign finishes), regardless of how many
+//! attempts or which worker produced it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+use mabfuzz::report::campaign_json;
+use mabfuzz::{
+    derive_stream_seed, json_value, Campaign, CampaignSpec, CampaignSummary, CancelToken,
+    EventLog, SharedBuffer,
+};
+
+use crate::client::Client;
+use crate::health::{FleetHealth, DEFAULT_RETIRE_THRESHOLD};
+
+/// Capped exponential backoff with deterministic jitter.
+///
+/// Attempt `a` (0-based) waits between `base * 2^a / 2` and `base * 2^a`,
+/// capped at `max_delay`; the point in that window comes from the splitmix
+/// stream seeded by `(jitter_seed, job, attempt)`, so backoff schedules are
+/// reproducible run to run.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries per job (clamped to ≥ 1); the first attempt counts.
+    pub max_attempts: u32,
+    /// Delay after the first failed attempt.
+    pub base_delay: Duration,
+    /// Ceiling the exponential curve saturates at.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(1),
+            // "mabf-dispatch" squeezed into a seed; any fixed value works,
+            // it only has to be stable.
+            jitter_seed: 0x6d61_6266_d15b_a7c4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retrying `job` after failed attempt `attempt`
+    /// (0-based). Deterministic in `(jitter_seed, job, attempt)`.
+    pub fn delay(&self, job: u64, attempt: u32) -> Duration {
+        let exp = attempt.min(20);
+        let raw = self
+            .base_delay
+            .saturating_mul(1u32 << exp)
+            .min(self.max_delay)
+            .max(Duration::from_nanos(1));
+        let half = raw / 2;
+        let window = raw.saturating_sub(half).as_nanos() as u64;
+        let jitter = if window == 0 {
+            0
+        } else {
+            derive_stream_seed(self.jitter_seed, job, u64::from(attempt)) % (window + 1)
+        };
+        half + Duration::from_nanos(jitter)
+    }
+}
+
+/// Why a dispatch failed as a whole.
+#[derive(Debug)]
+pub enum DispatchError {
+    /// No workers were given and local fallback is disabled.
+    NoWorkers,
+    /// A spec cannot be dispatched (e.g. it has no embedded processor, so a
+    /// remote worker could not reconstruct the campaign).
+    InvalidSpec {
+        /// The job index in the submitted list.
+        job: usize,
+        /// What is wrong with the spec.
+        message: String,
+    },
+    /// A job exhausted its retry budget (and local fallback is disabled).
+    JobFailed {
+        /// The job index in the submitted list.
+        job: usize,
+        /// The campaign's report label.
+        label: String,
+        /// Remote attempts made before giving up.
+        attempts: u32,
+        /// The last attempt's failure.
+        last_error: String,
+    },
+    /// A replay did not reproduce the event prefix an earlier attempt
+    /// already produced — the determinism contract is broken and no merged
+    /// number can be trusted, so the whole dispatch fails loudly.
+    Divergence {
+        /// The job index in the submitted list.
+        job: usize,
+        /// The campaign's report label.
+        label: String,
+        /// Where and how the replay diverged.
+        detail: String,
+    },
+    /// A local-fallback execution could not start.
+    LocalRun {
+        /// The job index in the submitted list.
+        job: usize,
+        /// Why the local campaign could not be built.
+        message: String,
+    },
+    /// The dispatch was cancelled via its [`CancelToken`].
+    Cancelled,
+}
+
+impl std::fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatchError::NoWorkers => {
+                write!(f, "no workers to dispatch to (and local fallback is disabled)")
+            }
+            DispatchError::InvalidSpec { job, message } => {
+                write!(f, "job {job}: spec cannot be dispatched: {message}")
+            }
+            DispatchError::JobFailed { job, label, attempts, last_error } => write!(
+                f,
+                "job {job} ({label}): failed after {attempts} remote attempt(s): {last_error}"
+            ),
+            DispatchError::Divergence { job, label, detail } => write!(
+                f,
+                "job {job} ({label}): determinism divergence: {detail}"
+            ),
+            DispatchError::LocalRun { job, message } => {
+                write!(f, "job {job}: local fallback failed: {message}")
+            }
+            DispatchError::Cancelled => write!(f, "dispatch cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
+/// One job's merged result.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job's index in the submitted spec list (results come back in
+    /// this order).
+    pub job: usize,
+    /// The campaign's report label.
+    pub label: String,
+    /// The full report document — byte-identical to what a local
+    /// `experiments run --spec … --json` prints for the same spec.
+    pub report: String,
+    /// The summary the experiment reductions consume.
+    pub summary: CampaignSummary,
+    /// Remote attempts consumed (0 when the fleet was empty from the
+    /// start and the job went straight to local fallback).
+    pub attempts: u32,
+    /// Whether the job ultimately ran in-process after the fleet was lost.
+    pub ran_locally: bool,
+}
+
+/// The fault-tolerant dispatch coordinator. See the module docs for the
+/// failure model.
+pub struct Coordinator {
+    workers: Vec<Client>,
+    policy: RetryPolicy,
+    retire_threshold: u32,
+    local_fallback: bool,
+    verbose: bool,
+    cancel: CancelToken,
+    reassignments: AtomicU64,
+    local_runs: AtomicU64,
+    log: Mutex<Vec<String>>,
+}
+
+impl Coordinator {
+    /// A coordinator over `workers` (typically deadline-bearing clients,
+    /// one per `--workers` entry) with default retry policy, local fallback
+    /// enabled and no cancellation.
+    pub fn new(workers: Vec<Client>) -> Coordinator {
+        Coordinator {
+            workers,
+            policy: RetryPolicy::default(),
+            retire_threshold: DEFAULT_RETIRE_THRESHOLD,
+            local_fallback: true,
+            verbose: false,
+            cancel: CancelToken::new(),
+            reassignments: AtomicU64::new(0),
+            local_runs: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Replaces the retry/backoff policy.
+    #[must_use]
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Coordinator {
+        self.policy = policy;
+        self.policy.max_attempts = self.policy.max_attempts.max(1);
+        self
+    }
+
+    /// Sets how many consecutive failures retire a worker (clamped ≥ 1).
+    #[must_use]
+    pub fn with_retire_threshold(mut self, threshold: u32) -> Coordinator {
+        self.retire_threshold = threshold.max(1);
+        self
+    }
+
+    /// Enables/disables graceful degradation to in-process execution when
+    /// the whole fleet is lost (default: enabled). With fallback disabled a
+    /// lost fleet fails the dispatch with [`DispatchError::JobFailed`].
+    #[must_use]
+    pub fn with_local_fallback(mut self, enabled: bool) -> Coordinator {
+        self.local_fallback = enabled;
+        self
+    }
+
+    /// Mirrors coordination log lines (reassignments, fallbacks) to stderr
+    /// as they happen, in addition to collecting them in [`log`](Self::log).
+    #[must_use]
+    pub fn with_verbose(mut self, verbose: bool) -> Coordinator {
+        self.verbose = verbose;
+        self
+    }
+
+    /// Uses `cancel` to abort the dispatch cooperatively; cancellation
+    /// surfaces as [`DispatchError::Cancelled`].
+    #[must_use]
+    pub fn with_cancellation(mut self, cancel: CancelToken) -> Coordinator {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Total in-flight campaign losses that triggered reassignment so far.
+    pub fn reassignments(&self) -> u64 {
+        self.reassignments.load(Ordering::SeqCst)
+    }
+
+    /// Jobs that degraded to local in-process execution so far.
+    pub fn local_runs(&self) -> u64 {
+        self.local_runs.load(Ordering::SeqCst)
+    }
+
+    /// The coordination log: one line per reassignment / fallback event.
+    pub fn log(&self) -> Vec<String> {
+        self.log.lock().expect("dispatch log lock").clone()
+    }
+
+    /// Dispatches `specs` across the fleet and returns one [`JobOutcome`]
+    /// per spec, in input order — the merge is a no-op because order is
+    /// preserved end to end.
+    ///
+    /// # Errors
+    ///
+    /// The first (lowest-job-index) [`DispatchError`] encountered; on any
+    /// error the remaining jobs are abandoned, because a partial grid is
+    /// not a deliverable.
+    pub fn run(&self, specs: &[CampaignSpec]) -> Result<Vec<JobOutcome>, DispatchError> {
+        for (job, spec) in specs.iter().enumerate() {
+            if spec.processor.is_none() {
+                return Err(DispatchError::InvalidSpec {
+                    job,
+                    message: "spec has no `processor`; remote workers cannot rebuild it"
+                        .to_owned(),
+                });
+            }
+        }
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.workers.is_empty() && !self.local_fallback {
+            return Err(DispatchError::NoWorkers);
+        }
+
+        let spec_jsons: Vec<String> = specs.iter().map(CampaignSpec::to_json).collect();
+        let fleet = FleetHealth::with_retire_threshold(self.workers.len(), self.retire_threshold);
+        let pool = self.workers.len().max(1).min(specs.len());
+        let cursor = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let slots: Vec<Mutex<Option<Result<JobOutcome, DispatchError>>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+
+        thread::scope(|scope| {
+            for lane in 0..pool {
+                let fleet = &fleet;
+                let cursor = &cursor;
+                let abort = &abort;
+                let slots = &slots;
+                let spec_jsons = &spec_jsons;
+                scope.spawn(move || {
+                    // Seed each lane's round-robin position differently so
+                    // lanes start on distinct workers.
+                    let mut last_pick = lane;
+                    loop {
+                        if abort.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let job = cursor.fetch_add(1, Ordering::SeqCst);
+                        if job >= specs.len() {
+                            break;
+                        }
+                        let result = self.run_job(
+                            fleet,
+                            job,
+                            &specs[job],
+                            &spec_jsons[job],
+                            &mut last_pick,
+                        );
+                        if result.is_err() {
+                            abort.store(true, Ordering::SeqCst);
+                        }
+                        *slots[job].lock().expect("dispatch slot lock") = Some(result);
+                    }
+                });
+            }
+        });
+
+        let mut outcomes = Vec::with_capacity(specs.len());
+        for slot in slots {
+            match slot.into_inner().expect("dispatch slot lock") {
+                Some(Ok(outcome)) => outcomes.push(outcome),
+                Some(Err(error)) => return Err(error),
+                // An unfilled slot means a sibling job errored and aborted
+                // the run before this job was claimed.
+                None => return Err(DispatchError::Cancelled),
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Runs one job to completion: remote attempts with retry/backoff and
+    /// reassignment, then local fallback.
+    fn run_job(
+        &self,
+        fleet: &FleetHealth,
+        job: usize,
+        spec: &CampaignSpec,
+        spec_json: &str,
+        last_pick: &mut usize,
+    ) -> Result<JobOutcome, DispatchError> {
+        let label = spec.label();
+        // The longest validated NDJSON event prefix any attempt produced;
+        // every replay must reproduce it byte-for-byte.
+        let mut prefix: Vec<u8> = Vec::new();
+        let mut attempts = 0u32;
+        let mut last_error = String::from("no healthy worker was available");
+
+        while attempts < self.policy.max_attempts {
+            if self.cancel.is_cancelled() {
+                return Err(DispatchError::Cancelled);
+            }
+            let Some(worker) = self.pick_worker(fleet, *last_pick) else {
+                break;
+            };
+            *last_pick = worker;
+            attempts += 1;
+            match self.attempt(&self.workers[worker], spec_json, &mut prefix) {
+                Ok((report, summary)) => {
+                    fleet.record_success(worker);
+                    return Ok(JobOutcome {
+                        job,
+                        label,
+                        report,
+                        summary,
+                        attempts,
+                        ran_locally: false,
+                    });
+                }
+                Err(AttemptError::Divergence(detail)) => {
+                    return Err(DispatchError::Divergence { job, label, detail });
+                }
+                Err(AttemptError::Failed { submitted, message }) => {
+                    fleet.record_failure(worker);
+                    if submitted {
+                        // Exactly one reassignment log line per lost
+                        // in-flight campaign: refused connects never
+                        // submitted anything, so they do not count.
+                        self.reassignments.fetch_add(1, Ordering::SeqCst);
+                        self.note(format!(
+                            "reassigning job {job} ({label}): lost in flight on worker \
+                             {worker} at attempt {attempts}: {message}"
+                        ));
+                    }
+                    last_error = message;
+                    if attempts < self.policy.max_attempts {
+                        thread::sleep(self.policy.delay(job as u64, attempts - 1));
+                    }
+                }
+            }
+        }
+
+        if self.local_fallback {
+            self.run_locally(job, label, spec, &prefix, attempts, &last_error)
+        } else {
+            Err(DispatchError::JobFailed { job, label, attempts, last_error })
+        }
+    }
+
+    /// The next worker to try: a healthy one in round-robin order, else the
+    /// first quarantined/retired worker whose `GET /healthz` heartbeat
+    /// succeeds (readmission).
+    fn pick_worker(&self, fleet: &FleetHealth, after: usize) -> Option<usize> {
+        if self.workers.is_empty() {
+            return None;
+        }
+        if let Some(index) = fleet.pick_healthy(after) {
+            return Some(index);
+        }
+        for index in fleet.probe_candidates() {
+            if self.workers[index].healthz().is_ok() {
+                fleet.record_success(index);
+                return Some(index);
+            }
+            fleet.record_failure(index);
+        }
+        None
+    }
+
+    /// One remote attempt: submit → stream + validate events → status →
+    /// report → summary → best-effort delete.
+    fn attempt(
+        &self,
+        client: &Client,
+        spec_json: &str,
+        prefix: &mut Vec<u8>,
+    ) -> Result<(String, CampaignSummary), AttemptError> {
+        let id = match client.submit(spec_json) {
+            Ok(id) => id,
+            Err(error) => {
+                return Err(AttemptError::Failed {
+                    submitted: false,
+                    message: format!("submit: {error}"),
+                })
+            }
+        };
+        // From here the campaign is in flight on the worker: any failure
+        // below is a lost in-flight campaign and counts as a reassignment.
+        let lost = |client: &Client, message: String| {
+            // Best-effort: stop the orphaned campaign so a wounded-but-alive
+            // worker does not burn cycles on a job we are reassigning.
+            let _ = client.cancel(id);
+            AttemptError::Failed { submitted: true, message }
+        };
+
+        let mut events: Vec<u8> = Vec::new();
+        let stream_result = client.stream_events(id, &mut events);
+        let (valid_len, corruption) = validated_prefix(&events);
+
+        // Replay verification: whatever validated bytes this attempt
+        // produced must agree with the prefix previous attempts folded.
+        let common = valid_len.min(prefix.len());
+        if events[..common] != prefix[..common] {
+            let at = events[..common]
+                .iter()
+                .zip(prefix[..common].iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or(common);
+            return Err(AttemptError::Divergence(format!(
+                "replay differs from previously folded events at byte {at}"
+            )));
+        }
+        if valid_len > prefix.len() {
+            prefix.clear();
+            prefix.extend_from_slice(&events[..valid_len]);
+        }
+
+        if let Some(detail) = corruption {
+            return Err(lost(client, format!("corrupt event stream: {detail}")));
+        }
+        if let Err(error) = stream_result {
+            return Err(lost(client, format!("event stream: {error}")));
+        }
+        // The stream completed cleanly: it must cover (at least) everything
+        // already folded, or the replay ended early — divergence.
+        if valid_len < prefix.len() {
+            return Err(AttemptError::Divergence(format!(
+                "replay ended after {valid_len} validated bytes but {} were already folded",
+                prefix.len()
+            )));
+        }
+
+        let status = match client.status(id) {
+            Ok(status) => status,
+            Err(error) => return Err(lost(client, format!("status: {error}"))),
+        };
+        if status.status != "finished" {
+            return Err(lost(
+                client,
+                format!("campaign ended `{}` instead of `finished`", status.status),
+            ));
+        }
+        let report = match client.report(id) {
+            Ok(report) => report,
+            Err(error) => return Err(lost(client, format!("report: {error}"))),
+        };
+        let summary = match CampaignSummary::from_report_json(&report) {
+            Ok(summary) => summary,
+            Err(message) => return Err(lost(client, format!("report: {message}"))),
+        };
+        // Eviction is tidiness, not correctness: TTL or an operator DELETE
+        // reclaims the entry if this fails.
+        let _ = client.delete(id);
+        Ok((report, summary))
+    }
+
+    /// Graceful degradation: run the campaign in-process, subject to the
+    /// same replay verification as a remote retry.
+    fn run_locally(
+        &self,
+        job: usize,
+        label: String,
+        spec: &CampaignSpec,
+        prefix: &[u8],
+        attempts: u32,
+        last_error: &str,
+    ) -> Result<JobOutcome, DispatchError> {
+        self.local_runs.fetch_add(1, Ordering::SeqCst);
+        self.note(format!(
+            "job {job} ({label}): no usable worker after {attempts} remote attempt(s) \
+             ({last_error}); running locally"
+        ));
+        let campaign = Campaign::from_spec(spec)
+            .map_err(|error| DispatchError::LocalRun { job, message: error.to_string() })?;
+        let buffer = SharedBuffer::new();
+        let outcome = campaign
+            .with_observer(Box::new(EventLog::new(buffer.clone())))
+            .with_cancellation(self.cancel.clone())
+            .execute();
+        if self.cancel.is_cancelled() {
+            return Err(DispatchError::Cancelled);
+        }
+        let events = buffer.contents();
+        if !events.as_bytes().starts_with(prefix) {
+            return Err(DispatchError::Divergence {
+                job,
+                label,
+                detail: format!(
+                    "local replay differs from the {} event bytes folded remotely",
+                    prefix.len()
+                ),
+            });
+        }
+        let report = campaign_json(spec, &outcome);
+        let summary = CampaignSummary::from_outcome(&outcome);
+        Ok(JobOutcome { job, label, report, summary, attempts, ran_locally: true })
+    }
+
+    fn note(&self, line: String) {
+        if self.verbose {
+            eprintln!("dispatch: {line}");
+        }
+        self.log.lock().expect("dispatch log lock").push(line);
+    }
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("workers", &self.workers.len())
+            .field("max_attempts", &self.policy.max_attempts)
+            .field("local_fallback", &self.local_fallback)
+            .finish()
+    }
+}
+
+/// How one remote attempt failed.
+enum AttemptError {
+    /// Retryable: the worker (or the wire) failed. `submitted` says whether
+    /// a campaign was in flight (and was therefore lost and reassigned).
+    Failed { submitted: bool, message: String },
+    /// Fatal: a replay contradicted previously folded events.
+    Divergence(String),
+}
+
+/// The longest prefix of `bytes` consisting of complete, JSON-parseable
+/// NDJSON lines, plus a description of the first corrupt complete line (if
+/// any). Bytes after the last `\n` are an in-flight tail and count neither
+/// way.
+fn validated_prefix(bytes: &[u8]) -> (usize, Option<String>) {
+    let mut valid = 0usize;
+    let mut cursor = 0usize;
+    while let Some(offset) = bytes[cursor..].iter().position(|&b| b == b'\n') {
+        let end = cursor + offset + 1;
+        let line = &bytes[cursor..end - 1];
+        let parsed = std::str::from_utf8(line)
+            .ok()
+            .and_then(|text| json_value::parse(text).ok());
+        if parsed.is_none() {
+            return (
+                valid,
+                Some(format!("event line at byte {cursor} is not valid JSON")),
+            );
+        }
+        valid = end;
+        cursor = end;
+    }
+    (valid, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mabfuzz::BugSpec;
+    use proc_sim::ProcessorKind;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_grows() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            jitter_seed: 7,
+        };
+        for attempt in 0..8 {
+            let delay = policy.delay(3, attempt);
+            assert_eq!(delay, policy.delay(3, attempt), "deterministic");
+            assert!(delay <= policy.max_delay, "capped at max_delay");
+            let raw = policy
+                .base_delay
+                .saturating_mul(1 << attempt.min(20))
+                .min(policy.max_delay);
+            assert!(delay >= raw / 2, "at least half the exponential step");
+        }
+        assert!(
+            policy.delay(0, 0) != policy.delay(1, 0)
+                || policy.delay(0, 1) != policy.delay(1, 1),
+            "jitter separates jobs"
+        );
+        // Attempt numbers far past the cap must not overflow.
+        assert!(policy.delay(0, u32::MAX) <= policy.max_delay);
+    }
+
+    #[test]
+    fn validated_prefix_accepts_lines_rejects_garbage_and_ignores_tails() {
+        let clean = b"{\"event\":\"a\"}\n{\"event\":\"b\"}\n";
+        assert_eq!(validated_prefix(clean), (clean.len(), None));
+
+        let with_tail = b"{\"event\":\"a\"}\n{\"event\":\"b\"";
+        assert_eq!(validated_prefix(with_tail), (14, None), "unterminated tail ignored");
+
+        let corrupt = b"{\"event\":\"a\"}\n\x01garbage\n{\"event\":\"b\"}\n";
+        let (valid, detail) = validated_prefix(corrupt);
+        assert_eq!(valid, 14, "valid prefix stops before the corrupt line");
+        assert!(detail.expect("corruption reported").contains("byte 14"));
+
+        assert_eq!(validated_prefix(b""), (0, None));
+    }
+
+    fn tiny_spec(seed: u64) -> CampaignSpec {
+        CampaignSpec::builder()
+            .max_tests(8)
+            .rng_seed(seed)
+            .processor(ProcessorKind::Rocket, BugSpec::None)
+            .build()
+            .expect("tiny spec")
+    }
+
+    #[test]
+    fn empty_fleet_degrades_to_local_runs_matching_direct_execution() {
+        let specs = vec![tiny_spec(11), tiny_spec(12)];
+        let coordinator = Coordinator::new(Vec::new());
+        let outcomes = coordinator.run(&specs).expect("local fallback dispatch");
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(coordinator.local_runs(), 2);
+        assert_eq!(coordinator.reassignments(), 0, "nothing was ever in flight");
+        for (outcome, spec) in outcomes.iter().zip(&specs) {
+            assert!(outcome.ran_locally);
+            assert_eq!(outcome.attempts, 0, "no worker to attempt on");
+            let direct = Campaign::from_spec(spec).expect("build campaign").execute();
+            assert_eq!(outcome.summary, CampaignSummary::from_outcome(&direct));
+            assert_eq!(outcome.report, campaign_json(spec, &direct));
+        }
+    }
+
+    #[test]
+    fn empty_fleet_without_fallback_is_an_error() {
+        let coordinator = Coordinator::new(Vec::new()).with_local_fallback(false);
+        match coordinator.run(&[tiny_spec(1)]) {
+            Err(DispatchError::NoWorkers) => {}
+            other => panic!("expected NoWorkers, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn specs_without_processors_are_rejected_up_front() {
+        let mut spec = tiny_spec(1);
+        spec.processor = None;
+        match Coordinator::new(Vec::new()).run(&[spec]) {
+            Err(DispatchError::InvalidSpec { job: 0, .. }) => {}
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_spec_list_is_a_noop() {
+        let outcomes = Coordinator::new(Vec::new()).run(&[]).expect("empty dispatch");
+        assert!(outcomes.is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Worker-fleet health tracking for the dispatch coordinator.
+//!
+//! Every remote worker moves through a three-state machine driven by
+//! request outcomes and `GET /healthz` heartbeat probes:
+//!
+//! ```text
+//!            failure                 retire_threshold consecutive failures
+//! Healthy ───────────► Quarantined ─────────────────────────► Retired
+//!    ▲                     │                                      │
+//!    └─────────────────────┴──────── successful /healthz ◄────────┘
+//!                                    probe (readmission)
+//! ```
+//!
+//! * **Healthy** workers receive new campaigns (round-robin).
+//! * **Quarantined** workers receive no new campaigns until a heartbeat
+//!   probe succeeds; each further failure counts toward retirement.
+//! * **Retired** workers are probed at most once per pick cycle; a
+//!   successful probe readmits them (a rebooted worker rejoins the fleet
+//!   without coordinator restart).
+//!
+//! The machine itself is pure state (no I/O): the coordinator performs the
+//! probes and feeds the verdicts back through
+//! [`record_success`](FleetHealth::record_success) /
+//! [`record_failure`](FleetHealth::record_failure), which keeps this module
+//! trivially testable and the locking window tiny.
+
+use std::sync::Mutex;
+
+/// Consecutive failures (from quarantine entry) after which a worker is
+/// retired.
+pub const DEFAULT_RETIRE_THRESHOLD: u32 = 3;
+
+/// The lifecycle state of one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Eligible for new campaigns.
+    Healthy,
+    /// Recently failed; held out until a heartbeat succeeds.
+    Quarantined,
+    /// Failed repeatedly; probed only as a last resort.
+    Retired,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WorkerHealth {
+    state: WorkerState,
+    consecutive_failures: u32,
+}
+
+/// Health registry over the coordinator's worker fleet, keyed by the
+/// worker's index in the `--workers` list.
+pub struct FleetHealth {
+    workers: Mutex<Vec<WorkerHealth>>,
+    retire_threshold: u32,
+}
+
+impl FleetHealth {
+    /// A fleet of `count` workers, all healthy, retiring after
+    /// [`DEFAULT_RETIRE_THRESHOLD`] consecutive failures.
+    pub fn new(count: usize) -> FleetHealth {
+        FleetHealth::with_retire_threshold(count, DEFAULT_RETIRE_THRESHOLD)
+    }
+
+    /// A fleet with an explicit retirement threshold (clamped to ≥ 1).
+    pub fn with_retire_threshold(count: usize, retire_threshold: u32) -> FleetHealth {
+        FleetHealth {
+            workers: Mutex::new(vec![
+                WorkerHealth { state: WorkerState::Healthy, consecutive_failures: 0 };
+                count
+            ]),
+            retire_threshold: retire_threshold.max(1),
+        }
+    }
+
+    /// Number of workers tracked.
+    pub fn len(&self) -> usize {
+        self.workers.lock().expect("fleet lock").len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The state of worker `index`.
+    pub fn state(&self, index: usize) -> WorkerState {
+        self.workers.lock().expect("fleet lock")[index].state
+    }
+
+    /// Records a successful request or heartbeat: the worker returns to
+    /// `Healthy` from any state and its failure streak resets.
+    pub fn record_success(&self, index: usize) {
+        let mut workers = self.workers.lock().expect("fleet lock");
+        workers[index] =
+            WorkerHealth { state: WorkerState::Healthy, consecutive_failures: 0 };
+    }
+
+    /// Records a failed request or heartbeat: `Healthy` workers are
+    /// quarantined; quarantined workers retire once their streak reaches
+    /// the threshold.
+    pub fn record_failure(&self, index: usize) {
+        let mut workers = self.workers.lock().expect("fleet lock");
+        let worker = &mut workers[index];
+        worker.consecutive_failures = worker.consecutive_failures.saturating_add(1);
+        worker.state = if worker.consecutive_failures >= self.retire_threshold {
+            WorkerState::Retired
+        } else {
+            WorkerState::Quarantined
+        };
+    }
+
+    /// The healthy worker following `after` in round-robin order, if any.
+    /// Pass the previous pick to spread campaigns across the fleet.
+    pub fn pick_healthy(&self, after: usize) -> Option<usize> {
+        let workers = self.workers.lock().expect("fleet lock");
+        let count = workers.len();
+        (1..=count)
+            .map(|step| (after + step) % count)
+            .find(|&index| workers[index].state == WorkerState::Healthy)
+    }
+
+    /// Every worker that is *not* healthy, in probe priority order:
+    /// quarantined first (cheapest to readmit), then retired.
+    pub fn probe_candidates(&self) -> Vec<usize> {
+        let workers = self.workers.lock().expect("fleet lock");
+        let mut quarantined = Vec::new();
+        let mut retired = Vec::new();
+        for (index, worker) in workers.iter().enumerate() {
+            match worker.state {
+                WorkerState::Quarantined => quarantined.push(index),
+                WorkerState::Retired => retired.push(index),
+                WorkerState::Healthy => {}
+            }
+        }
+        quarantined.extend(retired);
+        quarantined
+    }
+
+    /// Whether no worker is currently healthy.
+    pub fn all_unusable(&self) -> bool {
+        self.workers
+            .lock()
+            .expect("fleet lock")
+            .iter()
+            .all(|worker| worker.state != WorkerState::Healthy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failures_quarantine_then_retire_and_success_readmits() {
+        let fleet = FleetHealth::with_retire_threshold(2, 3);
+        assert_eq!(fleet.state(0), WorkerState::Healthy);
+        fleet.record_failure(0);
+        assert_eq!(fleet.state(0), WorkerState::Quarantined);
+        fleet.record_failure(0);
+        assert_eq!(fleet.state(0), WorkerState::Quarantined);
+        fleet.record_failure(0);
+        assert_eq!(fleet.state(0), WorkerState::Retired, "threshold reached");
+        fleet.record_success(0);
+        assert_eq!(fleet.state(0), WorkerState::Healthy, "a heartbeat readmits");
+        fleet.record_failure(0);
+        assert_eq!(fleet.state(0), WorkerState::Quarantined, "the streak reset on readmission");
+    }
+
+    #[test]
+    fn round_robin_skips_unhealthy_workers() {
+        let fleet = FleetHealth::new(3);
+        assert_eq!(fleet.pick_healthy(0), Some(1));
+        assert_eq!(fleet.pick_healthy(2), Some(0), "wraps around");
+        fleet.record_failure(1);
+        assert_eq!(fleet.pick_healthy(0), Some(2), "quarantined workers are skipped");
+        fleet.record_failure(0);
+        fleet.record_failure(2);
+        assert_eq!(fleet.pick_healthy(0), None, "no healthy worker left");
+        assert!(fleet.all_unusable());
+    }
+
+    #[test]
+    fn probe_candidates_order_quarantined_before_retired() {
+        let fleet = FleetHealth::with_retire_threshold(3, 1);
+        fleet.record_failure(0); // retired immediately (threshold 1)
+        let fleet2 = FleetHealth::with_retire_threshold(3, 5);
+        fleet2.record_failure(2); // quarantined
+        assert_eq!(fleet.probe_candidates(), vec![0]);
+        assert_eq!(fleet2.probe_candidates(), vec![2]);
+
+        let mixed = FleetHealth::with_retire_threshold(3, 2);
+        mixed.record_failure(0);
+        mixed.record_failure(0); // retired
+        mixed.record_failure(2); // quarantined
+        assert_eq!(mixed.probe_candidates(), vec![2, 0], "quarantined probe first");
+    }
+
+    #[test]
+    fn fleet_reports_its_size() {
+        assert_eq!(FleetHealth::new(4).len(), 4);
+        assert!(FleetHealth::new(0).is_empty());
+        assert!(FleetHealth::new(0).all_unusable());
+    }
+}

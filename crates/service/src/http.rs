@@ -44,12 +44,16 @@ fn read_line_capped<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
     Ok(Some(line))
 }
 
-/// One parsed request: method, path and (possibly empty) body.
+/// One parsed request: method, path, (possibly empty) body, and the
+/// `Authorization` header value if the client sent one (the only
+/// non-framing header the protocol consumes — see the auth section of the
+/// crate docs).
 #[derive(Debug)]
 pub(crate) struct Request {
     pub method: String,
     pub path: String,
     pub body: Vec<u8>,
+    pub authorization: Option<String>,
 }
 
 /// Reads one request. `Ok(None)` means the peer closed the connection
@@ -66,9 +70,14 @@ pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Requ
     if !version.starts_with("HTTP/1.") {
         return Err(protocol_error(format!("unsupported protocol `{version}`")));
     }
-    let request =
-        Request { method: method.to_owned(), path: path.to_owned(), body: Vec::new() };
+    let request = Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        body: Vec::new(),
+        authorization: None,
+    };
     let headers = read_headers(reader)?;
+    let authorization = header_value(&headers, "authorization").map(str::to_owned);
     let content_length = header_value(&headers, "content-length")
         .map(|value| {
             value.parse::<usize>().map_err(|_| {
@@ -84,7 +93,7 @@ pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Requ
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(Some(Request { body, ..request }))
+    Ok(Some(Request { body, authorization, ..request }))
 }
 
 /// Reads header lines until the blank separator, lower-casing names.
@@ -120,6 +129,7 @@ pub(crate) fn status_text(status: u16) -> &'static str {
         200 => "OK",
         201 => "Created",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",

@@ -11,6 +11,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use mabfuzz::{CampaignSpec, CancelToken, EventBroadcast};
 
@@ -60,6 +61,10 @@ struct CampaignEntry {
     /// The final report document (`report::campaign_json`) once terminal,
     /// or the failure message for `Failed` entries.
     report: Option<String>,
+    /// When a TTL is configured: the instant after which this (terminal)
+    /// entry may be evicted by [`Hub::sweep`]. `None` while non-terminal or
+    /// when eviction is disabled.
+    expires_at: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -68,6 +73,9 @@ struct HubState {
     campaigns: BTreeMap<u64, CampaignEntry>,
     queue: VecDeque<u64>,
     shutting_down: bool,
+    /// Retention of *terminal* campaigns. `None` (the default) retains
+    /// everything until an explicit `DELETE` — the PR 5 behaviour.
+    ttl: Option<Duration>,
 }
 
 /// Shared state between the accept loop, connection handlers and workers.
@@ -106,6 +114,34 @@ impl Hub {
         Hub::default()
     }
 
+    /// Configures auto-eviction: terminal campaigns are dropped by
+    /// [`sweep`](Hub::sweep) once they have been terminal for `ttl`.
+    /// `None` disables eviction (the default).
+    pub fn set_ttl(&self, ttl: Option<Duration>) {
+        self.state.lock().expect("hub lock").ttl = ttl;
+    }
+
+    /// Evicts every terminal campaign whose TTL has lapsed, returning how
+    /// many were dropped. Called opportunistically (each incoming
+    /// connection), so eviction lag is bounded by request arrival, not by a
+    /// timer thread — an idle daemon holds expired entries until its next
+    /// request, which is harmless because memory pressure comes from
+    /// traffic.
+    pub fn sweep(&self) -> usize {
+        let now = Instant::now();
+        let mut state = self.state.lock().expect("hub lock");
+        let expired: Vec<u64> = state
+            .campaigns
+            .iter()
+            .filter(|(_, entry)| entry.expires_at.is_some_and(|at| at <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &expired {
+            state.campaigns.remove(id);
+        }
+        expired.len()
+    }
+
     /// Registers a validated spec and queues it for execution, returning its
     /// campaign id. `None` when the hub is shutting down.
     pub fn submit(&self, spec: CampaignSpec) -> Option<u64> {
@@ -125,6 +161,7 @@ impl Hub {
                 events: EventBroadcast::new(),
                 cancel: CancelToken::new(),
                 report: None,
+                expires_at: None,
             },
         );
         state.queue.push_back(id);
@@ -160,18 +197,22 @@ impl Hub {
     /// was cancelled, and closes the event stream.
     pub fn complete(&self, id: u64, report: String, cancelled: bool) {
         let mut state = self.state.lock().expect("hub lock");
+        let expires_at = state.ttl.map(|ttl| Instant::now() + ttl);
         let entry = state.campaigns.get_mut(&id).expect("completed entries exist");
         entry.status = if cancelled { Status::Cancelled } else { Status::Finished };
         entry.report = Some(report);
+        entry.expires_at = expires_at;
         entry.events.close();
     }
 
     /// Publishes an execution failure and closes the event stream.
     pub fn fail(&self, id: u64, error: String) {
         let mut state = self.state.lock().expect("hub lock");
+        let expires_at = state.ttl.map(|ttl| Instant::now() + ttl);
         let entry = state.campaigns.get_mut(&id).expect("failed entries exist");
         entry.status = Status::Failed;
         entry.report = Some(format!("{{\"error\":{}}}", json_string(&error)));
+        entry.expires_at = expires_at;
         entry.events.close();
     }
 
@@ -327,6 +368,44 @@ mod tests {
         assert_eq!(hub.remove(id), Some(Ok(())));
         assert!(hub.view(id).is_none(), "the entry and its stream are gone");
         assert_eq!(hub.remove(id), None, "a second delete is an unknown id");
+    }
+
+    #[test]
+    fn ttl_sweep_evicts_lapsed_terminal_entries_only() {
+        let hub = Hub::new();
+        hub.set_ttl(Some(Duration::from_millis(0)));
+        hub.submit(spec()).unwrap();
+        hub.submit(spec()).unwrap();
+        let (first, ..) = hub.next_job().unwrap();
+        hub.complete(first, "{}".to_owned(), false);
+        // The second campaign is still queued: not evictable regardless of
+        // its age.
+        assert_eq!(hub.sweep(), 1, "one lapsed terminal entry");
+        assert!(hub.view(first).is_none());
+        assert!(hub.view(2).is_some(), "queued entries survive the sweep");
+        assert_eq!(hub.sweep(), 0, "sweeping is idempotent");
+    }
+
+    #[test]
+    fn without_ttl_terminal_entries_are_retained_and_delete_still_works() {
+        let hub = Hub::new();
+        hub.submit(spec()).unwrap();
+        let (id, ..) = hub.next_job().unwrap();
+        hub.complete(id, "{}".to_owned(), false);
+        assert_eq!(hub.sweep(), 0, "no TTL, no eviction");
+        assert!(hub.view(id).is_some());
+        assert_eq!(hub.remove(id), Some(Ok(())), "explicit DELETE keeps working");
+    }
+
+    #[test]
+    fn ttl_applies_from_terminal_transition_not_submission() {
+        let hub = Hub::new();
+        hub.set_ttl(Some(Duration::from_secs(3600)));
+        hub.submit(spec()).unwrap();
+        let (id, ..) = hub.next_job().unwrap();
+        hub.fail(id, "boom".to_owned());
+        assert_eq!(hub.sweep(), 0, "a fresh terminal entry is within its TTL");
+        assert!(hub.view(id).is_some());
     }
 
     #[test]

@@ -31,6 +31,11 @@
 //! | `POST /shutdown` | — | `200` `{"status":"shutting down"}` |
 //! | `GET /healthz` | — | `200` `{"status":"ok","campaigns":N}` |
 //!
+//! When the daemon runs with an auth token (`experiments serve
+//! --auth-token T`), every route except `GET /healthz` additionally
+//! requires an `Authorization: Bearer T` header; see
+//! [Hardening](#hardening) below.
+//!
 //! Details per endpoint:
 //!
 //! * **`POST /campaigns`** — the body goes through the strict spec codec
@@ -68,8 +73,65 @@
 //! * **`POST /shutdown`** — the daemon stops accepting submissions, drains
 //!   already-queued campaigns, joins its workers and exits `serve()`
 //!   cleanly.
+//! * **`GET /healthz`** — a cheap liveness probe (`{"status":"ok",
+//!   "campaigns":N}`) that never touches campaign execution. It is the
+//!   heartbeat the dispatch coordinator uses to readmit quarantined
+//!   workers, and it is deliberately **exempt from auth** so
+//!   load-balancer-style probes work without credentials. It reveals only
+//!   liveness and a campaign count — never spec contents, labels or
+//!   reports, which all sit behind the token.
 //!
 //! Campaign lifecycle: `queued → running → finished | cancelled | failed`.
+//!
+//! # Hardening
+//!
+//! Three daemon-side protections, all off by default except the I/O
+//! deadline, all configured through `CampaignServer` builder methods (and
+//! the matching `experiments serve` flags):
+//!
+//! * **Socket deadlines** ([`CampaignServer::with_io_timeout`],
+//!   `--io-timeout-ms`): every accepted connection gets read *and* write
+//!   timeouts (default 30 s), so a slowloris peer — one that connects and
+//!   then trickles or stops sending bytes — times out instead of pinning a
+//!   connection thread forever, and a stalled event-stream consumer cannot
+//!   wedge a writer.
+//! * **Shared-secret auth** ([`CampaignServer::with_auth_token`],
+//!   `--auth-token`): when set, every route except `GET /healthz` requires
+//!   `Authorization: Bearer <token>`. Tokens are compared in constant time
+//!   (no early exit on the first differing byte), and mismatches get
+//!   `401 Unauthorized`. [`Client::with_auth_token`] sends the header.
+//! * **TTL eviction** ([`CampaignServer::with_ttl`], `--ttl` seconds):
+//!   terminal campaigns (finished / cancelled / failed) are auto-evicted
+//!   once their TTL lapses, counted **from the terminal transition**, not
+//!   from submission — a long-running campaign is never reaped mid-flight.
+//!   Sweeps happen opportunistically on incoming connections (no timer
+//!   thread). Explicit `DELETE /campaigns/{id}` works exactly as before,
+//!   with or without a TTL.
+//!
+//! # Dispatch and the failure model
+//!
+//! [`Coordinator`] (what `experiments dispatch --workers a:1,b:2 …` runs)
+//! partitions a list of self-contained specs across several `serve`
+//! daemons and merges the results into exactly what a local run would have
+//! produced — campaigns are seeded and deterministic, which is what makes
+//! retrying and reassigning them safe. The coordinator's failure handling,
+//! in escalation order: capped exponential backoff with deterministic
+//! jitter ([`RetryPolicy`]); reassignment of campaigns lost in flight
+//! (logged exactly once per loss); quarantine → retire → readmit worker
+//! health tracking driven by `/healthz` heartbeats ([`FleetHealth`]);
+//! byte-level replay verification against every previously folded NDJSON
+//! prefix (divergence fails the whole dispatch loudly); and graceful
+//! degradation to local in-process execution when the entire fleet is
+//! lost. The [`dispatch`-module docs](crate::dispatch) spell out the full
+//! failure model, including the one fault class that is detected but not
+//! repaired (in-flight corruption that forges *valid* JSON is
+//! indistinguishable from nondeterminism and is reported as divergence).
+//!
+//! [`FaultyTransport`] is the matching chaos-injection layer: a
+//! [`Transport`] wrapper that refuses connects, cuts or stalls streams at
+//! byte *K*, corrupts a byte, or truncates writes, on a per-connection
+//! schedule — the chaos suites drive the coordinator through it and assert
+//! the merged reports stay byte-identical to a fault-free run.
 //!
 //! # Architecture
 //!
@@ -95,10 +157,16 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod dispatch;
+mod health;
 mod http;
 mod hub;
 mod server;
+mod transport;
 
 pub use client::{CampaignStatus, Client, ClientError};
+pub use dispatch::{Coordinator, DispatchError, JobOutcome, RetryPolicy};
+pub use health::{FleetHealth, WorkerState, DEFAULT_RETIRE_THRESHOLD};
 pub use hub::Status;
-pub use server::CampaignServer;
+pub use server::{CampaignServer, DEFAULT_IO_TIMEOUT};
+pub use transport::{Connection, Fault, FaultyTransport, TcpTransport, Transport};

@@ -4,6 +4,7 @@ use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 use mabfuzz::report::campaign_json;
 use mabfuzz::{Campaign, CampaignSpec, EventLog, SpecError};
@@ -45,7 +46,23 @@ pub struct CampaignServer {
     listener: TcpListener,
     hub: Arc<Hub>,
     workers: usize,
+    config: Arc<ServerConfig>,
 }
+
+/// Hardening knobs shared by every connection thread.
+struct ServerConfig {
+    /// Per-connection socket read/write deadline. A peer that connects and
+    /// then sends bytes slower than this (a "slowloris") gets its socket
+    /// reads timed out instead of pinning a connection thread forever.
+    io_timeout: Option<Duration>,
+    /// Shared-secret bearer token; when set, every route except
+    /// `GET /healthz` requires `Authorization: Bearer <token>`.
+    auth_token: Option<String>,
+}
+
+/// Default per-connection socket deadline (see
+/// [`with_io_timeout`](CampaignServer::with_io_timeout)).
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 impl CampaignServer {
     /// Binds the listener (use port 0 for an ephemeral port) and sizes the
@@ -60,7 +77,45 @@ impl CampaignServer {
             listener: TcpListener::bind(addr)?,
             hub: Arc::new(Hub::new()),
             workers: workers.max(1),
+            config: Arc::new(ServerConfig {
+                io_timeout: Some(DEFAULT_IO_TIMEOUT),
+                auth_token: None,
+            }),
         })
+    }
+
+    /// Sets the per-connection socket read/write deadline (default
+    /// [`DEFAULT_IO_TIMEOUT`]). `None` disables the deadline entirely —
+    /// only do that in trusted single-machine setups, since it re-opens
+    /// the slowloris window.
+    #[must_use]
+    pub fn with_io_timeout(mut self, timeout: Option<Duration>) -> CampaignServer {
+        self.config_mut().io_timeout = timeout;
+        self
+    }
+
+    /// Requires `Authorization: Bearer <token>` on every route except
+    /// `GET /healthz` (kept open for load-balancer probes). Tokens are
+    /// compared in constant time; mismatches get `401 Unauthorized`.
+    #[must_use]
+    pub fn with_auth_token(mut self, token: Option<String>) -> CampaignServer {
+        self.config_mut().auth_token = token;
+        self
+    }
+
+    /// Auto-evicts terminal (completed / failed / cancelled) campaigns
+    /// `ttl` after they reach their terminal state, reclaiming hub memory
+    /// in long-lived daemons. Explicit `DELETE` keeps working either way;
+    /// `None` (the default) retains terminal campaigns until deleted.
+    #[must_use]
+    pub fn with_ttl(self, ttl: Option<Duration>) -> CampaignServer {
+        self.hub.set_ttl(ttl);
+        self
+    }
+
+    fn config_mut(&mut self) -> &mut ServerConfig {
+        Arc::get_mut(&mut self.config)
+            .expect("builder methods run before serve() shares the config")
     }
 
     /// The address the listener actually bound (the source of truth when
@@ -101,8 +156,9 @@ impl CampaignServer {
                 Err(_) => continue,
             };
             let hub = Arc::clone(&self.hub);
+            let config = Arc::clone(&self.config);
             let _ = thread::Builder::new().name("campaign-conn".to_owned()).spawn(move || {
-                let shutdown = handle_connection(&hub, stream);
+                let shutdown = handle_connection(&hub, &config, stream);
                 if shutdown {
                     hub.begin_shutdown();
                     // The accept loop is blocked in `accept`; a throwaway
@@ -151,7 +207,15 @@ fn worker_loop(hub: &Hub) {
 
 /// Handles one connection (one request). Returns whether the request asked
 /// the daemon to shut down.
-fn handle_connection(hub: &Hub, stream: TcpStream) -> bool {
+fn handle_connection(hub: &Hub, config: &ServerConfig, stream: TcpStream) -> bool {
+    // Opportunistic TTL sweep: evicting lapsed terminal campaigns on each
+    // incoming connection keeps the hub bounded without a timer thread.
+    hub.sweep();
+    // Socket deadlines bound both halves of the exchange: a slowloris peer
+    // times out reading the request, and a stalled consumer times out on
+    // the event-stream writes.
+    let _ = stream.set_read_timeout(config.io_timeout);
+    let _ = stream.set_write_timeout(config.io_timeout);
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return false,
@@ -166,11 +230,45 @@ fn handle_connection(hub: &Hub, stream: TcpStream) -> bool {
             return false;
         }
     };
+    if !authorized(config, &request) {
+        let _ = respond_error(&mut writer, 401, "missing or invalid bearer token");
+        return false;
+    }
     let shutdown = request.method == "POST" && request.path == "/shutdown";
     if let Err(_error) = route(hub, &request, &mut writer) {
         // The peer vanished mid-response; nothing useful left to do.
     }
     shutdown
+}
+
+/// Whether `request` may proceed under the server's auth policy.
+/// `GET /healthz` stays open so fleet probes work without credentials.
+fn authorized(config: &ServerConfig, request: &Request) -> bool {
+    let Some(token) = config.auth_token.as_deref() else {
+        return true;
+    };
+    if request.method == "GET" && request.path == "/healthz" {
+        return true;
+    }
+    let expected = format!("Bearer {token}");
+    request
+        .authorization
+        .as_deref()
+        .is_some_and(|presented| constant_time_eq(presented.as_bytes(), expected.as_bytes()))
+}
+
+/// Byte-for-byte comparison whose running time depends only on the inputs'
+/// lengths, not on where they first differ — a timing probe cannot recover
+/// the token one byte at a time.
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
 }
 
 /// Routes one parsed request to its handler.
@@ -307,4 +405,52 @@ fn unknown_campaign(writer: &mut TcpStream, id: u64) -> io::Result<()> {
 
 fn bad_id(writer: &mut TcpStream, id: &str) -> io::Result<()> {
     respond_error(writer, 400, &format!("malformed campaign id `{id}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, path: &str, authorization: Option<&str>) -> Request {
+        Request {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            body: Vec::new(),
+            authorization: authorization.map(str::to_owned),
+        }
+    }
+
+    #[test]
+    fn constant_time_eq_matches_slice_equality() {
+        assert!(constant_time_eq(b"Bearer s3cret", b"Bearer s3cret"));
+        assert!(!constant_time_eq(b"Bearer s3cret", b"Bearer s3creT"));
+        assert!(!constant_time_eq(b"Bearer s3cret", b"Bearer s3cre"));
+        assert!(constant_time_eq(b"", b""));
+    }
+
+    #[test]
+    fn auth_policy_gates_everything_except_healthz() {
+        let open = ServerConfig { io_timeout: None, auth_token: None };
+        assert!(authorized(&open, &request("POST", "/campaigns", None)));
+
+        let locked =
+            ServerConfig { io_timeout: None, auth_token: Some("s3cret".to_owned()) };
+        assert!(!authorized(&locked, &request("POST", "/campaigns", None)));
+        assert!(!authorized(
+            &locked,
+            &request("POST", "/campaigns", Some("Bearer wrong"))
+        ));
+        assert!(authorized(
+            &locked,
+            &request("POST", "/campaigns", Some("Bearer s3cret"))
+        ));
+        assert!(
+            authorized(&locked, &request("GET", "/healthz", None)),
+            "healthz stays open for unauthenticated fleet probes"
+        );
+        assert!(
+            !authorized(&locked, &request("POST", "/healthz", None)),
+            "only the GET probe form is exempt"
+        );
+    }
 }

@@ -1,0 +1,323 @@
+//! Pluggable byte transports for the campaign client.
+//!
+//! The client used to call `TcpStream::connect` directly; routing every
+//! connection through a [`Transport`] buys two things the dispatch
+//! coordinator needs:
+//!
+//! * **deadlines** — [`TcpTransport`] applies connect/read/write timeouts to
+//!   every socket it hands out, so a dead worker turns into a bounded
+//!   `TimedOut` error instead of an indefinite hang;
+//! * **fault injection** — [`FaultyTransport`] wraps any inner transport and
+//!   injects a scheduled [`Fault`] (connection refusal, mid-stream drop,
+//!   stall, short write, garbage bytes) into chosen connections, which is
+//!   how the chaos suites prove the coordinator's retry/reassignment logic
+//!   produces byte-identical artefacts under failure.
+//!
+//! Faults are scheduled by *connection index* (0-based, in connect order),
+//! so a chaos schedule is deterministic for a deterministic coordinator.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A bidirectional byte stream (what [`Transport::connect`] hands out).
+pub trait Connection: Read + Write + Send {}
+
+impl<T: Read + Write + Send> Connection for T {}
+
+/// A connection factory: the seam between the protocol client and the
+/// network.
+pub trait Transport: Send + Sync {
+    /// Opens one connection to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error of the underlying connect (or an injected fault).
+    fn connect(&self, addr: SocketAddr) -> io::Result<Box<dyn Connection>>;
+}
+
+/// The real TCP transport, with optional per-socket deadlines.
+///
+/// `Default` applies no deadlines (the legacy client behaviour); dispatch
+/// builds one with [`with_deadlines`](TcpTransport::with_deadlines) so every
+/// request the coordinator makes is bounded.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpTransport {
+    connect_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+}
+
+impl TcpTransport {
+    /// A transport whose connects, reads and writes all time out after
+    /// `timeout` (`None` disables the deadlines).
+    pub fn with_deadlines(timeout: Option<Duration>) -> TcpTransport {
+        TcpTransport { connect_timeout: timeout, read_timeout: timeout, write_timeout: timeout }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn connect(&self, addr: SocketAddr) -> io::Result<Box<dyn Connection>> {
+        let stream = match self.connect_timeout {
+            Some(timeout) => TcpStream::connect_timeout(&addr, timeout)?,
+            None => TcpStream::connect(addr)?,
+        };
+        stream.set_read_timeout(self.read_timeout)?;
+        stream.set_write_timeout(self.write_timeout)?;
+        Ok(Box::new(stream))
+    }
+}
+
+/// One injected failure mode, applied to a single connection.
+///
+/// Byte positions count the connection's own traffic: read faults trigger at
+/// the `K`-th *response* byte delivered, write faults at the `K`-th
+/// *request* byte accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The connect itself fails (`ConnectionRefused`) — a worker that is
+    /// down before the request starts.
+    RefuseConnect,
+    /// Reads fail with `ConnectionReset` once `K` response bytes have been
+    /// delivered — a worker that dies mid-stream.
+    DropAfter(usize),
+    /// Reads fail with `TimedOut` once `K` response bytes have been
+    /// delivered — a worker that goes silent, surfaced exactly as the read
+    /// deadline would surface it (no wall-clock wait, so chaos suites stay
+    /// fast while exercising the same error path).
+    StallAfter(usize),
+    /// Response bytes from position `K` onward are corrupted (overwritten
+    /// with `0x01`, a byte that is valid in neither HTTP framing nor raw
+    /// JSON, so corruption is always *detectable* — see the crate docs'
+    /// failure model for why undetectable corruption is out of scope).
+    GarbageAt(usize),
+    /// Writes accept only the first `K` request bytes, then fail with
+    /// `BrokenPipe` — a worker that vanishes while the request is being
+    /// sent.
+    ShortWriteAt(usize),
+}
+
+/// The byte every [`Fault::GarbageAt`] corruption writes.
+const GARBAGE_BYTE: u8 = 0x01;
+
+#[derive(Default)]
+struct FaultState {
+    /// Faults keyed by connection index (in connect order).
+    schedule: BTreeMap<usize, Fault>,
+    /// Connections handed out so far.
+    connections: usize,
+}
+
+/// A [`Transport`] wrapper that injects scheduled faults.
+///
+/// Connections not named in the schedule pass through untouched, so a chaos
+/// run interleaves healthy and faulty traffic exactly like a flaky network
+/// would.
+pub struct FaultyTransport {
+    inner: Arc<dyn Transport>,
+    state: Mutex<FaultState>,
+}
+
+impl FaultyTransport {
+    /// Wraps `inner` with an empty fault schedule.
+    pub fn new(inner: Arc<dyn Transport>) -> FaultyTransport {
+        FaultyTransport { inner, state: Mutex::default() }
+    }
+
+    /// Schedules `fault` for the `connection`-th connect (0-based). Later
+    /// entries for the same index replace earlier ones.
+    pub fn schedule(self, connection: usize, fault: Fault) -> FaultyTransport {
+        self.state.lock().expect("fault schedule lock").schedule.insert(connection, fault);
+        self
+    }
+
+    /// How many connections have been handed out (or refused) so far.
+    pub fn connections_made(&self) -> usize {
+        self.state.lock().expect("fault schedule lock").connections
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn connect(&self, addr: SocketAddr) -> io::Result<Box<dyn Connection>> {
+        let fault = {
+            let mut state = self.state.lock().expect("fault schedule lock");
+            let index = state.connections;
+            state.connections += 1;
+            state.schedule.get(&index).copied()
+        };
+        if fault == Some(Fault::RefuseConnect) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "injected fault: connection refused",
+            ));
+        }
+        let inner = self.inner.connect(addr)?;
+        Ok(Box::new(FaultyConnection { inner, fault, read_pos: 0, write_pos: 0 }))
+    }
+}
+
+/// A connection with one scheduled fault armed.
+struct FaultyConnection {
+    inner: Box<dyn Connection>,
+    fault: Option<Fault>,
+    read_pos: usize,
+    write_pos: usize,
+}
+
+impl Read for FaultyConnection {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let limit = match self.fault {
+            Some(Fault::DropAfter(k) | Fault::StallAfter(k)) => {
+                if self.read_pos >= k {
+                    return Err(match self.fault {
+                        Some(Fault::DropAfter(_)) => io::Error::new(
+                            io::ErrorKind::ConnectionReset,
+                            "injected fault: connection dropped mid-stream",
+                        ),
+                        _ => io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "injected fault: read deadline fired",
+                        ),
+                    });
+                }
+                (k - self.read_pos).min(buf.len())
+            }
+            _ => buf.len(),
+        };
+        let n = self.inner.read(&mut buf[..limit])?;
+        if let Some(Fault::GarbageAt(k)) = self.fault {
+            for (offset, byte) in buf[..n].iter_mut().enumerate() {
+                if self.read_pos + offset >= k {
+                    *byte = GARBAGE_BYTE;
+                }
+            }
+        }
+        self.read_pos += n;
+        Ok(n)
+    }
+}
+
+impl Write for FaultyConnection {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let limit = match self.fault {
+            Some(Fault::ShortWriteAt(k)) => {
+                if self.write_pos >= k {
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "injected fault: peer gone mid-request",
+                    ));
+                }
+                (k - self.write_pos).min(buf.len())
+            }
+            _ => buf.len(),
+        };
+        let n = self.inner.write(&buf[..limit])?;
+        self.write_pos += n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpListener;
+    use std::thread;
+
+    /// A one-shot echo peer: accepts one connection, reads one line, writes
+    /// `reply` back, closes.
+    fn one_shot_server(reply: &'static [u8]) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            if let Ok((stream, _)) = listener.accept() {
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut line = String::new();
+                let _ = reader.read_line(&mut line);
+                let mut stream = stream;
+                let _ = stream.write_all(reply);
+            }
+        });
+        addr
+    }
+
+    fn roundtrip(transport: &dyn Transport, addr: SocketAddr) -> io::Result<Vec<u8>> {
+        let mut conn = transport.connect(addr)?;
+        conn.write_all(b"hello\n")?;
+        conn.flush()?;
+        let mut response = Vec::new();
+        conn.read_to_end(&mut response)?;
+        Ok(response)
+    }
+
+    #[test]
+    fn clean_transport_passes_bytes_through() {
+        let addr = one_shot_server(b"world\n");
+        let transport = FaultyTransport::new(Arc::new(TcpTransport::default()));
+        assert_eq!(roundtrip(&transport, addr).unwrap(), b"world\n");
+        assert_eq!(transport.connections_made(), 1);
+    }
+
+    #[test]
+    fn refuse_connect_fails_before_any_io() {
+        let addr = one_shot_server(b"unreached\n");
+        let transport =
+            FaultyTransport::new(Arc::new(TcpTransport::default())).schedule(0, Fault::RefuseConnect);
+        let error = roundtrip(&transport, addr).expect_err("refused");
+        assert_eq!(error.kind(), io::ErrorKind::ConnectionRefused);
+        // The next connection is healthy: faults are per-index.
+        assert_eq!(roundtrip(&transport, addr).unwrap(), b"unreached\n");
+    }
+
+    #[test]
+    fn drop_after_delivers_exactly_k_bytes_then_resets() {
+        let addr = one_shot_server(b"0123456789");
+        let transport =
+            FaultyTransport::new(Arc::new(TcpTransport::default())).schedule(0, Fault::DropAfter(4));
+        let mut conn = transport.connect(addr).unwrap();
+        conn.write_all(b"hello\n").unwrap();
+        let mut prefix = [0u8; 4];
+        conn.read_exact(&mut prefix).unwrap();
+        assert_eq!(&prefix, b"0123");
+        let error = conn.read(&mut [0u8; 1]).expect_err("dropped");
+        assert_eq!(error.kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn stall_after_surfaces_as_a_timeout() {
+        let addr = one_shot_server(b"0123456789");
+        let transport =
+            FaultyTransport::new(Arc::new(TcpTransport::default())).schedule(0, Fault::StallAfter(0));
+        let mut conn = transport.connect(addr).unwrap();
+        conn.write_all(b"hello\n").unwrap();
+        let error = conn.read(&mut [0u8; 8]).expect_err("stalled");
+        assert_eq!(error.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn garbage_corrupts_from_byte_k_onward() {
+        let addr = one_shot_server(b"0123456789");
+        let transport =
+            FaultyTransport::new(Arc::new(TcpTransport::default())).schedule(0, Fault::GarbageAt(6));
+        let response = roundtrip(&transport, addr).unwrap();
+        assert_eq!(&response[..6], b"012345", "the prefix is intact");
+        assert!(response[6..].iter().all(|&b| b == GARBAGE_BYTE), "the tail is garbage");
+    }
+
+    #[test]
+    fn short_write_truncates_the_request_then_breaks() {
+        let addr = one_shot_server(b"reply\n");
+        let transport = FaultyTransport::new(Arc::new(TcpTransport::default()))
+            .schedule(0, Fault::ShortWriteAt(3));
+        let mut conn = transport.connect(addr).unwrap();
+        assert_eq!(conn.write(b"hello\n").unwrap(), 3, "only K bytes are accepted");
+        let error = conn.write(b"lo\n").expect_err("broken pipe");
+        assert_eq!(error.kind(), io::ErrorKind::BrokenPipe);
+    }
+}
