@@ -41,6 +41,27 @@ fn bench_single_test_throughput(c: &mut Criterion) {
                 b.iter(|| harness.run_program_into(&program, &mut scratch).dut_commits);
             },
         );
+        // The same harness with the decode cache pinned on and off,
+        // independent of `MABFUZZ_DECODE_CACHE`: the cached/interpreted
+        // spread is the per-test win of executing pre-decoded `Instr`s.
+        group.bench_with_input(
+            BenchmarkId::new("decoded", core.name()),
+            &core,
+            |b, &core| {
+                let harness = FuzzHarness::new(Arc::from(core.build(BugSet::none())), 300);
+                let mut scratch = ExecScratch::with_decode_cache(true);
+                b.iter(|| harness.run_program_into(&program, &mut scratch).dut_commits);
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("interpreted", core.name()),
+            &core,
+            |b, &core| {
+                let harness = FuzzHarness::new(Arc::from(core.build(BugSet::none())), 300);
+                let mut scratch = ExecScratch::with_decode_cache(false);
+                b.iter(|| harness.run_program_into(&program, &mut scratch).dut_commits);
+            },
+        );
         // The allocating path on the same program: the permanent A/B that
         // keeps the scratch path honest.
         group.bench_with_input(

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use coverage::CoverageMap;
-use isa_sim::{ExecTrace, GoldenScratch, GoldenSim};
+use isa_sim::{DecodeCache, DecodeCacheStats, ExecTrace, GoldenScratch, GoldenSim};
 use proc_sim::{DutResult, Processor, SimScratch};
 use riscv::Program;
 
@@ -117,13 +117,45 @@ impl FuzzHarness {
         program: &Program,
         scratch: &'s mut ExecScratch,
     ) -> TestOutcomeView<'s> {
-        self.processor.run_into(program, self.max_steps, &mut scratch.sim, &mut scratch.dut);
-        self.golden.run_into(
-            program,
-            self.max_steps,
-            &mut scratch.golden_trace,
-            &mut scratch.golden_scratch,
-        );
+        match scratch.decode_cache.as_mut() {
+            Some(cache) => {
+                // One cache lookup serves both simulators: the image is
+                // decoded (and the text encoded) at most once per distinct
+                // program, instead of once per word per step per simulator.
+                let decoded = cache.get_or_decode(program);
+                self.processor.run_decoded_into(
+                    program,
+                    decoded,
+                    self.max_steps,
+                    &mut scratch.sim,
+                    &mut scratch.dut,
+                );
+                self.golden.run_decoded_into(
+                    program,
+                    decoded,
+                    self.max_steps,
+                    &mut scratch.golden_trace,
+                    &mut scratch.golden_scratch,
+                );
+            }
+            // Oracle mode (`MABFUZZ_DECODE_CACHE=off`): the interpreted
+            // fetch/decode path, kept alive as the differential reference
+            // the cached path is byte-compared against in tests and CI.
+            None => {
+                self.processor.run_into(
+                    program,
+                    self.max_steps,
+                    &mut scratch.sim,
+                    &mut scratch.dut,
+                );
+                self.golden.run_into(
+                    program,
+                    self.max_steps,
+                    &mut scratch.golden_trace,
+                    &mut scratch.golden_scratch,
+                );
+            }
+        }
         compare_traces_into(&scratch.dut.trace, &scratch.golden_trace, &mut scratch.diff);
         TestOutcomeView {
             coverage: &scratch.dut.coverage,
@@ -139,20 +171,80 @@ impl FuzzHarness {
 ///
 /// Owns everything a simulate–compare iteration writes: the DUT result
 /// (trace + coverage bitmap), the DUT's microarchitectural scratch, the
-/// golden model's trace and memory image and the differential report.
-#[derive(Debug, Default)]
+/// golden model's trace and memory image, the differential report — and the
+/// worker's private [`DecodeCache`]. Because the cache lives *inside* the
+/// scratch, every campaign and every shard worker owns its own: the hot path
+/// shares no mutable state, and a worker's hit/miss sequence is a pure
+/// function of the programs it simulates (never of shard count or thread
+/// interleaving).
+#[derive(Debug)]
 pub struct ExecScratch {
     sim: SimScratch,
     dut: DutResult,
     golden_trace: ExecTrace,
     golden_scratch: GoldenScratch,
     diff: DiffReport,
+    decode_cache: Option<DecodeCache>,
 }
 
 impl ExecScratch {
-    /// Creates empty scratch buffers.
+    /// Environment variable controlling whether new scratches carry a decode
+    /// cache: `on`/`1`/`true` (also unset) enable it, `off`/`0`/`false`
+    /// select the interpreted oracle path, anything else panics loudly
+    /// (mirroring `MABFUZZ_SHARDS`).
+    pub const DECODE_CACHE_ENV: &'static str = "MABFUZZ_DECODE_CACHE";
+
+    /// Creates empty scratch buffers, honouring
+    /// [`DECODE_CACHE_ENV`](ExecScratch::DECODE_CACHE_ENV) for the decode
+    /// cache (enabled by default).
     pub fn new() -> ExecScratch {
-        ExecScratch::default()
+        ExecScratch::with_decode_cache(decode_cache_enabled_from_env())
+    }
+
+    /// Creates empty scratch buffers with the decode cache explicitly on or
+    /// off, ignoring the environment — tests and benches use this to compare
+    /// the cached and interpreted paths side by side.
+    pub fn with_decode_cache(enabled: bool) -> ExecScratch {
+        ExecScratch {
+            sim: SimScratch::new(),
+            dut: DutResult::default(),
+            golden_trace: ExecTrace::default(),
+            golden_scratch: GoldenScratch::new(),
+            diff: DiffReport::default(),
+            decode_cache: enabled.then(DecodeCache::new),
+        }
+    }
+
+    /// Returns `true` when this scratch runs the pre-decoded path.
+    pub fn decode_cache_enabled(&self) -> bool {
+        self.decode_cache.is_some()
+    }
+
+    /// Returns the decode cache's hit/miss/eviction counters (all zero in
+    /// oracle mode).
+    pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+        self.decode_cache.as_ref().map(DecodeCache::stats).unwrap_or_default()
+    }
+}
+
+impl Default for ExecScratch {
+    fn default() -> ExecScratch {
+        ExecScratch::new()
+    }
+}
+
+fn decode_cache_enabled_from_env() -> bool {
+    match std::env::var(ExecScratch::DECODE_CACHE_ENV) {
+        Err(std::env::VarError::NotPresent) => true,
+        Err(error) => panic!("{}: {error}", ExecScratch::DECODE_CACHE_ENV),
+        Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "" | "on" | "1" | "true" => true,
+            "off" | "0" | "false" => false,
+            other => panic!(
+                "{}: expected on/off (or 1/0, true/false), got {other:?}",
+                ExecScratch::DECODE_CACHE_ENV
+            ),
+        },
     }
 }
 
@@ -311,5 +403,72 @@ mod tests {
         let harness = FuzzHarness::new(Arc::new(RocketCore::new(BugSet::none())), 100);
         let text = format!("{harness:?}");
         assert!(text.contains("rocket"));
+    }
+
+    fn mixed_program_set() -> Vec<Program> {
+        let mut garbage = program("addi a0, zero, 1\nnop\necall\n");
+        garbage.set_raw(1, 0xffff_ffff);
+        vec![
+            program("addi a0, zero, 5\nmul a1, a0, a0\necall\n"),
+            program("lui gp, 0x80010\nsd a0, 0(gp)\nld a1, 0(gp)\necall\n"),
+            program("csrrw a0, 0x5c0, zero\necall\n"),
+            garbage,
+            Program::new(),
+        ]
+    }
+
+    #[test]
+    fn cached_and_interpreted_scratches_agree_on_every_outcome() {
+        for harness in [
+            FuzzHarness::new(Arc::new(RocketCore::new(BugSet::none())), 500),
+            FuzzHarness::new(Arc::new(Cva6Core::new(BugSet::all())), 500),
+        ] {
+            let mut cached = ExecScratch::with_decode_cache(true);
+            let mut oracle = ExecScratch::with_decode_cache(false);
+            assert!(cached.decode_cache_enabled());
+            assert!(!oracle.decode_cache_enabled());
+            // Interleave repeats so the cached scratch actually hits.
+            let programs = mixed_program_set();
+            for prog in programs.iter().chain(programs.iter()) {
+                let a = harness.run_program_into(prog, &mut cached).to_outcome();
+                let b = harness.run_program_into(prog, &mut oracle).to_outcome();
+                assert_eq!(a.coverage, b.coverage);
+                assert_eq!(a.diff, b.diff);
+                assert_eq!(a.dut_commits, b.dut_commits);
+                assert_eq!(a.golden_commits, b.golden_commits);
+            }
+            let stats = cached.decode_cache_stats();
+            assert_eq!(stats.misses, 5, "each distinct program decodes once");
+            assert_eq!(stats.hits, 5, "the second pass is all hits");
+            assert_eq!(oracle.decode_cache_stats().lookups(), 0, "oracle mode never looks up");
+        }
+    }
+
+    #[test]
+    fn cache_stats_depend_only_on_the_program_sequence() {
+        // Two workers fed the same program sequence report identical
+        // counters, regardless of what any other scratch did in between —
+        // the property that makes hit behaviour shard-count invariant
+        // (shard workers each own their scratch and see a deterministic
+        // subsequence).
+        let harness = FuzzHarness::new(Arc::new(RocketCore::new(BugSet::none())), 500);
+        let programs = mixed_program_set();
+        let order = [0usize, 1, 0, 2, 2, 3, 0, 4, 1];
+        let run = |scratch: &mut ExecScratch| {
+            for &i in &order {
+                harness.run_program_into(&programs[i], scratch);
+            }
+            scratch.decode_cache_stats()
+        };
+        let mut first = ExecScratch::with_decode_cache(true);
+        let stats_first = run(&mut first);
+        // Perturb an unrelated scratch between the two measurements.
+        let mut noise = ExecScratch::with_decode_cache(true);
+        harness.run_program_into(&programs[3], &mut noise);
+        let mut second = ExecScratch::with_decode_cache(true);
+        let stats_second = run(&mut second);
+        assert_eq!(stats_first, stats_second);
+        assert_eq!(stats_first.misses, 5);
+        assert_eq!(stats_first.hits, 4);
     }
 }

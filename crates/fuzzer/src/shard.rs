@@ -28,7 +28,12 @@
 //! 2. **Pure map.** Simulating one program is a pure function of the
 //!    program: `FuzzHarness::run_program_into` writes the same trace,
 //!    coverage bitmap and diff regardless of which scratch buffers it reuses
-//!    (the harness tests pin this). Shards therefore only decide *where* a
+//!    (the harness tests pin this). The scratch's decode cache preserves the
+//!    rule: it is private to the worker (no shared mutable state on the hot
+//!    path) and only memoises the program→decoded-image function, so a hit
+//!    and a miss produce identical outcomes — and therefore shard count can
+//!    change neither results nor, for a given worker subsequence, hit
+//!    behaviour. Shards therefore only decide *where* a
 //!    test runs, never *what* it produces. Workers claim the fixed strided
 //!    slice `test_index % shards == shard` — assignment is static, not
 //!    load-stealing — but because the map is pure even a dynamic assignment
@@ -523,6 +528,36 @@ mod tests {
         }
         assert_eq!(merged, reference);
         assert!(merged.count() > 0);
+    }
+
+    #[test]
+    fn per_worker_decode_caches_never_perturb_sharded_results() {
+        // Shard workers default to cached scratches (`ExecScratch::new`);
+        // every shard count must still reproduce the *interpreted* serial
+        // reference byte for byte, even when the batch repeats programs so
+        // the workers' private caches genuinely hit. Together with the
+        // harness tests (hit stats are a pure function of the per-worker
+        // program subsequence, which rule (2) of the determinism contract
+        // fixes for every shard count), this pins that shard count never
+        // changes cache behaviour and the cache never changes results.
+        let harness = harness();
+        let mut batch = programs(7);
+        let repeats = batch.clone();
+        batch.extend(repeats); // 14 tests, each program seen twice
+        let mut oracle = ExecScratch::with_decode_cache(false);
+        let reference = simulate_serial(&harness, &batch, &mut oracle);
+        let arc = Arc::new(batch);
+        for shards in [1usize, 2, 3, 7] {
+            let pool = ShardPool::new(&harness, shards);
+            let outcomes = pool.simulate(&arc);
+            assert_eq!(outcomes.len(), reference.len());
+            for (index, (pooled, serial)) in outcomes.iter().zip(&reference).enumerate() {
+                assert_eq!(pooled.coverage, serial.coverage, "{shards} shards, test {index}");
+                assert_eq!(pooled.diff, serial.diff, "{shards} shards, test {index}");
+                assert_eq!(pooled.dut_commits, serial.dut_commits);
+                assert_eq!(pooled.golden_commits, serial.golden_commits);
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@ use riscv::program::TEXT_BASE;
 use riscv::{decode, CsrAddr, Gpr, Instr, Op, Program};
 use serde::{Deserialize, Serialize};
 
+use crate::decoded::DecodedProgram;
 use crate::mem::Memory;
 use crate::state::ArchState;
 use crate::trace::{CommitRecord, ExecTrace, HaltReason, MemAccess};
@@ -348,7 +349,48 @@ impl GoldenSim {
     ) {
         program.text_bytes_into(&mut scratch.text);
         scratch.mem.reset_with_program(&scratch.text, program.data());
-        let mem = &mut scratch.mem;
+        self.run_loop(&mut scratch.mem, max_steps, trace, |mem, pc| {
+            mem.fetch(pc).map(|word| (word, decode(word).ok()))
+        });
+    }
+
+    /// Runs `program` like [`run_into`](GoldenSim::run_into), but fetches
+    /// pre-decoded instructions from `decoded` instead of decoding each word
+    /// on every step.
+    ///
+    /// `decoded` must be the pre-decoded image of `program`'s current text
+    /// (asserted in debug builds); [`DecodeCache`](crate::DecodeCache)
+    /// guarantees that pairing. The commit trace is byte-identical to the
+    /// interpreted path — the interpreter stays alive as the differential
+    /// oracle for exactly this claim (see the [`decoded`](crate::decoded)
+    /// module docs).
+    pub fn run_decoded_into(
+        &self,
+        program: &Program,
+        decoded: &DecodedProgram,
+        max_steps: usize,
+        trace: &mut ExecTrace,
+        scratch: &mut GoldenScratch,
+    ) {
+        debug_assert!(decoded.matches(program), "pre-decoded image is not this program's text");
+        scratch.mem.reset_with_program(decoded.text(), program.data());
+        self.run_loop(&mut scratch.mem, max_steps, trace, |_mem, pc| {
+            decoded.fetch(pc).map(|slot| (slot.word, slot.instr))
+        });
+    }
+
+    /// The shared commit loop behind both fetch paths. `fetch` returns the
+    /// raw word and its architectural decode for a pc, or `None` when the pc
+    /// leaves the text region; the two closures (live `Memory::fetch` +
+    /// `decode`, or a [`DecodedProgram`] lookup) are proven equivalent in the
+    /// `decoded` module's tests.
+    fn run_loop(
+        &self,
+        mem: &mut Memory,
+        max_steps: usize,
+        trace: &mut ExecTrace,
+        fetch: impl Fn(&Memory, u64) -> Option<(u32, Option<Instr>)>,
+    ) {
         trace.clear();
         let mut state = ArchState::new();
         let text_end = TEXT_BASE + mem.text_len();
@@ -356,11 +398,10 @@ impl GoldenSim {
 
         for seq in 0..max_steps as u64 {
             let pc = state.pc;
-            let Some(word) = mem.fetch(pc) else {
+            let Some((word, decoded)) = fetch(&*mem, pc) else {
                 halt = HaltReason::PcOutOfText;
                 break;
             };
-            let decoded = decode(word).ok();
             let outcome = match decoded {
                 Some(instr) => execute_instr(&mut state, mem, instr, pc),
                 None => InstrOutcome::except(pc, Exception::IllegalInstruction { word }),
@@ -702,5 +743,69 @@ mod tests {
         let program = Program::from_instrs(parse_program("addi a0, zero, 9\nmul a1, a0, a0\necall\n").unwrap());
         let sim = GoldenSim::new();
         assert_eq!(sim.run(&program, 100), sim.run(&program, 100));
+    }
+
+    #[test]
+    fn store_to_text_is_rejected_so_predecoded_images_stay_valid() {
+        // The decode cache relies on text being immutable during execution:
+        // this pins that a store aimed at the text region faults instead of
+        // landing (see `Memory::fetch` and the `decoded` module docs).
+        let trace = run_asm(
+            "lui t0, 0x80000\n\
+             addi t1, zero, 1\n\
+             sw t1, 0(t0)\n\
+             sb t1, 4(t0)\n\
+             lw a0, 0(t0)\n\
+             ecall\n",
+        );
+        let exceptions: Vec<_> = trace.faults().map(|(_, e)| e).collect();
+        assert!(
+            matches!(
+                exceptions.as_slice(),
+                [Exception::StoreAccessFault { .. }, Exception::StoreAccessFault { .. }]
+            ),
+            "both stores into text must fault, got {exceptions:?}"
+        );
+        // The word at TEXT_BASE is still the original `lui` encoding, not 1.
+        let load = trace.commits().iter().find(|c| matches!(c.mem, Some(m) if !m.is_store));
+        assert_eq!(load.expect("load committed").mem.unwrap().value & 0xffff_ffff, 0x8000_02b7);
+    }
+
+    #[test]
+    fn decoded_path_is_byte_identical_to_the_interpreted_path() {
+        use crate::decoded::DecodedProgram;
+
+        let mut programs = vec![
+            Program::new(), // empty: one phantom zero word, PcOutOfText
+            Program::from_instrs(parse_program("addi a0, zero, 9\nmul a1, a0, a0\necall\n").unwrap()),
+            Program::from_instrs(parse_program(
+                "lui gp, 0x80010\n\
+                 addi t0, zero, -2\n\
+                 sd t0, 16(gp)\n\
+                 ld t1, 16(gp)\n\
+                 ebreak\n\
+                 csrrw t2, 0x5c0, zero\n\
+                 ecall\n",
+            ).unwrap()),
+            Program::from_instrs(vec![Instr::jal(Gpr::Zero, 0)]), // step limit
+        ];
+        // An undecodable raw-override word exercises the cached decode-fault
+        // slot (`instr == None`).
+        let mut with_raw = Program::from_instrs(
+            parse_program("addi a0, zero, 1\nnop\necall\n").unwrap(),
+        );
+        with_raw.set_raw(1, 0xffff_ffff);
+        programs.push(with_raw);
+
+        let sim = GoldenSim::new();
+        let mut scratch = GoldenScratch::new();
+        let mut interpreted = ExecTrace::default();
+        let mut cached = ExecTrace::default();
+        for program in &programs {
+            let decoded = DecodedProgram::from_program(program);
+            sim.run_into(program, 50, &mut interpreted, &mut scratch);
+            sim.run_decoded_into(program, &decoded, 50, &mut cached, &mut scratch);
+            assert_eq!(cached, interpreted, "decoded run diverged for:\n{program}");
+        }
     }
 }

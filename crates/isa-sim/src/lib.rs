@@ -41,12 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod decoded;
 pub mod exec;
 pub mod mem;
 pub mod state;
 pub mod trace;
 pub mod trap;
 
+pub use decoded::{DecodeCache, DecodeCacheStats, DecodedProgram, DecodedSlot};
 pub use exec::{ExecConfig, GoldenScratch, GoldenSim};
 pub use mem::Memory;
 pub use state::ArchState;

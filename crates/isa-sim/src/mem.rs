@@ -102,6 +102,11 @@ impl Memory {
     }
 
     /// Returns `true` when a `width`-byte store at `addr` is permitted.
+    ///
+    /// Only the `Data` region is writable (first *and* last byte of the
+    /// access must fall inside it), so program text can never be modified by
+    /// an executing store — the invariant [`fetch`](Memory::fetch) and the
+    /// decode cache build on.
     pub fn can_store(&self, addr: u64, width: u64) -> bool {
         let last = addr.wrapping_add(width.saturating_sub(1));
         self.region_of(addr) == Region::Data && self.region_of(last) == Region::Data
@@ -151,6 +156,23 @@ impl Memory {
 
     /// Fetches the 32-bit instruction word at `addr`, or `None` when the
     /// address is outside the text region or misaligned.
+    ///
+    /// # Text is immutable while a program runs
+    ///
+    /// Between [`reset_with_program`](Memory::reset_with_program) calls, the
+    /// bytes this function reads cannot change: every store the executors
+    /// issue is gated on [`can_store`](Memory::can_store), which only admits
+    /// the `Data` region (both TheHuzz/MABFuzz simulators route all
+    /// program-visible writes through `execute_instr`, and the V1–V7 bug
+    /// deviations never write memory directly — V5 only suppresses *load*
+    /// faults). The raw [`write_byte`](Memory::write_byte) escape hatch
+    /// exists for loaders and future buggy models, but nothing on the
+    /// execution path uses it. This is the invariant that makes caching
+    /// pre-decoded text by program hash sound
+    /// (see [`DecodedProgram`](crate::DecodedProgram)): a fetch at a given
+    /// address returns the same word for the whole run, so its decode can be
+    /// computed once. Pinned by the store-to-text tests here, in `exec`, and
+    /// in `proc-sim`.
     pub fn fetch(&self, addr: u64) -> Option<u32> {
         let addr = addr & PHYS_ADDR_MASK;
         if !addr.is_multiple_of(4) || self.region_of(addr) != Region::Text {
@@ -218,6 +240,30 @@ mod tests {
         assert_eq!(mem.fetch(TEXT_BASE), Some(0x13));
         assert_eq!(mem.fetch(TEXT_BASE + 2), None);
         assert_eq!(mem.fetch(DATA_BASE), None);
+    }
+
+    #[test]
+    fn no_store_width_can_touch_the_text_region() {
+        // The decode-cache soundness argument (see `fetch`): every width and
+        // every alignment of store that overlaps text — including one
+        // straddling the text/unmapped boundary — is rejected.
+        let text_len = 64u64;
+        let mem = Memory::with_program(&vec![0u8; text_len as usize], &[0u8; 16]);
+        for width in [1u64, 2, 4, 8] {
+            for offset in 0..text_len {
+                assert!(
+                    !mem.can_store(TEXT_BASE + offset, width),
+                    "store width {width} at text+{offset} must be rejected"
+                );
+            }
+            // A store ending just before text, or starting just after, is a
+            // plain unmapped fault, not a text write.
+            assert!(!mem.can_store(TEXT_BASE - width, width));
+            assert!(!mem.can_store(TEXT_BASE + text_len, width));
+        }
+        // Data stores stay permitted — the rejection is about the region, not
+        // the operation.
+        assert!(mem.can_store(DATA_BASE, 8));
     }
 
     #[test]

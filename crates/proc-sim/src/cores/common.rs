@@ -2,7 +2,10 @@
 
 use coverage::{CoverPointId, CoverageMap, CoverageSpace};
 use isa_sim::exec::{execute_instr, InstrOutcome};
-use isa_sim::{ArchState, CommitRecord, Exception, HaltReason, MemAccess, Memory, PHYS_ADDR_MASK};
+use isa_sim::{
+    ArchState, CommitRecord, DecodedProgram, Exception, HaltReason, MemAccess, Memory,
+    PHYS_ADDR_MASK,
+};
 use riscv::op::Format;
 use riscv::program::TEXT_BASE;
 use riscv::{decode, Gpr, Instr, Op, OpClass, Program};
@@ -301,6 +304,45 @@ impl Processor for CoreModel {
         scratch: &mut SimScratch,
         out: &mut DutResult,
     ) {
+        self.run_model(program, None, max_steps, scratch, out, |mem, pc| {
+            mem.fetch(pc).map(|word| (word, decode(word).ok()))
+        });
+    }
+
+    fn run_decoded_into(
+        &self,
+        program: &Program,
+        decoded: &DecodedProgram,
+        max_steps: usize,
+        scratch: &mut SimScratch,
+        out: &mut DutResult,
+    ) {
+        debug_assert!(decoded.matches(program), "pre-decoded image is not this program's text");
+        self.run_model(program, Some(decoded), max_steps, scratch, out, |_mem, pc| {
+            decoded.fetch(pc).map(|slot| (slot.word, slot.instr))
+        });
+    }
+}
+
+impl CoreModel {
+    /// The shared core driver behind both fetch paths.
+    ///
+    /// `fetch` yields the raw word and its *architectural* decode (or `None`
+    /// past the end of text); `predecoded` additionally supplies the already-
+    /// encoded text image so the cached path skips the per-test re-encode.
+    /// Everything downstream of the fetch — including the bug-injected
+    /// decoder behaviour (V2 executes words whose architectural decode
+    /// failed) — is identical in both modes, which is what keeps the decode
+    /// cache transparent to the injected vulnerabilities.
+    fn run_model(
+        &self,
+        program: &Program,
+        predecoded: Option<&DecodedProgram>,
+        max_steps: usize,
+        scratch: &mut SimScratch,
+        out: &mut DutResult,
+        fetch: impl Fn(&Memory, u64) -> Option<(u32, Option<Instr>)>,
+    ) {
         let (mem, text, model_slot) = scratch.parts();
 
         // Adopt (or create) the scratch's component state for this design.
@@ -324,8 +366,13 @@ impl Processor for CoreModel {
             .components;
         parts.reset();
 
-        program.text_bytes_into(text);
-        mem.reset_with_program(text, program.data());
+        match predecoded {
+            Some(decoded) => mem.reset_with_program(decoded.text(), program.data()),
+            None => {
+                program.text_bytes_into(text);
+                mem.reset_with_program(text, program.data());
+            }
+        }
         out.coverage.reset_for_len(self.space.len());
         out.trace.clear();
         let map = &mut out.coverage;
@@ -339,14 +386,13 @@ impl Processor for CoreModel {
 
         for seq in 0..max_steps as u64 {
             let pc = state.pc;
-            let Some(word) = mem.fetch(pc) else {
+            let Some((word, decoded)) = fetch(&*mem, pc) else {
                 halt = HaltReason::PcOutOfText;
                 break;
             };
             parts.frontend.on_fetch(pc, map);
             parts.icache.access(pc, false, map);
 
-            let decoded = decode(word).ok();
             // The instruction the DUT actually executes may differ from the
             // architecturally decoded one when the V2 bug is enabled.
             let executed = match decoded {
@@ -781,6 +827,83 @@ mod tests {
         let dut = buggy.run(&prog, 100);
         assert_eq!(golden.final_state().reg(Gpr::A0), 170);
         assert_eq!(dut.trace.final_state().reg(Gpr::A0), 0, "stale pre-store value returned");
+    }
+
+    #[test]
+    fn decoded_path_matches_interpreted_for_every_bug_set() {
+        // The decode cache must be invisible to every injected vulnerability:
+        // same trace, same coverage, for legal programs, raw illegal words
+        // (exercising the cached decode-fault slot) and empty text.
+        let mut with_raw = program("addi a1, zero, 30\naddi a2, zero, 12\nnop\necall\n");
+        with_raw.set_raw(2, (0x7f << 25) | (12 << 20) | (11 << 15) | (10 << 7) | 0x33);
+        let mut garbage = program("addi a0, zero, 1\nnop\necall\n");
+        garbage.set_raw(1, 0xffff_ffff);
+        let programs = [
+            Program::new(),
+            program("lui gp, 0x80010\nsd a0, 0(gp)\nld a1, 0(gp)\nebreak\necall\n"),
+            with_raw,
+            garbage,
+            program("fence.i\ncsrrs a0, 0x5c0, zero\necall\n"),
+        ];
+        let mut bug_sets = vec![BugSet::none(), BugSet::all()];
+        bug_sets.extend(Vulnerability::ALL.iter().map(|v| BugSet::only(*v)));
+        for bugs in bug_sets {
+            let core = CoreModel::new(test_config(), bugs.clone());
+            let mut scratch = SimScratch::new();
+            let mut interpreted = DutResult::default();
+            let mut cached = DutResult::default();
+            for prog in &programs {
+                let decoded = DecodedProgram::from_program(prog);
+                core.run_into(prog, 100, &mut scratch, &mut interpreted);
+                core.run_decoded_into(prog, &decoded, 100, &mut scratch, &mut cached);
+                assert_eq!(cached.trace, interpreted.trace, "trace diverged under {bugs:?}");
+                assert_eq!(cached.coverage, interpreted.coverage, "coverage diverged under {bugs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn v2_layers_on_top_of_the_cached_decode_fault() {
+        // The cached slot records only the *architectural* decode failure;
+        // the V2 buggy decoder must still synthesize and execute the word on
+        // the decoded path exactly as it does live.
+        let bad_word: u32 = (0x7f << 25) | (12 << 20) | (11 << 15) | (10 << 7) | 0x33;
+        let mut prog = program("addi a1, zero, 30\naddi a2, zero, 12\nnop\necall\n");
+        prog.set_raw(2, bad_word);
+        let decoded = DecodedProgram::from_program(&prog);
+        assert_eq!(decoded.fetch(TEXT_BASE + 8).unwrap().instr, None, "arch decode fault cached");
+
+        let buggy = CoreModel::new(test_config(), BugSet::only(Vulnerability::V2IllegalExecuted));
+        let mut scratch = SimScratch::new();
+        let mut out = DutResult::default();
+        buggy.run_decoded_into(&prog, &decoded, 100, &mut scratch, &mut out);
+        assert_eq!(out.trace.commits()[2].exception, None, "V2 executed the illegal word");
+        assert_eq!(out.trace.commits()[2].writeback, Some((Gpr::A0, 42)));
+    }
+
+    #[test]
+    fn stores_to_text_fault_even_with_every_bug_enabled() {
+        // Decode-cache soundness: no bug deviation lets a store land in the
+        // text region, so a pre-decoded image can never go stale mid-run.
+        let everything = CoreModel::new(test_config(), BugSet::all());
+        let prog = program(
+            "lui t0, 0x80000\n\
+             addi t1, zero, 1\n\
+             sw t1, 0(t0)\n\
+             lw a0, 0(t0)\n\
+             ecall\n",
+        );
+        let decoded = DecodedProgram::from_program(&prog);
+        let mut scratch = SimScratch::new();
+        let mut out = DutResult::default();
+        everything.run_decoded_into(&prog, &decoded, 100, &mut scratch, &mut out);
+        assert!(
+            matches!(out.trace.commits()[2].exception, Some(Exception::StoreAccessFault { .. })),
+            "store into text must fault, got {:?}",
+            out.trace.commits()[2].exception
+        );
+        // The text word is unmodified: the load still reads the lui encoding.
+        assert_eq!(out.trace.commits()[3].writeback, Some((Gpr::A0, 0xffff_ffff_8000_02b7)));
     }
 
     #[test]

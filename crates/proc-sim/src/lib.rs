@@ -57,7 +57,7 @@ pub mod pipeline;
 use std::any::Any;
 
 use coverage::{CoverageMap, CoverageSpace};
-use isa_sim::{ExecTrace, Memory};
+use isa_sim::{DecodedProgram, ExecTrace, Memory};
 use riscv::Program;
 
 pub use bugs::{BugSet, Vulnerability};
@@ -151,6 +151,27 @@ pub trait Processor: Send + Sync {
         scratch: &mut SimScratch,
         out: &mut DutResult,
     );
+
+    /// Simulates `program` like [`run_into`](Processor::run_into), fetching
+    /// from a pre-decoded text image instead of decoding each word per step.
+    ///
+    /// `decoded` must be the image of `program`'s current text (a
+    /// `DecodeCache` guarantees the pairing). Results are bit-identical to
+    /// [`run_into`](Processor::run_into) — the built-in cores override this
+    /// to skip per-step decoding, while the default implementation simply
+    /// falls back to the interpreted path, so foreign `Processor`
+    /// implementations stay correct without opting in.
+    fn run_decoded_into(
+        &self,
+        program: &Program,
+        decoded: &DecodedProgram,
+        max_steps: usize,
+        scratch: &mut SimScratch,
+        out: &mut DutResult,
+    ) {
+        let _ = decoded;
+        self.run_into(program, max_steps, scratch, out);
+    }
 }
 
 #[cfg(test)]

@@ -265,17 +265,73 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
     Ok(instr)
 }
 
+/// The 1–3 trailing bytes of a byte image whose length is not a multiple of
+/// the 4-byte instruction size.
+///
+/// Surfaced by [`decode_all`] so a truncated or corrupt image cannot
+/// silently masquerade as a shorter valid one (the tail used to be dropped
+/// on the floor by `chunks_exact(4)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncatedTail {
+    bytes: [u8; 3],
+    len: u8,
+}
+
+impl TruncatedTail {
+    fn new(tail: &[u8]) -> TruncatedTail {
+        debug_assert!((1..=3).contains(&tail.len()));
+        let mut bytes = [0u8; 3];
+        bytes[..tail.len()].copy_from_slice(tail);
+        TruncatedTail { bytes, len: tail.len() as u8 }
+    }
+
+    /// The truncated bytes, in image order.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes[..usize::from(self.len)]
+    }
+
+    /// Number of truncated bytes (1–3).
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Always `false`: a tail only exists when at least one byte was cut off.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The tail zero-padded up to a full little-endian instruction word —
+    /// what the hardware would fetch from the partially loaded final slot.
+    pub fn padded_word(&self) -> u32 {
+        u32::from_le_bytes([self.bytes[0], self.bytes[1], self.bytes[2], 0])
+    }
+}
+
+impl fmt::Display for TruncatedTail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-byte truncated instruction word", self.len)
+    }
+}
+
 /// Decodes a little-endian byte image into instructions, mapping undecodable
 /// words to `Err` entries so callers can still see where they sit in the
 /// stream.
-pub fn decode_all(bytes: &[u8]) -> Vec<Result<Instr, DecodeError>> {
-    bytes
+///
+/// The second element reports a trailing 1–3 byte remainder when the image's
+/// length is not a multiple of the instruction size; it is `None` for a
+/// well-formed image. Callers must not ignore a `Some` tail — it means the
+/// image was truncated mid-instruction.
+pub fn decode_all(bytes: &[u8]) -> (Vec<Result<Instr, DecodeError>>, Option<TruncatedTail>) {
+    let decoded = bytes
         .chunks_exact(4)
         .map(|chunk| {
             let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
             decode(word)
         })
-        .collect()
+        .collect();
+    let remainder = &bytes[bytes.len() - bytes.len() % 4..];
+    let tail = (!remainder.is_empty()).then(|| TruncatedTail::new(remainder));
+    (decoded, tail)
 }
 
 #[cfg(test)]
@@ -332,10 +388,112 @@ mod tests {
         let bytes = encode_all(&[Instr::nop(), Instr::nullary(Op::Wfi)]);
         let mut with_garbage = bytes.clone();
         with_garbage.extend_from_slice(&0xffff_ffffu32.to_le_bytes());
-        let decoded = decode_all(&with_garbage);
+        let (decoded, tail) = decode_all(&with_garbage);
         assert_eq!(decoded.len(), 3);
         assert!(decoded[0].is_ok() && decoded[1].is_ok());
         assert!(decoded[2].is_err());
+        assert_eq!(tail, None, "aligned images have no tail");
+    }
+
+    #[test]
+    fn decode_all_surfaces_a_truncated_tail() {
+        // Regression: `chunks_exact(4)` used to drop a trailing 1–3 byte
+        // remainder silently, letting a truncated image pass for a shorter
+        // valid one.
+        let full = encode_all(&[Instr::nop(), Instr::nullary(Op::Ecall)]);
+        for cut in 1..=3usize {
+            let truncated = &full[..full.len() - cut];
+            let (decoded, tail) = decode_all(truncated);
+            assert_eq!(decoded.len(), 1, "only the whole word decodes");
+            let tail = tail.expect("the remainder must be surfaced");
+            assert_eq!(tail.len(), 4 - cut);
+            assert!(!tail.is_empty());
+            assert_eq!(tail.bytes(), &full[4..full.len() - cut]);
+            // The padded word is the remainder completed with zero bytes.
+            let mut padded = [0u8; 4];
+            padded[..4 - cut].copy_from_slice(tail.bytes());
+            assert_eq!(tail.padded_word(), u32::from_le_bytes(padded));
+            assert!(tail.to_string().contains("truncated"));
+        }
+        assert_eq!(decode_all(&[]).1, None, "an empty image is aligned");
+    }
+
+    /// Exhaustive `decode(encode(i)) == i` over *every* operation.
+    ///
+    /// The proptest below samples `Op::ALL` randomly, so a given run is not
+    /// guaranteed to visit every opcode. With the decode cache baking decoded
+    /// `Instr`s into reused program images, an encode/decode disagreement on
+    /// any single op would silently persist across campaigns — so each op gets
+    /// a deterministic sweep over register and immediate corner values.
+    #[test]
+    fn every_op_round_trips_exhaustively() {
+        let regs = [0u8, 1, 2, 10, 17, 31];
+        let imms: [i64; 12] = [
+            0,
+            1,
+            -1,
+            31,
+            63,
+            2047,
+            -2048,
+            4095,
+            0x7fff_f000,
+            -(1 << 20),
+            i64::MIN,
+            i64::MAX,
+        ];
+        let mut checked = 0u64;
+        for op in Op::ALL {
+            for rd in regs {
+                for rs1 in regs {
+                    for rs2 in regs {
+                        for imm in imms {
+                            let instr = Instr {
+                                op,
+                                rd: Gpr::from_index(rd),
+                                rs1: Gpr::from_index(rs1),
+                                rs2: Gpr::from_index(rs2),
+                                imm,
+                            }
+                            .normalize();
+                            let decoded = decode(instr.encode()).unwrap_or_else(|e| {
+                                panic!("{op:?} {instr} failed to decode: {e}")
+                            });
+                            assert_eq!(decoded, instr, "{op:?} imm {imm}");
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(checked, Op::ALL.len() as u64 * 6 * 6 * 6 * 12);
+    }
+
+    /// Both CSR forms round-trip for every implemented CSR address, and the
+    /// accessor views (`csr_addr`, `csr_zimm`) survive the trip too.
+    #[test]
+    fn every_csr_form_round_trips_for_every_implemented_csr() {
+        for csr in CsrAddr::IMPLEMENTED {
+            for rd in [Gpr::Zero, Gpr::A0, Gpr::T6] {
+                for op in [Op::Csrrw, Op::Csrrs, Op::Csrrc] {
+                    for rs1 in [Gpr::Zero, Gpr::Sp, Gpr::T6] {
+                        let instr = Instr::csr(op, rd, csr, rs1);
+                        let decoded = decode(instr.encode()).expect("csr decodes");
+                        assert_eq!(decoded, instr);
+                        assert_eq!(decoded.csr_addr(), Some(csr));
+                    }
+                }
+                for op in [Op::Csrrwi, Op::Csrrsi, Op::Csrrci] {
+                    for zimm in [0u8, 1, 15, 31] {
+                        let instr = Instr::csr_imm(op, rd, csr, zimm);
+                        let decoded = decode(instr.encode()).expect("csr-imm decodes");
+                        assert_eq!(decoded, instr);
+                        assert_eq!(decoded.csr_addr(), Some(csr));
+                        assert_eq!(decoded.csr_zimm(), Some(zimm));
+                    }
+                }
+            }
+        }
     }
 
     proptest! {

@@ -43,7 +43,7 @@ pub mod op;
 pub mod program;
 
 pub use csr::CsrAddr;
-pub use decode::{decode, DecodeError};
+pub use decode::{decode, DecodeError, TruncatedTail};
 pub use gpr::Gpr;
 pub use instr::Instr;
 pub use op::{Op, OpClass};

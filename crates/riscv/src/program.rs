@@ -72,11 +72,19 @@ impl Program {
     /// Returns the program together with the number of words that failed to
     /// decode, which the caller may use to gauge how much of a mutated image
     /// remained legal.
+    ///
+    /// An image truncated mid-instruction (length not a multiple of 4) does
+    /// not silently shorten: the 1–3 byte tail becomes a final zero-padded
+    /// raw-override slot — counted as illegal even if the padded word happens
+    /// to decode, because the original image never contained that word — so
+    /// corrupt images stay visible instead of masquerading as shorter valid
+    /// ones. Round-tripping such a program emits the zero-padded completion
+    /// of the tail.
     pub fn from_text_bytes(bytes: &[u8]) -> (Program, usize) {
-        let decoded = decode_all(bytes);
+        let (decoded, tail) = decode_all(bytes);
         let mut illegal = 0;
         let mut raw_overrides = std::collections::BTreeMap::new();
-        let instrs = decoded
+        let mut instrs: Vec<Instr> = decoded
             .into_iter()
             .enumerate()
             .map(|(index, r)| match r {
@@ -88,6 +96,11 @@ impl Program {
                 }
             })
             .collect();
+        if let Some(tail) = tail {
+            illegal += 1;
+            raw_overrides.insert(instrs.len(), tail.padded_word());
+            instrs.push(Instr::nop());
+        }
         (Program { instrs, raw_overrides, data: Vec::new() }, illegal)
     }
 
@@ -265,6 +278,27 @@ mod tests {
         assert_eq!(illegal, 1);
         assert_eq!(back.len(), 3);
         assert_eq!(back.instrs()[1], Instr::nop());
+    }
+
+    #[test]
+    fn truncated_images_keep_their_tail_as_an_illegal_slot() {
+        // Regression: a 1–3 byte tail used to vanish, so a corrupt image
+        // decoded to a shorter program indistinguishable from a valid one.
+        let full = sample().text_bytes();
+        for cut in 1..=3usize {
+            let truncated = &full[..full.len() - cut];
+            let (program, illegal) = Program::from_text_bytes(truncated);
+            assert_eq!(program.len(), 3, "the tail occupies a slot (cut {cut})");
+            assert_eq!(illegal, 1, "the tail counts as illegal (cut {cut})");
+            let padded = program.raw(2).expect("tail kept as a raw override");
+            let mut expected = [0u8; 4];
+            expected[..4 - cut].copy_from_slice(&full[8..full.len() - cut]);
+            assert_eq!(padded, u32::from_le_bytes(expected));
+            // Round-tripping emits the zero-padded completion of the image.
+            let mut completed = truncated.to_vec();
+            completed.resize(12, 0);
+            assert_eq!(program.text_bytes(), completed);
+        }
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! One-off probe: per-test cost of the cached vs interpreted fetch path on a
+//! program that executes every one of its 300 straight-line instructions.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fuzzer::{ExecScratch, FuzzHarness};
+use proc_sim::{BugSet, ProcessorKind};
+use riscv::{Gpr, Instr, Op, Program};
+
+fn main() {
+    let instrs: Vec<Instr> =
+        (0..300).map(|i| Instr::itype(Op::Addi, Gpr::A0, Gpr::A0, i % 11)).collect();
+    let program = Program::from_instrs(instrs);
+    let iters = 20_000u32;
+    for core in ProcessorKind::ALL {
+        let harness = FuzzHarness::new(Arc::from(core.build(BugSet::none())), 400);
+        for (label, cached) in [("decoded", true), ("interpreted", false)] {
+            let mut scratch = ExecScratch::with_decode_cache(cached);
+            harness.run_program_into(&program, &mut scratch); // warm
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(harness.run_program_into(&program, &mut scratch).dut_commits);
+            }
+            let per = start.elapsed() / iters;
+            println!("{}/{label}: {per:?} per test", core.name());
+        }
+    }
+}
