@@ -62,6 +62,28 @@ fn bench_single_test_throughput(c: &mut Criterion) {
                 b.iter(|| harness.run_program_into(&program, &mut scratch).dut_commits);
             },
         );
+        // The same harness with the reset policy pinned to snapshot restore
+        // and full reinit, independent of `MABFUZZ_SNAPSHOT_RESET`: the
+        // snapshot/reinit spread is the per-test win of restoring only the
+        // state the previous test dirtied instead of rebuilding all of it.
+        group.bench_with_input(
+            BenchmarkId::new("snapshot", core.name()),
+            &core,
+            |b, &core| {
+                let harness = FuzzHarness::new(Arc::from(core.build(BugSet::none())), 300);
+                let mut scratch = ExecScratch::with_snapshot_reset(true);
+                b.iter(|| harness.run_program_into(&program, &mut scratch).dut_commits);
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reinit", core.name()),
+            &core,
+            |b, &core| {
+                let harness = FuzzHarness::new(Arc::from(core.build(BugSet::none())), 300);
+                let mut scratch = ExecScratch::with_snapshot_reset(false);
+                b.iter(|| harness.run_program_into(&program, &mut scratch).dut_commits);
+            },
+        );
         // The allocating path on the same program: the permanent A/B that
         // keeps the scratch path honest.
         group.bench_with_input(

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use coverage::CoverageMap;
-use isa_sim::{DecodeCache, DecodeCacheStats, ExecTrace, GoldenScratch, GoldenSim};
+use isa_sim::{DecodeCache, DecodeCacheStats, ExecTrace, GoldenScratch, GoldenSim, ResetPolicy};
 use proc_sim::{DutResult, Processor, SimScratch};
 use riscv::Program;
 
@@ -107,10 +107,11 @@ impl FuzzHarness {
     /// One `ExecScratch` per campaign makes the steady-state
     /// simulate–compare loop allocation-free in its buffers: the DUT trace
     /// and coverage bitmap, the golden trace, both memory images and the
-    /// diff report are all cleared and refilled in place. (Each simulation
-    /// still builds one small per-test CSR map inside its fresh
-    /// architectural state — the large per-test buffers are what is
-    /// reused.) Results are identical to
+    /// diff report are all cleared and refilled in place. Under the default
+    /// snapshot-reset policy even the per-test architectural state is
+    /// recycled: both simulators restore only the state the previous test
+    /// dirtied (see `isa_sim::snapshot`), reusing the prior run's CSR-map
+    /// allocation instead of rebuilding it. Results are identical to
     /// [`run_program`](FuzzHarness::run_program).
     pub fn run_program_into<'s>(
         &self,
@@ -176,7 +177,10 @@ impl FuzzHarness {
 /// scratch, every campaign and every shard worker owns its own: the hot path
 /// shares no mutable state, and a worker's hit/miss sequence is a pure
 /// function of the programs it simulates (never of shard count or thread
-/// interleaving).
+/// interleaving). The same per-worker reasoning covers the snapshot/dirty
+/// reset state inside both simulators' scratches: what a restore cleans is
+/// a pure function of what the same worker's previous test dirtied, and the
+/// restored state is byte-identical to a fresh one either way.
 #[derive(Debug)]
 pub struct ExecScratch {
     sim: SimScratch,
@@ -194,30 +198,57 @@ impl ExecScratch {
     /// (mirroring `MABFUZZ_SHARDS`).
     pub const DECODE_CACHE_ENV: &'static str = "MABFUZZ_DECODE_CACHE";
 
+    /// Environment variable controlling how new scratches reset the
+    /// simulators between tests: `on`/`1`/`true` (also unset) select the
+    /// snapshot/dirty-restore path, `off`/`0`/`false` the full-reinit
+    /// differential oracle, anything else panics loudly. Same variable
+    /// `isa_sim::ResetPolicy::from_env` reads.
+    pub const SNAPSHOT_RESET_ENV: &'static str = ResetPolicy::ENV_VAR;
+
     /// Creates empty scratch buffers, honouring
     /// [`DECODE_CACHE_ENV`](ExecScratch::DECODE_CACHE_ENV) for the decode
-    /// cache (enabled by default).
+    /// cache and [`SNAPSHOT_RESET_ENV`](ExecScratch::SNAPSHOT_RESET_ENV) for
+    /// the reset policy (both enabled by default).
     pub fn new() -> ExecScratch {
-        ExecScratch::with_decode_cache(decode_cache_enabled_from_env())
+        ExecScratch::build(decode_cache_enabled_from_env(), ResetPolicy::from_env())
     }
 
     /// Creates empty scratch buffers with the decode cache explicitly on or
     /// off, ignoring the environment — tests and benches use this to compare
-    /// the cached and interpreted paths side by side.
+    /// the cached and interpreted paths side by side. The reset policy stays
+    /// at its default (snapshot reset).
     pub fn with_decode_cache(enabled: bool) -> ExecScratch {
+        ExecScratch::build(enabled, ResetPolicy::SnapshotReset)
+    }
+
+    /// Creates empty scratch buffers with the reset policy explicitly set
+    /// (`false` selects the full-reinit differential oracle), ignoring the
+    /// environment. The decode cache stays at its default (enabled).
+    pub fn with_snapshot_reset(enabled: bool) -> ExecScratch {
+        let policy = if enabled { ResetPolicy::SnapshotReset } else { ResetPolicy::FullReinit };
+        ExecScratch::build(true, policy)
+    }
+
+    fn build(decode_cache: bool, policy: ResetPolicy) -> ExecScratch {
         ExecScratch {
-            sim: SimScratch::new(),
+            sim: SimScratch::with_policy(policy),
             dut: DutResult::default(),
             golden_trace: ExecTrace::default(),
-            golden_scratch: GoldenScratch::new(),
+            golden_scratch: GoldenScratch::with_policy(policy),
             diff: DiffReport::default(),
-            decode_cache: enabled.then(DecodeCache::new),
+            decode_cache: decode_cache.then(DecodeCache::new),
         }
     }
 
     /// Returns `true` when this scratch runs the pre-decoded path.
     pub fn decode_cache_enabled(&self) -> bool {
         self.decode_cache.is_some()
+    }
+
+    /// Returns `true` when this scratch resets both simulators via the
+    /// snapshot/dirty-restore path instead of full reinitialisation.
+    pub fn snapshot_reset_enabled(&self) -> bool {
+        self.sim.reset_policy().is_snapshot()
     }
 
     /// Returns the decode cache's hit/miss/eviction counters (all zero in
@@ -441,6 +472,30 @@ mod tests {
             assert_eq!(stats.misses, 5, "each distinct program decodes once");
             assert_eq!(stats.hits, 5, "the second pass is all hits");
             assert_eq!(oracle.decode_cache_stats().lookups(), 0, "oracle mode never looks up");
+        }
+    }
+
+    #[test]
+    fn snapshot_and_reinit_scratches_agree_on_every_outcome() {
+        for harness in [
+            FuzzHarness::new(Arc::new(RocketCore::new(BugSet::none())), 500),
+            FuzzHarness::new(Arc::new(Cva6Core::new(BugSet::all())), 500),
+        ] {
+            let mut restored = ExecScratch::with_snapshot_reset(true);
+            let mut oracle = ExecScratch::with_snapshot_reset(false);
+            assert!(restored.snapshot_reset_enabled());
+            assert!(!oracle.snapshot_reset_enabled());
+            // Two passes, so the restored scratch re-runs every program on
+            // top of each possible predecessor's dirt.
+            let programs = mixed_program_set();
+            for prog in programs.iter().chain(programs.iter()) {
+                let a = harness.run_program_into(prog, &mut restored).to_outcome();
+                let b = harness.run_program_into(prog, &mut oracle).to_outcome();
+                assert_eq!(a.coverage, b.coverage);
+                assert_eq!(a.diff, b.diff);
+                assert_eq!(a.dut_commits, b.dut_commits);
+                assert_eq!(a.golden_commits, b.golden_commits);
+            }
         }
     }
 

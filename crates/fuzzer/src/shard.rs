@@ -33,7 +33,14 @@
 //!    path) and only memoises the program→decoded-image function, so a hit
 //!    and a miss produce identical outcomes — and therefore shard count can
 //!    change neither results nor, for a given worker subsequence, hit
-//!    behaviour. Shards therefore only decide *where* a
+//!    behaviour. The snapshot/dirty reset (`isa_sim::snapshot`) preserves
+//!    the rule the same way: the dirty state a restore cleans is private to
+//!    the worker's scratch and a function only of the worker's own previous
+//!    test, and a restored simulator is byte-identical to a freshly
+//!    reinitialised one (pinned by the restore-equivalence tests and the
+//!    `MABFUZZ_SNAPSHOT_RESET=off` oracle in CI) — so *which* test ran
+//!    before on the same worker is as unobservable as whether the decode
+//!    cache hit. Shards therefore only decide *where* a
 //!    test runs, never *what* it produces. Workers claim the fixed strided
 //!    slice `test_index % shards == shard` — assignment is static, not
 //!    load-stealing — but because the map is pure even a dynamic assignment

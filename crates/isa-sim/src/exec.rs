@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::decoded::DecodedProgram;
 use crate::mem::Memory;
+use crate::snapshot::{ResetPolicy, ResetStats, Snapshot};
 use crate::state::ArchState;
 use crate::trace::{CommitRecord, ExecTrace, HaltReason, MemAccess};
 use crate::trap::Exception;
@@ -348,8 +349,15 @@ impl GoldenSim {
         scratch: &mut GoldenScratch,
     ) {
         program.text_bytes_into(&mut scratch.text);
-        scratch.mem.reset_with_program(&scratch.text, program.data());
-        self.run_loop(&mut scratch.mem, max_steps, trace, |mem, pc| {
+        let state = begin_run(
+            scratch.policy,
+            &scratch.snapshot,
+            &mut scratch.mem,
+            &scratch.text,
+            program.data(),
+            trace,
+        );
+        self.run_loop(&mut scratch.mem, state, max_steps, trace, |mem, pc| {
             mem.fetch(pc).map(|word| (word, decode(word).ok()))
         });
     }
@@ -373,8 +381,15 @@ impl GoldenSim {
         scratch: &mut GoldenScratch,
     ) {
         debug_assert!(decoded.matches(program), "pre-decoded image is not this program's text");
-        scratch.mem.reset_with_program(decoded.text(), program.data());
-        self.run_loop(&mut scratch.mem, max_steps, trace, |_mem, pc| {
+        let state = begin_run(
+            scratch.policy,
+            &scratch.snapshot,
+            &mut scratch.mem,
+            decoded.text(),
+            program.data(),
+            trace,
+        );
+        self.run_loop(&mut scratch.mem, state, max_steps, trace, |_mem, pc| {
             decoded.fetch(pc).map(|slot| (slot.word, slot.instr))
         });
     }
@@ -387,12 +402,12 @@ impl GoldenSim {
     fn run_loop(
         &self,
         mem: &mut Memory,
+        mut state: ArchState,
         max_steps: usize,
         trace: &mut ExecTrace,
         fetch: impl Fn(&Memory, u64) -> Option<(u32, Option<Instr>)>,
     ) {
         trace.clear();
-        let mut state = ArchState::new();
         let text_end = TEXT_BASE + mem.text_len();
         let mut halt = HaltReason::StepLimit;
 
@@ -456,18 +471,76 @@ impl GoldenSim {
     }
 }
 
+/// Brings the scratch's memory and architectural state to the test-start
+/// point according to `policy`, returning the state the run begins from.
+///
+/// The snapshot path recycles the previous run's final state out of `trace`
+/// (its CSR map keeps its allocation; [`Snapshot::restore`] rewrites the
+/// contents) and zeroes only the dirty memory pages. The full-reinit path is
+/// the pre-snapshot code, kept verbatim as the differential oracle. Both hand
+/// `run_loop` identical starting conditions — pinned by the equivalence tests
+/// below and end-to-end by `tests/snapshot_reset_equivalence.rs`.
+fn begin_run(
+    policy: ResetPolicy,
+    snapshot: &Snapshot,
+    mem: &mut Memory,
+    text: &[u8],
+    data: &[u8],
+    trace: &mut ExecTrace,
+) -> ArchState {
+    match policy {
+        ResetPolicy::SnapshotReset => {
+            mem.restore_with_program(text, data);
+            let mut state = trace.take_final_state();
+            snapshot.restore(&mut state);
+            state
+        }
+        ResetPolicy::FullReinit => {
+            mem.reset_with_program(text, data);
+            ArchState::new()
+        }
+    }
+}
+
 /// Reusable per-campaign buffers for [`GoldenSim::run_into`]: the memory
-/// image and the encoded text bytes.
+/// image, the encoded text bytes, the pristine-state [`Snapshot`] and the
+/// [`ResetPolicy`] governing how they are brought back between tests.
 #[derive(Debug, Clone, Default)]
 pub struct GoldenScratch {
     mem: Memory,
     text: Vec<u8>,
+    snapshot: Snapshot,
+    policy: ResetPolicy,
 }
 
 impl GoldenScratch {
-    /// Creates empty scratch buffers.
+    /// Creates empty scratch buffers using the default
+    /// [`ResetPolicy::SnapshotReset`] (safe on a fresh scratch: nothing is
+    /// dirty yet, so the first restore is trivially a full image load).
+    ///
+    /// The policy is a scratch property, not a simulator property, because it
+    /// describes how *this* scratch's buffers are recycled; the environment
+    /// switch lives one level up in `fuzzer::ExecScratch`, mirroring the
+    /// decode cache.
     pub fn new() -> GoldenScratch {
         GoldenScratch::default()
+    }
+
+    /// Creates scratch buffers with an explicit reset policy
+    /// ([`ResetPolicy::FullReinit`] selects the differential-oracle path).
+    pub fn with_policy(policy: ResetPolicy) -> GoldenScratch {
+        GoldenScratch { policy, ..GoldenScratch::default() }
+    }
+
+    /// Returns the reset policy this scratch recycles its buffers with.
+    pub fn policy(&self) -> ResetPolicy {
+        self.policy
+    }
+
+    /// Returns the dirty-page restore counters of the scratch's memory, for
+    /// tests and benches.
+    pub fn reset_stats(&self) -> ResetStats {
+        self.mem.reset_stats()
     }
 }
 
@@ -769,6 +842,61 @@ mod tests {
         // The word at TEXT_BASE is still the original `lui` encoding, not 1.
         let load = trace.commits().iter().find(|c| matches!(c.mem, Some(m) if !m.is_store));
         assert_eq!(load.expect("load committed").mem.unwrap().value & 0xffff_ffff, 0x8000_02b7);
+    }
+
+    /// A corpus exercising stores, traps, step limits, undecodable words and
+    /// the empty program — shared by the decode-cache and snapshot-reset
+    /// differential tests.
+    fn differential_corpus() -> Vec<Program> {
+        let mut programs = vec![
+            Program::new(), // empty: one phantom zero word, PcOutOfText
+            Program::from_instrs(parse_program("addi a0, zero, 9\nmul a1, a0, a0\necall\n").unwrap()),
+            Program::from_instrs(parse_program(
+                "lui gp, 0x80010\n\
+                 addi t0, zero, -2\n\
+                 sd t0, 16(gp)\n\
+                 ld t1, 16(gp)\n\
+                 ebreak\n\
+                 csrrw t2, 0x5c0, zero\n\
+                 ecall\n",
+            ).unwrap()),
+            Program::from_instrs(vec![Instr::jal(Gpr::Zero, 0)]), // step limit
+        ];
+        // An undecodable raw-override word exercises the cached decode-fault
+        // slot (`instr == None`).
+        let mut with_raw = Program::from_instrs(
+            parse_program("addi a0, zero, 1\nnop\necall\n").unwrap(),
+        );
+        with_raw.set_raw(1, 0xffff_ffff);
+        programs.push(with_raw);
+        programs
+    }
+
+    #[test]
+    fn snapshot_restore_runs_are_byte_identical_to_full_reinit_runs() {
+        let sim = GoldenSim::new();
+        let mut restored_scratch = GoldenScratch::new();
+        assert!(restored_scratch.policy().is_snapshot(), "snapshot reset is the default");
+        let mut reinit_scratch = GoldenScratch::with_policy(ResetPolicy::FullReinit);
+        let mut restored = ExecTrace::default();
+        let mut reinit = ExecTrace::default();
+        // Two passes over the corpus so each program also runs with dirt left
+        // behind by *every other* program, not just its predecessor.
+        for pass in 0..2 {
+            for program in &differential_corpus() {
+                sim.run_into(program, 50, &mut restored, &mut restored_scratch);
+                sim.run_into(program, 50, &mut reinit, &mut reinit_scratch);
+                assert_eq!(restored, reinit, "pass {pass}: restore diverged for:\n{program}");
+                // The decoded fast path must agree under both policies too.
+                let decoded = DecodedProgram::from_program(program);
+                sim.run_decoded_into(program, &decoded, 50, &mut restored, &mut restored_scratch);
+                sim.run_decoded_into(program, &decoded, 50, &mut reinit, &mut reinit_scratch);
+                assert_eq!(restored, reinit, "pass {pass}: decoded restore diverged for:\n{program}");
+            }
+        }
+        let stats = restored_scratch.reset_stats();
+        assert!(stats.restores > 0 && stats.units_restored > 0, "the snapshot path really ran dirty restores: {stats:?}");
+        assert_eq!(reinit_scratch.reset_stats().restores, 0, "the oracle path never dirty-restores");
     }
 
     #[test]

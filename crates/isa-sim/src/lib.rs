@@ -44,6 +44,7 @@
 pub mod decoded;
 pub mod exec;
 pub mod mem;
+pub mod snapshot;
 pub mod state;
 pub mod trace;
 pub mod trap;
@@ -51,6 +52,7 @@ pub mod trap;
 pub use decoded::{DecodeCache, DecodeCacheStats, DecodedProgram, DecodedSlot};
 pub use exec::{ExecConfig, GoldenScratch, GoldenSim};
 pub use mem::Memory;
+pub use snapshot::{DirtyTracker, ResetPolicy, ResetStats, Snapshot};
 pub use state::ArchState;
 pub use trace::{CommitRecord, ExecTrace, HaltReason, MemAccess};
 pub use trap::Exception;

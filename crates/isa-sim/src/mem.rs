@@ -1,10 +1,12 @@
-//! Sparse byte-addressable memory with region-based access control.
+//! Sparse byte-addressable memory with region-based access control and
+//! per-page dirty tracking.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use riscv::program::{DATA_BASE, DATA_SIZE, TEXT_BASE};
 use serde::{Deserialize, Serialize};
 
+use crate::snapshot::{DirtyTracker, ResetStats};
 use crate::PHYS_ADDR_MASK;
 
 const PAGE_BITS: u64 = 12;
@@ -22,6 +24,23 @@ pub enum Region {
     Unmapped,
 }
 
+/// One allocated physical page plus its dirty bit.
+///
+/// `dirty` is the first-touch dedup flag for the owning memory's
+/// [`DirtyTracker`]: a clean page is all-zero (the invariant the dirty-reset
+/// path relies on — see [`Memory::restore_with_program`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Page {
+    bytes: Vec<u8>,
+    dirty: bool,
+}
+
+impl Page {
+    fn zeroed() -> Page {
+        Page { bytes: vec![0u8; PAGE_SIZE as usize], dirty: false }
+    }
+}
+
 /// Sparse, page-allocated physical memory.
 ///
 /// Reads from allocated-but-unwritten bytes return zero, matching the
@@ -30,9 +49,24 @@ pub enum Region {
 /// [`read_byte`](Memory::read_byte)/[`write_byte`](Memory::write_byte)
 /// accessors ignore permissions so that processor models can implement buggy
 /// behaviour on top of the same storage.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// # Dirty-page tracking
+///
+/// Every byte write funnels through [`write_byte`](Memory::write_byte), which
+/// marks the touched page dirty on first touch. This maintains the invariant
+/// **clean ⇒ all-zero**: a page is only ever non-zero if its dirty bit is set
+/// and it sits on the tracker's touched list. The fuzzing hot path exploits
+/// it via [`restore_with_program`](Memory::restore_with_program), which zeroes
+/// only the dirty pages instead of every allocated page;
+/// [`reset_with_program`](Memory::reset_with_program) remains the full-reinit
+/// differential oracle. Equality ([`PartialEq`]) compares memory *contents*
+/// (text length plus bytes, with absent pages reading as zero), so a restored
+/// memory compares equal to a freshly built one regardless of which pages
+/// happen to be allocated or how they were cleaned.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Memory {
-    pages: BTreeMap<u64, Vec<u8>>,
+    pages: BTreeMap<u64, Page>,
+    dirty: DirtyTracker,
     text_len: u64,
 }
 
@@ -54,14 +88,39 @@ impl Memory {
     /// Resets the memory to the all-zero state and loads a fresh program
     /// image, reusing every already-allocated page.
     ///
-    /// This is the buffer-reuse path of the fuzzing hot loop: a simulation
-    /// scratch keeps one `Memory` per harness and re-images it per test, so
-    /// steady-state fuzzing allocates no new pages (the reachable address
-    /// space is bounded by the text and data regions).
+    /// This is the full-reinit path: it unconditionally zeroes **every**
+    /// allocated page, whether or not the previous test touched it. It stays
+    /// alive as the differential oracle the dirty-restore path
+    /// ([`restore_with_program`](Memory::restore_with_program)) is
+    /// byte-compared against.
     pub fn reset_with_program(&mut self, text: &[u8], data: &[u8]) {
         for page in self.pages.values_mut() {
-            page.fill(0);
+            page.bytes.fill(0);
+            page.dirty = false;
         }
+        self.dirty.clear();
+        self.text_len = 0;
+        self.load_text(text);
+        self.load_data(data);
+    }
+
+    /// Like [`reset_with_program`](Memory::reset_with_program), but zeroes
+    /// only the pages dirtied since the last reset/restore — O(touched pages)
+    /// instead of O(allocated pages).
+    ///
+    /// Correctness rests on the clean-⇒-all-zero invariant (see the type-level
+    /// docs): pages absent from the dirty list were never written since they
+    /// were last zeroed, so skipping them leaves them exactly as a full reset
+    /// would. Reloading the text/data images re-marks the image pages, which
+    /// is the steady-state dirty set of a test that writes little memory.
+    pub fn restore_with_program(&mut self, text: &[u8], data: &[u8]) {
+        let pages = &mut self.pages;
+        self.dirty.restore_units(|page_id| {
+            if let Some(page) = pages.get_mut(&page_id) {
+                page.bytes.fill(0);
+                page.dirty = false;
+            }
+        });
         self.text_len = 0;
         self.load_text(text);
         self.load_data(data);
@@ -81,6 +140,17 @@ impl Memory {
     /// Returns the number of bytes of loaded program text.
     pub fn text_len(&self) -> u64 {
         self.text_len
+    }
+
+    /// Returns the ids of the pages dirtied since the last reset/restore, in
+    /// first-touch order (a page id is `physical address >> 12`).
+    pub fn dirty_pages(&self) -> &[u64] {
+        self.dirty.touched()
+    }
+
+    /// Returns the dirty-restore work counters (see [`ResetStats`]).
+    pub fn reset_stats(&self) -> ResetStats {
+        self.dirty.stats()
     }
 
     /// Classifies a (physical) address into its [`Region`].
@@ -117,15 +187,24 @@ impl Memory {
         let addr = addr & PHYS_ADDR_MASK;
         let page = addr >> PAGE_BITS;
         let offset = (addr & (PAGE_SIZE - 1)) as usize;
-        self.pages.get(&page).map_or(0, |p| p[offset])
+        self.pages.get(&page).map_or(0, |p| p.bytes[offset])
     }
 
     /// Writes one byte, ignoring permissions.
+    ///
+    /// This is the single mutation choke point for page contents: it marks
+    /// the page dirty on first touch, which is what keeps the dirty-restore
+    /// path (`restore_with_program`) equivalent to a full reset.
     pub fn write_byte(&mut self, addr: u64, value: u8) {
         let addr = addr & PHYS_ADDR_MASK;
-        let page = addr >> PAGE_BITS;
+        let page_id = addr >> PAGE_BITS;
         let offset = (addr & (PAGE_SIZE - 1)) as usize;
-        self.pages.entry(page).or_insert_with(|| vec![0u8; PAGE_SIZE as usize])[offset] = value;
+        let page = self.pages.entry(page_id).or_insert_with(Page::zeroed);
+        if !page.dirty {
+            page.dirty = true;
+            self.dirty.mark(page_id);
+        }
+        page.bytes[offset] = value;
     }
 
     /// Reads `width` bytes little-endian, zero-extended into a `u64`.
@@ -159,7 +238,8 @@ impl Memory {
     ///
     /// # Text is immutable while a program runs
     ///
-    /// Between [`reset_with_program`](Memory::reset_with_program) calls, the
+    /// Between [`reset_with_program`](Memory::reset_with_program) (or
+    /// [`restore_with_program`](Memory::restore_with_program)) calls, the
     /// bytes this function reads cannot change: every store the executors
     /// issue is gated on [`can_store`](Memory::can_store), which only admits
     /// the `Data` region (both TheHuzz/MABFuzz simulators route all
@@ -187,6 +267,28 @@ impl Memory {
         }
     }
 }
+
+/// Content equality: two memories are equal when they hold the same text
+/// length and the same bytes at every address, treating unallocated pages as
+/// zero. Dirty-tracking metadata and page-allocation differences are
+/// deliberately invisible — a dirty-restored memory must compare equal to a
+/// freshly constructed one.
+impl PartialEq for Memory {
+    fn eq(&self, other: &Memory) -> bool {
+        if self.text_len != other.text_len {
+            return false;
+        }
+        const ZERO_PAGE: [u8; PAGE_SIZE as usize] = [0u8; PAGE_SIZE as usize];
+        let ids: BTreeSet<u64> = self.pages.keys().chain(other.pages.keys()).copied().collect();
+        ids.into_iter().all(|id| {
+            let a = self.pages.get(&id).map_or(&ZERO_PAGE[..], |p| &p.bytes[..]);
+            let b = other.pages.get(&id).map_or(&ZERO_PAGE[..], |p| &p.bytes[..]);
+            a == b
+        })
+    }
+}
+
+impl Eq for Memory {}
 
 #[cfg(test)]
 mod tests {
@@ -275,6 +377,106 @@ mod tests {
         assert_eq!(mem2.region_of(0xffff_ffff_8000_0000), Region::Text);
     }
 
+    /// The pages a `width`-byte access starting at `addr` touches, mirroring
+    /// the per-byte masking `write_uint`/`write_byte` perform.
+    fn expected_pages(addr: u64, width: u64) -> BTreeSet<u64> {
+        (0..width)
+            .map(|i| (addr.wrapping_add(i) & PHYS_ADDR_MASK) >> PAGE_BITS)
+            .collect()
+    }
+
+    #[test]
+    fn every_store_width_and_offset_marks_exactly_the_touched_pages() {
+        // Exhaustive width × page-offset sweep of the dirty-marking path,
+        // including accesses straddling a page boundary: a store must mark
+        // exactly the pages it touches — no more (restores stay O(touched)),
+        // no fewer (a missed mark would break clean-⇒-all-zero and leak
+        // bytes into the next test).
+        for width in [1u64, 2, 4, 8] {
+            for offset in 0..PAGE_SIZE {
+                let addr = DATA_BASE + offset;
+                let mut mem = Memory::new();
+                mem.write_uint(addr, u64::MAX, width);
+                let marked: BTreeSet<u64> = mem.dirty_pages().iter().copied().collect();
+                assert_eq!(
+                    marked,
+                    expected_pages(addr, width),
+                    "width {width} at page offset {offset:#x}"
+                );
+                assert_eq!(
+                    mem.dirty_pages().len(),
+                    marked.len(),
+                    "no duplicate marks for width {width} at offset {offset:#x}"
+                );
+            }
+        }
+        // Address wrap-around: the per-byte 32-bit masking also governs which
+        // page gets marked.
+        let mut mem = Memory::new();
+        mem.write_uint(0xffff_fffe, u64::MAX, 4);
+        let marked: BTreeSet<u64> = mem.dirty_pages().iter().copied().collect();
+        assert_eq!(marked, expected_pages(0xffff_fffe, 4));
+        assert!(marked.contains(&0), "wrapped bytes land on (and mark) page 0");
+    }
+
+    #[test]
+    fn writes_of_zero_still_mark_the_page() {
+        // Marking is per write, not per value: a zero store on a fresh page
+        // keeps the invariant trivially, but on an image page it must still
+        // be tracked or a *later* nonzero write would be missed by dedup.
+        let mut mem = Memory::new();
+        mem.write_byte(DATA_BASE, 0);
+        assert_eq!(mem.dirty_pages().len(), 1);
+    }
+
+    #[test]
+    fn restore_matches_full_reset_byte_for_byte() {
+        let text: Vec<u8> =
+            (0..256u32).flat_map(|i| i.wrapping_mul(2654435761).to_le_bytes()).collect();
+        let data = [7u8, 0, 0xff, 3];
+        let mut restored = Memory::new();
+        let mut reset = Memory::new();
+        for round in 0..3u64 {
+            restored.restore_with_program(&text, &data);
+            reset.reset_with_program(&text, &data);
+            assert_eq!(restored, reset, "round {round}: images diverge after setup");
+            // Scribble over data pages (several, including far offsets) so
+            // the next round has real dirt to clean.
+            for offset in [0u64, 8, PAGE_SIZE - 1, PAGE_SIZE + 5, 3 * PAGE_SIZE] {
+                restored.write_uint(DATA_BASE + offset * (round + 1) % DATA_SIZE, !round, 8);
+                reset.write_uint(DATA_BASE + offset * (round + 1) % DATA_SIZE, !round, 8);
+            }
+        }
+        let stats = restored.reset_stats();
+        assert_eq!(stats.restores, 3);
+        assert!(stats.units_restored > 0, "later rounds had dirty pages to clean");
+    }
+
+    #[test]
+    fn restore_cleans_pages_the_new_image_does_not_cover() {
+        // A page dirtied by the old test but untouched by the new image must
+        // read zero after a restore, exactly like after a full reset.
+        let mut mem = Memory::new();
+        mem.restore_with_program(&[0x13, 0, 0, 0], &[]);
+        mem.write_uint(DATA_BASE + 5 * PAGE_SIZE, 0xdead_beef, 4);
+        mem.restore_with_program(&[0x13, 0, 0, 0], &[]);
+        assert_eq!(mem.read_uint(DATA_BASE + 5 * PAGE_SIZE, 4), 0);
+        assert_eq!(mem, Memory::with_program(&[0x13, 0, 0, 0], &[]));
+    }
+
+    #[test]
+    fn content_equality_ignores_page_allocation() {
+        let mut touched = Memory::with_program(&[1, 2, 3, 4], &[9]);
+        touched.write_byte(DATA_BASE + 7 * PAGE_SIZE, 1);
+        touched.write_byte(DATA_BASE + 7 * PAGE_SIZE, 0); // back to zero, page stays allocated
+        let fresh = Memory::with_program(&[1, 2, 3, 4], &[9]);
+        assert_eq!(touched, fresh, "an allocated all-zero page equals an absent page");
+        let mut different = Memory::with_program(&[1, 2, 3, 4], &[9]);
+        different.write_byte(DATA_BASE + 16, 1);
+        assert_ne!(touched, different);
+        assert_ne!(fresh, Memory::with_program(&[1, 2, 3, 4, 5, 6, 7, 8], &[9]), "text length differs");
+    }
+
     proptest! {
         #[test]
         fn byte_round_trip(offset in 0u64..DATA_SIZE, value in any::<u8>()) {
@@ -288,6 +490,31 @@ mod tests {
             let mut mem = Memory::new();
             mem.write_uint(DATA_BASE + offset, value, 8);
             prop_assert_eq!(mem.read_uint(DATA_BASE + offset, 8), value);
+        }
+
+        #[test]
+        fn restore_equals_reset_under_random_write_sequences(
+            writes in proptest::collection::vec((0u64..DATA_SIZE, any::<u64>(), 0usize..4), 0..24),
+            text in proptest::collection::vec(any::<u8>(), 0..64),
+            data in proptest::collection::vec(any::<u8>(), 0..16),
+        ) {
+            // Dirty both memories with the same random write sequence, then
+            // bring one back with the restore path and the other with the
+            // full-reinit oracle: contents must match a pristine image.
+            let mut restored = Memory::new();
+            let mut reset = Memory::new();
+            restored.restore_with_program(&text, &data);
+            reset.reset_with_program(&text, &data);
+            for (offset, value, width_idx) in writes {
+                let width = [1u64, 2, 4, 8][width_idx];
+                let addr = DATA_BASE + (offset & !(width - 1)).min(DATA_SIZE - width);
+                restored.write_uint(addr, value, width);
+                reset.write_uint(addr, value, width);
+            }
+            restored.restore_with_program(&text, &data);
+            reset.reset_with_program(&text, &data);
+            prop_assert_eq!(&restored, &reset);
+            prop_assert_eq!(&restored, &Memory::with_program(&text, &data));
         }
     }
 }

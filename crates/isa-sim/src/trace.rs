@@ -141,6 +141,20 @@ impl ExecTrace {
         self.halt = halt;
     }
 
+    /// Moves the final state out of the trace, leaving an allocation-free
+    /// placeholder behind.
+    ///
+    /// This is the snapshot-reset recycling step: a simulator takes the
+    /// previous run's state (with its allocated CSR map), restores it to the
+    /// baseline in place, and hands it back via
+    /// [`finish`](ExecTrace::finish) at the end of the run — so the
+    /// placeholder is never observed. Calling
+    /// [`final_state`](ExecTrace::final_state) between a take and the next
+    /// `finish` would see the hollow state; the simulators never do.
+    pub fn take_final_state(&mut self) -> ArchState {
+        std::mem::replace(&mut self.final_state, ArchState::hollow())
+    }
+
     /// Returns the commit records in commit order.
     pub fn commits(&self) -> &[CommitRecord] {
         &self.commits
@@ -256,6 +270,17 @@ mod tests {
         let log = trace.to_log();
         assert_eq!(log.lines().count(), 2);
         assert!(log.contains("step limit"));
+    }
+
+    #[test]
+    fn take_final_state_moves_the_state_out_until_the_next_finish() {
+        let mut state = ArchState::new();
+        state.set_reg(Gpr::A0, 7);
+        let mut trace = ExecTrace::new(Vec::new(), state.clone(), HaltReason::Ecall);
+        let taken = trace.take_final_state();
+        assert_eq!(taken, state);
+        trace.finish(taken, HaltReason::Ecall);
+        assert_eq!(trace.final_state(), &state);
     }
 
     #[test]

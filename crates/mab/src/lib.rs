@@ -44,6 +44,7 @@
 pub mod epsilon_greedy;
 pub mod exp3;
 pub mod registry;
+pub mod thompson;
 pub mod ucb;
 
 pub use epsilon_greedy::EpsilonGreedy;
@@ -52,6 +53,7 @@ pub use registry::{
     lookup_policy, register_policy, registered_policies, PolicyFactory, PolicyParams,
     RegistryError, BASELINE_SCHEDULER_NAMES,
 };
+pub use thompson::Thompson;
 pub use ucb::Ucb1;
 
 use std::fmt;
@@ -74,6 +76,10 @@ pub enum BanditKind {
     Ucb1,
     /// EXP3: exponential weights for adversarial (non-stationary) rewards.
     Exp3,
+    /// Thompson sampling: Gaussian-posterior Bayesian sampling (a built-in
+    /// beyond the paper's three; not part of [`ALL`](BanditKind::ALL), so
+    /// the paper-replication sweeps are unchanged).
+    Thompson,
     /// A policy registered at runtime under this name (see
     /// [`register_policy`]). The name is interned by the registry for the
     /// lifetime of the process.
@@ -102,8 +108,21 @@ impl fmt::Display for UnknownPolicy {
 impl std::error::Error for UnknownPolicy {}
 
 impl BanditKind {
-    /// All algorithm kinds evaluated in the paper.
+    /// All algorithm kinds evaluated in the paper. [`Thompson`] is a
+    /// built-in but deliberately *not* listed here: the replication sweeps
+    /// (Table 1, Figures 3/4, the golden smoke report) iterate `ALL` and
+    /// must keep producing byte-identical artefacts.
     pub const ALL: [BanditKind; 3] = [BanditKind::EpsilonGreedy, BanditKind::Ucb1, BanditKind::Exp3];
+
+    /// Every built-in kind: the paper's three plus [`Thompson`]. This is
+    /// what name parsing, the registry's reserved-name check and the
+    /// "valid policies" error listing cover.
+    pub const BUILTINS: [BanditKind; 4] = [
+        BanditKind::EpsilonGreedy,
+        BanditKind::Ucb1,
+        BanditKind::Exp3,
+        BanditKind::Thompson,
+    ];
 
     /// Returns the display name used in the paper's tables and figures (for
     /// custom policies, the name they were registered under).
@@ -112,6 +131,7 @@ impl BanditKind {
             BanditKind::EpsilonGreedy => "epsilon-greedy",
             BanditKind::Ucb1 => "UCB",
             BanditKind::Exp3 => "EXP3",
+            BanditKind::Thompson => "thompson",
             BanditKind::Custom(name) => name,
         }
     }
@@ -126,6 +146,7 @@ impl BanditKind {
             }
             "ucb" | "ucb1" => Some(BanditKind::Ucb1),
             "exp3" => Some(BanditKind::Exp3),
+            "thompson" | "thompson-sampling" | "ts" => Some(BanditKind::Thompson),
             _ => None,
         }
     }
@@ -146,7 +167,7 @@ impl BanditKind {
         if let Some(kind) = lookup_policy(&key) {
             return Ok(kind);
         }
-        let mut valid: Vec<&'static str> = BanditKind::ALL.iter().map(|k| k.name()).collect();
+        let mut valid: Vec<&'static str> = BanditKind::BUILTINS.iter().map(|k| k.name()).collect();
         valid.extend(registered_policies());
         Err(UnknownPolicy { name: text.trim().to_owned(), valid })
     }
@@ -176,6 +197,7 @@ impl BanditKind {
             BanditKind::EpsilonGreedy => Box::new(EpsilonGreedy::new(params.arms, params.epsilon)),
             BanditKind::Ucb1 => Box::new(Ucb1::new(params.arms)),
             BanditKind::Exp3 => Box::new(Exp3::new(params.arms, params.eta)),
+            BanditKind::Thompson => Box::new(Thompson::new(params.arms)),
             BanditKind::Custom(name) => {
                 let params = PolicyParams { kind: self, ..*params };
                 registry::build_registered(name, &params)
@@ -278,11 +300,22 @@ mod tests {
 
     #[test]
     fn kind_parse_round_trip() {
-        for kind in BanditKind::ALL {
+        for kind in BanditKind::BUILTINS {
             assert_eq!(BanditKind::parse(kind.name()), Ok(kind));
         }
         assert_eq!(BanditKind::parse("ucb1"), Ok(BanditKind::Ucb1));
         assert_eq!(BanditKind::parse("UCB1"), Ok(BanditKind::Ucb1), "parsing is case-insensitive");
+        assert_eq!(BanditKind::parse("Thompson-Sampling"), Ok(BanditKind::Thompson));
+        assert_eq!(BanditKind::parse("ts"), Ok(BanditKind::Thompson));
+    }
+
+    #[test]
+    fn the_paper_sweep_list_excludes_the_extra_builtin() {
+        // Table 1 / Figures 3–4 and the golden smoke report iterate `ALL`;
+        // adding Thompson there would silently change every pinned artefact.
+        assert!(!BanditKind::ALL.contains(&BanditKind::Thompson));
+        assert!(BanditKind::BUILTINS.contains(&BanditKind::Thompson));
+        assert!(BanditKind::ALL.iter().all(|kind| BanditKind::BUILTINS.contains(kind)));
     }
 
     #[test]
@@ -311,7 +344,7 @@ mod tests {
     #[test]
     fn build_constructs_every_kind() {
         let mut rng = StdRng::seed_from_u64(0);
-        for kind in BanditKind::ALL {
+        for kind in BanditKind::BUILTINS {
             let mut bandit = kind.build(5);
             assert_eq!(bandit.kind(), kind);
             assert_eq!(bandit.arms(), 5);

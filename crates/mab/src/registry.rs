@@ -263,7 +263,10 @@ mod tests {
 
     #[test]
     fn reserved_and_empty_names_are_rejected() {
-        for reserved in ["UCB", "ucb1", "exp3", "epsilon-greedy", "EGREEDY", "TheHuzz", "baseline", "FIFO"] {
+        for reserved in [
+            "UCB", "ucb1", "exp3", "epsilon-greedy", "EGREEDY", "thompson", "Thompson-Sampling",
+            "ts", "TheHuzz", "baseline", "FIFO",
+        ] {
             assert_eq!(
                 register_policy(reserved, |p: &PolicyParams| {
                     Box::new(Fixed { kind: p.kind, arms: p.arms }) as Box<dyn Bandit>

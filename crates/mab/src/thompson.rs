@@ -1,0 +1,220 @@
+//! Thompson sampling with a Gaussian posterior per arm.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Bandit, BanditKind};
+
+/// Thompson sampling with the reset-arms modification.
+///
+/// Each arm keeps the empirical mean of its rewards; selection draws one
+/// sample per arm from `Normal(mean, 1/sqrt(N(a) + 1))` — uncertainty
+/// shrinks as an arm accumulates pulls — and pulls the argmax. This is the
+/// Bayesian sampler in the spirit of the Thompson-sampling grey-box fuzzing
+/// line of work (arXiv:1808.08256), promoted from
+/// `examples/custom_policy.rs` to a built-in. [`reset_arm`](Bandit::reset_arm)
+/// restores the wide prior, which is exactly the paper's reset-arm
+/// modification: a fresh seed starts with fresh beliefs.
+///
+/// The standard-normal draws come from a Box–Muller transform over the
+/// uniform `f64`s the vendored `rand` shim provides; each [`select`]
+/// consumes exactly two uniforms per arm, so the draw sequence is a pure
+/// function of the RNG state and the arm count (the same determinism
+/// argument the campaign layer makes for the other built-ins).
+///
+/// [`select`]: Bandit::select
+///
+/// # Example
+///
+/// ```
+/// use mab::{Bandit, Thompson};
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut bandit = Thompson::new(3);
+/// for _ in 0..200 {
+///     let arm = bandit.select(&mut rng);
+///     bandit.update(arm, if arm == 1 { 1.0 } else { 0.0 });
+/// }
+/// assert!(bandit.value(1) > bandit.value(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Thompson {
+    means: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Thompson {
+    /// Creates a Thompson-sampling policy over `arms` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is zero.
+    pub fn new(arms: usize) -> Thompson {
+        assert!(arms > 0, "a bandit needs at least one arm");
+        Thompson { means: vec![0.0; arms], counts: vec![0; arms] }
+    }
+
+    /// Returns the posterior standard deviation currently assigned to `arm`
+    /// (`1/sqrt(N(a) + 1)` — widest for never-pulled and freshly reset arms).
+    pub fn sigma(&self, arm: usize) -> f64 {
+        1.0 / ((self.counts[arm] as f64) + 1.0).sqrt()
+    }
+
+    /// One standard-normal draw via Box–Muller (the vendored `rand` shim
+    /// provides uniform `f64`s only).
+    fn standard_normal(rng: &mut dyn rand::RngCore) -> f64 {
+        use rand::Rng as _;
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Bandit for Thompson {
+    fn kind(&self) -> BanditKind {
+        BanditKind::Thompson
+    }
+
+    fn arms(&self) -> usize {
+        self.means.len()
+    }
+
+    fn select(&mut self, rng: &mut dyn rand::RngCore) -> usize {
+        let mut best = 0usize;
+        let mut best_sample = f64::NEG_INFINITY;
+        for arm in 0..self.means.len() {
+            let sample = self.means[arm] + self.sigma(arm) * Self::standard_normal(rng);
+            if sample > best_sample {
+                best_sample = sample;
+                best = arm;
+            }
+        }
+        best
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        assert!(arm < self.means.len(), "arm {arm} out of range");
+        self.counts[arm] += 1;
+        let n = self.counts[arm] as f64;
+        self.means[arm] += (reward - self.means[arm]) / n;
+    }
+
+    fn reset_arm(&mut self, arm: usize) {
+        assert!(arm < self.means.len(), "arm {arm} out of range");
+        self.means[arm] = 0.0;
+        self.counts[arm] = 0;
+    }
+
+    fn value(&self, arm: usize) -> f64 {
+        self.means[arm]
+    }
+
+    fn pulls(&self, arm: usize) -> u64 {
+        self.counts[arm]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exploits_the_best_arm_in_the_long_run() {
+        let mut bandit = Thompson::new(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let means = [0.2, 0.8, 0.3, 0.1];
+        let mut best_pulls = 0;
+        for _ in 0..3000 {
+            let arm = bandit.select(&mut rng);
+            if arm == 1 {
+                best_pulls += 1;
+            }
+            let reward = if rng.gen_bool(means[arm]) { 1.0 } else { 0.0 };
+            bandit.update(arm, reward);
+        }
+        assert!(best_pulls > 1500, "best arm pulled only {best_pulls}/3000 times");
+    }
+
+    #[test]
+    fn reset_arm_restores_the_wide_prior() {
+        let mut bandit = Thompson::new(3);
+        for _ in 0..50 {
+            bandit.update(2, 0.9);
+        }
+        let tight = bandit.sigma(2);
+        assert!(tight < 0.2, "50 pulls should tighten the posterior ({tight})");
+        bandit.reset_arm(2);
+        assert_eq!(bandit.pulls(2), 0);
+        assert_eq!(bandit.value(2), 0.0);
+        assert_eq!(bandit.sigma(2), 1.0, "a reset arm is back to the prior width");
+    }
+
+    #[test]
+    fn selection_is_deterministic_for_a_fixed_rng_stream() {
+        let run = || {
+            let mut bandit = Thompson::new(5);
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100)
+                .map(|i| {
+                    let arm = bandit.select(&mut rng);
+                    bandit.update(arm, (i % 3) as f64 / 2.0);
+                    arm
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one arm")]
+    fn zero_arms_panics() {
+        let _ = Thompson::new(0);
+    }
+
+    proptest! {
+        /// Selection is always a valid index, and values track sample means.
+        #[test]
+        fn selection_in_range_and_values_are_means(
+            rewards in proptest::collection::vec(0.0f64..1.0, 1..64),
+            arms in 1usize..8,
+        ) {
+            let mut bandit = Thompson::new(arms);
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut totals = vec![(0.0f64, 0u64); arms];
+            for reward in &rewards {
+                let arm = bandit.select(&mut rng);
+                prop_assert!(arm < arms);
+                bandit.update(arm, *reward);
+                totals[arm].0 += reward;
+                totals[arm].1 += 1;
+            }
+            for (arm, (total, pulls)) in totals.iter().enumerate() {
+                if *pulls > 0 {
+                    let mean = total / *pulls as f64;
+                    prop_assert!((bandit.value(arm) - mean).abs() < 1e-9);
+                    prop_assert_eq!(bandit.pulls(arm), *pulls);
+                }
+            }
+        }
+
+        /// The posterior width is monotone non-increasing in pulls and never
+        /// reaches zero, so a Thompson arm always keeps some exploration.
+        #[test]
+        fn sigma_shrinks_monotonically_but_stays_positive(pulls in 0u64..200) {
+            let mut bandit = Thompson::new(1);
+            let mut last = bandit.sigma(0);
+            prop_assert_eq!(last, 1.0);
+            for _ in 0..pulls {
+                bandit.update(0, 0.5);
+                let sigma = bandit.sigma(0);
+                prop_assert!(sigma > 0.0);
+                prop_assert!(sigma < last);
+                last = sigma;
+            }
+        }
+    }
+}

@@ -2,14 +2,15 @@
 //!
 //! These are the algorithm-level guarantees the sharded campaign leans on:
 //! EXP3's selection distribution stays a finite, normalised distribution
-//! under arbitrary reward sequences; UCB1 never starves an arm (its log
-//! bonus keeps dragging neglected arms back); `sample_discrete` stays
+//! under arbitrary reward sequences; UCB1 and Thompson never starve an arm
+//! (the log bonus and the never-vanishing posterior width keep dragging
+//! neglected arms back); `sample_discrete` stays
 //! in-bounds for adversarial probability vectors (zeros, denormals, mass
 //! deficits); and `update_batch` — the sharded campaign's ordered-reduction
 //! entry point — is observationally identical to a sequence of `update`
 //! calls for every policy.
 
-use mab::{sample_discrete, Bandit, BanditKind, EpsilonGreedy, Exp3, Ucb1};
+use mab::{sample_discrete, Bandit, BanditKind, EpsilonGreedy, Exp3, Thompson, Ucb1};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -92,6 +93,39 @@ proptest! {
         }
     }
 
+    /// Thompson sampling never starves an arm: the posterior width
+    /// `1/sqrt(N+1)` never reaches zero and the Gaussian samples are
+    /// unbounded, so even an arm whose rewards look consistently worthless
+    /// keeps winning the argmax occasionally.
+    #[test]
+    fn thompson_never_starves_an_arm(
+        raw_rewards in proptest::collection::vec(0u8..4, 0..32),
+        arms in 2usize..7,
+    ) {
+        let mut bandit = Thompson::new(arms);
+        let mut rng = StdRng::seed_from_u64(0x7503);
+        let steps = 600;
+        for step in 0..steps {
+            let arm = bandit.select(&mut rng);
+            prop_assert!(arm < arms);
+            let raw = raw_rewards.get(step % raw_rewards.len().max(1)).copied().unwrap_or(0);
+            let reward = match raw {
+                0 => 0.0,
+                1 => 0.5,
+                2 => if arm == 0 { 1.0 } else { 0.0 },
+                _ => 1.0,
+            };
+            bandit.update(arm, reward);
+        }
+        for arm in 0..arms {
+            prop_assert!(
+                bandit.pulls(arm) >= 3,
+                "arm {arm} starved: only {} pulls in {steps} steps",
+                bandit.pulls(arm)
+            );
+        }
+    }
+
     /// `sample_discrete` returns an in-bounds index for adversarial
     /// probability vectors: zeros, denormals, huge entries, and vectors
     /// whose mass sums to less (or more) than one.
@@ -135,7 +169,7 @@ proptest! {
         arm_choice in 0usize..6,
     ) {
         let arm = arm_choice % arms;
-        for kind in BanditKind::ALL {
+        for kind in BanditKind::BUILTINS {
             let mut batched = kind.build(arms);
             let mut sequential = kind.build(arms);
             // Put both policies in the same non-trivial state first, driving

@@ -4,7 +4,7 @@ use coverage::{CoverPointId, CoverageMap, CoverageSpace};
 use isa_sim::exec::{execute_instr, InstrOutcome};
 use isa_sim::{
     ArchState, CommitRecord, DecodedProgram, Exception, HaltReason, MemAccess, Memory,
-    PHYS_ADDR_MASK,
+    ResetPolicy, PHYS_ADDR_MASK,
 };
 use riscv::op::Format;
 use riscv::program::TEXT_BASE;
@@ -30,6 +30,15 @@ impl Backend {
     fn reset(&mut self) {
         match self {
             Backend::Scoreboard(sb) => sb.reset(),
+            Backend::Rob(rob) => rob.reset(),
+        }
+    }
+
+    fn reset_dirty(&mut self) {
+        match self {
+            Backend::Scoreboard(sb) => sb.reset_dirty(),
+            // The ROB's reset is already O(in-flight): it clears a VecDeque
+            // and two counters, so it doubles as its own dirty reset.
             Backend::Rob(rob) => rob.reset(),
         }
     }
@@ -213,6 +222,20 @@ impl Components {
         self.csrfile.reset();
         self.backend.reset();
     }
+
+    /// Like [`reset`](Components::reset), but each component restores only
+    /// what the previous test dirtied (see `isa_sim::snapshot`). The decoder
+    /// (one counter), execute unit (stateless) and CSR-file model (stateless)
+    /// already have O(1) resets and keep them.
+    fn reset_dirty(&mut self) {
+        self.icache.reset_dirty();
+        self.frontend.reset_dirty();
+        self.decoder.reset();
+        self.execute.reset();
+        self.lsu.reset_dirty();
+        self.csrfile.reset();
+        self.backend.reset_dirty();
+    }
 }
 
 impl CoreModel {
@@ -343,7 +366,8 @@ impl CoreModel {
         out: &mut DutResult,
         fetch: impl Fn(&Memory, u64) -> Option<(u32, Option<Instr>)>,
     ) {
-        let (mem, text, model_slot) = scratch.parts();
+        let policy = scratch.reset_policy();
+        let (mem, text, model_slot, snapshot) = scratch.parts();
 
         // Adopt (or create) the scratch's component state for this design.
         let reusable = model_slot
@@ -364,19 +388,38 @@ impl CoreModel {
             .and_then(|state| state.downcast_mut::<ModelScratch>())
             .expect("model scratch was just validated or rebuilt")
             .components;
-        parts.reset();
+        // A freshly cloned component set is pristine, so the dirty reset is
+        // safe on the first run too.
+        match policy {
+            ResetPolicy::SnapshotReset => parts.reset_dirty(),
+            ResetPolicy::FullReinit => parts.reset(),
+        }
 
-        match predecoded {
-            Some(decoded) => mem.reset_with_program(decoded.text(), program.data()),
+        let image = match predecoded {
+            Some(decoded) => decoded.text(),
             None => {
                 program.text_bytes_into(text);
-                mem.reset_with_program(text, program.data());
+                &*text
             }
+        };
+        match policy {
+            ResetPolicy::SnapshotReset => mem.restore_with_program(image, program.data()),
+            ResetPolicy::FullReinit => mem.reset_with_program(image, program.data()),
         }
         out.coverage.reset_for_len(self.space.len());
         out.trace.clear();
+        // Snapshot reset recycles the previous run's final state (keeping its
+        // CSR-map allocation) instead of building a fresh one; `finish`
+        // repopulates the trace's slot at the end of the run.
+        let mut state = match policy {
+            ResetPolicy::SnapshotReset => {
+                let mut state = out.trace.take_final_state();
+                snapshot.restore(&mut state);
+                state
+            }
+            ResetPolicy::FullReinit => ArchState::new(),
+        };
         let map = &mut out.coverage;
-        let mut state = ArchState::new();
         let text_end = TEXT_BASE + mem.text_len();
         let mut halt = HaltReason::StepLimit;
         // V3 trigger state: was the previously committed instruction a taken
@@ -660,6 +703,7 @@ fn extend_load(op: Op, raw: u64) -> u64 {
 mod tests {
     use super::*;
     use isa_sim::GoldenSim;
+    use proptest::prelude::*;
     use riscv::asm::parse_program;
 
     fn test_config() -> CoreConfig {
@@ -858,6 +902,99 @@ mod tests {
                 core.run_decoded_into(prog, &decoded, 100, &mut scratch, &mut cached);
                 assert_eq!(cached.trace, interpreted.trace, "trace diverged under {bugs:?}");
                 assert_eq!(cached.coverage, interpreted.coverage, "coverage diverged under {bugs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_matches_full_reinit_for_every_bug_set() {
+        // The dirty-restore path must be invisible to every injected
+        // vulnerability: same trace, same coverage, with a scratch recycled
+        // across programs that leave memory, predictors, caches, the store
+        // buffer and trap CSRs dirty in different ways.
+        let mut with_raw = program("addi a1, zero, 30\naddi a2, zero, 12\nnop\necall\n");
+        with_raw.set_raw(2, (0x7f << 25) | (12 << 20) | (11 << 15) | (10 << 7) | 0x33);
+        let mut garbage = program("addi a0, zero, 1\nnop\necall\n");
+        garbage.set_raw(1, 0xffff_ffff);
+        let programs = [
+            Program::new(),
+            program("lui gp, 0x80010\nsd a0, 0(gp)\nld a1, 0(gp)\nebreak\necall\n"),
+            with_raw,
+            garbage,
+            program("fence.i\ncsrrs a0, 0x5c0, zero\necall\n"),
+            // Branch + call/ret traffic dirties the BHT, BTB and RAS.
+            program(
+                "addi t0, zero, 3\n\
+                 addi t0, t0, -1\n\
+                 bne t0, zero, -4\n\
+                 jal ra, 8\n\
+                 ecall\n\
+                 jalr zero, 0(ra)\n",
+            ),
+        ];
+        let mut bug_sets = vec![BugSet::none(), BugSet::all()];
+        bug_sets.extend(Vulnerability::ALL.iter().map(|v| BugSet::only(*v)));
+        for bugs in bug_sets {
+            let core = CoreModel::new(test_config(), bugs.clone());
+            let mut restored_scratch = SimScratch::new();
+            assert!(restored_scratch.reset_policy().is_snapshot(), "snapshot reset is the default");
+            let mut reinit_scratch = SimScratch::with_policy(ResetPolicy::FullReinit);
+            let mut restored = DutResult::default();
+            let mut reinit = DutResult::default();
+            for pass in 0..2 {
+                for prog in &programs {
+                    core.run_into(prog, 100, &mut restored_scratch, &mut restored);
+                    core.run_into(prog, 100, &mut reinit_scratch, &mut reinit);
+                    assert_eq!(restored.trace, reinit.trace, "pass {pass}: trace diverged under {bugs:?}");
+                    assert_eq!(restored.coverage, reinit.coverage, "pass {pass}: coverage diverged under {bugs:?}");
+                    let decoded = DecodedProgram::from_program(prog);
+                    core.run_decoded_into(prog, &decoded, 100, &mut restored_scratch, &mut restored);
+                    core.run_decoded_into(prog, &decoded, 100, &mut reinit_scratch, &mut reinit);
+                    assert_eq!(restored.trace, reinit.trace, "pass {pass}: decoded trace diverged under {bugs:?}");
+                    assert_eq!(restored.coverage, reinit.coverage, "pass {pass}: decoded coverage diverged under {bugs:?}");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// Random program/store/trap sequences: a long-lived snapshot-reset
+        /// scratch must stay byte-identical to a freshly initialised
+        /// simulator, with every bug layer enabled.
+        #[test]
+        fn restored_scratch_matches_a_fresh_simulator_on_random_programs(
+            words in proptest::collection::vec(any::<u32>(), 1..10),
+            offset in 0u64..256,
+        ) {
+            // A store/load preamble guarantees real memory dirt; the random
+            // words supply illegal-instruction traps, stray branches and the
+            // occasional legal store/CSR access.
+            let mut instrs = parse_program(
+                "lui gp, 0x80010\n\
+                 addi a0, zero, 77\n\
+                 sd a0, 0(gp)\n\
+                 ld a1, 8(gp)\n",
+            ).unwrap();
+            let prefix = instrs.len();
+            for _ in &words {
+                instrs.push(riscv::Instr::nop());
+            }
+            let mut prog = Program::from_instrs(instrs);
+            for (i, word) in words.iter().enumerate() {
+                prog.set_raw(prefix + i, *word ^ (offset as u32));
+            }
+
+            for bugs in [BugSet::none(), BugSet::all()] {
+                let core = CoreModel::new(test_config(), bugs.clone());
+                let mut scratch = SimScratch::new();
+                let mut out = DutResult::default();
+                // Dirty the scratch with one run, then re-run: the second,
+                // restored run must equal a from-scratch simulation.
+                core.run_into(&prog, 80, &mut scratch, &mut out);
+                core.run_into(&prog, 80, &mut scratch, &mut out);
+                let fresh = core.run(&prog, 80);
+                prop_assert_eq!(&out.trace, &fresh.trace, "trace diverged under {:?}", &bugs);
+                prop_assert_eq!(&out.coverage, &fresh.coverage, "coverage diverged under {:?}", &bugs);
             }
         }
     }

@@ -57,7 +57,7 @@ pub mod pipeline;
 use std::any::Any;
 
 use coverage::{CoverageMap, CoverageSpace};
-use isa_sim::{DecodedProgram, ExecTrace, Memory};
+use isa_sim::{DecodedProgram, ExecTrace, Memory, ResetPolicy, Snapshot};
 use riscv::Program;
 
 pub use bugs::{BugSet, Vulnerability};
@@ -79,8 +79,11 @@ pub struct DutResult {
 
 /// Reusable per-campaign simulation state for [`Processor::run_into`].
 ///
-/// Holds the memory image, the encoded-text buffer and a type-erased slot for
-/// model-specific microarchitectural component state. A scratch belongs to
+/// Holds the memory image, the encoded-text buffer, a type-erased slot for
+/// model-specific microarchitectural component state, the pristine-state
+/// [`Snapshot`] and the [`ResetPolicy`] governing how all of it is brought
+/// back between tests (snapshot/dirty restore by default; full reinit as the
+/// differential oracle — see `isa_sim::snapshot`). A scratch belongs to
 /// one processor instance at a time (models validate and rebuild the
 /// component slot if handed a foreign scratch), and one scratch per harness
 /// is enough — campaigns are single-threaded internally; parallelism happens
@@ -90,6 +93,8 @@ pub struct SimScratch {
     mem: Memory,
     text: Vec<u8>,
     model_state: Option<Box<dyn Any + Send>>,
+    snapshot: Snapshot,
+    policy: ResetPolicy,
 }
 
 impl std::fmt::Debug for SimScratch {
@@ -97,20 +102,38 @@ impl std::fmt::Debug for SimScratch {
         f.debug_struct("SimScratch")
             .field("text_len", &self.text.len())
             .field("has_model_state", &self.model_state.is_some())
+            .field("policy", &self.policy)
             .finish()
     }
 }
 
 impl SimScratch {
-    /// Creates an empty scratch.
+    /// Creates an empty scratch with the default
+    /// [`ResetPolicy::SnapshotReset`] (safe on a fresh scratch: nothing is
+    /// dirty yet).
     pub fn new() -> SimScratch {
         SimScratch::default()
     }
 
-    /// Splits the scratch into its memory image, text buffer and
-    /// model-state slot (for `Processor` implementations).
-    pub fn parts(&mut self) -> (&mut Memory, &mut Vec<u8>, &mut Option<Box<dyn Any + Send>>) {
-        (&mut self.mem, &mut self.text, &mut self.model_state)
+    /// Creates an empty scratch with an explicit reset policy
+    /// ([`ResetPolicy::FullReinit`] selects the differential-oracle path).
+    pub fn with_policy(policy: ResetPolicy) -> SimScratch {
+        SimScratch { policy, ..SimScratch::default() }
+    }
+
+    /// Returns the reset policy this scratch recycles its state with. Read
+    /// this *before* [`parts`](SimScratch::parts) — the policy is `Copy`, the
+    /// parts borrow lasts the whole simulation.
+    pub fn reset_policy(&self) -> ResetPolicy {
+        self.policy
+    }
+
+    /// Splits the scratch into its memory image, text buffer, model-state
+    /// slot and pristine-state snapshot (for `Processor` implementations).
+    pub fn parts(
+        &mut self,
+    ) -> (&mut Memory, &mut Vec<u8>, &mut Option<Box<dyn Any + Send>>, &Snapshot) {
+        (&mut self.mem, &mut self.text, &mut self.model_state, &self.snapshot)
     }
 }
 

@@ -40,6 +40,12 @@ pub struct CacheModel {
     tags: Vec<Vec<Option<u64>>>,
     lru: Vec<Vec<u8>>,
     dirty: Vec<Vec<bool>>,
+    // Dirty-reset tracking (see `isa_sim::snapshot`): the sets touched since
+    // the last reset, in first-touch order, with a per-set dedup flag. Every
+    // state mutation goes through `access` (which marks its set before
+    // mutating), so an unmarked set is pristine.
+    touched_sets: Vec<usize>,
+    set_touched: Vec<bool>,
 }
 
 impl CacheModel {
@@ -84,6 +90,8 @@ impl CacheModel {
             tags: vec![vec![None; ways]; sets],
             lru: vec![(0..ways as u8).collect(); sets],
             dirty: vec![vec![false; ways]; sets],
+            touched_sets: Vec::new(),
+            set_touched: vec![false; sets],
             name,
         }
     }
@@ -103,14 +111,29 @@ impl CacheModel {
         self.ways
     }
 
-    /// Clears all runtime state (called at the start of every test).
+    /// Clears all runtime state (the full-reinit differential oracle).
     pub fn reset(&mut self) {
         for set in 0..self.sets {
-            self.tags[set].fill(None);
-            self.dirty[set].fill(false);
-            for (way, slot) in self.lru[set].iter_mut().enumerate() {
-                *slot = way as u8;
-            }
+            Self::reset_set(&mut self.tags[set], &mut self.lru[set], &mut self.dirty[set]);
+            self.set_touched[set] = false;
+        }
+        self.touched_sets.clear();
+    }
+
+    /// Like [`reset`](CacheModel::reset), but clears only the sets touched
+    /// since the last reset — O(touched sets) instead of O(sets).
+    pub fn reset_dirty(&mut self) {
+        while let Some(set) = self.touched_sets.pop() {
+            Self::reset_set(&mut self.tags[set], &mut self.lru[set], &mut self.dirty[set]);
+            self.set_touched[set] = false;
+        }
+    }
+
+    fn reset_set(tags: &mut [Option<u64>], lru: &mut [u8], dirty: &mut [bool]) {
+        tags.fill(None);
+        dirty.fill(false);
+        for (way, slot) in lru.iter_mut().enumerate() {
+            *slot = way as u8;
         }
     }
 
@@ -134,6 +157,10 @@ impl CacheModel {
     pub fn access(&mut self, addr: u64, is_write: bool, map: &mut CoverageMap) -> CacheOutcome {
         let set = self.set_of(addr);
         let line = self.line_of(addr);
+        if !self.set_touched[set] {
+            self.set_touched[set] = true;
+            self.touched_sets.push(set);
+        }
         if let Some(way) = self.tags[set].iter().position(|t| *t == Some(line)) {
             map.cover(self.hit_ids[set]);
             if is_write {
@@ -243,6 +270,33 @@ mod tests {
         assert!(cache.contains(0x8000_0000));
         cache.reset();
         assert!(!cache.contains(0x8000_0000));
+    }
+
+    #[test]
+    fn dirty_reset_is_equivalent_to_full_reset() {
+        let (space, mut dirty_cache) = setup(4, 2);
+        let mut full_cache = dirty_cache.clone();
+        let mut map = CoverageMap::for_space(&space);
+        // Touch a few sets (including a conflict eviction), then reset one
+        // cache with each path: runtime state must end up identical.
+        for addr in [0x0000u64, 0x0040, 0x1000, 0x2000, 0x0000] {
+            dirty_cache.access(addr, addr == 0, &mut map);
+            full_cache.access(addr, addr == 0, &mut map);
+        }
+        dirty_cache.reset_dirty();
+        full_cache.reset();
+        for addr in [0x0000u64, 0x0040, 0x1000, 0x2000] {
+            assert!(!dirty_cache.contains(addr));
+        }
+        assert_eq!(dirty_cache.tags, full_cache.tags);
+        assert_eq!(dirty_cache.lru, full_cache.lru);
+        assert_eq!(dirty_cache.dirty, full_cache.dirty);
+        assert!(dirty_cache.touched_sets.is_empty());
+        assert!(dirty_cache.set_touched.iter().all(|t| !t));
+        // An untouched cache dirty-resets for free and stays pristine.
+        let (_, mut cold) = setup(4, 2);
+        cold.reset_dirty();
+        assert_eq!(cold.tags, full_cache.tags);
     }
 
     #[test]

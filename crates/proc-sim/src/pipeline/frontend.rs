@@ -34,6 +34,12 @@ pub struct FrontendModel {
     btb: Vec<Option<(u64, u64)>>,
     history: u64,
     ras: Vec<u64>,
+    // Dirty-reset flags (see `isa_sim::snapshot`): the BHT only changes in
+    // `on_branch`, the BTB only gains entries in `on_jump`'s miss arm; an
+    // unset flag means the table is still in its reset fill. `history` and
+    // the RAS are O(1)/tiny and reset unconditionally.
+    bht_dirty: bool,
+    btb_dirty: bool,
 }
 
 impl FrontendModel {
@@ -84,13 +90,32 @@ impl FrontendModel {
             btb: vec![None; btb_entries],
             history: 0,
             ras: Vec::new(),
+            bht_dirty: false,
+            btb_dirty: false,
         }
     }
 
-    /// Clears all predictor state.
+    /// Clears all predictor state (the full-reinit differential oracle).
     pub fn reset(&mut self) {
         self.bht.fill(1);
         self.btb.fill(None);
+        self.history = 0;
+        self.ras.clear();
+        self.bht_dirty = false;
+        self.btb_dirty = false;
+    }
+
+    /// Like [`reset`](FrontendModel::reset), but refills the BHT/BTB tables
+    /// only when they were actually written since the last reset.
+    pub fn reset_dirty(&mut self) {
+        if self.bht_dirty {
+            self.bht.fill(1);
+            self.bht_dirty = false;
+        }
+        if self.btb_dirty {
+            self.btb.fill(None);
+            self.btb_dirty = false;
+        }
         self.history = 0;
         self.ras.clear();
     }
@@ -107,6 +132,7 @@ impl FrontendModel {
     /// Records the resolution of a conditional branch and returns whether the
     /// predictor had predicted it correctly.
     pub fn on_branch(&mut self, pc: u64, taken: bool, offset: i64, map: &mut CoverageMap) -> bool {
+        self.bht_dirty = true;
         let index = self.bht_index(pc);
         let counter = self.bht[index];
         let predicted_taken = counter >= 2;
@@ -140,6 +166,7 @@ impl FrontendModel {
             _ => {
                 map.cover(self.btb_miss[index]);
                 self.btb[index] = Some((pc, target));
+                self.btb_dirty = true;
             }
         }
         if is_call {
@@ -245,6 +272,29 @@ mod tests {
         fe.on_fetch(0x8000_0004, &mut map);
         assert!(map.is_covered(space.lookup("frontend", "fetch_line_start", true).unwrap()));
         assert!(map.is_covered(space.lookup("frontend", "fetch_line_start", false).unwrap()));
+    }
+
+    #[test]
+    fn dirty_reset_is_equivalent_to_full_reset() {
+        let (space, mut fe) = setup(4, 4);
+        let mut map = CoverageMap::for_space(&space);
+        for _ in 0..5 {
+            fe.on_branch(0x8000_0000, true, 8, &mut map);
+        }
+        fe.on_jump(0x8000_0010, 0x8000_0100, true, false, &mut map);
+        fe.reset_dirty();
+        assert_eq!(fe.bht, vec![1; 4]);
+        assert!(fe.btb.iter().all(Option::is_none));
+        assert_eq!(fe.history, 0);
+        assert!(fe.ras.is_empty());
+        assert!(!fe.bht_dirty && !fe.btb_dirty);
+        // A BTB *hit* leaves the table as-is, so the dirty flag staying set
+        // from the insert is what guarantees the entry still gets cleared.
+        fe.on_jump(0x8000_0010, 0x8000_0100, false, false, &mut map);
+        assert!(fe.btb_dirty);
+        fe.on_jump(0x8000_0010, 0x8000_0100, false, false, &mut map);
+        fe.reset_dirty();
+        assert!(fe.btb.iter().all(Option::is_none));
     }
 
     #[test]

@@ -100,9 +100,18 @@ impl LsuModel {
         }
     }
 
-    /// Clears the cache and store buffer.
+    /// Clears the cache and store buffer (the full-reinit differential
+    /// oracle).
     pub fn reset(&mut self) {
         self.dcache.reset();
+        self.store_buffer.clear();
+    }
+
+    /// Like [`reset`](LsuModel::reset), but only the dcache sets touched
+    /// since the last reset are cleared. The store buffer is a short
+    /// `VecDeque` whose `clear` is already O(len ≤ capacity).
+    pub fn reset_dirty(&mut self) {
+        self.dcache.reset_dirty();
         self.store_buffer.clear();
     }
 
@@ -273,6 +282,20 @@ mod tests {
         assert!(map.is_covered(space.lookup("lsu", "misaligned_width4", true).unwrap()));
         assert!(map.is_covered(space.lookup("lsu", "load_access_fault", true).unwrap()));
         assert!(map.is_covered(space.lookup("lsu", "store_access_fault", true).unwrap()));
+    }
+
+    #[test]
+    fn dirty_reset_clears_buffer_and_cache() {
+        let (space, mut lsu) = setup();
+        let mut map = CoverageMap::for_space(&space);
+        lsu.on_store(BASE, 8, 1, &mut map);
+        lsu.reset_dirty();
+        assert_eq!(lsu.store_buffer_len(), 0);
+        let outcome = lsu.on_load(BASE, 8, true, &mut map);
+        assert!(!outcome.forwarded, "store buffer cleared");
+        // The re-access after the reset is a cold miss again, so the dcache
+        // line really was invalidated, not just deprioritised.
+        assert!(lsu.dcache.contains(BASE));
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub struct ScoreboardModel {
     // Runtime: for each register, (sequence number, class) of the last writer.
     last_writer: Vec<Option<(u64, OpClass)>>,
     seq: u64,
+    // Dirty-reset flag (see `isa_sim::snapshot`): `last_writer` is only
+    // written in `on_issue` (non-zero destinations); unset means it is still
+    // all-`None`. `seq` is O(1) and resets unconditionally.
+    dirty: bool,
 }
 
 const UNIT_CLASSES: [OpClass; 5] =
@@ -67,12 +71,24 @@ impl ScoreboardModel {
             distance_buckets,
             last_writer: vec![None; 32],
             seq: 0,
+            dirty: false,
         }
     }
 
-    /// Clears hazard-tracking state.
+    /// Clears hazard-tracking state (the full-reinit differential oracle).
     pub fn reset(&mut self) {
         self.last_writer.fill(None);
+        self.seq = 0;
+        self.dirty = false;
+    }
+
+    /// Like [`reset`](ScoreboardModel::reset), but clears the writer table
+    /// only when something was written to it since the last reset.
+    pub fn reset_dirty(&mut self) {
+        if self.dirty {
+            self.last_writer.fill(None);
+            self.dirty = false;
+        }
         self.seq = 0;
     }
 
@@ -106,6 +122,7 @@ impl ScoreboardModel {
                     map.cover(self.waw_distance[bucket(distance, self.distance_buckets)]);
                 }
                 self.last_writer[dest.index() as usize] = Some((self.seq, class));
+                self.dirty = true;
             }
         }
     }
@@ -181,6 +198,24 @@ mod tests {
         sb.on_issue(&Instr::itype(Op::Addi, Gpr::S0, Gpr::Zero, 1), &mut map);
         sb.on_issue(&Instr::itype(Op::Addi, Gpr::S0, Gpr::Zero, 2), &mut map);
         assert!(map.is_covered(space.lookup("scoreboard", "waw_distance_bucket1", true).unwrap()));
+    }
+
+    #[test]
+    fn dirty_reset_is_equivalent_to_full_reset() {
+        let (space, mut sb) = setup();
+        let mut map = CoverageMap::for_space(&space);
+        sb.on_issue(&Instr::itype(Op::Addi, Gpr::A0, Gpr::Zero, 1), &mut map);
+        assert!(sb.dirty);
+        sb.reset_dirty();
+        assert!(sb.busy_registers().is_empty());
+        assert_eq!(sb.seq, 0);
+        assert!(!sb.dirty);
+        // Issuing only x0-destination instructions leaves the table clean, so
+        // the next dirty reset skips the fill entirely.
+        sb.on_issue(&Instr::itype(Op::Addi, Gpr::Zero, Gpr::Zero, 1), &mut map);
+        assert!(!sb.dirty);
+        sb.reset_dirty();
+        assert!(sb.busy_registers().is_empty());
     }
 
     #[test]
