@@ -1,0 +1,107 @@
+//! `experiments analyze`: static-analysis dumps of seed programs.
+//!
+//! Renders the [`ProgramFacts`] of each seed a
+//! campaign spec would generate — or of one raw text image — as one strict
+//! JSON document. Like every other experiment artefact, rendering is by hand
+//! so the bytes are deterministic: the integration tests pin them against a
+//! golden file, and the `experiments analyze` subcommand emits exactly the
+//! same bytes.
+//!
+//! Seed derivation mirrors the campaign loop: a fresh
+//! [`SeedGenerator`] over the spec's generator
+//! config, driven by `StdRng::seed_from_u64(spec.rng_seed)`, producing
+//! `spec.campaign.num_seeds` programs — the exact arm seeds a Fig. 2
+//! campaign would start from (arm counts aside, the generator stream is the
+//! same).
+
+use analysis::ProgramFacts;
+use fuzzer::SeedGenerator;
+use mabfuzz::CampaignSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use riscv::Program;
+
+/// Renders the static facts of every seed the spec's generator stream
+/// produces, as one JSON document.
+pub fn spec_report(spec: &CampaignSpec) -> String {
+    let mut generator = SeedGenerator::new(spec.campaign.generator.clone());
+    let mut rng = StdRng::seed_from_u64(spec.rng_seed);
+    let count = spec.campaign.num_seeds;
+    let seeds: Vec<String> = generator
+        .generate_seeds(&mut rng, count)
+        .iter()
+        .enumerate()
+        .map(|(index, seed)| {
+            let facts = ProgramFacts::analyze(&seed.program.text_bytes());
+            format!(
+                "{{\"index\":{index},\"instructions\":{},\"facts\":{}}}",
+                seed.program.instrs().len(),
+                facts.to_json()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"experiment\":\"analyze\",\"rng_seed\":{},\"num_seeds\":{},\"seeds\":[{}]}}",
+        spec.rng_seed,
+        count,
+        seeds.join(",")
+    )
+}
+
+/// Renders the static facts of one raw text image (little-endian RV64I
+/// words, as written by [`Program::text_bytes`]) as one JSON document.
+///
+/// Words that fail to decode stay in the image as statically-illegal slots
+/// (see [`Program::from_text_bytes`]); their count is reported alongside the
+/// facts so corrupt images are visible in the artefact.
+pub fn program_report(bytes: &[u8]) -> String {
+    let (program, undecodable) = Program::from_text_bytes(bytes);
+    let facts = ProgramFacts::analyze(&program.text_bytes());
+    format!(
+        "{{\"experiment\":\"analyze\",\"bytes\":{},\"undecodable_words\":{},\"facts\":{}}}",
+        bytes.len(),
+        undecodable,
+        facts.to_json()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_report_is_deterministic_and_sized_by_the_spec() {
+        let spec = CampaignSpec::builder().arms(3).rng_seed(11).build().unwrap();
+        let report = spec_report(&spec);
+        assert_eq!(report, spec_report(&spec), "rendering is deterministic");
+        assert!(report.starts_with("{\"experiment\":\"analyze\",\"rng_seed\":11,\"num_seeds\":3,"));
+        assert_eq!(report.matches("\"index\":").count(), 3, "one entry per seed");
+        assert!(report.contains("\"block_count\":"), "facts are embedded");
+    }
+
+    #[test]
+    fn different_rng_seeds_change_the_analyzed_programs() {
+        let spec = |seed: u64| CampaignSpec::builder().arms(2).rng_seed(seed).build().unwrap();
+        assert_ne!(spec_report(&spec(1)), spec_report(&spec(2)));
+    }
+
+    #[test]
+    fn program_report_round_trips_a_text_image() {
+        use riscv::{Gpr, Instr, Op};
+        let program = Program::from_instrs(vec![
+            Instr::itype(Op::Addi, Gpr::A0, Gpr::Zero, 5),
+            Instr::nullary(Op::Ecall),
+        ]);
+        let report = program_report(&program.text_bytes());
+        assert!(report.starts_with("{\"experiment\":\"analyze\",\"bytes\":8,\"undecodable_words\":0,"));
+        assert!(report.contains("\"slots\":2"));
+    }
+
+    #[test]
+    fn program_report_counts_undecodable_words() {
+        // An all-ones word never decodes; it survives as an illegal slot.
+        let report = program_report(&[0xff, 0xff, 0xff, 0xff]);
+        assert!(report.contains("\"undecodable_words\":1"), "{report}");
+        assert!(report.contains("\"illegal_slots\":[0]"), "{report}");
+    }
+}

@@ -10,6 +10,7 @@
 //! experiments ablation [--tests N] [--repeats R] [--seed S]
 //! experiments all      [--tests N] [--repeats R] [--seed S]
 //! experiments run      [--spec file.json] [--events FILE] [...]
+//! experiments analyze  [--spec file.json | --program FILE]
 //! experiments serve    [--addr 127.0.0.1:PORT] [--workers N]
 //! experiments dispatch <cmd> --workers host:port,host:port [...]
 //! ```
@@ -47,8 +48,8 @@ use mabfuzz_bench::{
     ShardPlan,
 };
 use mabfuzz::{
-    json_value, BugSpec, Campaign, CampaignSpec, CampaignSummary, EventLog, PolicySpec,
-    ProcessorSpec, ProgressMonitor,
+    json_value, BugSpec, Campaign, CampaignSpec, CampaignSummary, CoverageSignal, EventLog,
+    PolicySpec, ProcessorSpec, ProgressMonitor,
 };
 use mabfuzz_service::{Client, Coordinator, RetryPolicy};
 use proc_sim::{ProcessorKind, Vulnerability};
@@ -63,6 +64,17 @@ fn main() -> ExitCode {
             Err(message) => {
                 eprintln!("error: {message}");
                 eprintln!("{RUN_USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if command == "analyze" {
+        // The static-analysis dump has its own (tiny) option set.
+        return match run_analyze(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("{ANALYZE_USAGE}");
                 ExitCode::FAILURE
             }
         };
@@ -108,6 +120,7 @@ fn main() -> ExitCode {
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             println!("{RUN_USAGE}");
+            println!("{ANALYZE_USAGE}");
             println!("{SERVE_USAGE}");
             println!("{DISPATCH_USAGE}");
             Ok(())
@@ -116,6 +129,7 @@ fn main() -> ExitCode {
             eprintln!("error: unknown command `{other}`");
             eprintln!("{USAGE}");
             eprintln!("{RUN_USAGE}");
+            eprintln!("{ANALYZE_USAGE}");
             eprintln!("{SERVE_USAGE}");
             eprintln!("{DISPATCH_USAGE}");
             return ExitCode::FAILURE;
@@ -149,7 +163,11 @@ const USAGE: &str = "usage: experiments <table1|fig3|fig4|ablation|all> \
 
 const RUN_USAGE: &str = "usage: experiments run [--spec file.json] \
 [--algorithm NAME] [--core NAME] [--bugs none|native|V1..V7] [--tests N] \
-[--seed S] [--shards N] [--batch N] [--events FILE] [--progress] [--json]";
+[--seed S] [--shards N] [--batch N] [--coverage-signal point|edge] \
+[--events FILE] [--progress] [--json]";
+
+const ANALYZE_USAGE: &str = "usage: experiments analyze \
+[--spec file.json | --program FILE]";
 
 const SERVE_USAGE: &str = "usage: experiments serve [--addr 127.0.0.1:PORT] \
 [--workers auto|N] [--ttl SECONDS] [--auth-token TOKEN] [--io-timeout-ms N|0]";
@@ -298,6 +316,12 @@ fn run_single_campaign(args: &[String]) -> Result<(), String> {
             "--batch" => {
                 spec.batch_size = value()?.parse().map_err(|e| format!("--batch: {e}"))?
             }
+            "--coverage-signal" => {
+                let name = value()?;
+                spec.coverage_signal = CoverageSignal::parse(&name).ok_or_else(|| {
+                    format!("--coverage-signal: expected point or edge, got `{name}`")
+                })?;
+            }
             "--events" => events_path = Some(value()?),
             "--progress" => progress = true,
             "--json" => json_output = true,
@@ -360,6 +384,52 @@ fn run_single_campaign(args: &[String]) -> Result<(), String> {
     if !outcome.arms.is_empty() {
         println!("total arm resets: {}", outcome.total_resets);
     }
+    Ok(())
+}
+
+/// `experiments analyze`: dump the static [`ProgramFacts`] of seed programs
+/// as one strict JSON document on stdout.
+///
+/// With `--spec file.json` (or no flags: the default spec) the generator
+/// stream of the spec is replayed and every initial seed is analyzed — the
+/// exact programs a campaign's arms would start from. With `--program FILE`
+/// one raw RV64I text image is analyzed instead; words that fail to decode
+/// are reported as statically-illegal slots, never silently dropped.
+///
+/// [`ProgramFacts`]: mabfuzz_bench::analyze
+fn run_analyze(args: &[String]) -> Result<(), String> {
+    let mut spec_path: Option<String> = None;
+    let mut program_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next().cloned().ok_or_else(|| format!("flag `{flag}` expects a value"))
+        };
+        match flag.as_str() {
+            "--spec" => spec_path = Some(value()?),
+            "--program" => program_path = Some(value()?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if spec_path.is_some() && program_path.is_some() {
+        return Err("--spec and --program are mutually exclusive".to_owned());
+    }
+    if let Some(path) = program_path {
+        let bytes =
+            std::fs::read(&path).map_err(|error| format!("--program {path}: {error}"))?;
+        println!("{}", mabfuzz_bench::analyze::program_report(&bytes));
+        return Ok(());
+    }
+    let spec = match spec_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|error| format!("--spec {path}: {error}"))?;
+            CampaignSpec::from_json(&text).map_err(|error| format!("--spec {path}: {error}"))?
+        }
+        None => CampaignSpec::default(),
+    };
+    spec.validate().map_err(|error| error.to_string())?;
+    println!("{}", mabfuzz_bench::analyze::spec_report(&spec));
     Ok(())
 }
 

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod analyze;
 pub mod fig3;
 pub mod fig4;
 pub mod grid;

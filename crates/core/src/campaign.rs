@@ -165,11 +165,11 @@ impl Campaign {
     /// construction and error ordering cannot drift between them).
     fn assemble(processor: Arc<dyn Processor>, spec: &CampaignSpec) -> Result<Campaign, SpecError> {
         let kind = match spec.policy {
-            PolicySpec::Baseline => CampaignKind::Baseline(TheHuzzFuzzer::new(
-                processor,
-                spec.campaign.clone(),
-                spec.rng_seed,
-            )),
+            PolicySpec::Baseline => {
+                let mut fuzzer = TheHuzzFuzzer::new(processor, spec.campaign.clone(), spec.rng_seed);
+                fuzzer.set_coverage_signal(spec.coverage_signal);
+                CampaignKind::Baseline(fuzzer)
+            }
             PolicySpec::Bandit(kind) => {
                 let bandit = kind.build_with(&spec.policy_params(kind));
                 if bandit.arms() != spec.arms() {
@@ -178,10 +178,13 @@ impl Campaign {
                         spec: spec.arms(),
                     });
                 }
-                CampaignKind::Mab {
-                    session: MabSession::new(processor, spec.to_mab_config(), bandit, spec.rng_seed),
-                    plan: spec.plan(),
-                }
+                let mut session =
+                    MabSession::new(processor, spec.to_mab_config(), bandit, spec.rng_seed);
+                // Shard workers clone this harness, so the signal propagates
+                // to every worker and `coverage_space_len` sizes the stats
+                // and arms for the selected space automatically.
+                session.harness.set_coverage_signal(spec.coverage_signal);
+                CampaignKind::Mab { session, plan: spec.plan() }
             }
         };
         Ok(Campaign { kind, observers: Vec::new(), cancel: None })
@@ -1142,6 +1145,42 @@ mod tests {
             .unwrap()
             .execute();
             assert_eq!(reference, sharded, "{shards} shards diverged");
+        }
+    }
+
+    #[test]
+    fn edge_signal_campaigns_are_shard_count_independent() {
+        use fuzzer::CoverageSignal;
+        let spec = |shards: usize| {
+            CampaignSpec::builder()
+                .algorithm(BanditKind::Ucb1)
+                .arms(4)
+                .max_tests(42)
+                .max_steps_per_test(200)
+                .mutations_per_interesting_test(2)
+                .sample_interval(5)
+                .rng_seed(9)
+                .shards(shards)
+                .batch_size(5)
+                .coverage_signal(CoverageSignal::Edge)
+                .build()
+                .unwrap()
+        };
+        let campaign =
+            Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec(1)).unwrap();
+        assert_eq!(
+            campaign.coverage_space_len(),
+            coverage::EdgeSpace::DEFAULT_LEN,
+            "edge campaigns measure against the fixed edge space"
+        );
+        let reference = campaign.execute();
+        assert!(reference.stats.final_coverage() > 0, "the edge signal observes coverage");
+        for shards in [2usize, 4] {
+            let sharded =
+                Campaign::from_spec_on(Arc::new(RocketCore::new(BugSet::none())), &spec(shards))
+                    .unwrap()
+                    .execute();
+            assert_eq!(reference, sharded, "{shards} shards diverged under the edge signal");
         }
     }
 }

@@ -95,7 +95,7 @@ pub use campaign::Campaign;
 pub use cancel::CancelToken;
 pub use config::MabFuzzConfig;
 pub use event_log::{EventBroadcast, EventLog, EventLogHealth, SharedBuffer};
-pub use fuzzer::{ShardPlan, ShardPool};
+pub use fuzzer::{CoverageSignal, ShardPlan, ShardPool};
 pub use monitor::SaturationMonitor;
 pub use observer::{
     ArmReset, ArmSelected, BatchFolded, CampaignFinished, CampaignObserver, CoverageMilestone,

@@ -14,6 +14,8 @@
 //! Write errors are ignored: progress is best-effort by design.
 
 use std::io::{self, Write};
+// detlint: allow-file(wall-clock) -- the progress monitor writes live
+// tests/sec lines to stderr only; the stdout artefacts never see a reading.
 use std::time::Instant;
 
 use crate::observer::{

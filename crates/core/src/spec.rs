@@ -43,7 +43,7 @@
 
 use std::fmt;
 
-use fuzzer::{CampaignConfig, ShardPlan};
+use fuzzer::{CampaignConfig, CoverageSignal, ShardPlan};
 use mab::{BanditKind, PolicyParams};
 use proc_sim::{BugSet, Processor, ProcessorKind, Vulnerability};
 use riscv::gen::{ClassWeights, GeneratorConfig};
@@ -284,6 +284,11 @@ pub struct CampaignSpec {
     /// deterministic campaign (see the determinism contract in
     /// `fuzzer::shard`).
     pub batch_size: usize,
+    /// Which coverage signal feeds the reward: the paper's point coverage
+    /// (the default — every published artefact uses it, and `to_json` omits
+    /// the field entirely so existing goldens stay byte-identical) or static
+    /// CFG edge coverage.
+    pub coverage_signal: CoverageSignal,
     /// The processor under test, when the spec is self-contained.
     /// `None` when the caller supplies the processor (grid cells).
     pub processor: Option<ProcessorSpec>,
@@ -311,6 +316,7 @@ impl CampaignSpec {
             rng_seed,
             shards: plan.shards(),
             batch_size: plan.batch_size(),
+            coverage_signal: CoverageSignal::Point,
             processor: None,
             campaign: config.campaign.clone(),
         }
@@ -435,7 +441,7 @@ impl CampaignSpec {
             concat!(
                 "{{\"policy\":{policy},\"alpha\":{alpha},\"gamma\":{gamma},",
                 "\"epsilon\":{epsilon},\"eta\":{eta},\"rng_seed\":{rng_seed},",
-                "\"shards\":{shards},\"batch_size\":{batch_size},",
+                "\"shards\":{shards},\"batch_size\":{batch_size},{signal}",
                 "\"processor\":{processor},\"campaign\":{{",
                 "\"max_tests\":{max_tests},\"max_steps_per_test\":{max_steps},",
                 "\"num_seeds\":{num_seeds},",
@@ -458,6 +464,12 @@ impl CampaignSpec {
             rng_seed = self.rng_seed,
             shards = self.shards,
             batch_size = self.batch_size,
+            // Omitted entirely for the default point signal so every spec
+            // JSON written before the field existed stays byte-identical.
+            signal = match self.coverage_signal {
+                CoverageSignal::Point => "",
+                CoverageSignal::Edge => "\"coverage_signal\":\"edge\",",
+            },
             processor = processor,
             max_tests = self.campaign.max_tests,
             max_steps = self.campaign.max_steps_per_test,
@@ -548,6 +560,7 @@ impl Default for CampaignSpecBuilder {
                 rng_seed: 0,
                 shards: 1,
                 batch_size: 1,
+                coverage_signal: CoverageSignal::Point,
                 processor: None,
                 campaign: CampaignConfig::default(),
             },
@@ -676,6 +689,12 @@ impl CampaignSpecBuilder {
         self.shards(plan.shards()).batch_size(plan.batch_size())
     }
 
+    /// Selects the coverage signal feeding the reward (default: point).
+    pub fn coverage_signal(mut self, signal: CoverageSignal) -> Self {
+        self.spec.coverage_signal = signal;
+        self
+    }
+
     /// Names the processor the spec runs against, making it self-contained.
     pub fn processor(mut self, core: ProcessorKind, bugs: BugSpec) -> Self {
         self.spec.processor = Some(ProcessorSpec { core, bugs });
@@ -725,6 +744,14 @@ fn spec_from_value(value: &json::Value) -> Result<CampaignSpec, SpecError> {
             "rng_seed" => spec.rng_seed = field.as_u64("rng_seed")?,
             "shards" => spec.shards = field.as_usize("shards")?,
             "batch_size" => spec.batch_size = field.as_usize("batch_size")?,
+            "coverage_signal" => {
+                let name = field.as_str("coverage_signal")?;
+                spec.coverage_signal = CoverageSignal::parse(name).ok_or_else(|| {
+                    SpecError::Json(format!(
+                        "unknown coverage signal `{name}` (expected \"point\" or \"edge\")"
+                    ))
+                })?;
+            }
             "processor" => spec.processor = processor_from_value(field)?,
             "campaign" => campaign_from_value(field, &mut spec.campaign)?,
             other => {
@@ -985,6 +1012,27 @@ mod tests {
         assert_eq!(spec.arms(), 10, "defaults fill the rest");
         let empty = CampaignSpec::from_json("{}").unwrap();
         assert_eq!(empty, CampaignSpec::default());
+    }
+
+    #[test]
+    fn coverage_signal_round_trips_and_defaults_to_point() {
+        // The default signal never appears in the rendered JSON: specs
+        // written before the field existed stay byte-identical.
+        let point = CampaignSpec::default();
+        assert_eq!(point.coverage_signal, CoverageSignal::Point);
+        assert!(!point.to_json().contains("coverage_signal"));
+
+        let edge = CampaignSpec::builder().coverage_signal(CoverageSignal::Edge).build().unwrap();
+        let json = edge.to_json();
+        assert!(json.contains("\"coverage_signal\":\"edge\""));
+        assert_eq!(CampaignSpec::from_json(&json).unwrap(), edge);
+
+        // Spelling the default out loud parses back to the default too.
+        let explicit = CampaignSpec::from_json("{\"coverage_signal\":\"point\"}").unwrap();
+        assert_eq!(explicit, CampaignSpec::default());
+
+        let error = CampaignSpec::from_json("{\"coverage_signal\":\"path\"}").expect_err("bad signal");
+        assert!(error.to_string().contains("unknown coverage signal `path`"), "got: {error}");
     }
 
     #[test]

@@ -33,11 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod edge;
 pub mod map;
 pub mod series;
 pub mod space;
 pub mod stats;
 
+pub use edge::EdgeSpace;
 pub use map::CoverageMap;
 pub use series::{CoverageSeries, SeriesPoint};
 pub use space::{CoverPointId, CoverPointInfo, CoverageSpace};

@@ -1,5 +1,9 @@
 //! Coverage-point registries.
 
+// detlint: allow-file(default-hasher) -- the index is only ever probed by
+// key (registration dedup, id lookup); artefact ordering comes from the
+// `points` Vec. `per_module_counts` returns a map its (test-only) consumers
+// probe by key as well.
 use std::collections::HashMap;
 use std::fmt;
 

@@ -2,12 +2,49 @@
 
 use std::sync::Arc;
 
-use coverage::CoverageMap;
+use analysis::{ProgramFacts, Transition};
+use coverage::{CoverageMap, EdgeSpace};
 use isa_sim::{DecodeCache, DecodeCacheStats, ExecTrace, GoldenScratch, GoldenSim, ResetPolicy};
 use proc_sim::{DutResult, Processor, SimScratch};
 use riscv::Program;
+use serde::{Deserialize, Serialize};
 
 use crate::diff::{compare_traces_into, DiffReport};
+
+/// Which coverage signal a harness reports per test.
+///
+/// The signal only changes *what* [`TestOutcome::coverage`] contains — the
+/// simulate-and-compare semantics, the differential oracle and every other
+/// outcome field are identical in both modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoverageSignal {
+    /// The DUT's branch-coverage bitmap (the paper's signal; the default).
+    #[default]
+    Point,
+    /// Static CFG edges traversed by the DUT's commit stream, hashed into a
+    /// fixed-size [`EdgeSpace`] (see the `analysis` crate for the CFG and the
+    /// edge-id stability guarantee).
+    Edge,
+}
+
+impl CoverageSignal {
+    /// Stable lower-case name, as spelled in campaign specs and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoverageSignal::Point => "point",
+            CoverageSignal::Edge => "edge",
+        }
+    }
+
+    /// Parses the spec/CLI spelling (`"point"` / `"edge"`).
+    pub fn parse(text: &str) -> Option<CoverageSignal> {
+        match text {
+            "point" => Some(CoverageSignal::Point),
+            "edge" => Some(CoverageSignal::Edge),
+            _ => None,
+        }
+    }
+}
 
 /// The result of running one test program through the harness.
 #[derive(Debug, Clone)]
@@ -59,13 +96,35 @@ pub struct FuzzHarness {
     processor: Arc<dyn Processor>,
     golden: GoldenSim,
     max_steps: usize,
+    signal: CoverageSignal,
+    edge_space: EdgeSpace,
 }
 
 impl FuzzHarness {
     /// Creates a harness for `processor`; each simulation commits at most
-    /// `max_steps` instructions.
+    /// `max_steps` instructions. The coverage signal defaults to
+    /// [`CoverageSignal::Point`].
     pub fn new(processor: Arc<dyn Processor>, max_steps: usize) -> FuzzHarness {
-        FuzzHarness { processor, golden: GoldenSim::new(), max_steps }
+        FuzzHarness {
+            processor,
+            golden: GoldenSim::new(),
+            max_steps,
+            signal: CoverageSignal::Point,
+            edge_space: EdgeSpace::new(),
+        }
+    }
+
+    /// Selects the coverage signal this harness reports.
+    ///
+    /// Shard workers clone the harness, so setting the signal before a
+    /// campaign starts propagates it to every worker automatically.
+    pub fn set_coverage_signal(&mut self, signal: CoverageSignal) {
+        self.signal = signal;
+    }
+
+    /// The coverage signal this harness reports.
+    pub fn coverage_signal(&self) -> CoverageSignal {
+        self.signal
     }
 
     /// Returns the processor under test.
@@ -78,9 +137,14 @@ impl FuzzHarness {
         self.max_steps
     }
 
-    /// Returns the size of the DUT's coverage space.
+    /// Returns the length of every coverage map this harness reports: the
+    /// DUT's coverage-space size under the point signal, the fixed
+    /// [`EdgeSpace`] length under the edge signal.
     pub fn coverage_space_len(&self) -> usize {
-        self.processor.coverage_space().len()
+        match self.signal {
+            CoverageSignal::Point => self.processor.coverage_space().len(),
+            CoverageSignal::Edge => self.edge_space.len(),
+        }
     }
 
     /// Simulates `program` on the DUT and the golden model and compares the
@@ -92,8 +156,12 @@ impl FuzzHarness {
     pub fn run_program(&self, program: &Program) -> TestOutcome {
         let mut scratch = ExecScratch::new();
         self.run_program_into(program, &mut scratch);
+        let coverage = match self.signal {
+            CoverageSignal::Point => scratch.dut.coverage,
+            CoverageSignal::Edge => scratch.edge_coverage,
+        };
         TestOutcome {
-            coverage: scratch.dut.coverage,
+            coverage,
             diff: scratch.diff,
             dut_commits: scratch.dut.trace.len(),
             golden_commits: scratch.golden_trace.len(),
@@ -118,7 +186,34 @@ impl FuzzHarness {
         program: &Program,
         scratch: &'s mut ExecScratch,
     ) -> TestOutcomeView<'s> {
+        let edge_signal = self.signal == CoverageSignal::Edge;
         match scratch.decode_cache.as_mut() {
+            Some(cache) if edge_signal => {
+                // The facts lookup shares the cache entry (and the stats
+                // stream) with the plain decode lookup: analysis runs once
+                // per distinct text image.
+                let (decoded, facts) = cache.get_or_decode_with_facts(program);
+                self.processor.run_decoded_into(
+                    program,
+                    decoded,
+                    self.max_steps,
+                    &mut scratch.sim,
+                    &mut scratch.dut,
+                );
+                self.golden.run_decoded_into(
+                    program,
+                    decoded,
+                    self.max_steps,
+                    &mut scratch.golden_trace,
+                    &mut scratch.golden_scratch,
+                );
+                map_edge_coverage(
+                    facts,
+                    &self.edge_space,
+                    &scratch.dut.trace,
+                    &mut scratch.edge_coverage,
+                );
+            }
             Some(cache) => {
                 // One cache lookup serves both simulators: the image is
                 // decoded (and the text encoded) at most once per distinct
@@ -142,6 +237,9 @@ impl FuzzHarness {
             // Oracle mode (`MABFUZZ_DECODE_CACHE=off`): the interpreted
             // fetch/decode path, kept alive as the differential reference
             // the cached path is byte-compared against in tests and CI.
+            // Under the edge signal it also re-analyzes the image per test —
+            // analysis is a pure function of the text bytes, so the cached
+            // and fresh facts are interchangeable.
             None => {
                 self.processor.run_into(
                     program,
@@ -155,14 +253,51 @@ impl FuzzHarness {
                     &mut scratch.golden_trace,
                     &mut scratch.golden_scratch,
                 );
+                if edge_signal {
+                    let facts = ProgramFacts::analyze(&program.text_bytes());
+                    map_edge_coverage(
+                        &facts,
+                        &self.edge_space,
+                        &scratch.dut.trace,
+                        &mut scratch.edge_coverage,
+                    );
+                }
             }
         }
         compare_traces_into(&scratch.dut.trace, &scratch.golden_trace, &mut scratch.diff);
         TestOutcomeView {
-            coverage: &scratch.dut.coverage,
+            coverage: if edge_signal { &scratch.edge_coverage } else { &scratch.dut.coverage },
             diff: &scratch.diff,
             dut_commits: scratch.dut.trace.len(),
             golden_commits: scratch.golden_trace.len(),
+        }
+    }
+}
+
+/// Marks the edge-coverage slot of every static CFG edge the DUT's commit
+/// stream traversed.
+///
+/// Each commit maps through [`ProgramFacts::map_transition`]; internal
+/// (sequential, non-terminator) steps contribute nothing, and a commit that
+/// fits no static edge — possible only for a commit stream deviating from the
+/// golden semantics, i.e. a buggy DUT — is silently dropped rather than
+/// hashed to an arbitrary slot. The static-vs-dynamic consistency suite pins
+/// that golden traces (and every modelled bug's DUT traces) never hit that
+/// case.
+fn map_edge_coverage(
+    facts: &ProgramFacts,
+    space: &EdgeSpace,
+    trace: &ExecTrace,
+    map: &mut CoverageMap,
+) {
+    map.reset_for_len(space.len());
+    for commit in trace.iter() {
+        match facts.map_transition(commit.pc, commit.next_pc, commit.exception.is_some()) {
+            Transition::Edge(index) => {
+                let edge = &facts.edges()[index];
+                map.cover(space.slot(edge.from_pc, edge.to, edge.kind.code()));
+            }
+            Transition::Internal | Transition::Unmatched => {}
         }
     }
 }
@@ -189,6 +324,10 @@ pub struct ExecScratch {
     golden_scratch: GoldenScratch,
     diff: DiffReport,
     decode_cache: Option<DecodeCache>,
+    /// Edge-signal coverage bitmap, reshaped to the harness's [`EdgeSpace`]
+    /// per test (allocation-free in the steady state). Stays empty under the
+    /// point signal.
+    edge_coverage: CoverageMap,
 }
 
 impl ExecScratch {
@@ -237,6 +376,7 @@ impl ExecScratch {
             golden_scratch: GoldenScratch::with_policy(policy),
             diff: DiffReport::default(),
             decode_cache: decode_cache.then(DecodeCache::new),
+            edge_coverage: CoverageMap::with_len(0),
         }
     }
 
@@ -497,6 +637,67 @@ mod tests {
                 assert_eq!(a.golden_commits, b.golden_commits);
             }
         }
+    }
+
+    #[test]
+    fn edge_signal_reports_the_fixed_edge_space() {
+        let mut harness = FuzzHarness::new(Arc::new(RocketCore::new(BugSet::none())), 500);
+        assert_eq!(harness.coverage_signal(), CoverageSignal::Point);
+        harness.set_coverage_signal(CoverageSignal::Edge);
+        assert_eq!(harness.coverage_signal(), CoverageSignal::Edge);
+        assert_eq!(harness.coverage_space_len(), EdgeSpace::DEFAULT_LEN);
+        let outcome =
+            harness.run_program(&program("addi a0, zero, 5\nbeq a0, a0, 8\nnop\necall\n"));
+        assert_eq!(outcome.coverage.len(), EdgeSpace::DEFAULT_LEN);
+        // At least the taken branch edge and the halting ecall's trap exit.
+        assert!(outcome.coverage.count() >= 2, "count = {}", outcome.coverage.count());
+        assert!(!outcome.detected_mismatch());
+    }
+
+    #[test]
+    fn edge_signal_does_not_perturb_the_differential_verdict() {
+        for signal in [CoverageSignal::Point, CoverageSignal::Edge] {
+            let mut harness = FuzzHarness::new(
+                Arc::new(Cva6Core::new(BugSet::only(Vulnerability::V6UnimplCsrJunk))),
+                500,
+            );
+            harness.set_coverage_signal(signal);
+            let triggered = harness.run_program(&program("csrrw a0, 0x5c0, zero\necall\n"));
+            assert!(triggered.detected_mismatch(), "signal {} lost the mismatch", signal.name());
+        }
+    }
+
+    #[test]
+    fn edge_cached_and_oracle_scratches_agree_on_every_outcome() {
+        // The oracle path re-analyzes the image per test; purity of the
+        // analysis makes it byte-identical to the cached facts path.
+        for mut harness in [
+            FuzzHarness::new(Arc::new(RocketCore::new(BugSet::none())), 500),
+            FuzzHarness::new(Arc::new(Cva6Core::new(BugSet::all())), 500),
+        ] {
+            harness.set_coverage_signal(CoverageSignal::Edge);
+            let mut cached = ExecScratch::with_decode_cache(true);
+            let mut oracle = ExecScratch::with_decode_cache(false);
+            let programs = mixed_program_set();
+            for prog in programs.iter().chain(programs.iter()) {
+                let a = harness.run_program_into(prog, &mut cached).to_outcome();
+                let b = harness.run_program_into(prog, &mut oracle).to_outcome();
+                assert_eq!(a.coverage, b.coverage);
+                assert_eq!(a.diff, b.diff);
+                assert_eq!(a.coverage.len(), EdgeSpace::DEFAULT_LEN);
+            }
+            assert_eq!(cached.decode_cache_stats().misses, 5);
+            assert_eq!(cached.decode_cache_stats().hits, 5);
+        }
+    }
+
+    #[test]
+    fn coverage_signal_round_trips_its_name() {
+        for signal in [CoverageSignal::Point, CoverageSignal::Edge] {
+            assert_eq!(CoverageSignal::parse(signal.name()), Some(signal));
+        }
+        assert_eq!(CoverageSignal::parse("edges"), None);
+        assert_eq!(CoverageSignal::default(), CoverageSignal::Point);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod thehuzz;
 
 pub use campaign::{CampaignConfig, CampaignStats};
 pub use diff::{DiffReport, Mismatch, MismatchKind};
-pub use harness::{ExecScratch, FuzzHarness, TestOutcome, TestOutcomeView};
+pub use harness::{CoverageSignal, ExecScratch, FuzzHarness, TestOutcome, TestOutcomeView};
 pub use mutate::{MutationEngine, MutationOp};
 pub use pool::TestPool;
 pub use seed::SeedGenerator;

@@ -60,6 +60,23 @@
 //! degenerate case), which is why `MabFuzzer::run` — the path every
 //! published paper artefact goes through — is the `ShardPlan::serial()`
 //! special case of the sharded loop and stayed byte-identical.
+//!
+//! ## Edge-coverage folds
+//!
+//! The contract is stated over coverage *maps*, not over the point signal
+//! specifically, and the edge signal ([`crate::CoverageSignal::Edge`]) satisfies it
+//! with no new rules. Rule 2 holds because the static CFG an edge bitmap is
+//! keyed by is itself a pure function of the program's text bytes
+//! (`analysis::ProgramFacts::analyze`, pinned by the purity proptest in
+//! `isa_sim::decoded`), and the per-worker decode cache memoises the facts
+//! alongside the decoded image — a hit and a miss hand the harness the same
+//! edge ids. Rule 3 holds because an edge map is a fixed-length
+//! [`coverage::EdgeSpace`] bitmap folded with the same associative
+//! `merge_counting` union as the point bitmap; the ordered fold recovers the
+//! novelty deltas identically. Shard-count independence of edge campaigns is
+//! pinned end to end by `mabfuzz::campaign`'s
+//! `edge_signal_campaigns_are_shard_count_independent` and the
+//! `edge-coverage-equivalence` CI job.
 
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{channel, Receiver, Sender};

@@ -90,6 +90,13 @@ impl TheHuzzFuzzer {
         TheHuzzFuzzer { harness, config, rng: StdRng::seed_from_u64(rng_seed), seeds, mutator }
     }
 
+    /// Selects the coverage signal the campaign's harness reports (point by
+    /// default); must be called before the run starts, since the statistics
+    /// size themselves from [`coverage_space_len`](TheHuzzFuzzer::coverage_space_len).
+    pub fn set_coverage_signal(&mut self, signal: crate::harness::CoverageSignal) {
+        self.harness.set_coverage_signal(signal);
+    }
+
     /// Returns the campaign configuration.
     pub fn config(&self) -> &CampaignConfig {
         &self.config

@@ -45,6 +45,7 @@
 
 use std::collections::HashMap;
 
+use analysis::ProgramFacts;
 use riscv::program::TEXT_BASE;
 use riscv::{decode, Instr, Program};
 
@@ -159,6 +160,10 @@ impl DecodeCacheStats {
 
 struct CacheEntry {
     decoded: DecodedProgram,
+    /// Static CFG/liveness facts for the image, computed lazily on the first
+    /// [`DecodeCache::get_or_decode_with_facts`] lookup. Point-coverage
+    /// campaigns never ask for facts, so they never pay for the analysis.
+    facts: Option<ProgramFacts>,
     last_used: u64,
 }
 
@@ -169,7 +174,9 @@ struct CacheEntry {
 /// are lock-free and the hit/miss sequence is a pure function of the program
 /// sequence the worker simulates.
 pub struct DecodeCache {
-    entries: HashMap<u64, CacheEntry>,
+    // Probed by text hash only; the unique-timestamp LRU below keeps even
+    // eviction free of iteration-order influence.
+    entries: HashMap<u64, CacheEntry>, // detlint: allow(default-hasher)
     capacity: usize,
     /// Monotonic lookup counter used as the LRU timestamp. Each entry's
     /// `last_used` is unique (the counter advances every lookup), so the
@@ -201,7 +208,7 @@ impl DecodeCache {
     pub fn with_capacity(capacity: usize) -> DecodeCache {
         assert!(capacity > 0, "a decode cache needs room for at least one program");
         DecodeCache {
-            entries: HashMap::with_capacity(capacity.min(1024)),
+            entries: HashMap::with_capacity(capacity.min(1024)), // detlint: allow(default-hasher)
             capacity,
             tick: 0,
             stats: DecodeCacheStats::default(),
@@ -248,8 +255,32 @@ impl DecodeCache {
         }
 
         let decoded = DecodedProgram::from_text(self.text_scratch.clone());
-        self.entries.insert(key, CacheEntry { decoded, last_used: self.tick });
+        self.entries.insert(key, CacheEntry { decoded, facts: None, last_used: self.tick });
         &self.entries.get(&key).expect("entry was just inserted").decoded
+    }
+
+    /// Like [`get_or_decode`](DecodeCache::get_or_decode), additionally
+    /// returning the static [`ProgramFacts`] of the image, computed lazily on
+    /// the first facts lookup and attached to the cache entry afterwards.
+    ///
+    /// Because the analysis is a pure function of the text bytes (pinned by a
+    /// property test below), a cached facts hit is indistinguishable from a
+    /// fresh `ProgramFacts::analyze` of the same image. Hit/miss accounting is
+    /// shared with `get_or_decode`: asking for facts never changes the stats
+    /// stream.
+    pub fn get_or_decode_with_facts(
+        &mut self,
+        program: &Program,
+    ) -> (&DecodedProgram, &ProgramFacts) {
+        self.get_or_decode(program);
+        // `get_or_decode` left `text_scratch` holding this program's image;
+        // re-derive the key to re-borrow the entry it just ensured.
+        let key = fnv1a(&self.text_scratch);
+        let entry = self.entries.get_mut(&key).expect("entry was just ensured");
+        if entry.facts.is_none() {
+            entry.facts = Some(ProgramFacts::analyze(entry.decoded.text()));
+        }
+        (&entry.decoded, entry.facts.as_ref().expect("facts were just filled"))
     }
 
     /// Returns the hit/miss/eviction counters.
@@ -410,7 +441,45 @@ mod tests {
         assert_eq!(first.stats().misses, 4);
     }
 
+    #[test]
+    fn facts_attach_to_the_cached_image_and_match_fresh_analysis() {
+        let mut cache = DecodeCache::new();
+        let program = sample_program(1);
+        let fresh = ProgramFacts::analyze(&program.text_bytes());
+        let (decoded, facts) = cache.get_or_decode_with_facts(&program);
+        assert!(decoded.matches(&program));
+        assert_eq!(facts, &fresh);
+        // The second lookup hits and reuses the attached facts; asking for
+        // facts never perturbs the stats stream.
+        let (_, again) = cache.get_or_decode_with_facts(&program);
+        assert_eq!(again, &fresh);
+        assert_eq!(cache.stats(), DecodeCacheStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn plain_lookups_never_compute_facts() {
+        let mut cache = DecodeCache::new();
+        let program = sample_program(2);
+        cache.get_or_decode(&program);
+        let key_entry = cache.entries.values().next().expect("one entry");
+        assert!(key_entry.facts.is_none(), "point-coverage lookups must not pay for analysis");
+    }
+
     proptest! {
+        /// Static analysis is a pure function of the text bytes: a facts hit
+        /// from the cache is indistinguishable from a fresh analysis of the
+        /// same image, for arbitrary (legal or not) word images.
+        #[test]
+        fn cached_facts_equal_fresh_analysis(words in proptest::collection::vec(any::<u32>(), 0..24)) {
+            let text: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+            let (program, _) = Program::from_text_bytes(&text);
+            let mut cache = DecodeCache::new();
+            let first = cache.get_or_decode_with_facts(&program).1.clone();
+            let second = cache.get_or_decode_with_facts(&program).1.clone(); // hit path
+            prop_assert_eq!(&first, &second);
+            prop_assert_eq!(&first, &ProgramFacts::analyze(&program.text_bytes()));
+        }
+
         /// For arbitrary word images (legal or not), `DecodedProgram::fetch`
         /// is indistinguishable from `Memory::fetch` + `decode` at every
         /// aligned and misaligned probe address around the text region.

@@ -1,5 +1,9 @@
 //! Decode-stage model with per-opcode and cross-product coverage points.
 
+// detlint: allow-file(default-hasher) -- the op/class maps are built once
+// from fixed registration order and then only probed by key per committed
+// instruction; nothing iterates them, so point ids and coverage bytes are
+// hash-order independent.
 use std::collections::HashMap;
 
 use coverage::{CoverPointId, CoverageMap, CoverageSpace};

@@ -208,16 +208,12 @@ impl ProgramGenerator {
             },
             OpClass::Load | OpClass::Store => self.generate_memory(rng, op, rd, rs1, rs2),
             OpClass::Branch => {
-                // Mostly short forward offsets so programs terminate; the
-                // offset is in instructions remaining, converted to bytes.
-                let remaining = (len - index).max(1) as i64;
-                let offset = 4 * rng.gen_range(1..=remaining.min(8));
+                let offset = 4 * self.forward_slots(rng, index, len);
                 Instr::branch(op, rs1, rs2, offset)
             }
             OpClass::Jump => {
                 if op == Op::Jal {
-                    let remaining = (len - index).max(1) as i64;
-                    Instr::jal(rd, 4 * rng.gen_range(1..=remaining.min(8)))
+                    Instr::jal(rd, 4 * self.forward_slots(rng, index, len))
                 } else {
                     // jalr through a register; keep the offset tiny.
                     Instr::itype(Op::Jalr, rd, rs1, 4 * rng.gen_range(0i64..4))
@@ -234,6 +230,29 @@ impl ProgramGenerator {
             OpClass::System | OpClass::Fence => Instr::nullary(op),
         };
         instr.normalize()
+    }
+
+    /// Draws a forward control-transfer distance (in instruction slots) for
+    /// a branch or `jal` at position `index` of a `len`-instruction body:
+    /// mostly short forward offsets so programs terminate.
+    ///
+    /// Every drawn target stays inside the final text image. With the
+    /// terminating `ecall` the body occupies slots `0..len` and slot `len`
+    /// (the ecall itself) is the furthest reachable target, so the raw draw
+    /// of `1..=remaining` is already closed. Without the terminator slot
+    /// `len` would be one past the end of the image, so the draw is clamped
+    /// to `len - 1 - index` — *after* consuming the RNG, keeping the
+    /// default-config instruction stream byte-identical. The clamp can reach
+    /// zero only on the last slot, where the instruction targets itself (a
+    /// static self-loop the step limit bounds dynamically).
+    fn forward_slots<R: Rng + ?Sized>(&self, rng: &mut R, index: usize, len: usize) -> i64 {
+        let remaining = (len - index).max(1) as i64;
+        let drawn = rng.gen_range(1..=remaining.min(8));
+        if self.config.terminate_with_ecall {
+            drawn
+        } else {
+            drawn.min(len.saturating_sub(index + 1) as i64)
+        }
     }
 
     fn generate_memory<R: Rng + ?Sized>(
@@ -412,6 +431,38 @@ mod tests {
         let programs: HashSet<Vec<u8>> =
             (0..10).map(|_| generator.generate_seed(&mut rng).text_bytes()).collect();
         assert_eq!(programs.len(), 10, "consecutive seeds should be distinct");
+    }
+
+    #[test]
+    fn static_branch_and_jal_targets_never_escape_the_text_image() {
+        // Regression: without the terminating ecall the raw forward draw
+        // could target one slot past the end of the image; the clamp in
+        // `forward_slots` closes it. With the terminator, slot `len` (the
+        // ecall) is in-text, so both modes must generate only in-text
+        // targets.
+        for terminate in [true, false] {
+            let generator = ProgramGenerator::new(GeneratorConfig {
+                terminate_with_ecall: terminate,
+                ..GeneratorConfig::default()
+            });
+            let mut rng = StdRng::seed_from_u64(17);
+            for round in 0..200 {
+                let program = generator.generate_seed(&mut rng);
+                let slots = program.len() as i64;
+                for (slot, instr) in program.instrs().iter().enumerate() {
+                    let target = match instr.op {
+                        Op::Jal => slot as i64 + instr.imm / 4,
+                        op if op.class() == OpClass::Branch => slot as i64 + instr.imm / 4,
+                        _ => continue,
+                    };
+                    assert!(
+                        (0..slots).contains(&target),
+                        "round {round} (terminate={terminate}): {instr} at slot {slot} \
+                         targets slot {target} of {slots}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! `detlint`: a determinism lint for artefact-producing code.
+//!
+//! Every published artefact of this workspace — experiment reports, event
+//! streams, goldens — carries a byte-identity contract (see the determinism
+//! contract in `fuzzer::shard`). Two std constructs silently break that
+//! contract when they creep into artefact paths:
+//!
+//! * **`default-hasher`** — `HashMap`/`HashSet` with the default
+//!   `RandomState` hasher: iteration order varies per process, so any
+//!   artefact rendered from an iteration is nondeterministic.
+//! * **`wall-clock`** — `Instant`/`SystemTime`: readings differ per run, so
+//!   any artefact embedding one is nondeterministic.
+//!
+//! The lint is a plain std-only source scanner (no syntax tree, no
+//! dependencies): it walks the artefact-producing crates' `src/` trees,
+//! cuts each file at its first `#[cfg(test)]` line (workspace convention:
+//! unit tests sit at the end of the file), and reports every whole-word
+//! occurrence outside a `use` declaration's plain import list. Benign sites
+//! are waived in the source itself:
+//!
+//! * `// detlint: allow(<rule>)` on the offending line or the line above
+//!   waives one site;
+//! * `// detlint: allow-file(<rule>)` anywhere in the file waives the whole
+//!   file — reserved for files whose every use is justified by one argument
+//!   (say, a map that is only probed, never iterated into an artefact).
+//!
+//! A waiver states that the construct cannot reach artefact bytes; the
+//! reviewer of the waiver line is the enforcement point. Non-artefact crates
+//! (`service`: live network I/O; the vendored `shims/`; this `src/bin`
+//! directory) are out of scope.
+//!
+//! Exit status: 0 when clean, 1 with one `path:line: [rule] ...` diagnostic
+//! per finding when not — CI runs it as a hard gate.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The scanned crate roots, relative to the workspace root: every crate
+/// whose code can run while an artefact is produced.
+const SCAN_ROOTS: &[&str] = &[
+    "crates/riscv/src",
+    "crates/analysis/src",
+    "crates/coverage/src",
+    "crates/isa-sim/src",
+    "crates/proc-sim/src",
+    "crates/mab/src",
+    "crates/fuzzer/src",
+    "crates/core/src",
+    "crates/bench/src",
+    "src/lib.rs",
+];
+
+/// One lint rule: a name (used in waivers and diagnostics) and the
+/// whole-word tokens that trigger it.
+struct Rule {
+    name: &'static str,
+    tokens: &'static [&'static str],
+    message: &'static str,
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "default-hasher",
+        tokens: &["HashMap", "HashSet"],
+        message: "default-hasher map: iteration order is per-process random; \
+                  use a BTreeMap/Vec, avoid iterating into artefacts, or waive",
+    },
+    Rule {
+        name: "wall-clock",
+        tokens: &["Instant", "SystemTime"],
+        message: "wall-clock reading: differs per run; keep it out of \
+                  artefact bytes or waive",
+    },
+];
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for entry in SCAN_ROOTS {
+        let path = root.join(entry);
+        if path.is_file() {
+            files.push(path);
+        } else {
+            collect_rust_files(&path, &mut files);
+        }
+    }
+    files.sort();
+
+    let mut findings = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("detlint: {}: {error}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let display = file.strip_prefix(&root).unwrap_or(file);
+        findings += scan_file(&text, &display.display().to_string());
+    }
+    if findings > 0 {
+        eprintln!("detlint: {findings} finding(s) in {} file(s) scanned", files.len());
+        return ExitCode::FAILURE;
+    }
+    println!("detlint: clean ({} files scanned)", files.len());
+    ExitCode::SUCCESS
+}
+
+/// The workspace root: the directory this binary's manifest lives in (via
+/// `CARGO_MANIFEST_DIR` under `cargo run`), else the current directory.
+fn workspace_root() -> PathBuf {
+    std::env::var_os("CARGO_MANIFEST_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+fn collect_rust_files(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rust_files(&path, files);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            files.push(path);
+        }
+    }
+}
+
+/// Scans one file, printing a diagnostic per finding; returns the count.
+fn scan_file(text: &str, path: &str) -> usize {
+    let lines: Vec<&str> = text.lines().collect();
+    // Unit tests sit at the end of the file by workspace convention; the
+    // lint stops at the marker so test-only helpers stay unconstrained.
+    let end = lines
+        .iter()
+        .position(|line| line.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(lines.len());
+
+    let mut findings = 0;
+    for rule in RULES {
+        if file_waived(&lines, rule.name) {
+            continue;
+        }
+        for (number, line) in lines.iter().enumerate().take(end) {
+            if !rule.tokens.iter().any(|token| has_word(line, token)) {
+                continue;
+            }
+            // A plain `use std::collections::HashMap;` line only names the
+            // type; the construction/annotation sites are what matter.
+            if line.trim_start().starts_with("use ") {
+                continue;
+            }
+            if line_waived(&lines, number, rule.name) {
+                continue;
+            }
+            println!("{path}:{}: [{}] {}", number + 1, rule.name, rule.message);
+            findings += 1;
+        }
+    }
+    findings
+}
+
+/// Whole-word containment: `token` occurs with no identifier character on
+/// either side ("Instantiates" must not trigger the `Instant` token).
+fn has_word(line: &str, token: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(found) = line[start..].find(token) {
+        let at = start + found;
+        let before_ok =
+            at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let end = at + token.len();
+        let after_ok = end >= bytes.len()
+            || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+fn has_marker(line: &str, marker: &str) -> bool {
+    line.contains(&format!("// detlint: {marker}"))
+}
+
+fn file_waived(lines: &[&str], rule: &str) -> bool {
+    lines.iter().any(|line| has_marker(line, &format!("allow-file({rule})")))
+}
+
+fn line_waived(lines: &[&str], number: usize, rule: &str) -> bool {
+    let marker = format!("allow({rule})");
+    has_marker(lines[number], &marker)
+        || (number > 0 && has_marker(lines[number - 1], &marker))
+}

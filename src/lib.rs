@@ -12,6 +12,7 @@
 //! assert_eq!(nop.rd, Gpr::Zero);
 //! ```
 
+pub use analysis;
 pub use coverage;
 pub use fuzzer;
 pub use isa_sim;

@@ -1,0 +1,104 @@
+//! Static-vs-dynamic CFG consistency: every pc transition a simulator
+//! actually commits is accounted for by the static analysis — an internal
+//! step inside a basic block, a CFG edge, or a trap exit — never
+//! `Unmatched`.
+//!
+//! This is the strict end-to-end check behind the edge-coverage signal: the
+//! harness's edge mapper silently skips unmatched transitions (robustness
+//! against hypothetical buggy-DUT control flow), so this suite is where a
+//! closure bug in `analysis` would surface. It sweeps all three processor
+//! models and the golden interpreter across every bug configuration (bug
+//! sets change *observed* control flow: suppressed traps fall through,
+//! illegal instructions execute), on generated seeds and on mutated
+//! descendants whose images carry illegal words and wild targets.
+
+use mabfuzz_suite::analysis::{ProgramFacts, Transition};
+use mabfuzz_suite::fuzzer::MutationEngine;
+use mabfuzz_suite::isa_sim::{ExecTrace, GoldenSim};
+use mabfuzz_suite::proc_sim::{BugSet, Processor, ProcessorKind, Vulnerability};
+use mabfuzz_suite::riscv::gen::{GeneratorConfig, ProgramGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MAX_STEPS: usize = 400;
+
+/// Asserts every committed transition of `trace` maps into the static CFG.
+fn assert_trace_maps(facts: &ProgramFacts, trace: &ExecTrace, context: &str) {
+    for commit in trace.iter() {
+        let transition =
+            facts.map_transition(commit.pc, commit.next_pc, commit.exception.is_some());
+        assert!(
+            !matches!(transition, Transition::Unmatched),
+            "{context}: transition {:#x} -> {:#x} (exception: {}) is not in the static CFG",
+            commit.pc,
+            commit.next_pc,
+            commit.exception.is_some(),
+        );
+    }
+}
+
+#[test]
+fn golden_and_dut_traces_stay_inside_the_static_cfg_for_every_bug_set() {
+    let generator = ProgramGenerator::new(GeneratorConfig::default());
+    let golden = GoldenSim::new();
+    for kind in ProcessorKind::ALL {
+        // Bug-free, the paper's native set, and each vulnerability alone.
+        let mut cores: Vec<(String, Box<dyn Processor>)> = vec![
+            ("none".to_owned(), kind.build(BugSet::none())),
+            ("native".to_owned(), kind.build_with_native_bugs()),
+        ];
+        for vuln in Vulnerability::ALL {
+            cores.push((format!("{vuln:?}"), kind.build(BugSet::only(vuln))));
+        }
+        for (label, core) in &cores {
+            let mut rng = StdRng::seed_from_u64(0xCF6);
+            for index in 0..8 {
+                let program = generator.generate_seed(&mut rng);
+                let facts = ProgramFacts::analyze(&program.text_bytes());
+                let context = format!("{kind}/{label}/seed{index}");
+                assert_trace_maps(
+                    &facts,
+                    &golden.run(&program, MAX_STEPS),
+                    &format!("{context}/golden"),
+                );
+                assert_trace_maps(
+                    &facts,
+                    &core.run(&program, MAX_STEPS).trace,
+                    &format!("{context}/dut"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mutated_descendants_stay_inside_the_static_cfg() {
+    // Mutations corrupt images freely (bit flips can forge illegal words,
+    // wild branch offsets, misaligned targets); the closure rules must
+    // absorb whatever the simulators then actually commit.
+    let generator = ProgramGenerator::new(GeneratorConfig::default());
+    let mutator = MutationEngine::new(GeneratorConfig::default());
+    let golden = GoldenSim::new();
+    let mut rng = StdRng::seed_from_u64(0xBADC0DE);
+    for kind in ProcessorKind::ALL {
+        let core = kind.build_with_native_bugs();
+        for round in 0..10 {
+            let mut program = generator.generate_seed(&mut rng);
+            for generation in 0..4 {
+                (program, _) = mutator.mutate(&program, &mut rng);
+                let facts = ProgramFacts::analyze(&program.text_bytes());
+                let context = format!("{kind}/round{round}/gen{generation}");
+                assert_trace_maps(
+                    &facts,
+                    &golden.run(&program, MAX_STEPS),
+                    &format!("{context}/golden"),
+                );
+                assert_trace_maps(
+                    &facts,
+                    &core.run(&program, MAX_STEPS).trace,
+                    &format!("{context}/dut"),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! `experiments analyze`, pinned by a golden snapshot.
+//!
+//! Renders the static-analysis report of the checked-in smoke spec's seed
+//! corpus (`mabfuzz_bench::analyze::spec_report` — the exact renderer the
+//! `experiments analyze --spec` binary path prints) and byte-compares it
+//! against `tests/golden/experiments_analyze_smoke.json`. The snapshot pins
+//! the whole static stack at once: the generator's seed stream, the decoder,
+//! and every `ProgramFacts` field (block boundaries, CFG edges and kinds,
+//! liveness sets, static classifications). Re-bless with `UPDATE_GOLDEN=1`
+//! and justify the re-baseline; CI additionally `cmp`s the binary's output
+//! against the same snapshot.
+
+use std::path::PathBuf;
+
+use mabfuzz_suite::mabfuzz::CampaignSpec;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn analyze_report_matches_the_golden_snapshot() {
+    let text = std::fs::read_to_string(golden_dir().join("campaign_spec.json"))
+        .expect("campaign_spec.json present");
+    let spec = CampaignSpec::from_json(&text).expect("the checked-in spec parses");
+    let mut rendered = mabfuzz_bench::analyze::spec_report(&spec);
+    rendered.push('\n'); // the binary prints one line
+
+    let path = golden_dir().join("experiments_analyze_smoke.json");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, &rendered).expect("write golden snapshot");
+        eprintln!("re-blessed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|error| {
+        panic!(
+            "missing golden snapshot {} ({error}); run UPDATE_GOLDEN=1 cargo test \
+             --test golden_analyze to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "the analyze report diverged from tests/golden/experiments_analyze_smoke.json — \
+         the seed generator stream, the decoder or the analysis itself changed. If \
+         intentional, re-bless with UPDATE_GOLDEN=1 and justify the re-baseline."
+    );
+}
