@@ -11,8 +11,9 @@
 //! experiments all      [--tests N] [--repeats R] [--seed S]
 //! experiments run      [--spec file.json] [--events FILE] [...]
 //! experiments analyze  [--spec file.json | --program FILE]
-//! experiments serve    [--addr 127.0.0.1:PORT] [--workers N]
+//! experiments serve    [--addr 127.0.0.1:PORT] [--workers N] [--max-queue N]
 //! experiments dispatch <cmd> --workers host:port,host:port [...]
+//! experiments fleet    --workers host:port,host:port [--interval-ms N] [--frames N]
 //! ```
 //!
 //! With no arguments the default budget (2 000 coverage tests, 3 000-test
@@ -51,7 +52,7 @@ use mabfuzz::{
     json_value, BugSpec, Campaign, CampaignSpec, CampaignSummary, CoverageSignal, EventLog,
     PolicySpec, ProcessorSpec, ProgressMonitor,
 };
-use mabfuzz_service::{Client, Coordinator, RetryPolicy};
+use mabfuzz_service::{Client, Coordinator, FleetMonitor, RetryPolicy};
 use proc_sim::{ProcessorKind, Vulnerability};
 
 fn main() -> ExitCode {
@@ -101,6 +102,17 @@ fn main() -> ExitCode {
             }
         };
     }
+    if command == "fleet" {
+        // The live fleet dashboard.
+        return match run_fleet(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("{FLEET_USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let options = match Options::parse(&args[1.min(args.len())..]) {
         Ok(options) => options,
         Err(message) => {
@@ -123,6 +135,7 @@ fn main() -> ExitCode {
             println!("{ANALYZE_USAGE}");
             println!("{SERVE_USAGE}");
             println!("{DISPATCH_USAGE}");
+            println!("{FLEET_USAGE}");
             Ok(())
         }
         other => {
@@ -132,6 +145,7 @@ fn main() -> ExitCode {
             eprintln!("{ANALYZE_USAGE}");
             eprintln!("{SERVE_USAGE}");
             eprintln!("{DISPATCH_USAGE}");
+            eprintln!("{FLEET_USAGE}");
             return ExitCode::FAILURE;
         }
     };
@@ -170,7 +184,12 @@ const ANALYZE_USAGE: &str = "usage: experiments analyze \
 [--spec file.json | --program FILE]";
 
 const SERVE_USAGE: &str = "usage: experiments serve [--addr 127.0.0.1:PORT] \
-[--workers auto|N] [--ttl SECONDS] [--auth-token TOKEN] [--io-timeout-ms N|0]";
+[--workers auto|N] [--ttl SECONDS] [--auth-token TOKEN] [--io-timeout-ms N|0] \
+[--max-queue N]";
+
+const FLEET_USAGE: &str = "usage: experiments fleet \
+--workers host:port,host:port [--interval-ms N] [--frames N] \
+[--auth-token TOKEN] [--timeout-ms N|0]";
 
 const DISPATCH_USAGE: &str = "usage: experiments dispatch \
 <all|table1|fig3|fig4|ablation> --workers host:port,host:port \
@@ -196,13 +215,18 @@ const DISPATCH_USAGE: &str = "usage: experiments dispatch \
 /// `--ttl SECONDS` auto-evicts terminal campaigns that long after they
 /// finish; `--auth-token TOKEN` requires `Authorization: Bearer TOKEN` on
 /// everything except `GET /healthz`; `--io-timeout-ms N` bounds every
-/// connection's socket reads/writes (default 30 000, `0` disables).
+/// connection's socket reads/writes (default 30 000, `0` disables);
+/// `--max-queue N` bounds the job queue to `N` waiting campaigns —
+/// over-capacity submissions are refused with `429 Too Many Requests` and a
+/// retryable error body, which the dispatch coordinator absorbs by backing
+/// off and resubmitting.
 fn run_serve(args: &[String]) -> Result<(), String> {
     let mut addr = "127.0.0.1:0".to_owned();
     let mut workers = Parallelism::default();
     let mut ttl: Option<std::time::Duration> = None;
     let mut auth_token: Option<String> = None;
     let mut io_timeout = Some(mabfuzz_service::DEFAULT_IO_TIMEOUT);
+    let mut max_queue: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut value = || {
@@ -227,6 +251,10 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 io_timeout =
                     (millis > 0).then(|| std::time::Duration::from_millis(millis));
             }
+            "--max-queue" => {
+                max_queue =
+                    Some(value()?.parse().map_err(|e| format!("--max-queue: {e}"))?);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -234,7 +262,8 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         .map_err(|error| format!("--addr {addr}: {error}"))?
         .with_io_timeout(io_timeout)
         .with_auth_token(auth_token)
-        .with_ttl(ttl);
+        .with_ttl(ttl)
+        .with_max_queue(max_queue);
     println!("listening on {} ({} campaign workers)", server.local_addr(), workers.workers());
     // Scripts block on this line to learn the ephemeral port; make sure it
     // is out before the accept loop parks the thread.
@@ -747,6 +776,71 @@ fn run_dispatch(args: &[String]) -> Result<(), String> {
     };
     report_dispatch_stats(&coordinator);
     result
+}
+
+/// `experiments fleet`: a live stderr dashboard over a fleet of
+/// `experiments serve` workers.
+///
+/// Renders one [`FleetMonitor`] line per worker per frame: queue depth
+/// against the worker's `--max-queue` bound, campaigns running, live
+/// tests/sec and coverage % folded from the worker's NDJSON event feed,
+/// and the same healthy → quarantined → retired lifecycle the dispatch
+/// coordinator tracks from `GET /healthz` heartbeats. `--interval-ms` sets
+/// the frame rate (default 1 000); `--frames N` renders exactly `N` frames
+/// and exits (what CI's render smoke uses); `--timeout-ms` bounds each
+/// probe's socket I/O (default 5 000, `0` disables); `--auth-token` is
+/// needed for the event feeds when the daemons run locked (the `/healthz`
+/// probe itself is auth-exempt).
+fn run_fleet(args: &[String]) -> Result<(), String> {
+    let mut workers_arg: Option<String> = None;
+    let mut interval_ms: u64 = 1_000;
+    let mut frames: Option<u64> = None;
+    let mut auth_token: Option<String> = None;
+    let mut timeout_ms: u64 = 5_000;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next().cloned().ok_or_else(|| format!("flag `{flag}` expects a value"))
+        };
+        match flag.as_str() {
+            "--workers" => workers_arg = Some(value()?),
+            "--interval-ms" => {
+                interval_ms = value()?.parse().map_err(|e| format!("--interval-ms: {e}"))?;
+            }
+            "--frames" => {
+                let count: u64 = value()?.parse().map_err(|e| format!("--frames: {e}"))?;
+                if count == 0 {
+                    return Err("--frames: expected at least one frame".to_owned());
+                }
+                frames = Some(count);
+            }
+            "--auth-token" => auth_token = Some(value()?),
+            "--timeout-ms" => {
+                timeout_ms = value()?.parse().map_err(|e| format!("--timeout-ms: {e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let workers_arg = workers_arg.ok_or("--workers host:port[,host:port...] is required")?;
+    let deadline = (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms));
+    let mut workers = Vec::new();
+    for addr in workers_arg.split(',').map(str::trim).filter(|a| !a.is_empty()) {
+        let mut client = Client::connect(addr)
+            .map_err(|error| format!("--workers {addr}: {error}"))?
+            .with_deadline(deadline);
+        if let Some(token) = &auth_token {
+            client = client.with_auth_token(token.clone());
+        }
+        workers.push((addr.to_owned(), client));
+    }
+    if workers.is_empty() {
+        return Err("--workers: expected at least one host:port address".to_owned());
+    }
+    let mut monitor =
+        FleetMonitor::new(workers).with_interval(Duration::from_millis(interval_ms));
+    monitor
+        .run(frames, &mut std::io::stderr())
+        .map_err(|error| format!("fleet dashboard: {error}"))
 }
 
 /// Adapts the fault-tolerant [`Coordinator`] to the experiment grid's

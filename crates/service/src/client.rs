@@ -1,14 +1,19 @@
 //! A small blocking client for the campaign service.
 //!
-//! One connection per request (the server replies `Connection: close`), so
-//! the client is `Clone`-free state: just the server address. It is what the
+//! Connections are pooled: the client keeps idle keep-alive connections and
+//! reuses them for later requests, opening a new one only when the pool is
+//! empty (so concurrent requests from cloned clients still run in parallel).
+//! A pooled socket can go stale — the server idle-times it out between
+//! requests — so a request that fails on a *reused* connection before any
+//! response arrived is retried exactly once on a fresh connection; failures
+//! on fresh connections are real and surface to the caller. It is what the
 //! in-tree round-trip tests and `examples/remote_campaign.rs` drive — the
 //! whole loop of submit spec → tail events → fetch final report.
 
 use std::fmt;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, ToSocketAddrs};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use mabfuzz::json_value;
@@ -17,6 +22,30 @@ use crate::http::{
     read_response_head, read_sized_body, stream_chunked_body, ResponseHead,
 };
 use crate::transport::{Connection, TcpTransport, Transport};
+
+/// Idle connections retained per client (shared across clones). More
+/// concurrent requests than this still work — the extras simply close
+/// instead of returning to the pool.
+const MAX_IDLE_CONNECTIONS: usize = 8;
+
+/// A pooled connection: the buffered reader wraps the connection so any
+/// read-ahead bytes stay with the socket across reuses (writes go through
+/// `get_mut`).
+type Pooled = BufReader<Box<dyn Connection>>;
+
+/// Error kinds that mean "the pooled socket was already dead", the expected
+/// fate of an idle keep-alive connection the server timed out. A reused
+/// connection failing this way is retried once on a fresh socket; anything
+/// else (a real deadline, garbage framing) surfaces to the caller.
+fn is_stale(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+    )
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -72,12 +101,30 @@ impl CampaignStatus {
     }
 }
 
+/// A point-in-time census of one worker, from the `GET /healthz` document —
+/// the signal the `experiments fleet` dashboard polls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Campaigns the hub currently tracks (any status).
+    pub campaigns: u64,
+    /// Jobs queued and waiting for a worker.
+    pub queued: u64,
+    /// Jobs a worker is executing right now.
+    pub running: u64,
+    /// The configured `--max-queue` bound (`None` = unbounded).
+    pub capacity: Option<u64>,
+}
+
 /// A blocking campaign-service client.
+///
+/// Cloning is cheap and clones share the connection pool, so a fleet of
+/// threads hammering one worker reuses the same keep-alive connections.
 #[derive(Clone)]
 pub struct Client {
     addr: SocketAddr,
     transport: Arc<dyn Transport>,
     auth_token: Option<String>,
+    pool: Arc<Mutex<Vec<Pooled>>>,
 }
 
 impl fmt::Debug for Client {
@@ -92,7 +139,12 @@ impl fmt::Debug for Client {
 impl Client {
     /// A client for the daemon at `addr` (plain TCP, no deadlines, no auth).
     pub fn new(addr: SocketAddr) -> Client {
-        Client { addr, transport: Arc::new(TcpTransport::default()), auth_token: None }
+        Client {
+            addr,
+            transport: Arc::new(TcpTransport::default()),
+            auth_token: None,
+            pool: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// Resolves `addr` (e.g. `"127.0.0.1:8080"`) and builds a client for it.
@@ -110,9 +162,11 @@ impl Client {
 
     /// Routes every connection through `transport` — the dispatch
     /// coordinator's deadline-bearing [`TcpTransport`] or a chaos suite's
-    /// [`FaultyTransport`](crate::FaultyTransport).
+    /// [`FaultyTransport`](crate::FaultyTransport). Pooled connections from
+    /// the previous transport are discarded.
     pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> Client {
         self.transport = transport;
+        self.pool = Arc::new(Mutex::new(Vec::new()));
         self
     }
 
@@ -136,29 +190,75 @@ impl Client {
         self.addr
     }
 
-    /// Opens a connection and writes the request head (plus any auth
-    /// header).
-    fn open(
+    /// Takes an idle pooled connection (second tuple element `true`) or
+    /// opens a fresh one (`false`).
+    fn checkout(&self) -> Result<(Pooled, bool), ClientError> {
+        if let Some(conn) = self.pool.lock().expect("connection pool lock").pop() {
+            return Ok((conn, true));
+        }
+        Ok((BufReader::new(self.transport.connect(self.addr)?), false))
+    }
+
+    /// Returns a connection to the pool after a fully consumed keep-alive
+    /// response. A connection with unread buffered bytes is desynchronised
+    /// (the response was not consumed exactly) and is dropped instead —
+    /// never pool a socket whose framing position is in doubt.
+    fn checkin(&self, conn: Pooled) {
+        if !conn.buffer().is_empty() {
+            return;
+        }
+        let mut pool = self.pool.lock().expect("connection pool lock");
+        if pool.len() < MAX_IDLE_CONNECTIONS {
+            pool.push(conn);
+        }
+    }
+
+    /// One request over a pooled or fresh connection, up to the parsed
+    /// response head (the body is left for the caller). A reused connection
+    /// that turns out to be stale is retried exactly once on a fresh one.
+    fn send_request(
         &self,
         method: &str,
         path: &str,
-        body_len: Option<usize>,
-    ) -> Result<Box<dyn Connection>, ClientError> {
-        let mut conn = self.transport.connect(self.addr)?;
+        body: &str,
+    ) -> Result<(Pooled, ResponseHead), ClientError> {
+        let (conn, reused) = self.checkout()?;
+        match self.try_send(conn, method, path, body) {
+            Ok(exchange) => Ok(exchange),
+            Err(error) if reused && is_stale(error.kind()) => {
+                // The server idle-timed the pooled socket out between our
+                // requests (the expected end of a keep-alive connection's
+                // life). One fresh connection; its errors are real.
+                let conn = BufReader::new(self.transport.connect(self.addr)?);
+                Ok(self.try_send(conn, method, path, body)?)
+            }
+            Err(error) => Err(error.into()),
+        }
+    }
+
+    /// Writes one request and reads the response head on `conn`.
+    fn try_send(
+        &self,
+        mut conn: Pooled,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> io::Result<(Pooled, ResponseHead)> {
+        conn.get_mut().begin_request();
         let auth = match &self.auth_token {
             Some(token) => format!("Authorization: Bearer {token}\r\n"),
             None => String::new(),
         };
-        let length = match body_len {
-            Some(length) => format!("Content-Length: {length}\r\n"),
-            None => String::new(),
-        };
         write!(
-            conn,
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\n{auth}{length}Connection: close\r\n\r\n",
-            self.addr
+            conn.get_mut(),
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\n{auth}Content-Length: {}\r\n\r\n",
+            self.addr,
+            body.len()
         )?;
-        Ok(conn)
+        conn.get_mut().write_all(body.as_bytes())?;
+        conn.get_mut().flush()?;
+        let head = read_response_head(&mut conn)?;
+        Ok((conn, head))
     }
 
     /// Probes `GET /healthz` and returns the server's campaign count — the
@@ -177,6 +277,31 @@ impl Client {
         field(&value, "campaigns")?
             .as_u64("campaigns")
             .map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Fetches the full `GET /healthz` census — tracked campaigns, queue
+    /// depth, running jobs and the configured `--max-queue` bound — for
+    /// fleet dashboards. [`healthz`](Client::healthz) is the cheap liveness
+    /// probe form of the same request.
+    pub fn health_snapshot(&self) -> Result<HealthSnapshot, ClientError> {
+        let body = self.request_sized("GET", "/healthz", None)?;
+        let value = parse_body(&body)?;
+        let err = |e: mabfuzz::SpecError| ClientError::Protocol(e.to_string());
+        let status = field(&value, "status")?.as_str("status").map_err(err)?;
+        if status != "ok" {
+            return Err(ClientError::Protocol(format!("healthz status `{status}`")));
+        }
+        let capacity = match value.get("capacity") {
+            None => None,
+            Some(entry) if entry.is_null() => None,
+            Some(entry) => Some(entry.as_u64("capacity").map_err(err)?),
+        };
+        Ok(HealthSnapshot {
+            campaigns: field(&value, "campaigns")?.as_u64("campaigns").map_err(err)?,
+            queued: field(&value, "queued")?.as_u64("queued").map_err(err)?,
+            running: field(&value, "running")?.as_u64("running").map_err(err)?,
+            capacity,
+        })
     }
 
     /// Submits a campaign-spec JSON document (`POST /campaigns`) and returns
@@ -234,17 +359,21 @@ impl Client {
     /// streamed bytes are exactly the campaign's `EventLog` stream — late
     /// subscribers replay it from the start.
     pub fn stream_events(&self, id: u64, sink: &mut dyn Write) -> Result<u64, ClientError> {
-        let mut stream = self.open("GET", &format!("/campaigns/{id}/events"), None)?;
-        stream.flush()?;
-        let mut reader = BufReader::new(stream);
-        let head = read_response_head(&mut reader)?;
+        let (mut conn, head) =
+            self.send_request("GET", &format!("/campaigns/{id}/events"), "")?;
         if head.status != 200 {
-            return Err(self.error_from(&mut reader, &head));
+            return Err(self.consume_error(conn, &head));
         }
         if !head.chunked {
             return Err(ClientError::Protocol("event stream is not chunked".into()));
         }
-        Ok(stream_chunked_body(&mut reader, sink)?)
+        let total = stream_chunked_body(&mut conn, sink)?;
+        // Chunked framing is self-terminating: the stream's end leaves the
+        // connection at a clean request boundary, ready for reuse.
+        if !head.close {
+            self.checkin(conn);
+        }
+        Ok(total)
     }
 
     /// [`stream_events`](Client::stream_events) into a `String`.
@@ -299,34 +428,44 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<Vec<u8>, ClientError> {
-        let body = body.unwrap_or("");
-        let mut stream = self.open(method, path, Some(body.len()))?;
-        stream.write_all(body.as_bytes())?;
-        stream.flush()?;
-        let mut reader = BufReader::new(stream);
-        let head = read_response_head(&mut reader)?;
+        let (mut conn, head) = self.send_request(method, path, body.unwrap_or(""))?;
         if !(200..300).contains(&head.status) {
-            return Err(self.error_from(&mut reader, &head));
+            return Err(self.consume_error(conn, &head));
         }
-        Ok(read_sized_body(&mut reader, &head)?)
+        let bytes = read_sized_body(&mut conn, &head)?;
+        if !head.close {
+            self.checkin(conn);
+        }
+        Ok(bytes)
     }
 
     /// Builds the [`ClientError::Http`] for a non-success response, pulling
-    /// the message out of the error body when possible.
-    fn error_from<R: BufRead>(&self, reader: &mut R, head: &ResponseHead) -> ClientError {
-        let message = read_sized_body(reader, head)
-            .ok()
-            .and_then(|body| String::from_utf8(body).ok())
-            .map(|body| {
-                json_value::parse(&body)
+    /// the message out of the error body when possible. The connection
+    /// returns to the pool when the error body was fully consumed — an
+    /// error response is still a complete keep-alive exchange.
+    fn consume_error(&self, mut conn: Pooled, head: &ResponseHead) -> ClientError {
+        match read_sized_body(&mut conn, head) {
+            Ok(bytes) => {
+                if !head.close {
+                    self.checkin(conn);
+                }
+                let message = String::from_utf8(bytes)
                     .ok()
-                    .and_then(|value| {
-                        value.get("error").and_then(|m| m.as_str("error").ok().map(String::from))
+                    .map(|body| {
+                        json_value::parse(&body)
+                            .ok()
+                            .and_then(|value| {
+                                value
+                                    .get("error")
+                                    .and_then(|m| m.as_str("error").ok().map(String::from))
+                            })
+                            .unwrap_or(body)
                     })
-                    .unwrap_or(body)
-            })
-            .unwrap_or_default();
-        ClientError::Http { status: head.status, message }
+                    .unwrap_or_default();
+                ClientError::Http { status: head.status, message }
+            }
+            Err(error) => ClientError::Io(error),
+        }
     }
 }
 

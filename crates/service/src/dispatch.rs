@@ -18,17 +18,32 @@
 //!   backoff with deterministic jitter (derived from the policy's seed, the
 //!   job index and the attempt number — two coordinators with the same
 //!   policy back off identically).
+//! * **Backpressure backoff** — a worker answering `429 Too Many Requests`
+//!   (its `--max-queue` bound is full) is healthy, just saturated: the
+//!   refusal consumes no retry attempt, triggers no quarantine, and the
+//!   coordinator simply backs off and resubmits (bounded, so a permanently
+//!   full fleet still terminates into fallback/failure).
 //! * **Reassignment** — a worker that fails *after* a campaign was
 //!   submitted loses that campaign: the failure is logged (exactly once per
 //!   lost in-flight campaign), the worker is quarantined in the
 //!   [`FleetHealth`] state machine, and the next attempt goes to a
 //!   different healthy worker.
-//! * **Replay verification** — the coordinator keeps the longest validated
-//!   NDJSON event prefix it has seen for each job. A replay (retry or
-//!   reassignment) must reproduce that prefix byte-for-byte; any difference
-//!   is a [`DispatchError::Divergence`] and fails the whole dispatch
-//!   loudly, because divergent replays mean the determinism contract — and
-//!   therefore every merged number — is suspect.
+//! * **Replay verification** — event streams are folded *incrementally*:
+//!   each chunk is split into complete NDJSON lines and validated as it
+//!   arrives, so a lane's memory is bounded by one event line, not by the
+//!   campaign (the old coordinator buffered whole streams). What survives
+//!   between attempts is only the bounded replay-prefix state — the length
+//!   and running hash of the longest validated prefix any attempt produced.
+//!   A replay (retry or reassignment) must reproduce that prefix
+//!   byte-for-byte (checked by hash as the replay streams past it); any
+//!   difference is a [`DispatchError::Divergence`] and fails the whole
+//!   dispatch loudly, because divergent replays mean the determinism
+//!   contract — and therefore every merged number — is suspect. Defense in
+//!   depth bounds the fold itself: an event line past
+//!   [`MAX_EVENT_LINE_BYTES`] or a stream past the coordinator's
+//!   [`event stream cap`](Coordinator::with_event_stream_cap) is a loud
+//!   [`DispatchError::EventOverflow`], so a hostile worker emitting endless
+//!   valid JSON cannot OOM (or indefinitely busy) the coordinator.
 //! * **Quarantine → retire → readmit** — repeatedly failing workers stop
 //!   receiving campaigns; an unauthenticated `GET /healthz` heartbeat probe
 //!   readmits them when they come back (see [`FleetHealth`]).
@@ -48,6 +63,7 @@
 //! (fetched once, after its campaign finishes), regardless of how many
 //! attempts or which worker produced it.
 
+use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -59,7 +75,7 @@ use mabfuzz::{
     EventLog, SharedBuffer,
 };
 
-use crate::client::Client;
+use crate::client::{Client, ClientError};
 use crate::health::{FleetHealth, DEFAULT_RETIRE_THRESHOLD};
 
 /// Capped exponential backoff with deterministic jitter.
@@ -149,6 +165,18 @@ pub enum DispatchError {
         /// Where and how the replay diverged.
         detail: String,
     },
+    /// A worker's event stream blew through the coordinator's bounds (an
+    /// event line past [`MAX_EVENT_LINE_BYTES`], or a stream past the
+    /// [`event stream cap`](Coordinator::with_event_stream_cap)) — a
+    /// hostile or broken worker, reported loudly instead of buffered.
+    EventOverflow {
+        /// The job index in the submitted list.
+        job: usize,
+        /// The campaign's report label.
+        label: String,
+        /// Which bound was exceeded.
+        detail: String,
+    },
     /// A local-fallback execution could not start.
     LocalRun {
         /// The job index in the submitted list.
@@ -176,6 +204,10 @@ impl std::fmt::Display for DispatchError {
             DispatchError::Divergence { job, label, detail } => write!(
                 f,
                 "job {job} ({label}): determinism divergence: {detail}"
+            ),
+            DispatchError::EventOverflow { job, label, detail } => write!(
+                f,
+                "job {job} ({label}): event stream overflow: {detail}"
             ),
             DispatchError::LocalRun { job, message } => {
                 write!(f, "job {job}: local fallback failed: {message}")
@@ -216,10 +248,28 @@ pub struct Coordinator {
     local_fallback: bool,
     verbose: bool,
     cancel: CancelToken,
+    stream_cap: u64,
     reassignments: AtomicU64,
     local_runs: AtomicU64,
+    busy_backoffs: AtomicU64,
+    peak_line: AtomicUsize,
     log: Mutex<Vec<String>>,
 }
+
+/// Upper bound on a single NDJSON event line the streaming fold will
+/// buffer. Real event lines are well under a kilobyte; a line this long is
+/// a broken or hostile worker, reported as
+/// [`DispatchError::EventOverflow`].
+pub const MAX_EVENT_LINE_BYTES: usize = 1 << 20;
+
+/// Default [`Coordinator::with_event_stream_cap`]: 1 GiB per campaign
+/// attempt, far beyond any real grid cell.
+pub const DEFAULT_EVENT_STREAM_CAP: u64 = 1 << 30;
+
+/// Consecutive 429 backpressure refusals per job before the coordinator
+/// stops waiting for the queue to drain and treats the fleet as unusable
+/// for this job (falling back locally or failing loudly).
+const MAX_BUSY_RETRIES: u32 = 32;
 
 impl Coordinator {
     /// A coordinator over `workers` (typically deadline-bearing clients,
@@ -233,8 +283,11 @@ impl Coordinator {
             local_fallback: true,
             verbose: false,
             cancel: CancelToken::new(),
+            stream_cap: DEFAULT_EVENT_STREAM_CAP,
             reassignments: AtomicU64::new(0),
             local_runs: AtomicU64::new(0),
+            busy_backoffs: AtomicU64::new(0),
+            peak_line: AtomicUsize::new(0),
             log: Mutex::new(Vec::new()),
         }
     }
@@ -279,6 +332,17 @@ impl Coordinator {
         self
     }
 
+    /// Caps the total event bytes one campaign attempt may stream (default
+    /// [`DEFAULT_EVENT_STREAM_CAP`]); past the cap the dispatch fails with
+    /// a loud [`DispatchError::EventOverflow`]. The floor is one event
+    /// line, so the cap cannot be configured below what a single valid
+    /// event needs.
+    #[must_use]
+    pub fn with_event_stream_cap(mut self, bytes: u64) -> Coordinator {
+        self.stream_cap = bytes.max(1);
+        self
+    }
+
     /// Total in-flight campaign losses that triggered reassignment so far.
     pub fn reassignments(&self) -> u64 {
         self.reassignments.load(Ordering::SeqCst)
@@ -287,6 +351,19 @@ impl Coordinator {
     /// Jobs that degraded to local in-process execution so far.
     pub fn local_runs(&self) -> u64 {
         self.local_runs.load(Ordering::SeqCst)
+    }
+
+    /// 429 backpressure refusals absorbed (backed off and resubmitted) so
+    /// far.
+    pub fn busy_backoffs(&self) -> u64 {
+        self.busy_backoffs.load(Ordering::SeqCst)
+    }
+
+    /// The largest partial event line any streaming fold buffered — the
+    /// actual per-lane memory high-water mark, which stays bounded by
+    /// [`MAX_EVENT_LINE_BYTES`] no matter how long the event streams are.
+    pub fn peak_event_line_bytes(&self) -> usize {
+        self.peak_line.load(Ordering::SeqCst)
     }
 
     /// The coordination log: one line per reassignment / fallback event.
@@ -387,10 +464,13 @@ impl Coordinator {
         last_pick: &mut usize,
     ) -> Result<JobOutcome, DispatchError> {
         let label = spec.label();
-        // The longest validated NDJSON event prefix any attempt produced;
-        // every replay must reproduce it byte-for-byte.
-        let mut prefix: Vec<u8> = Vec::new();
+        // The bounded replay-prefix state: length and running hash of the
+        // longest validated NDJSON event prefix any attempt produced; every
+        // replay must reproduce it byte-for-byte (checked by hash as the
+        // replay streams past it).
+        let mut prefix = PrefixState::default();
         let mut attempts = 0u32;
+        let mut busy = 0u32;
         let mut last_error = String::from("no healthy worker was available");
 
         while attempts < self.policy.max_attempts {
@@ -416,6 +496,30 @@ impl Coordinator {
                 }
                 Err(AttemptError::Divergence(detail)) => {
                     return Err(DispatchError::Divergence { job, label, detail });
+                }
+                Err(AttemptError::Overflow(detail)) => {
+                    return Err(DispatchError::EventOverflow { job, label, detail });
+                }
+                Err(AttemptError::Busy { message }) => {
+                    // 429: the worker is healthy, its queue is just full.
+                    // No quarantine, no attempt consumed — back off and
+                    // resubmit, bounded so a permanently saturated fleet
+                    // still terminates.
+                    attempts -= 1;
+                    busy += 1;
+                    self.busy_backoffs.fetch_add(1, Ordering::SeqCst);
+                    if busy == 1 {
+                        self.note(format!(
+                            "job {job} ({label}): worker {worker} is at queue capacity \
+                             (429); backing off"
+                        ));
+                    }
+                    if busy > MAX_BUSY_RETRIES {
+                        last_error =
+                            format!("{message} (after {MAX_BUSY_RETRIES} backpressure backoffs)");
+                        break;
+                    }
+                    thread::sleep(self.policy.delay(job as u64, (busy - 1).min(8)));
                 }
                 Err(AttemptError::Failed { submitted, message }) => {
                     fleet.record_failure(worker);
@@ -464,16 +568,19 @@ impl Coordinator {
         None
     }
 
-    /// One remote attempt: submit → stream + validate events → status →
-    /// report → summary → best-effort delete.
+    /// One remote attempt: submit → stream + fold events incrementally →
+    /// status → report → summary → best-effort delete.
     fn attempt(
         &self,
         client: &Client,
         spec_json: &str,
-        prefix: &mut Vec<u8>,
+        prefix: &mut PrefixState,
     ) -> Result<(String, CampaignSummary), AttemptError> {
         let id = match client.submit(spec_json) {
             Ok(id) => id,
+            Err(ClientError::Http { status: 429, message }) => {
+                return Err(AttemptError::Busy { message })
+            }
             Err(error) => {
                 return Err(AttemptError::Failed {
                     submitted: false,
@@ -490,29 +597,33 @@ impl Coordinator {
             AttemptError::Failed { submitted: true, message }
         };
 
-        let mut events: Vec<u8> = Vec::new();
-        let stream_result = client.stream_events(id, &mut events);
-        let (valid_len, corruption) = validated_prefix(&events);
+        // Fold the event stream as it arrives: complete NDJSON lines are
+        // validated and hashed chunk by chunk, so this attempt's memory is
+        // one partial line, never the whole stream. Fatal conditions
+        // (divergence, overflow, corruption) abort the stream early.
+        let mut fold = StreamFold::new(*prefix, self.stream_cap);
+        let stream_result = client.stream_events(id, &mut fold);
+        self.peak_line.fetch_max(fold.peak_line, Ordering::SeqCst);
 
-        // Replay verification: whatever validated bytes this attempt
-        // produced must agree with the prefix previous attempts folded.
-        let common = valid_len.min(prefix.len());
-        if events[..common] != prefix[..common] {
-            let at = events[..common]
-                .iter()
-                .zip(prefix[..common].iter())
-                .position(|(a, b)| a != b)
-                .unwrap_or(common);
+        // Replay verification: the fold compared the running hash against
+        // the stored prefix state the moment the replay streamed past it.
+        if fold.diverged {
             return Err(AttemptError::Divergence(format!(
-                "replay differs from previously folded events at byte {at}"
+                "replay differs from the {} previously folded event bytes",
+                prefix.len
             )));
         }
-        if valid_len > prefix.len() {
-            prefix.clear();
-            prefix.extend_from_slice(&events[..valid_len]);
+        if let Some(detail) = fold.overflow {
+            // Overflow is the coordinator refusing to keep reading, not the
+            // worker dying: stop the (possibly endless) campaign.
+            let _ = client.cancel(id);
+            return Err(AttemptError::Overflow(detail));
+        }
+        if fold.validated_len > prefix.len {
+            *prefix = PrefixState { len: fold.validated_len, hash: fold.validated_hash };
         }
 
-        if let Some(detail) = corruption {
+        if let Some(detail) = fold.corruption {
             return Err(lost(client, format!("corrupt event stream: {detail}")));
         }
         if let Err(error) = stream_result {
@@ -520,10 +631,11 @@ impl Coordinator {
         }
         // The stream completed cleanly: it must cover (at least) everything
         // already folded, or the replay ended early — divergence.
-        if valid_len < prefix.len() {
+        if fold.validated_len < prefix.len {
             return Err(AttemptError::Divergence(format!(
-                "replay ended after {valid_len} validated bytes but {} were already folded",
-                prefix.len()
+                "replay ended after {} validated bytes but {} were already folded",
+                fold.validated_len,
+                prefix.len
             )));
         }
 
@@ -558,7 +670,7 @@ impl Coordinator {
         job: usize,
         label: String,
         spec: &CampaignSpec,
-        prefix: &[u8],
+        prefix: &PrefixState,
         attempts: u32,
         last_error: &str,
     ) -> Result<JobOutcome, DispatchError> {
@@ -578,13 +690,17 @@ impl Coordinator {
             return Err(DispatchError::Cancelled);
         }
         let events = buffer.contents();
-        if !events.as_bytes().starts_with(prefix) {
+        let bytes = events.as_bytes();
+        let replayed = bytes.len() >= prefix.len
+            && bytes[..prefix.len].iter().fold(FNV_OFFSET, |hash, &b| fnv1a(hash, b))
+                == prefix.hash;
+        if !replayed {
             return Err(DispatchError::Divergence {
                 job,
                 label,
                 detail: format!(
                     "local replay differs from the {} event bytes folded remotely",
-                    prefix.len()
+                    prefix.len
                 ),
             });
         }
@@ -616,33 +732,169 @@ enum AttemptError {
     /// Retryable: the worker (or the wire) failed. `submitted` says whether
     /// a campaign was in flight (and was therefore lost and reassigned).
     Failed { submitted: bool, message: String },
+    /// Retryable without consuming an attempt: the worker answered 429, its
+    /// job queue is at capacity.
+    Busy { message: String },
     /// Fatal: a replay contradicted previously folded events.
     Divergence(String),
+    /// Fatal: the event stream blew through a coordinator bound.
+    Overflow(String),
 }
 
-/// The longest prefix of `bytes` consisting of complete, JSON-parseable
-/// NDJSON lines, plus a description of the first corrupt complete line (if
-/// any). Bytes after the last `\n` are an in-flight tail and count neither
-/// way.
-fn validated_prefix(bytes: &[u8]) -> (usize, Option<String>) {
-    let mut valid = 0usize;
-    let mut cursor = 0usize;
-    while let Some(offset) = bytes[cursor..].iter().position(|&b| b == b'\n') {
-        let end = cursor + offset + 1;
-        let line = &bytes[cursor..end - 1];
-        let parsed = std::str::from_utf8(line)
-            .ok()
-            .and_then(|text| json_value::parse(text).ok());
-        if parsed.is_none() {
-            return (
-                valid,
-                Some(format!("event line at byte {cursor} is not valid JSON")),
-            );
-        }
-        valid = end;
-        cursor = end;
+/// FNV-1a 64-bit offset basis — the hash of the empty prefix.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one byte into an FNV-1a 64-bit running hash.
+fn fnv1a(hash: u64, byte: u8) -> u64 {
+    (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// The bounded replay-prefix state that survives between attempts: the
+/// length of the longest validated NDJSON event prefix any attempt
+/// produced, and the FNV-1a hash of those bytes. O(1) regardless of how
+/// much a campaign streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PrefixState {
+    len: usize,
+    hash: u64,
+}
+
+impl Default for PrefixState {
+    fn default() -> PrefixState {
+        PrefixState { len: 0, hash: FNV_OFFSET }
     }
-    (valid, None)
+}
+
+/// The incremental NDJSON fold one attempt streams its events through.
+///
+/// As chunks arrive, complete lines are validated (UTF-8 + JSON) and their
+/// bytes folded into a running FNV-1a hash; only the current partial line
+/// is buffered, capped at [`MAX_EVENT_LINE_BYTES`]. The moment the
+/// validated length crosses the stored prefix length, the running hash is
+/// compared against the stored prefix hash — replay verification without
+/// keeping the prefix bytes. Fatal conditions (divergence, corruption,
+/// overflow) mark themselves and abort the stream early by failing the
+/// `write`.
+struct StreamFold {
+    /// The prefix state previous attempts folded (what the replay must
+    /// reproduce).
+    expect: PrefixState,
+    /// Whether the running hash was already checked at the crossing point.
+    checked: bool,
+    /// Validated bytes so far (complete, parseable lines only).
+    validated_len: usize,
+    /// FNV-1a hash of the validated bytes.
+    validated_hash: u64,
+    /// The in-flight partial line.
+    line: Vec<u8>,
+    /// Total bytes streamed (validated or not), checked against the cap.
+    total_streamed: u64,
+    stream_cap: u64,
+    /// High-water mark of the partial-line buffer.
+    peak_line: usize,
+    diverged: bool,
+    corruption: Option<String>,
+    overflow: Option<String>,
+}
+
+/// The error a [`StreamFold`] fails its `write` with to abort the stream;
+/// the fold's own flags carry the real diagnosis.
+fn fold_abort() -> io::Error {
+    io::Error::other("event fold aborted the stream")
+}
+
+impl StreamFold {
+    fn new(expect: PrefixState, stream_cap: u64) -> StreamFold {
+        StreamFold {
+            expect,
+            checked: false,
+            validated_len: 0,
+            validated_hash: FNV_OFFSET,
+            line: Vec::new(),
+            total_streamed: 0,
+            stream_cap,
+            peak_line: 0,
+            diverged: false,
+            corruption: None,
+            overflow: None,
+        }
+    }
+
+    /// Folds one validated line (newline included) into the running hash,
+    /// comparing against the stored prefix exactly when the validated
+    /// length crosses it.
+    fn absorb_validated(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.check_crossing();
+            self.validated_hash = fnv1a(self.validated_hash, byte);
+            self.validated_len += 1;
+        }
+        self.check_crossing();
+    }
+
+    fn check_crossing(&mut self) {
+        if !self.checked && self.validated_len == self.expect.len {
+            self.checked = true;
+            if self.validated_hash != self.expect.hash {
+                self.diverged = true;
+            }
+        }
+    }
+}
+
+impl Write for StreamFold {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.total_streamed += buf.len() as u64;
+        if self.total_streamed > self.stream_cap {
+            self.overflow = Some(format!(
+                "event stream exceeded the {} byte cap",
+                self.stream_cap
+            ));
+            return Err(fold_abort());
+        }
+        let mut rest = buf;
+        while let Some(offset) = rest.iter().position(|&b| b == b'\n') {
+            let (head, tail) = rest.split_at(offset + 1);
+            rest = tail;
+            if self.line.len() + head.len() > MAX_EVENT_LINE_BYTES {
+                self.overflow = Some(format!(
+                    "an event line exceeded {MAX_EVENT_LINE_BYTES} bytes"
+                ));
+                return Err(fold_abort());
+            }
+            self.line.extend_from_slice(head);
+            self.peak_line = self.peak_line.max(self.line.len());
+            let body = &self.line[..self.line.len() - 1];
+            let parsed = std::str::from_utf8(body)
+                .ok()
+                .and_then(|text| json_value::parse(text).ok());
+            if parsed.is_none() {
+                self.corruption = Some(format!(
+                    "event line at byte {} is not valid JSON",
+                    self.validated_len
+                ));
+                return Err(fold_abort());
+            }
+            let line = std::mem::take(&mut self.line);
+            self.absorb_validated(&line);
+            if self.diverged {
+                return Err(fold_abort());
+            }
+        }
+        if self.line.len() + rest.len() > MAX_EVENT_LINE_BYTES {
+            self.overflow = Some(format!(
+                "an event line exceeded {MAX_EVENT_LINE_BYTES} bytes"
+            ));
+            return Err(fold_abort());
+        }
+        self.line.extend_from_slice(rest);
+        self.peak_line = self.peak_line.max(self.line.len());
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -678,20 +930,100 @@ mod tests {
         assert!(policy.delay(0, u32::MAX) <= policy.max_delay);
     }
 
+    /// Feeds `bytes` to a fresh fold in `chunk`-sized writes, ignoring the
+    /// abort error (the fold's flags carry the diagnosis).
+    fn fold_bytes(expect: PrefixState, cap: u64, bytes: &[u8], chunk: usize) -> StreamFold {
+        let mut fold = StreamFold::new(expect, cap);
+        for piece in bytes.chunks(chunk.max(1)) {
+            if fold.write(piece).is_err() {
+                break;
+            }
+        }
+        fold
+    }
+
     #[test]
-    fn validated_prefix_accepts_lines_rejects_garbage_and_ignores_tails() {
-        let clean = b"{\"event\":\"a\"}\n{\"event\":\"b\"}\n";
-        assert_eq!(validated_prefix(clean), (clean.len(), None));
+    fn stream_fold_accepts_lines_rejects_garbage_and_ignores_tails() {
+        for chunk in [1, 3, 7, 1024] {
+            let clean = b"{\"event\":\"a\"}\n{\"event\":\"b\"}\n";
+            let fold = fold_bytes(PrefixState::default(), u64::MAX, clean, chunk);
+            assert_eq!(fold.validated_len, clean.len());
+            assert!(fold.corruption.is_none() && !fold.diverged && fold.overflow.is_none());
 
-        let with_tail = b"{\"event\":\"a\"}\n{\"event\":\"b\"";
-        assert_eq!(validated_prefix(with_tail), (14, None), "unterminated tail ignored");
+            let with_tail = b"{\"event\":\"a\"}\n{\"event\":\"b\"";
+            let fold = fold_bytes(PrefixState::default(), u64::MAX, with_tail, chunk);
+            assert_eq!(fold.validated_len, 14, "unterminated tail ignored");
+            assert!(fold.corruption.is_none());
 
-        let corrupt = b"{\"event\":\"a\"}\n\x01garbage\n{\"event\":\"b\"}\n";
-        let (valid, detail) = validated_prefix(corrupt);
-        assert_eq!(valid, 14, "valid prefix stops before the corrupt line");
-        assert!(detail.expect("corruption reported").contains("byte 14"));
+            let corrupt = b"{\"event\":\"a\"}\n\x01garbage\n{\"event\":\"b\"}\n";
+            let fold = fold_bytes(PrefixState::default(), u64::MAX, corrupt, chunk);
+            assert_eq!(fold.validated_len, 14, "valid prefix stops before the corrupt line");
+            assert!(fold.corruption.expect("corruption reported").contains("byte 14"));
 
-        assert_eq!(validated_prefix(b""), (0, None));
+            let fold = fold_bytes(PrefixState::default(), u64::MAX, b"", chunk);
+            assert_eq!(fold.validated_len, 0);
+            assert!(fold.corruption.is_none());
+        }
+    }
+
+    #[test]
+    fn stream_fold_hash_matches_a_bytewise_fnv_over_the_validated_prefix() {
+        let clean = b"{\"event\":\"a\"}\n{\"event\":\"b\"}\n{\"tail\"";
+        let fold = fold_bytes(PrefixState::default(), u64::MAX, clean, 5);
+        let expected = clean[..fold.validated_len]
+            .iter()
+            .fold(FNV_OFFSET, |hash, &b| fnv1a(hash, b));
+        assert_eq!(fold.validated_hash, expected);
+    }
+
+    #[test]
+    fn stream_fold_detects_divergence_when_the_replay_crosses_the_prefix() {
+        let first = b"{\"event\":\"a\"}\n{\"event\":\"b\"}\n";
+        let folded = fold_bytes(PrefixState::default(), u64::MAX, first, 8);
+        let prefix = PrefixState { len: folded.validated_len, hash: folded.validated_hash };
+
+        // A faithful replay (with extra events after) passes the crossing.
+        let replay = b"{\"event\":\"a\"}\n{\"event\":\"b\"}\n{\"event\":\"c\"}\n";
+        let fold = fold_bytes(prefix, u64::MAX, replay, 8);
+        assert!(!fold.diverged);
+        assert_eq!(fold.validated_len, replay.len());
+
+        // One byte different inside the folded prefix: caught at the
+        // crossing, and the fold refuses to keep streaming.
+        let tampered = b"{\"event\":\"a\"}\n{\"event\":\"X\"}\n{\"event\":\"c\"}\n";
+        let mut fold = StreamFold::new(prefix, u64::MAX);
+        let result = fold.write(tampered);
+        assert!(fold.diverged, "tampered replay must diverge");
+        assert!(result.is_err(), "divergence aborts the stream");
+    }
+
+    #[test]
+    fn stream_fold_bounds_lines_and_total_stream() {
+        // A partial line growing past the line cap overflows without the
+        // fold ever buffering more than the cap.
+        let mut fold = StreamFold::new(PrefixState::default(), u64::MAX);
+        let chunk = vec![b'a'; 4096];
+        let mut wrote = 0usize;
+        while let Ok(n) = fold.write(&chunk) {
+            wrote += n;
+            assert!(wrote <= MAX_EVENT_LINE_BYTES + chunk.len(), "overflow fired late");
+        }
+        assert!(fold.overflow.expect("line overflow").contains("event line"));
+        assert!(fold.peak_line <= MAX_EVENT_LINE_BYTES);
+
+        // A stream of perfectly valid lines past the stream cap overflows:
+        // endless valid JSON cannot pin the coordinator.
+        let mut fold = StreamFold::new(PrefixState::default(), 64);
+        let line = b"{\"event\":\"a\"}\n";
+        let mut aborted = false;
+        for _ in 0..16 {
+            if fold.write(line).is_err() {
+                aborted = true;
+                break;
+            }
+        }
+        assert!(aborted, "the stream cap must abort the fold");
+        assert!(fold.overflow.expect("stream overflow").contains("cap"));
     }
 
     fn tiny_spec(seed: u64) -> CampaignSpec {

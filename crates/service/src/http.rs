@@ -2,11 +2,18 @@
 //!
 //! The workspace is offline-shimmed, so the wire layer is hand-rolled over
 //! `std::net` — exactly the subset the campaign protocol needs and nothing
-//! more: one request per connection (`Connection: close` on every response),
-//! `Content-Length` request bodies, and chunked transfer encoding for the
-//! live event streams. Both the server and the [`Client`](crate::Client)
-//! speak through these helpers, so the two ends of the protocol cannot
-//! drift apart.
+//! more: HTTP/1.1 keep-alive connections carrying any number of sequential
+//! requests, `Content-Length` request bodies, and chunked transfer encoding
+//! for the live event streams. Either side may end the conversation with a
+//! `Connection: close` header; protocol errors always close. Both the server
+//! and the [`Client`](crate::Client) speak through these helpers, so the two
+//! ends of the protocol cannot drift apart.
+//!
+//! Because connections are reused, request framing is strict: a request
+//! carrying `Transfer-Encoding`, or duplicate/conflicting `Content-Length`
+//! headers, is rejected outright — ambiguous framing on a reused connection
+//! is the classic request-smuggling shape, so it is a loud 400, never a
+//! guess.
 
 use std::io::{self, BufRead, Write};
 
@@ -19,6 +26,11 @@ pub(crate) const MAX_BODY_BYTES: usize = 1 << 20;
 /// Upper bound on header count — enough for any real client, small enough
 /// to bound a hostile request.
 const MAX_HEADERS: usize = 64;
+
+/// Upper bound on a single response chunk. The server writes chunks sized
+/// by event-broadcast batches (KiB, not MiB); a hostile peer declaring a
+/// multi-gigabyte chunk must not make the client materialise it.
+const MAX_CHUNK_BYTES: usize = 4 << 20;
 
 /// Upper bound on any single protocol line (request line, header, chunk
 /// size). `read_line` alone would buffer a newline-free byte stream without
@@ -44,20 +56,29 @@ fn read_line_capped<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
     Ok(Some(line))
 }
 
-/// One parsed request: method, path, (possibly empty) body, and the
-/// `Authorization` header value if the client sent one (the only
-/// non-framing header the protocol consumes — see the auth section of the
-/// crate docs).
+/// One parsed request: method, path, (possibly empty) body, the
+/// `Authorization` header value if the client sent one, and whether the
+/// client asked for the connection to close after this exchange (the only
+/// non-framing headers the protocol consumes — see the auth and keep-alive
+/// sections of the crate docs).
 #[derive(Debug)]
 pub(crate) struct Request {
     pub method: String,
     pub path: String,
     pub body: Vec<u8>,
     pub authorization: Option<String>,
+    pub close: bool,
+}
+
+/// Whether a `Connection` header value asks for the connection to close
+/// (token list, case-insensitive per RFC 9110).
+fn wants_close(value: &str) -> bool {
+    value.split(',').any(|token| token.trim().eq_ignore_ascii_case("close"))
 }
 
 /// Reads one request. `Ok(None)` means the peer closed the connection
-/// without sending anything (the server's shutdown self-wake does this).
+/// without sending anything (a keep-alive peer finishing its conversation,
+/// or the server's shutdown self-wake).
 pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
     let Some(line) = read_line_capped(reader)? else {
         return Ok(None);
@@ -75,17 +96,39 @@ pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Requ
         path: path.to_owned(),
         body: Vec::new(),
         authorization: None,
+        close: false,
     };
     let headers = read_headers(reader)?;
     let authorization = header_value(&headers, "authorization").map(str::to_owned);
-    let content_length = header_value(&headers, "content-length")
-        .map(|value| {
-            value.parse::<usize>().map_err(|_| {
-                protocol_error(format!("invalid Content-Length `{value}`"))
-            })
-        })
-        .transpose()?
-        .unwrap_or(0);
+    let close = header_value(&headers, "connection").is_some_and(wants_close);
+    // Ambiguous framing is a smuggling vector once connections are reused:
+    // if the two ends ever disagreed about where a request body ends, every
+    // later request on the connection would be parsed out of attacker-chosen
+    // bytes. The protocol never uses chunked *requests*, so any
+    // `Transfer-Encoding` is rejected, as are duplicate or conflicting
+    // `Content-Length` headers — loudly, not by picking one.
+    if header_value(&headers, "transfer-encoding").is_some() {
+        return Err(protocol_error(
+            "requests must use Content-Length framing; Transfer-Encoding is not accepted",
+        ));
+    }
+    let mut content_length: Option<usize> = None;
+    for (name, value) in &headers {
+        if name != "content-length" {
+            continue;
+        }
+        let parsed = value
+            .parse::<usize>()
+            .map_err(|_| protocol_error(format!("invalid Content-Length `{value}`")))?;
+        if content_length.is_some_and(|seen| seen != parsed) {
+            return Err(protocol_error("conflicting Content-Length headers"));
+        }
+        if content_length.is_some() {
+            return Err(protocol_error("duplicate Content-Length headers"));
+        }
+        content_length = Some(parsed);
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(protocol_error(format!(
             "request body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
@@ -93,7 +136,7 @@ pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Requ
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(Some(Request { body, authorization, ..request }))
+    Ok(Some(Request { body, authorization, close, ..request }))
 }
 
 /// Reads header lines until the blank separator, lower-casing names.
@@ -133,19 +176,36 @@ pub(crate) fn status_text(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        429 => "Too Many Requests",
         _ => "Internal Server Error",
     }
 }
 
-/// Writes a complete JSON response (`Content-Length` framing,
-/// `Connection: close`).
-pub(crate) fn respond_json(writer: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+/// The `Connection` response header for a keep-alive or closing exchange.
+fn connection_header(close: bool) -> &'static str {
+    if close {
+        "close"
+    } else {
+        "keep-alive"
+    }
+}
+
+/// Writes a complete JSON response (`Content-Length` framing). `close`
+/// announces that the server will close the connection after this response;
+/// otherwise the connection stays open for the next request.
+pub(crate) fn respond_json(
+    writer: &mut impl Write,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
     write!(
         writer,
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
-         Connection: close\r\n\r\n",
+         Connection: {}\r\n\r\n",
         status_text(status),
-        body.len()
+        body.len(),
+        connection_header(close)
     )?;
     writer.write_all(body.as_bytes())?;
     writer.flush()
@@ -156,17 +216,20 @@ pub(crate) fn respond_error(
     writer: &mut impl Write,
     status: u16,
     message: &str,
+    close: bool,
 ) -> io::Result<()> {
-    respond_json(writer, status, &format!("{{\"error\":{}}}", json_string(message)))
+    respond_json(writer, status, &format!("{{\"error\":{}}}", json_string(message)), close)
 }
 
 /// Starts a chunked NDJSON response; follow with [`write_chunk`] per payload
-/// and one [`finish_chunked`].
-pub(crate) fn start_chunked(writer: &mut impl Write) -> io::Result<()> {
+/// and one [`finish_chunked`]. Chunked framing is self-terminating, so the
+/// connection survives the stream unless `close` is set.
+pub(crate) fn start_chunked(writer: &mut impl Write, close: bool) -> io::Result<()> {
     write!(
         writer,
         "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
-         Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+         Transfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        connection_header(close)
     )?;
     writer.flush()
 }
@@ -192,13 +255,22 @@ pub(crate) struct ResponseHead {
     pub status: u16,
     pub chunked: bool,
     pub content_length: Option<usize>,
+    /// The server announced it will close the connection after this
+    /// response, so the client must not pool it for reuse.
+    pub close: bool,
 }
 
 /// Reads a response's status line and headers, leaving the reader at the
 /// first body byte.
 pub(crate) fn read_response_head<R: BufRead>(reader: &mut R) -> io::Result<ResponseHead> {
     let Some(line) = read_line_capped(reader)? else {
-        return Err(protocol_error("connection closed before the status line"));
+        // `UnexpectedEof`, not `InvalidData`: a clean close before the
+        // status line is the signature of a stale pooled connection, which
+        // the client's reconnect-once logic keys on the error kind.
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before the status line",
+        ));
     };
     let mut parts = line.split_whitespace();
     let status = match (parts.next(), parts.next()) {
@@ -219,7 +291,8 @@ pub(crate) fn read_response_head<R: BufRead>(reader: &mut R) -> io::Result<Respo
                 .map_err(|_| protocol_error(format!("invalid Content-Length `{value}`")))
         })
         .transpose()?;
-    Ok(ResponseHead { status, chunked, content_length })
+    let close = header_value(&headers, "connection").is_some_and(wants_close);
+    Ok(ResponseHead { status, chunked, content_length, close })
 }
 
 /// Reads a `Content-Length`-framed body (the non-streaming endpoints).
@@ -256,6 +329,11 @@ pub(crate) fn stream_chunked_body<R: BufRead>(
         let size_token = size_line.trim().split(';').next().unwrap_or("").trim();
         let size = usize::from_str_radix(size_token, 16)
             .map_err(|_| protocol_error(format!("invalid chunk size `{size_token}`")))?;
+        if size > MAX_CHUNK_BYTES {
+            return Err(protocol_error(format!(
+                "chunk of {size} bytes exceeds the {MAX_CHUNK_BYTES}-byte limit"
+            )));
+        }
         if size == 0 {
             // Trailer section: header lines (none in practice) up to the
             // final blank line; tolerated but ignored.
@@ -292,6 +370,44 @@ mod tests {
         assert_eq!(request.method, "POST");
         assert_eq!(request.path, "/campaigns");
         assert_eq!(request.body, b"{\"a\"");
+        assert!(!request.close, "absent Connection header keeps the connection alive");
+    }
+
+    #[test]
+    fn connection_close_requests_are_flagged() {
+        let raw = b"GET /healthz HTTP/1.1\r\nConnection: Close\r\n\r\n";
+        let request = read_request(&mut BufReader::new(Cursor::new(&raw[..])))
+            .unwrap()
+            .expect("a full request");
+        assert!(request.close, "Connection: close is honoured case-insensitively");
+        let raw = b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+        let request = read_request(&mut BufReader::new(Cursor::new(&raw[..])))
+            .unwrap()
+            .expect("a full request");
+        assert!(!request.close);
+    }
+
+    #[test]
+    fn ambiguously_framed_requests_are_rejected_loudly() {
+        // Transfer-Encoding on a request: the protocol never chunks request
+        // bodies, so this is either a confused client or a smuggling probe.
+        let raw = b"POST /campaigns HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        let error = read_request(&mut BufReader::new(Cursor::new(&raw[..])))
+            .expect_err("transfer-encoding rejected");
+        assert!(error.to_string().contains("Transfer-Encoding"), "{error}");
+
+        // Conflicting Content-Length values: no winner is picked.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nbody";
+        let error = read_request(&mut BufReader::new(Cursor::new(&raw[..])))
+            .expect_err("conflicting lengths rejected");
+        assert!(error.to_string().contains("conflicting Content-Length"), "{error}");
+
+        // Even *agreeing* duplicates are rejected: a proxy that folds them
+        // differently than we do would de-sync the connection.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody";
+        let error = read_request(&mut BufReader::new(Cursor::new(&raw[..])))
+            .expect_err("duplicate lengths rejected");
+        assert!(error.to_string().contains("duplicate Content-Length"), "{error}");
     }
 
     #[test]
@@ -335,18 +451,29 @@ mod tests {
     #[test]
     fn responses_round_trip_sized_bodies() {
         let mut wire = Vec::new();
-        respond_json(&mut wire, 201, "{\"id\":7}").unwrap();
+        respond_json(&mut wire, 201, "{\"id\":7}", false).unwrap();
         let mut reader = BufReader::new(Cursor::new(wire));
         let head = read_response_head(&mut reader).unwrap();
         assert_eq!(head.status, 201);
         assert!(!head.chunked);
+        assert!(!head.close, "keep-alive responses leave the connection open");
         assert_eq!(read_sized_body(&mut reader, &head).unwrap(), b"{\"id\":7}");
+    }
+
+    #[test]
+    fn closing_responses_announce_connection_close() {
+        let mut wire = Vec::new();
+        respond_json(&mut wire, 200, "{}", true).unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.contains("Connection: close"), "{text}");
+        let head = read_response_head(&mut BufReader::new(Cursor::new(wire))).unwrap();
+        assert!(head.close);
     }
 
     #[test]
     fn chunked_streams_round_trip_byte_identically() {
         let mut wire = Vec::new();
-        start_chunked(&mut wire).unwrap();
+        start_chunked(&mut wire, false).unwrap();
         write_chunk(&mut wire, b"{\"event\":\"a\"}\n").unwrap();
         write_chunk(&mut wire, b"{\"event\":\"b\"}\n{\"event\":\"c\"}\n").unwrap();
         finish_chunked(&mut wire).unwrap();
@@ -362,7 +489,7 @@ mod tests {
     #[test]
     fn error_bodies_escape_their_message() {
         let mut wire = Vec::new();
-        respond_error(&mut wire, 400, "bad \"spec\"").unwrap();
+        respond_error(&mut wire, 400, "bad \"spec\"", true).unwrap();
         let text = String::from_utf8(wire).unwrap();
         assert!(text.contains("{\"error\":\"bad \\\"spec\\\"\"}"), "{text}");
     }

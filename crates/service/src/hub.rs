@@ -76,6 +76,69 @@ struct HubState {
     /// Retention of *terminal* campaigns. `None` (the default) retains
     /// everything until an explicit `DELETE` — the PR 5 behaviour.
     ttl: Option<Duration>,
+    /// Upper bound on *queued* (not yet running) jobs. `None` (the default)
+    /// keeps the queue unbounded; over-capacity submissions are refused
+    /// with [`SubmitOutcome::QueueFull`], which the server maps to 429.
+    max_queue: Option<usize>,
+}
+
+impl HubState {
+    /// Evicts every terminal campaign whose TTL has lapsed. Called under
+    /// the hub lock from every queue operation and status transition (plus
+    /// the per-request [`Hub::sweep`]), so a keep-alive fleet that holds
+    /// its connections open for hours still evicts on its own traffic.
+    fn sweep_expired(&mut self) -> usize {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .campaigns
+            .iter()
+            .filter(|(_, entry)| entry.expires_at.is_some_and(|at| at <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &expired {
+            self.campaigns.remove(id);
+        }
+        expired.len()
+    }
+}
+
+/// The result of a submission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SubmitOutcome {
+    /// Accepted and queued under this campaign id.
+    Queued(u64),
+    /// Refused: the hub is shutting down (terminal; do not retry here).
+    ShuttingDown,
+    /// Refused: the job queue is at its configured capacity (transient;
+    /// retry after backoff — the server surfaces this as 429).
+    QueueFull {
+        /// The configured queue bound that was hit.
+        capacity: usize,
+    },
+}
+
+impl SubmitOutcome {
+    /// The campaign id for accepted submissions.
+    #[cfg(test)]
+    pub fn id(self) -> Option<u64> {
+        match self {
+            SubmitOutcome::Queued(id) => Some(id),
+            _ => None,
+        }
+    }
+}
+
+/// A point-in-time census of the hub, for `GET /healthz`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueueStats {
+    /// Campaigns currently tracked (any status).
+    pub campaigns: usize,
+    /// Jobs waiting for a worker.
+    pub queued: usize,
+    /// Jobs a worker is executing right now.
+    pub running: usize,
+    /// The configured queue bound, if any.
+    pub capacity: Option<usize>,
 }
 
 /// Shared state between the accept loop, connection handlers and workers.
@@ -121,33 +184,34 @@ impl Hub {
         self.state.lock().expect("hub lock").ttl = ttl;
     }
 
-    /// Evicts every terminal campaign whose TTL has lapsed, returning how
-    /// many were dropped. Called opportunistically (each incoming
-    /// connection), so eviction lag is bounded by request arrival, not by a
-    /// timer thread — an idle daemon holds expired entries until its next
-    /// request, which is harmless because memory pressure comes from
-    /// traffic.
-    pub fn sweep(&self) -> usize {
-        let now = Instant::now();
-        let mut state = self.state.lock().expect("hub lock");
-        let expired: Vec<u64> = state
-            .campaigns
-            .iter()
-            .filter(|(_, entry)| entry.expires_at.is_some_and(|at| at <= now))
-            .map(|(&id, _)| id)
-            .collect();
-        for id in &expired {
-            state.campaigns.remove(id);
-        }
-        expired.len()
+    /// Bounds the job queue to `capacity` waiting jobs. `None` (the
+    /// default) keeps the queue unbounded.
+    pub fn set_max_queue(&self, capacity: Option<usize>) {
+        self.state.lock().expect("hub lock").max_queue = capacity;
     }
 
-    /// Registers a validated spec and queues it for execution, returning its
-    /// campaign id. `None` when the hub is shutting down.
-    pub fn submit(&self, spec: CampaignSpec) -> Option<u64> {
+    /// Evicts every terminal campaign whose TTL has lapsed, returning how
+    /// many were dropped. Called per request *and* on every queue operation
+    /// and status transition — with keep-alive connections a fleet can hold
+    /// its sockets open indefinitely, so eviction cannot depend on new
+    /// connections arriving. An idle daemon still holds expired entries
+    /// until its next request or transition, which is harmless because
+    /// memory pressure comes from traffic.
+    pub fn sweep(&self) -> usize {
+        self.state.lock().expect("hub lock").sweep_expired()
+    }
+
+    /// Registers a validated spec and queues it for execution.
+    pub fn submit(&self, spec: CampaignSpec) -> SubmitOutcome {
         let mut state = self.state.lock().expect("hub lock");
+        state.sweep_expired();
         if state.shutting_down {
-            return None;
+            return SubmitOutcome::ShuttingDown;
+        }
+        if let Some(capacity) = state.max_queue {
+            if state.queue.len() >= capacity {
+                return SubmitOutcome::QueueFull { capacity };
+            }
         }
         state.next_id += 1;
         let id = state.next_id;
@@ -166,7 +230,7 @@ impl Hub {
         );
         state.queue.push_back(id);
         self.jobs.notify_one();
-        Some(id)
+        SubmitOutcome::Queued(id)
     }
 
     /// Blocks until a job is available (returning its id, spec, broadcast
@@ -176,6 +240,7 @@ impl Hub {
     pub fn next_job(&self) -> Option<(u64, CampaignSpec, EventBroadcast, CancelToken)> {
         let mut state = self.state.lock().expect("hub lock");
         loop {
+            state.sweep_expired();
             if let Some(id) = state.queue.pop_front() {
                 let entry = state.campaigns.get_mut(&id).expect("queued entries exist");
                 entry.status = Status::Running;
@@ -197,6 +262,7 @@ impl Hub {
     /// was cancelled, and closes the event stream.
     pub fn complete(&self, id: u64, report: String, cancelled: bool) {
         let mut state = self.state.lock().expect("hub lock");
+        state.sweep_expired();
         let expires_at = state.ttl.map(|ttl| Instant::now() + ttl);
         let entry = state.campaigns.get_mut(&id).expect("completed entries exist");
         entry.status = if cancelled { Status::Cancelled } else { Status::Finished };
@@ -208,6 +274,7 @@ impl Hub {
     /// Publishes an execution failure and closes the event stream.
     pub fn fail(&self, id: u64, error: String) {
         let mut state = self.state.lock().expect("hub lock");
+        state.sweep_expired();
         let expires_at = state.ttl.map(|ttl| Instant::now() + ttl);
         let entry = state.campaigns.get_mut(&id).expect("failed entries exist");
         entry.status = Status::Failed;
@@ -294,6 +361,22 @@ impl Hub {
         self.state.lock().expect("hub lock").campaigns.len()
     }
 
+    /// A census of the hub for `GET /healthz`: tracked campaigns, queue
+    /// depth, running jobs and the configured queue bound.
+    pub fn queue_stats(&self) -> QueueStats {
+        let state = self.state.lock().expect("hub lock");
+        QueueStats {
+            campaigns: state.campaigns.len(),
+            queued: state.queue.len(),
+            running: state
+                .campaigns
+                .values()
+                .filter(|entry| entry.status == Status::Running)
+                .count(),
+            capacity: state.max_queue,
+        }
+    }
+
     /// Starts shutdown: refuses new submissions, wakes every idle worker so
     /// they can drain the queue and exit.
     pub fn begin_shutdown(&self) {
@@ -319,8 +402,8 @@ mod tests {
     #[test]
     fn submissions_queue_in_order_and_views_track_status() {
         let hub = Hub::new();
-        let first = hub.submit(spec()).unwrap();
-        let second = hub.submit(spec()).unwrap();
+        let first = hub.submit(spec()).id().unwrap();
+        let second = hub.submit(spec()).id().unwrap();
         assert_eq!((first, second), (1, 2), "ids are sequential");
         assert_eq!(hub.view(1).unwrap().status, Status::Queued);
         let (id, ..) = hub.next_job().unwrap();
@@ -338,7 +421,7 @@ mod tests {
     #[test]
     fn cancellation_flags_the_token_and_spares_terminal_entries() {
         let hub = Hub::new();
-        hub.submit(spec()).unwrap();
+        hub.submit(spec()).id().unwrap();
         let (id, _, _, token) = hub.next_job().unwrap();
         assert_eq!(hub.cancel(id), Some(Status::Running));
         assert!(token.is_cancelled());
@@ -351,17 +434,37 @@ mod tests {
     #[test]
     fn shutdown_refuses_new_work_and_drains_the_queue() {
         let hub = Hub::new();
-        hub.submit(spec()).unwrap();
+        hub.submit(spec()).id().unwrap();
         hub.begin_shutdown();
-        assert!(hub.submit(spec()).is_none(), "no submissions after shutdown");
+        assert_eq!(hub.submit(spec()), SubmitOutcome::ShuttingDown, "no submissions after shutdown");
         assert!(hub.next_job().is_some(), "queued jobs drain first");
         assert!(hub.next_job().is_none(), "then workers are released");
     }
 
     #[test]
+    fn a_full_queue_refuses_submissions_until_it_drains() {
+        let hub = Hub::new();
+        hub.set_max_queue(Some(2));
+        hub.submit(spec()).id().unwrap();
+        hub.submit(spec()).id().unwrap();
+        assert_eq!(hub.submit(spec()), SubmitOutcome::QueueFull { capacity: 2 });
+        // The bound counts *queued* jobs only: dequeuing one to run frees a
+        // slot even though the hub still tracks the campaign.
+        let (id, ..) = hub.next_job().unwrap();
+        assert!(hub.submit(spec()).id().is_some(), "a drained slot accepts again");
+        assert_eq!(hub.submit(spec()), SubmitOutcome::QueueFull { capacity: 2 });
+        hub.complete(id, "{}".to_owned(), false);
+        let stats = hub.queue_stats();
+        assert_eq!((stats.queued, stats.capacity), (2, Some(2)));
+        // Lifting the bound restores unbounded admission.
+        hub.set_max_queue(None);
+        assert!(hub.submit(spec()).id().is_some());
+    }
+
+    #[test]
     fn removal_evicts_terminal_entries_only() {
         let hub = Hub::new();
-        hub.submit(spec()).unwrap();
+        hub.submit(spec()).id().unwrap();
         let (id, ..) = hub.next_job().unwrap();
         assert_eq!(hub.remove(id), Some(Err(Status::Running)), "running entries stay");
         hub.complete(id, "{}".to_owned(), false);
@@ -374,8 +477,8 @@ mod tests {
     fn ttl_sweep_evicts_lapsed_terminal_entries_only() {
         let hub = Hub::new();
         hub.set_ttl(Some(Duration::from_millis(0)));
-        hub.submit(spec()).unwrap();
-        hub.submit(spec()).unwrap();
+        hub.submit(spec()).id().unwrap();
+        hub.submit(spec()).id().unwrap();
         let (first, ..) = hub.next_job().unwrap();
         hub.complete(first, "{}".to_owned(), false);
         // The second campaign is still queued: not evictable regardless of
@@ -389,7 +492,7 @@ mod tests {
     #[test]
     fn without_ttl_terminal_entries_are_retained_and_delete_still_works() {
         let hub = Hub::new();
-        hub.submit(spec()).unwrap();
+        hub.submit(spec()).id().unwrap();
         let (id, ..) = hub.next_job().unwrap();
         hub.complete(id, "{}".to_owned(), false);
         assert_eq!(hub.sweep(), 0, "no TTL, no eviction");
@@ -401,7 +504,7 @@ mod tests {
     fn ttl_applies_from_terminal_transition_not_submission() {
         let hub = Hub::new();
         hub.set_ttl(Some(Duration::from_secs(3600)));
-        hub.submit(spec()).unwrap();
+        hub.submit(spec()).id().unwrap();
         let (id, ..) = hub.next_job().unwrap();
         hub.fail(id, "boom".to_owned());
         assert_eq!(hub.sweep(), 0, "a fresh terminal entry is within its TTL");
@@ -411,7 +514,7 @@ mod tests {
     #[test]
     fn failures_publish_an_error_report() {
         let hub = Hub::new();
-        hub.submit(spec()).unwrap();
+        hub.submit(spec()).id().unwrap();
         let (id, ..) = hub.next_job().unwrap();
         hub.fail(id, "boom \"quoted\"".to_owned());
         let view = hub.view(id).unwrap();

@@ -1,0 +1,450 @@
+//! Live fleet dashboard — the renderer behind `experiments fleet`.
+//!
+//! A [`FleetMonitor`] watches a fleet of `experiments serve` workers and
+//! periodically prints one status line per worker, in the same
+//! pipe-separated stderr convention as the single-campaign
+//! `ProgressMonitor`:
+//!
+//! ```text
+//! [fleet] 127.0.0.1:4000 | healthy | queue 2/8 | running 2 | campaign #5 MABFuzz: UCB | 1520 tests/sec | coverage 42.1% (842/2000) | detections 0
+//! [fleet] 127.0.0.1:4001 | quarantined | unreachable: I/O error: Connection refused
+//! ```
+//!
+//! Two signals feed each line:
+//!
+//! * the unauthenticated `GET /healthz` census ([`HealthSnapshot`]): queue
+//!   depth against the `--max-queue` bound, running jobs, tracked
+//!   campaigns. Probe outcomes also drive a per-worker [`FleetHealth`]
+//!   state machine, so the dashboard shows the same
+//!   healthy → quarantined → retired lifecycle the dispatch coordinator
+//!   acts on (and readmits workers the same way).
+//! * one live NDJSON event feed per worker: a background tailer follows the
+//!   event stream of the worker's oldest running campaign
+//!   (`GET /campaigns/{id}/events`) and folds `test_folded` /
+//!   `coverage_milestone` / `campaign_finished` events into throughput and
+//!   coverage counters the renderer samples every frame. When the tailed
+//!   campaign finishes, the tailer moves on to the next running campaign.
+//!
+//! Like the `ProgressMonitor`, the dashboard is best-effort by contract:
+//! it observes, it never steers, and a write error or an unreachable
+//! worker only changes what gets printed. Nothing here feeds back into
+//! campaign execution, so attaching a dashboard cannot perturb any
+//! deterministic artefact.
+
+use std::io::{self, Write};
+// detlint: allow-file(wall-clock) -- the dashboard prints live tests/sec
+// lines to a caller-supplied sink (stderr in the CLI); no deterministic
+// artefact ever sees a reading.
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use mabfuzz::json_value;
+
+use crate::client::Client;
+use crate::dispatch::MAX_EVENT_LINE_BYTES;
+use crate::health::{FleetHealth, WorkerState};
+
+/// Progress counters one event-feed tailer folds for the renderer.
+#[derive(Debug, Default, Clone)]
+struct LaneStats {
+    /// The campaign being tailed and its report label.
+    campaign: Option<(u64, String)>,
+    /// Tests folded so far (`test_folded.test_number`).
+    tests: u64,
+    /// Coverage points hit so far.
+    covered: u64,
+    /// The campaign's coverage-space size (0 until a milestone reports it).
+    space_len: u64,
+    /// Detections observed in the tailed stream.
+    detections: u64,
+    /// Set when the tailed stream ended (terminal campaign).
+    done: bool,
+}
+
+/// A `Write` sink that parses a live NDJSON event stream into [`LaneStats`]
+/// as chunks arrive, buffering only the current partial line.
+struct LaneFold {
+    stats: Arc<Mutex<LaneStats>>,
+    line: Vec<u8>,
+}
+
+impl LaneFold {
+    fn fold_line(&self, line: &[u8]) {
+        let Ok(text) = std::str::from_utf8(line) else { return };
+        let Ok(value) = json_value::parse(text) else { return };
+        let Some(event) = value.get("event").and_then(|v| v.as_str("event").ok()) else {
+            return;
+        };
+        let number = |name: &str| value.get(name).and_then(|v| v.as_u64(name).ok());
+        let mut stats = self.stats.lock().expect("lane stats lock");
+        match event {
+            "test_folded" => {
+                if let Some(test_number) = number("test_number") {
+                    stats.tests = test_number;
+                }
+                if let Some(covered) = number("covered") {
+                    stats.covered = covered;
+                }
+                if value.get("detected").is_some_and(|v| v.as_bool("detected").unwrap_or(false))
+                {
+                    stats.detections += 1;
+                }
+            }
+            "coverage_milestone" => {
+                if let Some(space_len) = number("space_len") {
+                    stats.space_len = space_len;
+                }
+                if let Some(covered) = number("covered") {
+                    stats.covered = covered;
+                }
+            }
+            "campaign_finished" => {
+                if let Some(tests) = number("tests_executed") {
+                    stats.tests = tests;
+                }
+                if let Some(covered) = number("final_coverage") {
+                    stats.covered = covered;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Write for LaneFold {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut rest = buf;
+        while let Some(offset) = rest.iter().position(|&b| b == b'\n') {
+            let (head, tail) = rest.split_at(offset + 1);
+            rest = tail;
+            self.line.extend_from_slice(&head[..head.len() - 1]);
+            let line = std::mem::take(&mut self.line);
+            self.fold_line(&line);
+        }
+        // A hostile worker emitting one endless line cannot OOM the
+        // dashboard: past the bound the partial line is discarded (it would
+        // not parse as one event anyway).
+        if self.line.len() + rest.len() <= MAX_EVENT_LINE_BYTES {
+            self.line.extend_from_slice(rest);
+        } else {
+            self.line.clear();
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One monitored worker: its address label, its client, and the event-feed
+/// tailer state.
+struct Worker {
+    label: String,
+    client: Client,
+    stats: Arc<Mutex<LaneStats>>,
+    tailer: Option<JoinHandle<()>>,
+    /// `(tests, instant)` at the previous frame, for the tests/sec delta.
+    last_sample: Option<(u64, Instant)>,
+}
+
+impl Worker {
+    /// Starts a tailer for `id` unless one is already running.
+    fn ensure_tailer(&mut self, id: u64, label: String) {
+        if let Some(handle) = &self.tailer {
+            if !handle.is_finished() {
+                return;
+            }
+            // The previous campaign's stream ended: fold its totals away
+            // and move to the new campaign.
+            if let Some(handle) = self.tailer.take() {
+                let _ = handle.join();
+            }
+        }
+        {
+            let mut stats = self.stats.lock().expect("lane stats lock");
+            let detections = stats.detections;
+            *stats = LaneStats {
+                campaign: Some((id, label)),
+                // Detections accumulate across tailed campaigns: the
+                // dashboard reports what the worker found, not one stream.
+                detections,
+                ..LaneStats::default()
+            };
+        }
+        self.last_sample = None;
+        let client = self.client.clone();
+        let stats = Arc::clone(&self.stats);
+        self.tailer = Some(thread::spawn(move || {
+            let mut fold = LaneFold { stats: Arc::clone(&stats), line: Vec::new() };
+            let _ = client.stream_events(id, &mut fold);
+            stats.lock().expect("lane stats lock").done = true;
+        }));
+    }
+}
+
+/// The live fleet dashboard. See the module docs for the line format and
+/// the two signals behind it.
+pub struct FleetMonitor {
+    workers: Vec<Worker>,
+    health: FleetHealth,
+    interval: Duration,
+}
+
+impl FleetMonitor {
+    /// A dashboard over `workers` (address label, client) pairs, rendering
+    /// a frame every second until stopped.
+    pub fn new(workers: Vec<(String, Client)>) -> FleetMonitor {
+        let count = workers.len();
+        FleetMonitor {
+            workers: workers
+                .into_iter()
+                .map(|(label, client)| Worker {
+                    label,
+                    client,
+                    stats: Arc::default(),
+                    tailer: None,
+                    last_sample: None,
+                })
+                .collect(),
+            health: FleetHealth::new(count),
+            interval: Duration::from_secs(1),
+        }
+    }
+
+    /// Sets the frame interval (clamped to ≥ 1 ms).
+    #[must_use]
+    pub fn with_interval(mut self, interval: Duration) -> FleetMonitor {
+        self.interval = interval.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Renders frames to `writer` forever (`frames: None`) or for exactly
+    /// `frames` frames — the bounded form is what CI smoke tests use.
+    ///
+    /// # Errors
+    ///
+    /// The first write error of `writer`; probe and stream errors are
+    /// rendered, not returned.
+    pub fn run(
+        &mut self,
+        frames: Option<u64>,
+        writer: &mut dyn Write,
+    ) -> io::Result<()> {
+        let mut frame = 0u64;
+        loop {
+            self.render_frame(writer)?;
+            writer.flush()?;
+            frame += 1;
+            if frames.is_some_and(|total| frame >= total) {
+                // Leave the tailers to their streams: the monitor only
+                // samples, and abandoned subscriptions end with the
+                // campaign (or the process).
+                return Ok(());
+            }
+            thread::sleep(self.interval);
+        }
+    }
+
+    /// Renders one status line per worker.
+    fn render_frame(&mut self, writer: &mut dyn Write) -> io::Result<()> {
+        for index in 0..self.workers.len() {
+            let line = self.worker_line(index);
+            writeln!(writer, "[fleet] {line}")?;
+        }
+        Ok(())
+    }
+
+    /// One worker's status line (without the `[fleet] ` prefix).
+    fn worker_line(&mut self, index: usize) -> String {
+        let snapshot = self.workers[index].client.health_snapshot();
+        match snapshot {
+            Ok(health) => {
+                self.health.record_success(index);
+                self.retail(index);
+                let worker = &mut self.workers[index];
+                let state = state_name(WorkerState::Healthy);
+                let queue = match health.capacity {
+                    Some(capacity) => format!("queue {}/{capacity}", health.queued),
+                    None => format!("queue {}/\u{221e}", health.queued),
+                };
+                let stats = worker.stats.lock().expect("lane stats lock").clone();
+                let now = Instant::now();
+                let rate = match worker.last_sample {
+                    Some((tests, at)) if now > at => {
+                        let elapsed = now.duration_since(at).as_secs_f64();
+                        (stats.tests.saturating_sub(tests)) as f64 / elapsed
+                    }
+                    _ => 0.0,
+                };
+                worker.last_sample = Some((stats.tests, now));
+                let campaign = match &stats.campaign {
+                    Some((id, label)) if !stats.done => format!("campaign #{id} {label}"),
+                    _ => "idle".to_owned(),
+                };
+                let percent = if stats.space_len == 0 {
+                    0.0
+                } else {
+                    stats.covered as f64 * 100.0 / stats.space_len as f64
+                };
+                format!(
+                    "{} | {state} | {queue} | running {} | {campaign} | {rate:.0} tests/sec \
+                     | coverage {percent:.1}% ({}/{}) | detections {}",
+                    worker.label,
+                    health.running,
+                    stats.covered,
+                    stats.space_len,
+                    stats.detections
+                )
+            }
+            Err(error) => {
+                self.health.record_failure(index);
+                let state = state_name(self.health.state(index));
+                format!("{} | {state} | unreachable: {error}", self.workers[index].label)
+            }
+        }
+    }
+
+    /// Points worker `index`'s tailer at its oldest running campaign, when
+    /// it has none (or its previous stream ended).
+    fn retail(&mut self, index: usize) {
+        let running = {
+            let worker = &self.workers[index];
+            let done = worker.stats.lock().expect("lane stats lock").done;
+            let tailing = worker
+                .tailer
+                .as_ref()
+                .is_some_and(|handle| !handle.is_finished())
+                && !done;
+            if tailing {
+                return;
+            }
+            worker.client.list().ok().and_then(|campaigns| {
+                campaigns
+                    .into_iter()
+                    .find(|campaign| campaign.status == "running")
+            })
+        };
+        if let Some(campaign) = running {
+            self.workers[index].ensure_tailer(campaign.id, campaign.label);
+        }
+    }
+}
+
+impl std::fmt::Debug for FleetMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetMonitor")
+            .field("workers", &self.workers.len())
+            .field("interval", &self.interval)
+            .finish()
+    }
+}
+
+/// The dashboard spelling of a worker's lifecycle state.
+fn state_name(state: WorkerState) -> &'static str {
+    match state {
+        WorkerState::Healthy => "healthy",
+        WorkerState::Quarantined => "quarantined",
+        WorkerState::Retired => "retired",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::CampaignServer;
+    use mabfuzz::CampaignSpec;
+
+    fn tiny_spec_json() -> String {
+        CampaignSpec::builder()
+            .max_tests(40)
+            .rng_seed(9)
+            .processor(proc_sim::ProcessorKind::Rocket, mabfuzz::BugSpec::None)
+            .build()
+            .expect("tiny spec")
+            .to_json()
+    }
+
+    #[test]
+    fn lane_fold_tracks_tests_coverage_and_detections_across_chunks() {
+        let stats = Arc::new(Mutex::new(LaneStats::default()));
+        let mut fold = LaneFold { stats: Arc::clone(&stats), line: Vec::new() };
+        let stream = "{\"event\":\"test_folded\",\"test_number\":3,\"test_id\":3,\"arm\":0,\
+                      \"local_new\":1,\"global_new\":1,\"covered\":12,\"reward\":1.0,\
+                      \"detected\":true}\n\
+                      {\"event\":\"coverage_milestone\",\"decile\":1,\"covered\":20,\
+                      \"space_len\":200,\"test_number\":4}\n\
+                      {\"event\":\"campaign_finished\",\"tests_executed\":5,\
+                      \"final_coverage\":22,\"total_resets\":0}\n";
+        // Byte-at-a-time delivery exercises the partial-line buffering.
+        for byte in stream.as_bytes() {
+            fold.write_all(std::slice::from_ref(byte)).expect("lane folds never fail");
+        }
+        let stats = stats.lock().unwrap();
+        assert_eq!(stats.tests, 5);
+        assert_eq!(stats.covered, 22);
+        assert_eq!(stats.space_len, 200);
+        assert_eq!(stats.detections, 1);
+    }
+
+    #[test]
+    fn lane_fold_discards_oversized_partial_lines_instead_of_buffering_them() {
+        let stats = Arc::new(Mutex::new(LaneStats::default()));
+        let mut fold = LaneFold { stats, line: Vec::new() };
+        let chunk = vec![b'x'; 64 * 1024];
+        for _ in 0..64 {
+            fold.write_all(&chunk).expect("lane folds never fail");
+            assert!(fold.line.len() <= MAX_EVENT_LINE_BYTES, "bounded buffering");
+        }
+    }
+
+    #[test]
+    fn dashboard_renders_live_workers_and_marks_dead_ones() {
+        let server = CampaignServer::bind("127.0.0.1:0", 1).expect("bind");
+        let alive = Client::new(server.local_addr());
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.serve());
+        alive.submit(&tiny_spec_json()).expect("submit");
+
+        // A port nothing listens on: the probe fails, the worker is
+        // quarantined on the first frame.
+        let dead_addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("bind probe");
+            probe.local_addr().expect("probe addr").to_string()
+        };
+        let dead = Client::connect(&dead_addr).expect("resolve");
+
+        let mut monitor = FleetMonitor::new(vec![
+            (addr.clone(), alive.clone()),
+            (dead_addr.clone(), dead),
+        ])
+        .with_interval(Duration::from_millis(30));
+        let mut output = Vec::new();
+        monitor.run(Some(4), &mut output).expect("render four frames");
+        let text = String::from_utf8(output).expect("UTF-8 frames");
+
+        assert_eq!(text.lines().count(), 8, "two workers, four frames: {text}");
+        assert!(text.lines().all(|line| line.starts_with("[fleet] ")), "{text}");
+        let alive_line = text
+            .lines()
+            .rev()
+            .find(|line| line.contains(&addr))
+            .expect("the live worker rendered");
+        assert!(alive_line.contains("healthy"), "{alive_line}");
+        assert!(alive_line.contains("queue "), "{alive_line}");
+        assert!(alive_line.contains("tests/sec"), "{alive_line}");
+        assert!(alive_line.contains("coverage "), "{alive_line}");
+        let dead_line = text
+            .lines()
+            .find(|line| line.contains(&dead_addr))
+            .expect("the dead worker rendered");
+        assert!(
+            dead_line.contains("quarantined") && dead_line.contains("unreachable"),
+            "{dead_line}"
+        );
+
+        alive.shutdown().expect("shutdown");
+        handle.join().expect("thread").expect("clean shutdown");
+    }
+}

@@ -13,7 +13,7 @@ use crate::http::{
     finish_chunked, json_string, read_request, respond_error, respond_json, start_chunked,
     write_chunk, Request,
 };
-use crate::hub::Hub;
+use crate::hub::{Hub, SubmitOutcome};
 
 /// The campaign service daemon (what `experiments serve` runs).
 ///
@@ -58,6 +58,22 @@ struct ServerConfig {
     /// Shared-secret bearer token; when set, every route except
     /// `GET /healthz` requires `Authorization: Bearer <token>`.
     auth_token: Option<String>,
+}
+
+/// Read-error kinds that mean "the peer went away or went quiet" rather
+/// than "the peer sent garbage": a keep-alive connection ending this way is
+/// closed silently (there may be nobody left to answer, and an idle timeout
+/// between requests is the *expected* end of a pooled connection's life).
+fn is_disconnect(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+    )
 }
 
 /// Default per-connection socket deadline (see
@@ -113,6 +129,16 @@ impl CampaignServer {
         self
     }
 
+    /// Bounds the job queue to `capacity` *waiting* jobs (`serve
+    /// --max-queue N`). Submissions past the bound are refused with `429
+    /// Too Many Requests` and a retryable error body; clients back off and
+    /// retry. `None` (the default) keeps the queue unbounded.
+    #[must_use]
+    pub fn with_max_queue(self, capacity: Option<usize>) -> CampaignServer {
+        self.hub.set_max_queue(capacity);
+        self
+    }
+
     fn config_mut(&mut self) -> &mut ServerConfig {
         Arc::get_mut(&mut self.config)
             .expect("builder methods run before serve() shares the config")
@@ -124,10 +150,11 @@ impl CampaignServer {
         self.listener.local_addr().expect("a bound listener has an address")
     }
 
-    /// Runs the daemon: spawns the worker pool, accepts connections (one
-    /// request per connection) until a client posts `/shutdown`, then drains
-    /// the already-queued campaigns and joins every worker before
-    /// returning — a clean shutdown leaves no detached campaign running.
+    /// Runs the daemon: spawns the worker pool, accepts connections (each
+    /// carrying any number of sequential keep-alive requests) until a
+    /// client posts `/shutdown`, then drains the already-queued campaigns
+    /// and joins every worker before returning — a clean shutdown leaves no
+    /// detached campaign running.
     ///
     /// # Errors
     ///
@@ -205,15 +232,15 @@ fn worker_loop(hub: &Hub) {
     }
 }
 
-/// Handles one connection (one request). Returns whether the request asked
-/// the daemon to shut down.
+/// Handles one keep-alive connection: loops reading requests until the peer
+/// closes, asks for `Connection: close`, breaks the protocol, or goes idle
+/// past the I/O deadline. Returns whether any request asked the daemon to
+/// shut down.
 fn handle_connection(hub: &Hub, config: &ServerConfig, stream: TcpStream) -> bool {
-    // Opportunistic TTL sweep: evicting lapsed terminal campaigns on each
-    // incoming connection keeps the hub bounded without a timer thread.
-    hub.sweep();
-    // Socket deadlines bound both halves of the exchange: a slowloris peer
-    // times out reading the request, and a stalled consumer times out on
-    // the event-stream writes.
+    // Socket deadlines bound both halves of every exchange: a slowloris
+    // peer times out reading the request, a stalled consumer times out on
+    // the event-stream writes, and the same read deadline doubles as the
+    // keep-alive idle timeout between requests.
     let _ = stream.set_read_timeout(config.io_timeout);
     let _ = stream.set_write_timeout(config.io_timeout);
     let mut reader = BufReader::new(match stream.try_clone() {
@@ -221,24 +248,48 @@ fn handle_connection(hub: &Hub, config: &ServerConfig, stream: TcpStream) -> boo
         Err(_) => return false,
     });
     let mut writer = stream;
-    let request = match read_request(&mut reader) {
-        Ok(Some(request)) => request,
-        // Silent close (e.g. the shutdown self-wake): nothing to answer.
-        Ok(None) => return false,
-        Err(error) => {
-            let _ = respond_error(&mut writer, 400, &error.to_string());
-            return false;
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            // Clean close between requests (a pooled client moving on, or
+            // the shutdown self-wake): nothing to answer.
+            Ok(None) => return false,
+            Err(error) => {
+                // Idle timeout / peer disappearance: close silently. Actual
+                // protocol violations get a loud 400, then the connection
+                // closes — resynchronising a stream after a framing error
+                // is exactly the request-smuggling trap.
+                if !is_disconnect(error.kind()) {
+                    let _ = respond_error(&mut writer, 400, &error.to_string(), true);
+                }
+                return false;
+            }
+        };
+        // Opportunistic TTL sweep per *request*, not per connection — a
+        // keep-alive fleet can hold its sockets open for hours, so eviction
+        // must ride the traffic itself. The hub also sweeps on every queue
+        // operation and status transition.
+        hub.sweep();
+        let close = request.close;
+        if !authorized(config, &request) {
+            if respond_error(&mut writer, 401, "missing or invalid bearer token", close).is_err()
+                || close
+            {
+                return false;
+            }
+            continue;
         }
-    };
-    if !authorized(config, &request) {
-        let _ = respond_error(&mut writer, 401, "missing or invalid bearer token");
-        return false;
+        let shutdown = request.method == "POST" && request.path == "/shutdown";
+        // A shutdown response is the last thing this daemon says on the
+        // connection, so it announces the close.
+        if route(hub, &request, &mut writer, close || shutdown).is_err() {
+            // The peer vanished mid-response; nothing useful left to do.
+            return shutdown;
+        }
+        if shutdown || close {
+            return shutdown;
+        }
     }
-    let shutdown = request.method == "POST" && request.path == "/shutdown";
-    if let Err(_error) = route(hub, &request, &mut writer) {
-        // The peer vanished mid-response; nothing useful left to do.
-    }
-    shutdown
 }
 
 /// Whether `request` may proceed under the server's auth policy.
@@ -271,39 +322,47 @@ fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
     diff == 0
 }
 
-/// Routes one parsed request to its handler.
-fn route(hub: &Hub, request: &Request, writer: &mut TcpStream) -> io::Result<()> {
+/// Routes one parsed request to its handler. `close` is announced in the
+/// response's `Connection` header (the connection closes after this
+/// exchange); otherwise the connection stays open for the next request.
+fn route(hub: &Hub, request: &Request, writer: &mut TcpStream, close: bool) -> io::Result<()> {
     let path = request.path.as_str();
     let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
     match (request.method.as_str(), segments.as_slice()) {
-        ("POST", ["campaigns"]) => submit(hub, &request.body, writer),
+        ("POST", ["campaigns"]) => submit(hub, &request.body, writer, close),
         ("GET", ["campaigns"]) => {
             let entries: Vec<String> =
                 hub.list().iter().map(|view| view.to_json()).collect();
-            respond_json(writer, 200, &format!("{{\"campaigns\":[{}]}}", entries.join(",")))
+            respond_json(
+                writer,
+                200,
+                &format!("{{\"campaigns\":[{}]}}", entries.join(",")),
+                close,
+            )
         }
         ("GET", ["campaigns", id]) => match parse_id(id) {
             Some(id) => match hub.view(id) {
-                Some(view) => respond_json(writer, 200, &view.to_json()),
-                None => unknown_campaign(writer, id),
+                Some(view) => respond_json(writer, 200, &view.to_json(), close),
+                None => unknown_campaign(writer, id, close),
             },
-            None => bad_id(writer, id),
+            None => bad_id(writer, id, close),
         },
         ("GET", ["campaigns", id, "events"]) => match parse_id(id) {
-            Some(id) => stream_events(hub, id, writer),
-            None => bad_id(writer, id),
+            Some(id) => stream_events(hub, id, writer, close),
+            None => bad_id(writer, id, close),
         },
         ("GET", ["campaigns", id, "report"]) => match parse_id(id) {
             Some(id) => match (hub.report(id), hub.view(id)) {
-                (Some(report), _) => respond_json(writer, 200, &report),
+                (Some(report), _) => respond_json(writer, 200, &report, close),
                 (None, Some(view)) => respond_error(
                     writer,
                     409,
                     &format!("campaign {id} is {}; no report yet", view.status.name()),
+                    close,
                 ),
-                (None, None) => unknown_campaign(writer, id),
+                (None, None) => unknown_campaign(writer, id, close),
             },
-            None => bad_id(writer, id),
+            None => bad_id(writer, id, close),
         },
         ("POST", ["campaigns", id, "cancel"]) => match parse_id(id) {
             Some(id) => match hub.cancel(id) {
@@ -314,10 +373,11 @@ fn route(hub: &Hub, request: &Request, writer: &mut TcpStream) -> io::Result<()>
                         "{{\"id\":{id},\"status\":{}}}",
                         json_string(status.name())
                     ),
+                    close,
                 ),
-                None => unknown_campaign(writer, id),
+                None => unknown_campaign(writer, id, close),
             },
-            None => bad_id(writer, id),
+            None => bad_id(writer, id, close),
         },
         ("DELETE", ["campaigns", id]) => match parse_id(id) {
             Some(id) => match hub.remove(id) {
@@ -325,6 +385,7 @@ fn route(hub: &Hub, request: &Request, writer: &mut TcpStream) -> io::Result<()>
                     writer,
                     200,
                     &format!("{{\"id\":{id},\"status\":\"deleted\"}}"),
+                    close,
                 ),
                 Some(Err(status)) => respond_error(
                     writer,
@@ -333,64 +394,96 @@ fn route(hub: &Hub, request: &Request, writer: &mut TcpStream) -> io::Result<()>
                         "campaign {id} is {}; cancel it or wait before deleting",
                         status.name()
                     ),
+                    close,
                 ),
-                None => unknown_campaign(writer, id),
+                None => unknown_campaign(writer, id, close),
             },
-            None => bad_id(writer, id),
+            None => bad_id(writer, id, close),
         },
         ("POST", ["shutdown"]) => {
-            respond_json(writer, 200, "{\"status\":\"shutting down\"}")
+            respond_json(writer, 200, "{\"status\":\"shutting down\"}", close)
         }
-        ("GET", ["healthz"]) => respond_json(
-            writer,
-            200,
-            &format!("{{\"status\":\"ok\",\"campaigns\":{}}}", hub.campaign_count()),
-        ),
+        ("GET", ["healthz"]) => {
+            let stats = hub.queue_stats();
+            let capacity = match stats.capacity {
+                Some(capacity) => capacity.to_string(),
+                None => "null".to_owned(),
+            };
+            respond_json(
+                writer,
+                200,
+                &format!(
+                    "{{\"status\":\"ok\",\"campaigns\":{},\"queued\":{},\"running\":{},\
+                     \"capacity\":{capacity}}}",
+                    stats.campaigns, stats.queued, stats.running
+                ),
+                close,
+            )
+        }
         ("GET" | "POST" | "DELETE", _) => {
-            respond_error(writer, 404, &format!("no route for `{path}`"))
+            respond_error(writer, 404, &format!("no route for `{path}`"), close)
         }
-        (method, _) => respond_error(writer, 405, &format!("method `{method}` not supported")),
+        (method, _) => {
+            respond_error(writer, 405, &format!("method `{method}` not supported"), close)
+        }
     }
 }
 
 /// `POST /campaigns`: parse + validate the spec body strictly, queue it.
-fn submit(hub: &Hub, body: &[u8], writer: &mut TcpStream) -> io::Result<()> {
+fn submit(hub: &Hub, body: &[u8], writer: &mut TcpStream, close: bool) -> io::Result<()> {
     let text = match std::str::from_utf8(body) {
         Ok(text) => text,
-        Err(_) => return respond_error(writer, 400, "request body is not UTF-8"),
+        Err(_) => return respond_error(writer, 400, "request body is not UTF-8", close),
     };
     // The strict spec codec is the single gatekeeper: unknown fields,
     // unknown policies and invalid parameters all fail here with the same
     // `SpecError` text the CLI prints.
     let spec = match CampaignSpec::from_json(text) {
         Ok(spec) => spec,
-        Err(error) => return respond_error(writer, 400, &error.to_string()),
+        Err(error) => return respond_error(writer, 400, &error.to_string(), close),
     };
     if spec.processor.is_none() {
-        return respond_error(writer, 400, &SpecError::MissingProcessor.to_string());
+        return respond_error(writer, 400, &SpecError::MissingProcessor.to_string(), close);
     }
     match hub.submit(spec) {
-        Some(id) => respond_json(
+        SubmitOutcome::Queued(id) => respond_json(
             writer,
             201,
             &format!("{{\"id\":{id},\"status\":\"queued\"}}"),
+            close,
         ),
-        None => respond_error(writer, 409, "the server is shutting down"),
+        SubmitOutcome::ShuttingDown => {
+            respond_error(writer, 409, "the server is shutting down", close)
+        }
+        // 429 is the transient refusal: the queue is at its configured
+        // bound. Clients back off and retry the identical submission.
+        SubmitOutcome::QueueFull { capacity } => respond_error(
+            writer,
+            429,
+            &format!("job queue is at its capacity of {capacity}; retry after backoff"),
+            close,
+        ),
     }
 }
 
 /// `GET /campaigns/{id}/events`: chunked NDJSON, replayed from the start of
 /// the stream and followed live until the campaign's broadcast closes. The
-/// payload bytes are exactly the campaign's `EventLog` stream.
-fn stream_events(hub: &Hub, id: u64, writer: &mut TcpStream) -> io::Result<()> {
+/// payload bytes are exactly the campaign's `EventLog` stream; chunked
+/// framing is self-terminating, so the connection survives the stream.
+fn stream_events(hub: &Hub, id: u64, writer: &mut TcpStream, close: bool) -> io::Result<()> {
     let Some(events) = hub.events(id) else {
-        return unknown_campaign(writer, id);
+        return unknown_campaign(writer, id, close);
     };
-    start_chunked(writer)?;
+    start_chunked(writer, close)?;
     let mut offset = 0usize;
     while let Some(bytes) = events.wait_from(offset) {
         offset += bytes.len();
-        write_chunk(writer, &bytes)?;
+        // A late subscriber's first batch can be the whole stream so far;
+        // split it so no single chunk exceeds what clients are willing to
+        // buffer (see `MAX_CHUNK_BYTES` in the wire layer).
+        for piece in bytes.chunks(64 * 1024) {
+            write_chunk(writer, piece)?;
+        }
     }
     finish_chunked(writer)
 }
@@ -399,12 +492,12 @@ fn parse_id(text: &str) -> Option<u64> {
     text.parse().ok()
 }
 
-fn unknown_campaign(writer: &mut TcpStream, id: u64) -> io::Result<()> {
-    respond_error(writer, 404, &format!("unknown campaign id {id}"))
+fn unknown_campaign(writer: &mut TcpStream, id: u64, close: bool) -> io::Result<()> {
+    respond_error(writer, 404, &format!("unknown campaign id {id}"), close)
 }
 
-fn bad_id(writer: &mut TcpStream, id: &str) -> io::Result<()> {
-    respond_error(writer, 400, &format!("malformed campaign id `{id}`"))
+fn bad_id(writer: &mut TcpStream, id: &str, close: bool) -> io::Result<()> {
+    respond_error(writer, 400, &format!("malformed campaign id `{id}`"), close)
 }
 
 #[cfg(test)]
@@ -417,6 +510,7 @@ mod tests {
             path: path.to_owned(),
             body: Vec::new(),
             authorization: authorization.map(str::to_owned),
+            close: false,
         }
     }
 

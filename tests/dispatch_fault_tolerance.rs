@@ -124,13 +124,16 @@ fn a_campaign_lost_mid_stream_is_reassigned_exactly_once() {
     let references: Vec<_> = specs.iter().map(reference).collect();
 
     let (client, server) = start_server(1);
-    // Connection 0 is the submit, connection 1 the event stream: drop the
-    // stream after 300 response bytes — a worker dying mid-campaign.
+    // With keep-alive one connection carries the whole attempt, so the
+    // chaos schedule targets the *request*: request 0 is the submit,
+    // request 1 the event stream — drop the stream after 300 response
+    // bytes, a worker dying mid-campaign.
     let faulty = Arc::new(
         FaultyTransport::new(Arc::new(TcpTransport::default()))
-            .schedule(1, Fault::DropAfter(300)),
+            .schedule_request(1, Fault::DropAfter(300)),
     );
-    let coordinator = Coordinator::new(vec![client.clone().with_transport(faulty)])
+    let transport: Arc<FaultyTransport> = Arc::clone(&faulty);
+    let coordinator = Coordinator::new(vec![client.clone().with_transport(transport)])
         .with_retry_policy(fast_retries());
     let outcomes = coordinator.run(&specs).expect("the retry recovers the campaign");
 
@@ -146,6 +149,14 @@ fn a_campaign_lost_mid_stream_is_reassigned_exactly_once() {
     assert!(!outcomes[0].ran_locally);
     assert_eq!(outcomes[0].attempts, 2, "first attempt lost, second clean");
     assert_eq!(coordinator.local_runs(), 0);
+    // Keep-alive held: both attempts together opened fewer connections
+    // than they made requests.
+    assert!(
+        faulty.connections_made() < faulty.requests_made(),
+        "{} connections for {} requests — connections were not reused",
+        faulty.connections_made(),
+        faulty.requests_made()
+    );
 
     client.shutdown().expect("shutdown");
     server.join().expect("thread").expect("clean shutdown");
@@ -210,29 +221,37 @@ proptest! {
     fn dispatch_under_arbitrary_fault_schedules_stays_byte_identical(
         faults_a in proptest::collection::vec((0usize..10, 0u8..5, 0usize..600), 0..4),
         faults_b in proptest::collection::vec((0usize..10, 0u8..5, 0usize..600), 0..4),
+        request_faults_a in proptest::collection::vec((0usize..16, 0u8..5, 0usize..600), 0..3),
+        request_faults_b in proptest::collection::vec((0usize..16, 0u8..5, 0usize..600), 0..3),
     ) {
         let specs = small_grid();
         let references: Vec<_> = specs.iter().map(reference).collect();
 
         let (client_a, server_a) = start_server(2);
         let (client_b, server_b) = start_server(2);
-        let schedule = |faults: &[(usize, u8, usize)]| {
+        let fault_of = |kind: u8, k: usize| match kind {
+            0 => Fault::RefuseConnect,
+            1 => Fault::DropAfter(k),
+            2 => Fault::StallAfter(k),
+            3 => Fault::GarbageAt(k),
+            _ => Fault::ShortWriteAt(k),
+        };
+        // Chaos on both axes: connection-lifetime faults (a socket that was
+        // bad from the start) and request-boundary faults (a keep-alive
+        // connection that dies mid-request, arbitrarily deep into its life).
+        let schedule = |faults: &[(usize, u8, usize)], request_faults: &[(usize, u8, usize)]| {
             let mut transport = FaultyTransport::new(Arc::new(TcpTransport::default()));
             for &(connection, kind, k) in faults {
-                let fault = match kind {
-                    0 => Fault::RefuseConnect,
-                    1 => Fault::DropAfter(k),
-                    2 => Fault::StallAfter(k),
-                    3 => Fault::GarbageAt(k),
-                    _ => Fault::ShortWriteAt(k),
-                };
-                transport = transport.schedule(connection, fault);
+                transport = transport.schedule(connection, fault_of(kind, k));
+            }
+            for &(request, kind, k) in request_faults {
+                transport = transport.schedule_request(request, fault_of(kind, k));
             }
             Arc::new(transport)
         };
         let coordinator = Coordinator::new(vec![
-            client_a.clone().with_transport(schedule(&faults_a)),
-            client_b.clone().with_transport(schedule(&faults_b)),
+            client_a.clone().with_transport(schedule(&faults_a, &request_faults_a)),
+            client_b.clone().with_transport(schedule(&faults_b, &request_faults_b)),
         ])
         .with_retry_policy(fast_retries());
 
